@@ -1,0 +1,42 @@
+// Ablation: how much of etroxy's overhead is the enclave boundary?
+//
+// Sweeps the modelled SGX transition cost from free to 4x the calibrated
+// value at the paper's most transition-sensitive point (256 B writes,
+// local network). At cost 0 etroxy collapses onto ctroxy-minus-JNI; at
+// the calibrated value it shows the paper's ~43% loss.
+#include <cstdio>
+
+#include "bench_support/experiments.hpp"
+#include "crypto/fastmode.hpp"
+
+int main() {
+    troxy::crypto::set_fast_crypto(true);
+    using namespace troxy::bench;
+
+    std::printf("Ablation: enclave transition cost sweep\n");
+    std::printf("(256 B writes, local network; baseline BL for scale)\n");
+
+    MicroParams params;
+    params.read_workload = false;
+    params.request_size = 256;
+    params.clients = 64;
+    params.pipeline = 8;
+
+    std::vector<Row> rows;
+    rows.push_back(run_micro(SystemKind::Baseline, params).row);
+
+    const double calibrated =
+        troxy::sim::EnclaveCosts::sgx_v1().ecall_transition_ns;
+    for (const double factor : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+        MicroParams swept = params;
+        swept.enclave_costs = troxy::sim::EnclaveCosts::sgx_v1();
+        swept.enclave_costs.ecall_transition_ns = calibrated * factor;
+        swept.enclave_costs.ocall_transition_ns = calibrated * factor;
+        Row row = run_micro(SystemKind::ETroxy, swept).row;
+        row.label = "etroxy, transition x" + std::to_string(factor)
+                        .substr(0, 3);
+        rows.push_back(row);
+    }
+    print_table("transition-cost sweep", rows);
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Microbenchmarks of the real cryptographic primitives (google-benchmark).
+//
+// These run the actual implementations (no fast mode): useful both as a
+// regression guard and to sanity-check the cost-model ratios used by the
+// simulation (native SHA/HMAC per-byte costs vs the modelled values).
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace {
+
+using namespace troxy;
+
+Bytes make_payload(std::size_t size) {
+    Bytes data(size);
+    for (std::size_t i = 0; i < size; ++i) {
+        data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    }
+    return data;
+}
+
+void BM_Sha256(benchmark::State& state) {
+    const Bytes data = make_payload(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::sha256(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_HmacSha256(benchmark::State& state) {
+    const Bytes key = to_bytes("benchmark-key");
+    const Bytes data = make_payload(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_AeadSeal(benchmark::State& state) {
+    crypto::ChaChaKey key{};
+    key[0] = 1;
+    crypto::ChaChaNonce nonce{};
+    const Bytes aad = to_bytes("header");
+    const Bytes data = make_payload(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::aead_seal(key, nonce, aad, data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_AeadOpen(benchmark::State& state) {
+    crypto::ChaChaKey key{};
+    key[0] = 1;
+    crypto::ChaChaNonce nonce{};
+    const Bytes aad = to_bytes("header");
+    const Bytes sealed = crypto::aead_seal(
+        key, nonce, aad, make_payload(static_cast<std::size_t>(state.range(0))));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::aead_open(key, nonce, aad, sealed));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(256)->Arg(8192);
+
+void BM_X25519(benchmark::State& state) {
+    const crypto::X25519Keypair alice =
+        crypto::x25519_keypair_from_seed(to_bytes("alice"));
+    const crypto::X25519Keypair bob =
+        crypto::x25519_keypair_from_seed(to_bytes("bob"));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crypto::x25519(alice.private_key, bob.public_key));
+    }
+}
+BENCHMARK(BM_X25519);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Figure 6 (§VI-C1): totally ordered write requests, local network.
+//
+// Request sizes 256 B / 1 KB / 4 KB / 8 KB, reply 10 B. Compares the
+// original Hybster (BL, traditional client-side library) against the
+// Troxy variants: ctroxy (native code outside SGX — isolates the cost of
+// relocating the client library) and etroxy (inside the enclave — adds
+// transition costs).
+//
+// Paper shape: etroxy ≈ 43% below BL at 256 B, roughly half of that loss
+// attributable to the trusted subsystem (ctroxy sits in between), and
+// etroxy converges to BL at 8 KB because native message authentication
+// outpaces Java on large payloads.
+#include <cstdio>
+
+#include "bench_support/experiments.hpp"
+#include "crypto/fastmode.hpp"
+
+int main() {
+    troxy::crypto::set_fast_crypto(true);
+    using namespace troxy::bench;
+
+    std::printf("Figure 6: totally ordered requests, local network\n");
+    std::printf("(writes of varying size, 10 B replies, closed loop)\n");
+
+    for (const std::size_t size : {256u, 1024u, 4096u, 8192u}) {
+        MicroParams params;
+        params.read_workload = false;
+        params.request_size = size;
+        params.clients = 48;
+        params.pipeline = 4;
+
+        std::vector<Row> rows;
+        for (const SystemKind system :
+             {SystemKind::Baseline, SystemKind::CTroxy,
+              SystemKind::ETroxy}) {
+            rows.push_back(run_micro(system, params).row);
+        }
+        print_table("request size " + std::to_string(size) + " B", rows);
+    }
+    return 0;
+}

@@ -1,0 +1,165 @@
+// Fault injection tour: the §VI-B security analysis, live.
+//
+// Each scene injects one misbehaviour into the untrusted part of a
+// replica and shows what the legacy client experiences: nothing but
+// correct results (and occasionally a reconnect).
+//
+// Run:  ./build/examples/fault_injection
+#include <cstdio>
+
+#include "apps/echo_service.hpp"
+#include "bench_support/cluster.hpp"
+
+using namespace troxy;
+using apps::EchoService;
+
+namespace {
+
+bench::TroxyCluster::Params make_params(std::uint64_t seed) {
+    bench::TroxyCluster::Params params;
+    params.base.seed = seed;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    params.host.vote_timeout = sim::milliseconds(500);
+    return params;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== scene 1: a replica lies about results ===\n");
+    {
+        bench::TroxyCluster cluster(make_params(1));
+        hybster::FaultProfile corrupt;
+        corrupt.corrupt_replies = true;
+        cluster.host(2).replica().set_faults(corrupt);
+
+        auto& client = cluster.add_client(0);
+        client.start([&]() {
+            client.send(EchoService::make_write(1, 64), [&](Bytes) {
+                client.send(EchoService::make_read(1, 32, 128),
+                            [&](Bytes reply) {
+                    const bool correct =
+                        reply == EchoService::expected_read_reply(1, 1, 128);
+                    std::printf("  client read: %s — the voter needed f+1 "
+                                "matching Troxy-authenticated replies, so "
+                                "the liar was outvoted\n",
+                                correct ? "correct" : "WRONG");
+                });
+            });
+        });
+        cluster.simulator().run_until(sim::seconds(10));
+        std::printf("  rejected replies at contact troxy: %llu\n",
+                    static_cast<unsigned long long>(
+                        cluster.host(0).troxy().status().rejected_replies));
+    }
+
+    std::printf("\n=== scene 2: stale-cache performance attack ===\n");
+    {
+        bench::TroxyCluster cluster(make_params(2));
+        auto& client = cluster.add_client(0);
+
+        // Warm the caches, then replica 2 stops maintaining its Troxy.
+        int phase = 0;
+        client.start([&]() {
+            client.send(EchoService::make_write(1, 64), [&](Bytes) {
+                client.send(EchoService::make_read(1, 32, 64),
+                            [&](Bytes) { phase = 1; });
+            });
+        });
+        cluster.simulator().run_until(sim::seconds(5));
+
+        hybster::FaultProfile silent;
+        silent.drop_replies = true;
+        cluster.host(2).replica().set_faults(silent);
+
+        client.send(EchoService::make_write(1, 64), [&](Bytes) {
+            phase = 2;
+        });
+        cluster.simulator().run_until(sim::seconds(10));
+
+        int correct = 0;
+        for (int i = 0; i < 6; ++i) {
+            client.send(EchoService::make_read(1, 32, 64),
+                        [&correct](Bytes reply) {
+                            if (reply == EchoService::expected_read_reply(
+                                             1, 2, 64)) {
+                                ++correct;
+                            }
+                        });
+        }
+        cluster.simulator().run_until(sim::seconds(30));
+        const auto status = cluster.host(0).troxy().status();
+        std::printf("  6/6 reads returned the latest write: %s\n",
+                    correct == 6 ? "yes" : "NO");
+        std::printf("  fast-read conflicts handled by fallback: %llu "
+                    "(slower, never wrong)\n",
+                    static_cast<unsigned long long>(
+                        status.fast_read_conflicts));
+    }
+
+    std::printf("\n=== scene 3: the leader crashes ===\n");
+    {
+        bench::TroxyCluster cluster(make_params(3));
+        auto& client = cluster.add_client(1);  // contact a follower
+
+        bool before = false, after = false;
+        client.start([&]() {
+            client.send(EchoService::make_write(5, 64),
+                        [&](Bytes) { before = true; });
+        });
+        cluster.simulator().run_until(sim::seconds(5));
+
+        hybster::FaultProfile crash;
+        crash.crashed = true;
+        cluster.host(0).set_faults(crash);  // the view-0 leader
+
+        client.send(EchoService::make_write(5, 64),
+                    [&](Bytes) { after = true; });
+        cluster.simulator().run_until(sim::seconds(40));
+        std::printf("  write before crash: %s, write after crash: %s\n",
+                    before ? "ok" : "LOST", after ? "ok" : "LOST");
+        std::printf("  replica 1 is now in view %llu (view change ran "
+                    "behind the scenes)\n",
+                    static_cast<unsigned long long>(
+                        cluster.host(1).replica().view()));
+    }
+
+    std::printf("\n=== scene 4: enclave reboot (rollback attack) ===\n");
+    {
+        bench::TroxyCluster cluster(make_params(4));
+        auto& client = cluster.add_client(0);
+
+        int phase = 0;
+        client.start([&]() {
+            client.send(EchoService::make_write(9, 64), [&](Bytes) {
+                client.send(EchoService::make_read(9, 32, 64),
+                            [&](Bytes) { phase = 1; });
+            });
+        });
+        cluster.simulator().run_until(sim::seconds(5));
+
+        cluster.host(0).troxy().restart();
+        std::printf("  troxy restarted: cache entries now %zu — the cache "
+                    "cannot be rolled back to a stale state, it can only "
+                    "start empty (§IV-B)\n",
+                    cluster.host(0).troxy().status().cache_entries);
+
+        client.send(EchoService::make_read(9, 32, 64), [&](Bytes reply) {
+            const bool correct =
+                reply == EchoService::expected_read_reply(9, 1, 64);
+            std::printf("  read after restart: %s (served by ordering, "
+                        "after the client's transparent reconnect)\n",
+                        correct ? "correct" : "WRONG");
+            phase = 2;
+        });
+        cluster.simulator().run_until(sim::seconds(30));
+        (void)phase;
+    }
+
+    std::printf("\nall scenes complete: the legacy client never saw a "
+                "wrong result.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+// A replicated key-value store with multiple concurrent legacy clients.
+//
+// Demonstrates the service-integration surface (§III-E): KvService
+// implements the four Service methods (classify / execute / checkpoint /
+// restore) and nothing else — the same class runs unreplicated, under
+// the baseline, or behind Troxies. Here three clients hammer it through
+// different contact replicas while a fourth audits the results.
+//
+// Run:  ./build/examples/kv_store
+#include <cstdio>
+#include <string>
+
+#include "apps/kv_service.hpp"
+#include "bench_support/cluster.hpp"
+
+using namespace troxy;
+using apps::KvService;
+
+int main() {
+    bench::TroxyCluster::Params params;
+    params.base.seed = 77;
+    params.service = []() { return std::make_unique<KvService>(); };
+    params.classifier = [](ByteView request) {
+        return KvService().classify(request);
+    };
+    bench::TroxyCluster cluster(std::move(params));
+
+    // Three writers, each connected to a different replica's Troxy.
+    auto& alice = cluster.add_client(0);
+    auto& bob = cluster.add_client(1);
+    auto& carol = cluster.add_client(2);
+
+    int writes_done = 0;
+    auto put = [&](troxy_core::LegacyClient& client, std::string key,
+                   std::string value) {
+        client.send(KvService::make_put(key, value),
+                    [&writes_done](Bytes) { ++writes_done; });
+    };
+
+    alice.start([&]() {
+        put(alice, "user:alice", "online");
+        put(alice, "doc:readme", "v1");
+    });
+    bob.start([&]() {
+        put(bob, "user:bob", "online");
+        put(bob, "doc:readme", "v2");  // races with alice's write
+    });
+    carol.start([&]() { put(carol, "user:carol", "away"); });
+
+    cluster.simulator().run_until(sim::seconds(5));
+    std::printf("writes acknowledged: %d/5\n\n", writes_done);
+
+    // An auditor connects afterwards and scans — every client sees the
+    // same linearized outcome regardless of contact replica.
+    auto& auditor = cluster.add_client();
+    auditor.start([&]() {
+        auditor.send(KvService::make_scan("user:"), [&](Bytes listing) {
+            Reader r(listing);
+            const std::uint32_t count = r.u32();
+            std::printf("scan user:* → %u keys\n", count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                std::printf("  %s\n", r.str().c_str());
+            }
+            auditor.send(KvService::make_get("doc:readme"),
+                         [&](Bytes value) {
+                             std::printf(
+                                 "\ndoc:readme = \"%s\" (the later of the "
+                                 "two racing writes, on every replica)\n",
+                                 to_string(value).c_str());
+                         });
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(10));
+
+    // All replicas hold identical state.
+    const Bytes reference = cluster.host(0).replica().service().checkpoint();
+    bool consistent = true;
+    for (int r = 1; r < cluster.n(); ++r) {
+        consistent &=
+            cluster.host(r).replica().service().checkpoint() == reference;
+    }
+    std::printf("replica states identical: %s\n",
+                consistent ? "yes" : "NO");
+    return consistent ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Microbenchmark service (§VI-C): "a simple service that accepts requests
+// and generates a reply message of configurable size. Read and write
+// requests can be distinguished by their operation types."
+//
+// Request wire format (application level — the Troxy treats it as an
+// opaque record and only uses the classifier):
+//   u8  op            0 = read, 1 = write
+//   u64 key           state partition touched
+//   u32 reply_size    requested reply payload size
+//   u32 pad_size      request padding length
+//   pad_size × u8     padding (zeros; makes the request the desired size)
+//
+// State: a version counter per key. Writes bump the version and return a
+// 10-byte acknowledgement (the paper's write replies are always 10 B);
+// reads return reply_size bytes deterministically derived from
+// (key, version), so a stale read is *detectably* stale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "hybster/service.hpp"
+
+namespace troxy::apps {
+
+class EchoService final : public hybster::Service {
+  public:
+    [[nodiscard]] hybster::RequestInfo classify(
+        ByteView request) const override;
+    Bytes execute(ByteView request) override;
+    [[nodiscard]] Bytes checkpoint() const override;
+    void restore(ByteView snapshot) override;
+    [[nodiscard]] sim::Duration execution_cost(
+        ByteView request) const override;
+
+    /// Builds a read request of approximately `request_size` bytes asking
+    /// for a `reply_size`-byte reply.
+    static Bytes make_read(std::uint64_t key, std::size_t request_size,
+                           std::size_t reply_size);
+
+    /// Builds a write request of approximately `request_size` bytes.
+    static Bytes make_write(std::uint64_t key, std::size_t request_size);
+
+    /// The deterministic reply a read of (key, version) must produce —
+    /// used by tests to check linearizability.
+    static Bytes expected_read_reply(std::uint64_t key,
+                                     std::uint64_t version,
+                                     std::size_t reply_size);
+
+    [[nodiscard]] std::uint64_t version_of(std::uint64_t key) const;
+
+  private:
+    struct Parsed {
+        bool is_read = false;
+        std::uint64_t key = 0;
+        std::size_t reply_size = 0;
+    };
+    [[nodiscard]] static Parsed parse(ByteView request);
+
+    std::map<std::uint64_t, std::uint64_t> versions_;
+};
+
+}  // namespace troxy::apps

@@ -1,0 +1,134 @@
+#include "apps/kv_service.hpp"
+
+#include "common/serialize.hpp"
+
+namespace troxy::apps {
+
+namespace {
+enum class Op : std::uint8_t { Get = 0, Put = 1, Delete = 2, Scan = 3 };
+}
+
+hybster::RequestInfo KvService::classify(ByteView request) const {
+    hybster::RequestInfo info;
+    try {
+        Reader r(request);
+        const auto op = static_cast<Op>(r.u8());
+        const std::string key = r.str();
+        info.is_read = (op == Op::Get || op == Op::Scan);
+        // SCAN touches a whole prefix partition; a PUT/DELETE under that
+        // prefix must invalidate it, so scans are keyed by their prefix
+        // and mutations conservatively invalidate both the exact key and
+        // cannot match prefix entries (distinct state keys → scans simply
+        // miss after the partition changed). We keep scans uncached by
+        // giving them a per-request key shared by identical scans.
+        if (op == Op::Scan) {
+            info.state_key = "scan:" + key;
+        } else {
+            info.state_key = "kv:" + key;
+        }
+    } catch (const DecodeError&) {
+        info.is_read = true;
+        info.state_key = "invalid";
+    }
+    return info;
+}
+
+Bytes KvService::execute(ByteView request) {
+    try {
+        Reader r(request);
+        const auto op = static_cast<Op>(r.u8());
+        const std::string key = r.str();
+        switch (op) {
+            case Op::Get: {
+                const auto it = store_.find(key);
+                return to_bytes(it == store_.end() ? "" : it->second);
+            }
+            case Op::Put: {
+                const std::string value = r.str();
+                std::string previous;
+                if (auto it = store_.find(key); it != store_.end()) {
+                    previous = it->second;
+                }
+                store_[key] = value;
+                return to_bytes(previous);
+            }
+            case Op::Delete: {
+                std::string previous;
+                if (auto it = store_.find(key); it != store_.end()) {
+                    previous = it->second;
+                    store_.erase(it);
+                }
+                return to_bytes(previous);
+            }
+            case Op::Scan: {
+                Writer w;
+                std::vector<std::string> matches;
+                for (auto it = store_.lower_bound(key);
+                     it != store_.end() && it->first.starts_with(key); ++it) {
+                    matches.push_back(it->first);
+                }
+                w.u32(static_cast<std::uint32_t>(matches.size()));
+                for (const std::string& k : matches) w.str(k);
+                return std::move(w).take();
+            }
+        }
+        return to_bytes("ERR unknown op");
+    } catch (const DecodeError&) {
+        return to_bytes("ERR malformed request");
+    }
+}
+
+Bytes KvService::checkpoint() const {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(store_.size()));
+    for (const auto& [key, value] : store_) {
+        w.str(key);
+        w.str(value);
+    }
+    return std::move(w).take();
+}
+
+void KvService::restore(ByteView snapshot) {
+    store_.clear();
+    Reader r(snapshot);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::string key = r.str();
+        store_[std::move(key)] = r.str();
+    }
+}
+
+sim::Duration KvService::execution_cost(ByteView request) const {
+    return sim::nanoseconds(800 + request.size() / 10);
+}
+
+Bytes KvService::make_get(std::string_view key) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Op::Get));
+    w.str(key);
+    return std::move(w).take();
+}
+
+Bytes KvService::make_put(std::string_view key, std::string_view value) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Op::Put));
+    w.str(key);
+    w.str(value);
+    return std::move(w).take();
+}
+
+Bytes KvService::make_delete(std::string_view key) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Op::Delete));
+    w.str(key);
+    return std::move(w).take();
+}
+
+Bytes KvService::make_scan(std::string_view prefix) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Op::Scan));
+    w.str(prefix);
+    return std::move(w).take();
+}
+
+}  // namespace troxy::apps

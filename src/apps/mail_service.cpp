@@ -1,0 +1,152 @@
+#include "apps/mail_service.hpp"
+
+#include <charconv>
+
+#include "common/serialize.hpp"
+
+namespace troxy::apps {
+
+namespace {
+
+struct Parsed {
+    std::string verb;
+    std::string mailbox;
+    std::string rest;  // id or message text
+};
+
+Parsed parse_line(ByteView request) {
+    const std::string line(request.begin(), request.end());
+    Parsed parsed;
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos) {
+        parsed.verb = line;
+        return parsed;
+    }
+    parsed.verb = line.substr(0, sp1);
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) {
+        parsed.mailbox = line.substr(sp1 + 1);
+        return parsed;
+    }
+    parsed.mailbox = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    parsed.rest = line.substr(sp2 + 1);
+    return parsed;
+}
+
+std::uint64_t parse_id(const std::string& text) {
+    std::uint64_t id = 0;
+    std::from_chars(text.data(), text.data() + text.size(), id);
+    return id;
+}
+
+}  // namespace
+
+hybster::RequestInfo MailService::classify(ByteView request) const {
+    const Parsed parsed = parse_line(request);
+    hybster::RequestInfo info;
+    info.is_read = parsed.verb == "LIST" || parsed.verb == "FETCH";
+    info.state_key = "mail:" + parsed.mailbox;
+    return info;
+}
+
+Bytes MailService::execute(ByteView request) {
+    const Parsed parsed = parse_line(request);
+    if (parsed.verb == "LIST") {
+        const auto it = mailboxes_.find(parsed.mailbox);
+        std::string out =
+            std::to_string(it == mailboxes_.end() ? 0
+                                                  : it->second.messages.size());
+        if (it != mailboxes_.end()) {
+            for (const auto& [id, _] : it->second.messages) {
+                out += " " + std::to_string(id);
+            }
+        }
+        return to_bytes(out);
+    }
+    if (parsed.verb == "FETCH") {
+        const auto it = mailboxes_.find(parsed.mailbox);
+        if (it == mailboxes_.end()) return to_bytes("NO such mailbox");
+        const auto msg = it->second.messages.find(parse_id(parsed.rest));
+        if (msg == it->second.messages.end()) {
+            return to_bytes("NO such message");
+        }
+        return to_bytes(msg->second);
+    }
+    if (parsed.verb == "APPEND") {
+        Mailbox& mailbox = mailboxes_[parsed.mailbox];
+        const std::uint64_t id = mailbox.next_id++;
+        mailbox.messages[id] = parsed.rest;
+        return to_bytes("OK " + std::to_string(id));
+    }
+    if (parsed.verb == "EXPUNGE") {
+        const auto it = mailboxes_.find(parsed.mailbox);
+        if (it != mailboxes_.end() &&
+            it->second.messages.erase(parse_id(parsed.rest)) > 0) {
+            return to_bytes("OK");
+        }
+        return to_bytes("NO such message");
+    }
+    return to_bytes("BAD command");
+}
+
+Bytes MailService::checkpoint() const {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(mailboxes_.size()));
+    for (const auto& [name, mailbox] : mailboxes_) {
+        w.str(name);
+        w.u64(mailbox.next_id);
+        w.u32(static_cast<std::uint32_t>(mailbox.messages.size()));
+        for (const auto& [id, text] : mailbox.messages) {
+            w.u64(id);
+            w.str(text);
+        }
+    }
+    return std::move(w).take();
+}
+
+void MailService::restore(ByteView snapshot) {
+    mailboxes_.clear();
+    Reader r(snapshot);
+    const std::uint32_t mailbox_count = r.u32();
+    for (std::uint32_t i = 0; i < mailbox_count; ++i) {
+        const std::string name = r.str();
+        Mailbox& mailbox = mailboxes_[name];
+        mailbox.next_id = r.u64();
+        const std::uint32_t message_count = r.u32();
+        for (std::uint32_t j = 0; j < message_count; ++j) {
+            const std::uint64_t id = r.u64();
+            mailbox.messages[id] = r.str();
+        }
+    }
+}
+
+sim::Duration MailService::execution_cost(ByteView request) const {
+    return sim::nanoseconds(1'000 + request.size() / 8);
+}
+
+Bytes MailService::make_list(std::string_view mailbox) {
+    return to_bytes("LIST " + std::string(mailbox));
+}
+
+Bytes MailService::make_fetch(std::string_view mailbox, std::uint64_t id) {
+    return to_bytes("FETCH " + std::string(mailbox) + " " +
+                    std::to_string(id));
+}
+
+Bytes MailService::make_append(std::string_view mailbox,
+                               std::string_view text) {
+    return to_bytes("APPEND " + std::string(mailbox) + " " +
+                    std::string(text));
+}
+
+Bytes MailService::make_expunge(std::string_view mailbox, std::uint64_t id) {
+    return to_bytes("EXPUNGE " + std::string(mailbox) + " " +
+                    std::to_string(id));
+}
+
+std::size_t MailService::message_count(const std::string& mailbox) const {
+    const auto it = mailboxes_.find(mailbox);
+    return it == mailboxes_.end() ? 0 : it->second.messages.size();
+}
+
+}  // namespace troxy::apps

@@ -1,0 +1,149 @@
+#include "baselines/baseline_host.hpp"
+
+#include "common/serialize.hpp"
+#include "net/client_framing.hpp"
+#include "net/envelope.hpp"
+#include "net/outbox.hpp"
+
+namespace troxy::baselines {
+
+BaselineReplicaHost::BaselineReplicaHost(
+    net::Fabric& fabric, sim::Node& node, hybster::Config config,
+    std::uint32_t replica_id, hybster::ServicePtr service,
+    std::shared_ptr<enclave::TrinX> trinx,
+    crypto::X25519Keypair channel_identity,
+    ClientKeyProvider client_key_provider, const sim::CostProfile& profile)
+    : fabric_(fabric),
+      node_(node),
+      config_(config),
+      replica_id_(replica_id),
+      identity_(channel_identity),
+      client_keys_(std::move(client_key_provider)),
+      profile_(profile) {
+    hybster::Replica::Hooks hooks;
+
+    // Clients attach one certificate per replica; we check ours.
+    hooks.verify_request = [this](enclave::CostedCrypto& crypto,
+                                  const hybster::Request& request) {
+        if (request.auth.size() <=
+            static_cast<std::size_t>(replica_id_)) {
+            return false;
+        }
+        const Bytes key = client_keys_(request.id.client);
+        return crypto.mac_verify(key, request.signed_view(),
+                                 request.auth[replica_id_]);
+    };
+
+    // Replies are authenticated with the pairwise secret and sent over
+    // the client's secure channel (each replica replies directly; the
+    // client-side library does the voting).
+    hooks.deliver_reply = [this](enclave::CostedCrypto& crypto,
+                                 net::Outbox& outbox,
+                                 const hybster::Request& request,
+                                 hybster::Reply reply) {
+        const sim::NodeId client = request.id.client;
+        const auto channel = channels_.find(client);
+        if (channel == channels_.end() ||
+            !channel->second.established()) {
+            return;  // client not connected here
+        }
+        const Bytes key = client_keys_(client);
+        const crypto::HmacTag tag =
+            crypto.mac(key, reply.certified_view());
+        std::copy(tag.begin(), tag.end(), reply.cert.begin());
+
+        const Bytes encoded = encode_message(hybster::Message(reply));
+        crypto.charge(profile_.aead(encoded.size()));
+        outbox.send(client,
+                    net::wrap(net::Channel::Client,
+                              net::frame_client(
+                                  net::ClientFrame::Record,
+                                  channel->second.protect(encoded))));
+    };
+
+    replica_ = std::make_unique<hybster::Replica>(
+        fabric, node, config, replica_id, std::move(service),
+        std::move(trinx), profile, std::move(hooks));
+}
+
+void BaselineReplicaHost::attach() {
+    fabric_.attach(node_.id(), [this](sim::NodeId from, Bytes message) {
+        on_message(from, std::move(message));
+    });
+}
+
+void BaselineReplicaHost::on_message(sim::NodeId from, Bytes message) {
+    if (faults_.crashed) return;
+    auto unwrapped = net::unwrap(message);
+    if (!unwrapped) return;
+    auto& [channel, payload] = *unwrapped;
+
+    switch (channel) {
+        case net::Channel::Hybster:
+            replica_->on_message(from, payload);
+            return;
+        case net::Channel::Client:
+            handle_client_frame(from, payload);
+            return;
+        default:
+            return;
+    }
+}
+
+void BaselineReplicaHost::handle_client_frame(sim::NodeId from,
+                                              ByteView payload) {
+    auto frame = net::unframe_client(payload);
+    if (!frame) return;
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+    crypto.charge_dispatch();
+
+    switch (frame->first) {
+        case net::ClientFrame::Hello: {
+            auto [it, inserted] = channels_.try_emplace(from, identity_);
+            if (!inserted) {
+                channels_.erase(it);
+                it = channels_.try_emplace(from, identity_).first;
+            }
+            Writer seed;
+            seed.u32(node_.id());
+            seed.u64(++handshake_counter_);
+            auto server_hello =
+                it->second.accept(crypto, frame->second, seed.data());
+            if (server_hello) {
+                outbox.send(from,
+                            net::wrap(net::Channel::Client,
+                                      net::frame_client(
+                                          net::ClientFrame::ServerHello,
+                                          *server_hello)));
+            } else {
+                channels_.erase(from);
+            }
+            break;
+        }
+        case net::ClientFrame::Record: {
+            const auto it = channels_.find(from);
+            if (it == channels_.end() || !it->second.established()) break;
+            crypto.charge(profile_.aead(frame->second.size()));
+            for (Bytes& plaintext : it->second.unprotect(frame->second)) {
+                auto decoded = hybster::decode_message(plaintext);
+                if (!decoded) continue;
+                auto* request = std::get_if<hybster::Request>(&*decoded);
+                if (!request) continue;
+                if (request->id.client != from) continue;  // impersonation
+                outbox.defer([this, req = std::move(*request)]() {
+                    // submit() re-dispatches optimistic reads internally.
+                    replica_->submit(req);
+                });
+            }
+            break;
+        }
+        case net::ClientFrame::ServerHello:
+            break;
+    }
+    outbox.flush(meter);
+}
+
+}  // namespace troxy::baselines

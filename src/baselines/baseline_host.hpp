@@ -1,0 +1,65 @@
+// Baseline Hybster server host ("BL" in the evaluation).
+//
+// The unmodified Hybster deployment: clients run the traditional
+// client-side BFT library (hybster::Client), connect to every replica
+// over secure channels, and vote over f+1 replies themselves. This host
+// is the server half of those connections — it terminates the per-client
+// channels, feeds decrypted requests into the replica, and sends back
+// replies authenticated with the pairwise client↔replica secret.
+// Everything here runs at the Java cost profile, like the original
+// Hybster prototype.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "crypto/x25519.hpp"
+#include "hybster/replica.hpp"
+#include "net/secure_channel.hpp"
+
+namespace troxy::baselines {
+
+class BaselineReplicaHost {
+  public:
+    /// `client_key_provider` returns the pairwise secret between this
+    /// replica and a client node (distributed by trusted setup).
+    using ClientKeyProvider = std::function<Bytes(sim::NodeId client)>;
+
+    BaselineReplicaHost(net::Fabric& fabric, sim::Node& node,
+                        hybster::Config config, std::uint32_t replica_id,
+                        hybster::ServicePtr service,
+                        std::shared_ptr<enclave::TrinX> trinx,
+                        crypto::X25519Keypair channel_identity,
+                        ClientKeyProvider client_key_provider,
+                        const sim::CostProfile& profile);
+
+    void attach();
+
+    [[nodiscard]] hybster::Replica& replica() noexcept { return *replica_; }
+    [[nodiscard]] sim::Node& node() noexcept { return node_; }
+
+    void set_faults(const hybster::FaultProfile& faults) {
+        faults_ = faults;
+        replica_->set_faults(faults);
+    }
+
+  private:
+    void on_message(sim::NodeId from, Bytes message);
+    void handle_client_frame(sim::NodeId from, ByteView payload);
+
+    net::Fabric& fabric_;
+    sim::Node& node_;
+    hybster::Config config_;
+    std::uint32_t replica_id_;
+    crypto::X25519Keypair identity_;
+    ClientKeyProvider client_keys_;
+    const sim::CostProfile& profile_;
+    hybster::FaultProfile faults_;
+
+    std::unique_ptr<hybster::Replica> replica_;
+    std::map<sim::NodeId, net::SecureChannelServer> channels_;
+    std::uint64_t handshake_counter_ = 0;
+};
+
+}  // namespace troxy::baselines

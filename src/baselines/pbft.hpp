@@ -1,0 +1,221 @@
+// Compact PBFT (Castro & Liskov) — the 3f+1 substrate Prophecy runs on.
+//
+// Normal case: REQUEST → PRE-PREPARE (leader) → PREPARE (2f matching from
+// distinct non-leader replicas) → COMMIT (2f+1 matching) → execute →
+// REPLY. The client (here: the Prophecy middlebox) accepts a result after
+// f+1 matching replies. A READ-ONE message implements the read-only
+// optimization Prophecy's fast path uses: one replica executes the read
+// against its current state and answers directly.
+//
+// Message authentication uses pairwise link MACs (the classic PBFT MAC
+// authenticators): every wire message is `type ‖ body ‖ HMAC(link key)`.
+// View changes follow the same union-of-prepared-requests scheme as our
+// Hybster implementation; PBFT's full proof-carrying new-view validation
+// is simplified (documented in DESIGN.md) — sufficient for the baseline
+// role this protocol plays in the evaluation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "hybster/messages.hpp"
+#include "hybster/replica.hpp"  // FaultProfile
+#include "hybster/service.hpp"
+#include "net/fabric.hpp"
+#include "net/mac_table.hpp"
+#include "net/outbox.hpp"
+
+namespace troxy::baselines::pbft {
+
+using hybster::Reply;
+using hybster::Request;
+using hybster::SequenceNumber;
+using hybster::ViewNumber;
+
+struct Config {
+    int f = 1;
+    std::vector<sim::NodeId> replicas;
+    SequenceNumber checkpoint_interval = 128;
+    sim::Duration view_change_timeout = sim::milliseconds(500);
+
+    [[nodiscard]] int n() const noexcept {
+        return static_cast<int>(replicas.size());
+    }
+    [[nodiscard]] int prepared_quorum() const noexcept { return 2 * f; }
+    [[nodiscard]] int commit_quorum() const noexcept { return 2 * f + 1; }
+    [[nodiscard]] int reply_quorum() const noexcept { return f + 1; }
+    [[nodiscard]] std::uint32_t leader_of(ViewNumber view) const noexcept {
+        return static_cast<std::uint32_t>(view %
+                                          static_cast<ViewNumber>(n()));
+    }
+    [[nodiscard]] sim::NodeId node_of(std::uint32_t replica) const {
+        return replicas.at(replica);
+    }
+    [[nodiscard]] int replica_of(sim::NodeId node) const noexcept {
+        for (std::size_t i = 0; i < replicas.size(); ++i) {
+            if (replicas[i] == node) return static_cast<int>(i);
+        }
+        return -1;
+    }
+    void validate() const;
+};
+
+enum class PbftType : std::uint8_t {
+    Request = 1,
+    PrePrepare = 2,
+    Prepare = 3,
+    Commit = 4,
+    Reply = 5,
+    ReadOne = 6,
+    ViewChange = 7,
+    NewView = 8,
+};
+
+/// Authenticated wire helpers (exposed for tests).
+Bytes seal_frame(enclave::CostedCrypto& crypto, const net::MacTable& macs,
+                 sim::NodeId from, sim::NodeId to, PbftType type,
+                 ByteView body);
+std::optional<std::pair<PbftType, Bytes>> open_frame(
+    enclave::CostedCrypto& crypto, const net::MacTable& macs,
+    sim::NodeId from, sim::NodeId to, ByteView frame);
+
+class PbftReplica {
+  public:
+    PbftReplica(net::Fabric& fabric, sim::Node& node, Config config,
+                std::uint32_t replica_id, hybster::ServicePtr service,
+                std::shared_ptr<net::MacTable> macs,
+                const sim::CostProfile& profile);
+
+    void on_message(sim::NodeId from, ByteView payload);
+
+    void set_faults(const hybster::FaultProfile& faults) noexcept {
+        faults_ = faults;
+    }
+
+    [[nodiscard]] ViewNumber view() const noexcept { return view_; }
+    [[nodiscard]] SequenceNumber last_executed() const noexcept {
+        return last_executed_;
+    }
+    [[nodiscard]] bool is_leader() const noexcept {
+        return config_.leader_of(view_) == id_;
+    }
+    [[nodiscard]] std::uint64_t view_changes() const noexcept {
+        return view_change_count_;
+    }
+    [[nodiscard]] hybster::Service& service() noexcept { return *service_; }
+
+  private:
+    struct LogEntry {
+        std::optional<Request> request;  // from the pre-prepare
+        crypto::Sha256Digest digest{};
+        ViewNumber view = 0;
+        std::set<std::uint32_t> prepares;
+        std::set<std::uint32_t> commits;
+        bool committed_sent = false;
+        bool executed = false;
+    };
+
+    void handle_request(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                        sim::NodeId from, Request&& request);
+    void handle_pre_prepare(enclave::CostedCrypto& crypto,
+                            net::Outbox& outbox, sim::NodeId from,
+                            ByteView body);
+    void handle_prepare(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                        sim::NodeId from, ByteView body);
+    void handle_commit(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                       sim::NodeId from, ByteView body);
+    void handle_read_one(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                         sim::NodeId from, Request&& request);
+    void handle_view_change(enclave::CostedCrypto& crypto,
+                            net::Outbox& outbox, sim::NodeId from,
+                            ByteView body);
+    void handle_new_view(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                         sim::NodeId from, ByteView body);
+
+    void maybe_send_commit(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                           SequenceNumber seq);
+    void try_execute(enclave::CostedCrypto& crypto, net::Outbox& outbox);
+    void send_reply(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                    const Request& request, Reply&& reply);
+    void broadcast(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                   PbftType type, ByteView body);
+    void start_view_change(ViewNumber new_view);
+    void arm_progress_timer();
+
+    net::Fabric& fabric_;
+    sim::Node& node_;
+    Config config_;
+    std::uint32_t id_;
+    hybster::ServicePtr service_;
+    std::shared_ptr<net::MacTable> macs_;
+    const sim::CostProfile& profile_;
+    hybster::FaultProfile faults_;
+
+    ViewNumber view_ = 0;
+    SequenceNumber next_seq_ = 1;
+    SequenceNumber last_executed_ = 0;
+    std::map<SequenceNumber, LogEntry> log_;
+    std::map<hybster::RequestId, Reply> executed_replies_;
+    std::map<hybster::RequestId, Request> forwarded_;
+
+    void reissue_forwarded(enclave::CostedCrypto& crypto,
+                           net::Outbox& outbox);
+
+    // View change state (simplified; see header comment).
+    std::map<ViewNumber, std::map<std::uint32_t, Bytes>> view_changes_rx_;
+    ViewNumber highest_vc_sent_ = 0;
+    bool in_view_change_ = false;
+    std::uint64_t view_change_count_ = 0;
+    std::uint64_t timer_generation_ = 0;
+    bool timer_armed_ = false;
+};
+
+/// PBFT client library (used by the Prophecy middlebox): request
+/// submission, f+1 reply voting, read-one fast reads.
+class PbftClient {
+  public:
+    using Callback = std::function<void(Bytes result)>;
+
+    PbftClient(net::Fabric& fabric, sim::Node& node, Config config,
+               std::shared_ptr<net::MacTable> macs,
+               const sim::CostProfile& profile,
+               sim::Duration retransmit_timeout = sim::milliseconds(2000));
+
+    /// Fully ordered request through the BFT protocol.
+    void invoke(Bytes payload, bool is_read, Callback callback);
+
+    /// Read-only fast path: one replica executes against current state.
+    void read_one(Bytes payload, std::uint32_t replica, Callback callback);
+
+    void on_message(sim::NodeId from, ByteView payload);
+
+  private:
+    struct Pending {
+        Bytes payload;
+        std::uint8_t flags = 0;
+        Callback callback;
+        std::map<std::uint32_t, Bytes> votes;
+        std::map<Bytes, int> tally;
+    };
+
+    void send_request(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                      std::uint64_t number, bool broadcast);
+    void arm_retransmit(std::uint64_t number);
+
+    net::Fabric& fabric_;
+    sim::Node& node_;
+    Config config_;
+    std::shared_ptr<net::MacTable> macs_;
+    const sim::CostProfile& profile_;
+    sim::Duration retransmit_timeout_;
+
+    std::uint64_t next_number_ = 1;
+    std::map<std::uint64_t, Pending> pending_;
+    std::map<std::uint64_t, Callback> read_ones_;
+    std::uint32_t believed_leader_ = 0;
+};
+
+}  // namespace troxy::baselines::pbft

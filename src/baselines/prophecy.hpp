@@ -1,0 +1,91 @@
+// Prophecy middlebox (Sen et al., NSDI'10) — the transparent-proxy
+// comparator of §VI-D / Table I.
+//
+// Like Troxy, Prophecy hides BFT from the client behind a proxy. Unlike
+// Troxy it (i) is a *middlebox* — a whole trusted machine with its own
+// OS and network stack between clients and replicas, and (ii) trades
+// consistency for speed: its sketch cache stores the hash of the result
+// of the latest *read*; the fast path sends the read to a single random
+// replica and accepts the response if its hash matches the sketch. After
+// a write the sketch is stale, so the fast path usually falls back to a
+// full ordered read — but a lagging (correct-but-stale) replica matching
+// a stale sketch returns a stale result: weak consistency (the reply
+// "reflects the state of the latest read").
+//
+// Runs on PBFT with 3f+1 replicas, per Table I.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "baselines/pbft.hpp"
+#include "crypto/x25519.hpp"
+#include "net/secure_channel.hpp"
+#include "troxy/enclave.hpp"  // reuse Classifier
+
+namespace troxy::baselines {
+
+class ProphecyMiddlebox {
+  public:
+    struct Options {
+        std::size_t sketch_capacity = 1u << 16;
+        sim::Duration fast_read_timeout = sim::milliseconds(100);
+    };
+
+    struct Stats {
+        std::uint64_t fast_hits = 0;
+        std::uint64_t sketch_misses = 0;
+        std::uint64_t fast_conflicts = 0;
+        std::uint64_t ordered = 0;
+    };
+
+    ProphecyMiddlebox(net::Fabric& fabric, sim::Node& node,
+                      pbft::Config config,
+                      std::shared_ptr<net::MacTable> macs,
+                      crypto::X25519Keypair channel_identity,
+                      troxy_core::Classifier classifier,
+                      const sim::CostProfile& profile, Options options,
+                      std::uint64_t seed);
+
+    void attach();
+
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  private:
+    struct Connection {
+        net::SecureChannelServer channel;
+        std::uint64_t next_assign = 0;
+        std::uint64_t next_release = 0;
+        std::map<std::uint64_t, Bytes> ready;
+
+        explicit Connection(const crypto::X25519Keypair& identity)
+            : channel(identity) {}
+    };
+
+    void on_message(sim::NodeId from, Bytes message);
+    void handle_client_frame(sim::NodeId from, ByteView payload);
+    void handle_app_request(sim::NodeId client, Bytes app_request);
+    void ordered_read_through(sim::NodeId client, std::uint64_t slot,
+                              Bytes app_request, bool update_sketch);
+    void release_reply(sim::NodeId client, std::uint64_t slot,
+                       Bytes app_reply);
+
+    net::Fabric& fabric_;
+    sim::Node& node_;
+    pbft::Config config_;
+    crypto::X25519Keypair identity_;
+    troxy_core::Classifier classifier_;
+    const sim::CostProfile& profile_;
+    Options options_;
+
+    std::unique_ptr<pbft::PbftClient> bft_client_;
+    std::map<sim::NodeId, Connection> connections_;
+    // sketch: hash(app request) → hash(result of latest read)
+    std::map<Bytes, crypto::Sha256Digest> sketch_;
+    Rng rng_;
+    std::uint64_t handshake_counter_ = 0;
+    Stats stats_;
+};
+
+}  // namespace troxy::baselines

@@ -1,0 +1,324 @@
+#include "bench_support/cluster.hpp"
+
+#include "common/serialize.hpp"
+#include "hybster/keys.hpp"
+
+namespace troxy::bench {
+
+namespace {
+
+/// Establishes the trusted subsystems' shared group key the way the real
+/// system does: each enclave attests to the deployment authority, which
+/// releases the secret only against a valid report (§V-A).
+std::vector<std::shared_ptr<enclave::TrinX>> provision_trinx(
+    int count, std::uint64_t seed) {
+    Writer platform_seed;
+    platform_seed.u64(seed);
+    platform_seed.str("platform-key");
+    const Bytes platform_key =
+        crypto::hkdf({}, platform_seed.data(), to_bytes("platform"), 32);
+
+    enclave::AttestationAuthority authority(platform_key);
+    const enclave::Measurement expected =
+        enclave::measure("troxy-enclave-v1");
+
+    Writer group_seed;
+    group_seed.u64(seed);
+    group_seed.str("troxy-group-key");
+    const Bytes group_key =
+        crypto::hkdf({}, group_seed.data(), to_bytes("group"), 32);
+
+    std::vector<std::shared_ptr<enclave::TrinX>> out;
+    for (int replica = 0; replica < count; ++replica) {
+        const std::uint64_t nonce = seed * 1000 + static_cast<std::uint64_t>(replica);
+        const enclave::AttestationReport report =
+            authority.issue(expected, nonce);
+        const auto secret =
+            authority.provision(report, expected, nonce, group_key);
+        TROXY_ASSERT(secret.has_value(), "attestation must succeed at setup");
+        out.push_back(std::make_shared<enclave::TrinX>(
+            static_cast<std::uint32_t>(replica), *secret));
+    }
+    return out;
+}
+
+crypto::X25519Keypair identity_for(std::uint64_t seed, int index) {
+    Writer w;
+    w.u64(seed);
+    w.u32(static_cast<std::uint32_t>(index));
+    w.str("channel-identity");
+    return crypto::x25519_keypair_from_seed(w.data());
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ClusterBase
+
+ClusterBase::ClusterBase(const ClusterOptions& options)
+    : options_(options),
+      sim_(options.seed),
+      network_(sim_),
+      fabric_(sim_, network_),
+      java_(sim::CostProfile::java()),
+      native_(sim::CostProfile::native()) {
+    sim::LinkSpec lan = sim::LinkSpec::lan();
+    if (options.lan_jitter > 0) {
+        lan.latency = sim::LatencyModel::normal(
+            sim::microseconds(50) + options.lan_jitter / 4,
+            options.lan_jitter, sim::microseconds(5));
+    }
+    network_.set_default_link(lan);
+}
+
+sim::Node& ClusterBase::make_server_node(const std::string& name) {
+    const sim::NodeId id = next_server_id_++;
+    nodes_.push_back(std::make_unique<sim::Node>(sim_, id, name,
+                                                 options_.replica_cores));
+    // Each server is its own machine with four bonded NICs.
+    network_.set_nic_group(id, static_cast<int>(id),
+                           options_.replica_machine_bandwidth);
+    // Loopback for co-located components (replica → its own Troxy voter).
+    network_.set_link(id, id,
+                      sim::LinkSpec{sim::LatencyModel::constant(
+                                        sim::microseconds(1)),
+                                    40e9});
+    server_nodes_.push_back(id);
+    return *nodes_.back();
+}
+
+sim::Node& ClusterBase::make_client_node(const std::string& name) {
+    const sim::NodeId id = next_client_id_++;
+    nodes_.push_back(
+        std::make_unique<sim::Node>(sim_, id, name, options_.client_cores));
+
+    // Pack clients onto the configured number of client machines.
+    const int machine = 10'000 + (next_client_machine_++ %
+                                  std::max(1, options_.client_machines));
+    network_.set_nic_group(id, machine, options_.client_machine_bandwidth);
+
+    if (options_.wan_clients) {
+        for (const sim::NodeId server : server_nodes_) {
+            network_.set_link_bidirectional(id, server, sim::LinkSpec::wan());
+        }
+    }
+    return *nodes_.back();
+}
+
+// ----------------------------------------------------------- TroxyCluster
+
+TroxyCluster::TroxyCluster(Params params) : ClusterBase(params.base) {
+    config_.f = options_.f;
+    config_.checkpoint_interval = options_.checkpoint_interval;
+    const int n = 2 * options_.f + 1;
+    for (int i = 0; i < n; ++i) {
+        config_.replicas.push_back(
+            make_server_node("replica" + std::to_string(i)).id());
+    }
+    config_.validate();
+
+    auto trinx = provision_trinx(n, options_.seed);
+    troxy_core::TroxyReplicaHost::Options host_options = params.host;
+    host_options.troxy.inside_enclave = !params.ctroxy;
+
+    for (int i = 0; i < n; ++i) {
+        identities_.push_back(identity_for(options_.seed, i));
+        hosts_.push_back(std::make_unique<troxy_core::TroxyReplicaHost>(
+            fabric_, *nodes_[static_cast<std::size_t>(i)], config_,
+            static_cast<std::uint32_t>(i), params.service(),
+            trinx[static_cast<std::size_t>(i)],
+            identities_.back(), params.classifier, java_, native_,
+            host_options, options_.seed + static_cast<std::uint64_t>(i)));
+        hosts_.back()->attach();
+    }
+}
+
+troxy_core::LegacyClient& TroxyCluster::add_client(int contact) {
+    if (contact < 0) {
+        contact = next_contact_;
+        next_contact_ = (next_contact_ + 1) % config_.n();
+    }
+    sim::Node& node = make_client_node(
+        "client" + std::to_string(clients_.size()));
+
+    // Failover list starting at the chosen contact replica.
+    std::vector<sim::NodeId> servers;
+    std::vector<crypto::X25519Key> keys;
+    for (int i = 0; i < config_.n(); ++i) {
+        const int replica = (contact + i) % config_.n();
+        servers.push_back(config_.node_of(static_cast<std::uint32_t>(replica)));
+        keys.push_back(
+            identities_[static_cast<std::size_t>(replica)].public_key);
+    }
+
+    clients_.push_back(std::make_unique<troxy_core::LegacyClient>(
+        fabric_, node, std::move(servers), std::move(keys), java_,
+        troxy_core::LegacyClient::Options{}));
+    auto* client = clients_.back().get();
+    fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
+        auto unwrapped = net::unwrap(message);
+        if (!unwrapped || unwrapped->first != net::Channel::Client) return;
+        client->on_message(from, unwrapped->second);
+    });
+    return *client;
+}
+
+// -------------------------------------------------------- BaselineCluster
+
+BaselineCluster::BaselineCluster(Params params)
+    : ClusterBase(params.base),
+      optimistic_reads_(params.optimistic_reads),
+      client_retransmit_(params.client_retransmit) {
+    config_.f = options_.f;
+    config_.checkpoint_interval = options_.checkpoint_interval;
+    const int n = 2 * options_.f + 1;
+    for (int i = 0; i < n; ++i) {
+        config_.replicas.push_back(
+            make_server_node("replica" + std::to_string(i)).id());
+    }
+    config_.validate();
+
+    Writer master_seed;
+    master_seed.u64(options_.seed);
+    master_seed.str("client-master");
+    client_master_ = crypto::hkdf({}, master_seed.data(),
+                                  to_bytes("clients"), 32);
+
+    auto trinx = provision_trinx(n, options_.seed);
+    for (int i = 0; i < n; ++i) {
+        identities_.push_back(identity_for(options_.seed, i));
+        const Bytes master = client_master_;
+        const auto replica_id = static_cast<std::uint32_t>(i);
+        hosts_.push_back(std::make_unique<baselines::BaselineReplicaHost>(
+            fabric_, *nodes_[static_cast<std::size_t>(i)], config_,
+            replica_id, params.service(), trinx[static_cast<std::size_t>(i)],
+            identities_.back(),
+            [master, replica_id](sim::NodeId client) {
+                return hybster::client_replica_key(master, client,
+                                                   replica_id);
+            },
+            java_));
+        hosts_.back()->attach();
+    }
+}
+
+hybster::Client& BaselineCluster::add_client() {
+    sim::Node& node = make_client_node(
+        "client" + std::to_string(clients_.size()));
+
+    std::vector<crypto::X25519Key> pinned;
+    std::vector<Bytes> keys;
+    for (int i = 0; i < config_.n(); ++i) {
+        pinned.push_back(
+            identities_[static_cast<std::size_t>(i)].public_key);
+        keys.push_back(hybster::client_replica_key(
+            client_master_, node.id(), static_cast<std::uint32_t>(i)));
+    }
+
+    hybster::Client::Options client_options;
+    client_options.optimistic_reads = optimistic_reads_;
+    client_options.retransmit_timeout = client_retransmit_;
+    clients_.push_back(std::make_unique<hybster::Client>(
+        fabric_, node, config_, std::move(pinned), std::move(keys), java_,
+        client_options));
+    auto* client = clients_.back().get();
+    fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
+        auto unwrapped = net::unwrap(message);
+        if (!unwrapped || unwrapped->first != net::Channel::Client) return;
+        client->on_message(from, unwrapped->second);
+    });
+    return *client;
+}
+
+// -------------------------------------------------------- ProphecyCluster
+
+ProphecyCluster::ProphecyCluster(Params params) : ClusterBase(params.base) {
+    config_.f = options_.f;
+    config_.checkpoint_interval = options_.checkpoint_interval;
+    const int n = 3 * options_.f + 1;
+    for (int i = 0; i < n; ++i) {
+        config_.replicas.push_back(
+            make_server_node("pbft" + std::to_string(i)).id());
+    }
+    config_.validate();
+
+    // The middlebox machine sits next to the replicas (LAN links).
+    sim::Node& mb_node = make_server_node("middlebox");
+    middlebox_node_ = mb_node.id();
+
+    // Pairwise MACs for all PBFT parties including the middlebox client.
+    Writer mac_seed;
+    mac_seed.u64(options_.seed);
+    mac_seed.str("pbft-macs");
+    std::vector<sim::NodeId> group = config_.replicas;
+    group.push_back(middlebox_node_);
+    auto macs = std::make_shared<net::MacTable>(net::MacTable::for_group(
+        crypto::hkdf({}, mac_seed.data(), to_bytes("pbft"), 32), group));
+
+    for (int i = 0; i < n; ++i) {
+        replicas_.push_back(std::make_unique<baselines::pbft::PbftReplica>(
+            fabric_, *nodes_[static_cast<std::size_t>(i)], config_,
+            static_cast<std::uint32_t>(i), params.service(), macs, java_));
+        auto* replica = replicas_.back().get();
+        fabric_.attach(config_.replicas[static_cast<std::size_t>(i)],
+                       [replica](sim::NodeId from, Bytes message) {
+                           auto unwrapped = net::unwrap(message);
+                           if (!unwrapped ||
+                               unwrapped->first != net::Channel::Pbft) {
+                               return;
+                           }
+                           replica->on_message(from, unwrapped->second);
+                       });
+    }
+
+    middlebox_identity_ = identity_for(options_.seed, 1000);
+    middlebox_ = std::make_unique<baselines::ProphecyMiddlebox>(
+        fabric_, mb_node, config_, macs, middlebox_identity_,
+        params.classifier, native_, params.middlebox, options_.seed);
+    middlebox_->attach();
+}
+
+troxy_core::LegacyClient& ProphecyCluster::add_client() {
+    sim::Node& node = make_client_node(
+        "client" + std::to_string(clients_.size()));
+    clients_.push_back(std::make_unique<troxy_core::LegacyClient>(
+        fabric_, node, std::vector<sim::NodeId>{middlebox_node_},
+        std::vector<crypto::X25519Key>{middlebox_identity_.public_key},
+        java_, troxy_core::LegacyClient::Options{}));
+    auto* client = clients_.back().get();
+    fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
+        auto unwrapped = net::unwrap(message);
+        if (!unwrapped || unwrapped->first != net::Channel::Client) return;
+        client->on_message(from, unwrapped->second);
+    });
+    return *client;
+}
+
+// ------------------------------------------------------ StandaloneCluster
+
+StandaloneCluster::StandaloneCluster(Params params)
+    : ClusterBase(params.base) {
+    sim::Node& node = make_server_node("server");
+    server_node_ = node.id();
+    identity_ = identity_for(options_.seed, 0);
+    server_ = std::make_unique<http::StandaloneServer>(
+        fabric_, node, params.service(), identity_, native_);
+    server_->attach();
+}
+
+troxy_core::LegacyClient& StandaloneCluster::add_client() {
+    sim::Node& node = make_client_node(
+        "client" + std::to_string(clients_.size()));
+    clients_.push_back(std::make_unique<troxy_core::LegacyClient>(
+        fabric_, node, std::vector<sim::NodeId>{server_node_},
+        std::vector<crypto::X25519Key>{identity_.public_key}, java_,
+        troxy_core::LegacyClient::Options{}));
+    auto* client = clients_.back().get();
+    fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
+        auto unwrapped = net::unwrap(message);
+        if (!unwrapped || unwrapped->first != net::Channel::Client) return;
+        client->on_message(from, unwrapped->second);
+    });
+    return *client;
+}
+
+}  // namespace troxy::bench

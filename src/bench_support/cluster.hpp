@@ -1,0 +1,223 @@
+// Deployment builders: one call constructs a full simulated cluster
+// matching the paper's testbed (§VI-A) — replicas on quad-core machines
+// with four 1 Gbps NICs, clients packed onto two client machines, LAN
+// links inside the cluster and optionally 100±20 ms WAN links towards the
+// clients.
+//
+// Four deployments, one per evaluated system:
+//   TroxyCluster       — Troxy-backed Hybster (etroxy / ctroxy)
+//   BaselineCluster    — original Hybster with the client-side library (BL)
+//   ProphecyCluster    — PBFT (3f+1) behind a Prophecy middlebox
+//   StandaloneCluster  — single unreplicated server (the "Jetty" floor)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline_host.hpp"
+#include "baselines/prophecy.hpp"
+#include "enclave/attestation.hpp"
+#include "hybster/client.hpp"
+#include "http/standalone_server.hpp"
+#include "net/fabric.hpp"
+#include "troxy/host.hpp"
+#include "troxy/legacy_client.hpp"
+
+namespace troxy::bench {
+
+struct ClusterOptions {
+    int f = 1;
+    int replica_cores = 8;  // i7-6700: 4 cores + hyper-threading
+    int client_cores = 8;
+    bool wan_clients = false;  // add 100±20 ms on client links
+    int client_machines = 2;   // paper: two client machines
+    double client_machine_bandwidth = 4e9;   // four 1 Gbps NICs each
+    double replica_machine_bandwidth = 4e9;  // four 1 Gbps NICs
+    std::uint64_t seed = 1;
+    hybster::SequenceNumber checkpoint_interval = 512;
+    /// Standard deviation added to intra-cluster link latency. The
+    /// deterministic simulator lacks the execution-time variance of a
+    /// real testbed (JVM GC pauses, interrupt coalescing, switch
+    /// queueing); experiments whose phenomena depend on replica
+    /// de-synchronization (read/write conflicts, Fig. 10) opt into it.
+    sim::Duration lan_jitter = 0;
+};
+
+/// Owns the simulator, network, fabric and nodes shared by a deployment.
+class ClusterBase {
+  public:
+    explicit ClusterBase(const ClusterOptions& options);
+    virtual ~ClusterBase() = default;
+
+    [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+    [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+    [[nodiscard]] sim::Network& network() noexcept { return network_; }
+    [[nodiscard]] const ClusterOptions& options() const noexcept {
+        return options_;
+    }
+    [[nodiscard]] const sim::CostProfile& java_profile() const noexcept {
+        return java_;
+    }
+    [[nodiscard]] const sim::CostProfile& native_profile() const noexcept {
+        return native_;
+    }
+
+  protected:
+    /// Creates a server node on its own machine (own NIC group).
+    sim::Node& make_server_node(const std::string& name);
+
+    /// Creates a client node packed onto one of the client machines; if
+    /// WAN mode is on, its links to all existing server nodes get the
+    /// 100±20 ms latency.
+    sim::Node& make_client_node(const std::string& name);
+
+    ClusterOptions options_;
+    sim::Simulator sim_;
+    sim::Network network_;
+    net::Fabric fabric_;
+    sim::CostProfile java_;
+    sim::CostProfile native_;
+    std::vector<std::unique_ptr<sim::Node>> nodes_;
+    std::vector<sim::NodeId> server_nodes_;
+    sim::NodeId next_server_id_ = 1;
+    sim::NodeId next_client_id_ = 1000;
+    int next_client_machine_ = 0;
+};
+
+// ---------------------------------------------------------------- Troxy
+
+class TroxyCluster : public ClusterBase {
+  public:
+    struct Params {
+        ClusterOptions base;
+        hybster::ServiceFactory service;
+        troxy_core::Classifier classifier;
+        troxy_core::TroxyReplicaHost::Options host;
+        bool ctroxy = false;  // run the Troxy outside the enclave
+    };
+
+    explicit TroxyCluster(Params params);
+
+    [[nodiscard]] int n() const noexcept { return config_.n(); }
+    [[nodiscard]] const hybster::Config& config() const noexcept {
+        return config_;
+    }
+    [[nodiscard]] troxy_core::TroxyReplicaHost& host(int replica) {
+        return *hosts_.at(static_cast<std::size_t>(replica));
+    }
+
+    /// Adds a legacy client whose first contact is `contact` (or
+    /// round-robin when negative); failover list covers all replicas.
+    troxy_core::LegacyClient& add_client(int contact = -1);
+
+    [[nodiscard]] std::vector<troxy_core::LegacyClient*> clients() {
+        std::vector<troxy_core::LegacyClient*> out;
+        for (auto& c : clients_) out.push_back(c.get());
+        return out;
+    }
+
+  private:
+    hybster::Config config_;
+    std::vector<crypto::X25519Keypair> identities_;
+    std::vector<std::unique_ptr<troxy_core::TroxyReplicaHost>> hosts_;
+    std::vector<std::unique_ptr<troxy_core::LegacyClient>> clients_;
+    int next_contact_ = 0;
+};
+
+// -------------------------------------------------------------- Baseline
+
+class BaselineCluster : public ClusterBase {
+  public:
+    struct Params {
+        ClusterOptions base;
+        hybster::ServiceFactory service;
+        bool optimistic_reads = false;  // PBFT-like read optimization
+        sim::Duration client_retransmit = sim::milliseconds(2000);
+    };
+
+    explicit BaselineCluster(Params params);
+
+    [[nodiscard]] const hybster::Config& config() const noexcept {
+        return config_;
+    }
+    [[nodiscard]] baselines::BaselineReplicaHost& host(int replica) {
+        return *hosts_.at(static_cast<std::size_t>(replica));
+    }
+
+    hybster::Client& add_client();
+
+    [[nodiscard]] std::vector<hybster::Client*> clients() {
+        std::vector<hybster::Client*> out;
+        for (auto& c : clients_) out.push_back(c.get());
+        return out;
+    }
+
+  private:
+    hybster::Config config_;
+    Bytes client_master_;
+    bool optimistic_reads_;
+    sim::Duration client_retransmit_;
+    std::vector<crypto::X25519Keypair> identities_;
+    std::vector<std::unique_ptr<baselines::BaselineReplicaHost>> hosts_;
+    std::vector<std::unique_ptr<hybster::Client>> clients_;
+};
+
+// -------------------------------------------------------------- Prophecy
+
+class ProphecyCluster : public ClusterBase {
+  public:
+    struct Params {
+        ClusterOptions base;
+        hybster::ServiceFactory service;
+        troxy_core::Classifier classifier;
+        baselines::ProphecyMiddlebox::Options middlebox;
+    };
+
+    explicit ProphecyCluster(Params params);
+
+    [[nodiscard]] baselines::ProphecyMiddlebox& middlebox() noexcept {
+        return *middlebox_;
+    }
+    [[nodiscard]] baselines::pbft::PbftReplica& replica(int i) {
+        return *replicas_.at(static_cast<std::size_t>(i));
+    }
+    [[nodiscard]] const baselines::pbft::Config& config() const noexcept {
+        return config_;
+    }
+
+    troxy_core::LegacyClient& add_client();
+
+  private:
+    baselines::pbft::Config config_;
+    crypto::X25519Keypair middlebox_identity_;
+    sim::NodeId middlebox_node_ = 0;
+    std::vector<std::unique_ptr<baselines::pbft::PbftReplica>> replicas_;
+    std::unique_ptr<baselines::ProphecyMiddlebox> middlebox_;
+    std::vector<std::unique_ptr<troxy_core::LegacyClient>> clients_;
+};
+
+// ------------------------------------------------------------ Standalone
+
+class StandaloneCluster : public ClusterBase {
+  public:
+    struct Params {
+        ClusterOptions base;
+        hybster::ServiceFactory service;
+    };
+
+    explicit StandaloneCluster(Params params);
+
+    [[nodiscard]] http::StandaloneServer& server() noexcept {
+        return *server_;
+    }
+
+    troxy_core::LegacyClient& add_client();
+
+  private:
+    crypto::X25519Keypair identity_;
+    sim::NodeId server_node_ = 0;
+    std::unique_ptr<http::StandaloneServer> server_;
+    std::vector<std::unique_ptr<troxy_core::LegacyClient>> clients_;
+};
+
+}  // namespace troxy::bench

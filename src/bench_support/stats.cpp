@@ -1,0 +1,54 @@
+#include "bench_support/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace troxy::bench {
+
+void Recorder::record(sim::SimTime completed_at, sim::Duration latency) {
+    if (completed_at < warmup_ || completed_at >= warmup_ + window_) return;
+    latencies_.push_back(latency);
+    sorted_ = false;
+}
+
+double Recorder::throughput_per_sec() const {
+    return static_cast<double>(latencies_.size()) / sim::to_seconds(window_);
+}
+
+double Recorder::mean_latency_ms() const {
+    if (latencies_.empty()) return 0.0;
+    double total = 0.0;
+    for (const sim::Duration d : latencies_) total += sim::to_millis(d);
+    return total / static_cast<double>(latencies_.size());
+}
+
+double Recorder::percentile_latency_ms(double p) const {
+    if (latencies_.empty()) return 0.0;
+    if (!sorted_) {
+        std::sort(latencies_.begin(), latencies_.end());
+        sorted_ = true;
+    }
+    const auto index = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(latencies_.size() - 1) + 0.5);
+    return sim::to_millis(latencies_[std::min(index, latencies_.size() - 1)]);
+}
+
+void print_table(const std::string& title, const std::vector<Row>& rows,
+                 bool ratio_vs_first) {
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("%-28s %12s %10s %10s %10s", "configuration", "req/s",
+                "mean ms", "p50 ms", "p99 ms");
+    if (ratio_vs_first) std::printf(" %10s", "vs first");
+    std::printf("\n");
+    for (const Row& row : rows) {
+        std::printf("%-28s %12.0f %10.3f %10.3f %10.3f", row.label.c_str(),
+                    row.throughput, row.mean_ms, row.p50_ms, row.p99_ms);
+        if (ratio_vs_first && !rows.empty() && rows.front().throughput > 0) {
+            std::printf(" %9.2fx",
+                        row.throughput / rows.front().throughput);
+        }
+        std::printf("\n");
+    }
+}
+
+}  // namespace troxy::bench

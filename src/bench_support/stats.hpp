@@ -1,0 +1,55 @@
+// Measurement collection for experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace troxy::bench {
+
+/// Collects per-request latencies inside a measurement window and derives
+/// throughput and percentile statistics.
+class Recorder {
+  public:
+    /// Measurement only counts requests completing in
+    /// [warmup, warmup + window).
+    Recorder(sim::SimTime warmup, sim::Duration window)
+        : warmup_(warmup), window_(window) {}
+
+    void record(sim::SimTime completed_at, sim::Duration latency);
+
+    [[nodiscard]] std::uint64_t completed() const noexcept {
+        return latencies_.size();
+    }
+    [[nodiscard]] double throughput_per_sec() const;
+    [[nodiscard]] double mean_latency_ms() const;
+    [[nodiscard]] double percentile_latency_ms(double p) const;
+
+    [[nodiscard]] sim::SimTime window_end() const noexcept {
+        return warmup_ + window_;
+    }
+
+  private:
+    sim::SimTime warmup_;
+    sim::Duration window_;
+    mutable std::vector<sim::Duration> latencies_;
+    mutable bool sorted_ = false;
+};
+
+/// One row of a results table.
+struct Row {
+    std::string label;
+    double throughput = 0.0;  // req/s
+    double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+};
+
+/// Prints rows in the paper's table style, plus optional ratio column
+/// against the first row.
+void print_table(const std::string& title, const std::vector<Row>& rows,
+                 bool ratio_vs_first = true);
+
+}  // namespace troxy::bench

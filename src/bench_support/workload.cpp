@@ -1,0 +1,95 @@
+#include "bench_support/workload.hpp"
+
+namespace troxy::bench {
+
+Workload::Workload(sim::Simulator& simulator, Recorder& recorder,
+                   Generator generator, std::uint64_t seed)
+    : sim_(simulator),
+      recorder_(recorder),
+      generator_(std::move(generator)),
+      rng_(seed ^ 0x776f726bULL) {}
+
+void Workload::issue_legacy(troxy_core::LegacyClient& client) {
+    if (sim_.now() >= recorder_.window_end()) return;  // measurement over
+    GeneratedRequest request = generator_(rng_);
+    const sim::SimTime started = sim_.now();
+    ++issued_;
+    client.send(std::move(request.payload), [this, &client,
+                                             started](Bytes /*reply*/) {
+        recorder_.record(sim_.now(), sim_.now() - started);
+        issue_legacy(client);
+    });
+}
+
+void Workload::drive_legacy(troxy_core::LegacyClient& client, int pipeline) {
+    client.start([this, &client, pipeline]() {
+        for (int i = 0; i < pipeline; ++i) issue_legacy(client);
+    });
+}
+
+void Workload::issue_bft(hybster::Client& client) {
+    if (sim_.now() >= recorder_.window_end()) return;
+    GeneratedRequest request = generator_(rng_);
+    const sim::SimTime started = sim_.now();
+    ++issued_;
+    client.invoke(std::move(request.payload), request.is_read,
+                  [this, &client, started](Bytes /*reply*/) {
+                      recorder_.record(sim_.now(), sim_.now() - started);
+                      issue_bft(client);
+                  });
+}
+
+void Workload::drive_bft(hybster::Client& client, int pipeline) {
+    client.start([this, &client, pipeline]() {
+        for (int i = 0; i < pipeline; ++i) issue_bft(client);
+    });
+}
+
+void Workload::schedule_open(troxy_core::LegacyClient& client, double rate) {
+    if (sim_.now() >= recorder_.window_end()) return;
+    const double gap_s = rng_.next_exponential(1.0 / rate);
+    sim_.after(static_cast<sim::Duration>(gap_s * 1e9), [this, &client,
+                                                         rate]() {
+        if (sim_.now() >= recorder_.window_end()) return;
+        GeneratedRequest request = generator_(rng_);
+        const sim::SimTime started = sim_.now();
+        ++issued_;
+        client.send(std::move(request.payload),
+                    [this, started](Bytes /*reply*/) {
+                        recorder_.record(sim_.now(), sim_.now() - started);
+                    });
+        schedule_open(client, rate);
+    });
+}
+
+void Workload::drive_legacy_open(troxy_core::LegacyClient& client,
+                                 double rate_per_sec) {
+    client.start([this, &client, rate_per_sec]() {
+        schedule_open(client, rate_per_sec);
+    });
+}
+
+void Workload::schedule_bft_open(hybster::Client& client, double rate) {
+    if (sim_.now() >= recorder_.window_end()) return;
+    const double gap_s = rng_.next_exponential(1.0 / rate);
+    sim_.after(static_cast<sim::Duration>(gap_s * 1e9), [this, &client,
+                                                         rate]() {
+        if (sim_.now() >= recorder_.window_end()) return;
+        GeneratedRequest request = generator_(rng_);
+        const sim::SimTime started = sim_.now();
+        ++issued_;
+        client.invoke(std::move(request.payload), request.is_read,
+                      [this, started](Bytes /*reply*/) {
+                          recorder_.record(sim_.now(), sim_.now() - started);
+                      });
+        schedule_bft_open(client, rate);
+    });
+}
+
+void Workload::drive_bft_open(hybster::Client& client, double rate_per_sec) {
+    client.start([this, &client, rate_per_sec]() {
+        schedule_bft_open(client, rate_per_sec);
+    });
+}
+
+}  // namespace troxy::bench

@@ -1,0 +1,61 @@
+// Workload drivers.
+//
+// Closed-loop: each client keeps `pipeline` asynchronous requests
+// outstanding ("clients ... constantly issue asynchronous requests",
+// §VI-C) and issues a new one whenever a reply arrives. Open-loop: the
+// driver issues requests at a fixed aggregate rate regardless of replies
+// (the JMeter configuration of §VI-D: 100 clients, 500 req/s total,
+// deliberately below saturation).
+#pragma once
+
+#include <functional>
+
+#include "bench_support/stats.hpp"
+#include "common/rng.hpp"
+#include "hybster/client.hpp"
+#include "troxy/legacy_client.hpp"
+
+namespace troxy::bench {
+
+struct GeneratedRequest {
+    Bytes payload;
+    bool is_read = false;
+};
+
+using Generator = std::function<GeneratedRequest(Rng&)>;
+
+class Workload {
+  public:
+    Workload(sim::Simulator& simulator, Recorder& recorder,
+             Generator generator, std::uint64_t seed);
+
+    /// Closed loop over a legacy client (Troxy / Prophecy / standalone).
+    void drive_legacy(troxy_core::LegacyClient& client, int pipeline);
+
+    /// Closed loop over a traditional BFT client (baseline).
+    void drive_bft(hybster::Client& client, int pipeline);
+
+    /// Open loop: this client issues requests at `rate_per_sec` with
+    /// exponential inter-arrival times.
+    void drive_legacy_open(troxy_core::LegacyClient& client,
+                           double rate_per_sec);
+
+    /// Open loop over a traditional BFT client.
+    void drive_bft_open(hybster::Client& client, double rate_per_sec);
+
+    [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+
+  private:
+    void issue_legacy(troxy_core::LegacyClient& client);
+    void issue_bft(hybster::Client& client);
+    void schedule_open(troxy_core::LegacyClient& client, double rate);
+    void schedule_bft_open(hybster::Client& client, double rate);
+
+    sim::Simulator& sim_;
+    Recorder& recorder_;
+    Generator generator_;
+    Rng rng_;
+    std::uint64_t issued_ = 0;
+};
+
+}  // namespace troxy::bench

@@ -1,0 +1,19 @@
+// Invariant checking that stays on in release builds.
+//
+// Protocol invariants (quorum intersection, sequence monotonicity, cache
+// consistency) are cheap relative to simulated work, so they are always
+// checked; a violated invariant is a bug in this library, never recoverable
+// input error, hence abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TROXY_ASSERT(cond, msg)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::fprintf(stderr, "TROXY_ASSERT failed at %s:%d: %s — %s\n", \
+                         __FILE__, __LINE__, #cond, msg);                    \
+            std::abort();                                                    \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,72 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace troxy {
+
+Bytes to_bytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+    return std::string(b.begin(), b.end());
+}
+
+std::string hex_encode(ByteView b) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(b.size() * 2);
+    for (std::uint8_t byte : b) {
+        out.push_back(kDigits[byte >> 4]);
+        out.push_back(kDigits[byte & 0x0f]);
+    }
+    return out;
+}
+
+namespace {
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("hex_decode: invalid hex character");
+}
+}  // namespace
+
+Bytes hex_decode(std::string_view hex) {
+    if (hex.size() % 2 != 0) {
+        throw std::invalid_argument("hex_decode: odd-length input");
+    }
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        out.push_back(static_cast<std::uint8_t>(hex_value(hex[i]) << 4 |
+                                                hex_value(hex[i + 1])));
+    }
+    return out;
+}
+
+bool constant_time_equal(ByteView a, ByteView b) noexcept {
+    if (a.size() != b.size()) return false;
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+    return diff == 0;
+}
+
+Bytes concat(ByteView a, ByteView b) {
+    Bytes out;
+    out.reserve(a.size() + b.size());
+    out.insert(out.end(), a.begin(), a.end());
+    out.insert(out.end(), b.begin(), b.end());
+    return out;
+}
+
+Bytes concat(ByteView a, ByteView b, ByteView c) {
+    Bytes out;
+    out.reserve(a.size() + b.size() + c.size());
+    out.insert(out.end(), a.begin(), a.end());
+    out.insert(out.end(), b.begin(), b.end());
+    out.insert(out.end(), c.begin(), c.end());
+    return out;
+}
+
+}  // namespace troxy

@@ -1,0 +1,40 @@
+// Byte-buffer utilities shared by every module.
+//
+// A `Bytes` value is the universal currency for payloads, messages and keys
+// throughout the code base. Helpers here convert between strings, hex and
+// raw buffers without ever aliasing unowned memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace troxy {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Copies a string's characters into a fresh byte buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as text (bytes are copied).
+std::string to_string(ByteView b);
+
+/// Lower-case hex encoding, two characters per byte.
+std::string hex_encode(ByteView b);
+
+/// Decodes lower- or upper-case hex; throws std::invalid_argument on
+/// malformed input (odd length or non-hex characters).
+Bytes hex_decode(std::string_view hex);
+
+/// Constant-time equality; returns false for different lengths without
+/// leaking where the first mismatch occurred.
+bool constant_time_equal(ByteView a, ByteView b) noexcept;
+
+/// Concatenates buffers (used to build MAC inputs and transcripts).
+Bytes concat(ByteView a, ByteView b);
+Bytes concat(ByteView a, ByteView b, ByteView c);
+
+}  // namespace troxy

@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace troxy {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+void log_raw(LogLevel level, std::string_view msg) {
+    std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+                 static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace troxy

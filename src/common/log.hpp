@@ -1,0 +1,75 @@
+// Minimal leveled logging.
+//
+// Logging defaults to Warn so tests and benchmarks stay quiet; integration
+// debugging raises the level per-scope with LogLevelGuard. Formatting uses
+// a small "{}" substitution helper (libstdc++ 12 lacks <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace troxy {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+void log_raw(LogLevel level, std::string_view msg);
+
+namespace detail {
+
+inline void format_into(std::ostringstream& out, std::string_view fmt) {
+    out << fmt;
+}
+
+template <typename First, typename... Rest>
+void format_into(std::ostringstream& out, std::string_view fmt,
+                 const First& first, const Rest&... rest) {
+    const std::size_t pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        out << fmt;
+        return;
+    }
+    out << fmt.substr(0, pos) << first;
+    format_into(out, fmt.substr(pos + 2), rest...);
+}
+
+}  // namespace detail
+
+/// Formats by replacing each "{}" in order with the streamed argument.
+template <typename... Args>
+std::string format(std::string_view fmt, const Args&... args) {
+    std::ostringstream out;
+    detail::format_into(out, fmt, args...);
+    return out.str();
+}
+
+template <typename... Args>
+void log(LogLevel level, std::string_view fmt, const Args&... args) {
+    if (level < log_level()) return;
+    log_raw(level, format(fmt, args...));
+}
+
+#define TROXY_TRACE(...) ::troxy::log(::troxy::LogLevel::Trace, __VA_ARGS__)
+#define TROXY_DEBUG(...) ::troxy::log(::troxy::LogLevel::Debug, __VA_ARGS__)
+#define TROXY_INFO(...) ::troxy::log(::troxy::LogLevel::Info, __VA_ARGS__)
+#define TROXY_WARN(...) ::troxy::log(::troxy::LogLevel::Warn, __VA_ARGS__)
+#define TROXY_ERROR(...) ::troxy::log(::troxy::LogLevel::Error, __VA_ARGS__)
+
+/// RAII guard that restores the previous level on scope exit.
+class LogLevelGuard {
+  public:
+    explicit LogLevelGuard(LogLevel level) noexcept : previous_(log_level()) {
+        set_log_level(level);
+    }
+    ~LogLevelGuard() { set_log_level(previous_); }
+    LogLevelGuard(const LogLevelGuard&) = delete;
+    LogLevelGuard& operator=(const LogLevelGuard&) = delete;
+
+  private:
+    LogLevel previous_;
+};
+
+}  // namespace troxy

@@ -1,0 +1,71 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace troxy {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+    // Lemire-style rejection: discard the biased tail.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double Rng::next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_normal(double mean, double stddev) noexcept {
+    // Box-Muller; u1 must be non-zero for the log.
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = next_double();
+    const double u2 = next_double();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::next_exponential(double mean) noexcept {
+    double u = 0.0;
+    while (u == 0.0) u = next_double();
+    return -mean * std::log(u);
+}
+
+Rng Rng::fork(std::uint64_t tag) noexcept {
+    return Rng(next() ^ (tag * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace troxy

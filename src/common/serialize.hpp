@@ -1,0 +1,122 @@
+// Bounds-checked binary serialization.
+//
+// All wire messages (BFT protocol, secure-channel records, cache queries)
+// are encoded with Writer and decoded with Reader. Integers are
+// little-endian fixed width; variable data is length-prefixed with u32.
+// Reader reports malformed input via DecodeError so a Byzantine peer can
+// never crash a correct node with a truncated message.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace troxy {
+
+/// Thrown by Reader on truncated or oversized input. Protocol code
+/// catches this at the message boundary and discards the message,
+/// per the system model ("if a correct component receives a message it
+/// cannot verify, the component discards the message").
+class DecodeError : public std::runtime_error {
+  public:
+    explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+  public:
+    Writer() = default;
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v) { put_le(v, 2); }
+    void u32(std::uint32_t v) { put_le(v, 4); }
+    void u64(std::uint64_t v) { put_le(v, 8); }
+
+    /// Length-prefixed byte string (u32 length).
+    void bytes(ByteView b) {
+        u32(static_cast<std::uint32_t>(b.size()));
+        raw(b);
+    }
+
+    void str(std::string_view s) {
+        bytes(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                       s.size()));
+    }
+
+    /// Appends bytes without a length prefix (fixed-size fields like MACs).
+    void raw(ByteView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+    [[nodiscard]] const Bytes& data() const& noexcept { return buf_; }
+    [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  private:
+    void put_le(std::uint64_t v, int n) {
+        for (int i = 0; i < n; ++i) {
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        }
+    }
+
+    Bytes buf_;
+};
+
+class Reader {
+  public:
+    explicit Reader(ByteView data) noexcept : data_(data) {}
+
+    std::uint8_t u8() { return static_cast<std::uint8_t>(get_le(1)); }
+    std::uint16_t u16() { return static_cast<std::uint16_t>(get_le(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(get_le(4)); }
+    std::uint64_t u64() { return get_le(8); }
+
+    Bytes bytes() {
+        const std::uint32_t n = u32();
+        if (n > remaining()) throw DecodeError("length prefix exceeds input");
+        return raw(n);
+    }
+
+    std::string str() {
+        const Bytes b = bytes();
+        return std::string(b.begin(), b.end());
+    }
+
+    Bytes raw(std::size_t n) {
+        require(n);
+        Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+        pos_ += n;
+        return out;
+    }
+
+    [[nodiscard]] std::size_t remaining() const noexcept {
+        return data_.size() - pos_;
+    }
+    [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+    /// Call after decoding a full message to reject trailing garbage.
+    void expect_done() const {
+        if (!done()) throw DecodeError("trailing bytes after message");
+    }
+
+  private:
+    void require(std::size_t n) const {
+        if (remaining() < n) throw DecodeError("truncated input");
+    }
+
+    std::uint64_t get_le(int n) {
+        require(static_cast<std::size_t>(n));
+        std::uint64_t v = 0;
+        for (int i = 0; i < n; ++i) {
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        }
+        pos_ += static_cast<std::size_t>(n);
+        return v;
+    }
+
+    ByteView data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace troxy

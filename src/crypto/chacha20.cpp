@@ -1,0 +1,83 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+
+namespace troxy::crypto {
+
+namespace {
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+    a += b;
+    d = std::rotl(d ^ a, 16);
+    c += d;
+    b = std::rotl(b ^ c, 12);
+    a += b;
+    d = std::rotl(d ^ a, 8);
+    c += d;
+    b = std::rotl(b ^ c, 7);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(
+    const ChaChaKey& key, std::uint32_t counter,
+    const ChaChaNonce& nonce) noexcept {
+    std::array<std::uint32_t, 16> state = {
+        0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,  // "expand 32-byte k"
+        load_le32(key.data()),      load_le32(key.data() + 4),
+        load_le32(key.data() + 8),  load_le32(key.data() + 12),
+        load_le32(key.data() + 16), load_le32(key.data() + 20),
+        load_le32(key.data() + 24), load_le32(key.data() + 28),
+        counter,
+        load_le32(nonce.data()),    load_le32(nonce.data() + 4),
+        load_le32(nonce.data() + 8)};
+
+    std::array<std::uint32_t, 16> working = state;
+    for (int i = 0; i < 10; ++i) {
+        quarter_round(working[0], working[4], working[8], working[12]);
+        quarter_round(working[1], working[5], working[9], working[13]);
+        quarter_round(working[2], working[6], working[10], working[14]);
+        quarter_round(working[3], working[7], working[11], working[15]);
+        quarter_round(working[0], working[5], working[10], working[15]);
+        quarter_round(working[1], working[6], working[11], working[12]);
+        quarter_round(working[2], working[7], working[8], working[13]);
+        quarter_round(working[3], working[4], working[9], working[14]);
+    }
+
+    std::array<std::uint8_t, 64> out;
+    for (int i = 0; i < 16; ++i) {
+        const std::uint32_t word = working[i] + state[i];
+        out[4 * i] = static_cast<std::uint8_t>(word);
+        out[4 * i + 1] = static_cast<std::uint8_t>(word >> 8);
+        out[4 * i + 2] = static_cast<std::uint8_t>(word >> 16);
+        out[4 * i + 3] = static_cast<std::uint8_t>(word >> 24);
+    }
+    return out;
+}
+
+Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   std::uint32_t initial_counter, ByteView data) {
+    Bytes out;
+    out.reserve(data.size());
+    std::uint32_t counter = initial_counter;
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+        const auto keystream = chacha20_block(key, counter++, nonce);
+        const std::size_t n = std::min<std::size_t>(64, data.size() - offset);
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(data[offset + i] ^ keystream[i]);
+        }
+        offset += n;
+    }
+    return out;
+}
+
+}  // namespace troxy::crypto

@@ -1,0 +1,32 @@
+// ChaCha20 stream cipher (RFC 8439 §2.4).
+//
+// The secure channel between legacy clients and the Troxy encrypts records
+// with ChaCha20-Poly1305; the raw keystream interface here also backs the
+// sealed-storage encryption of the simulated enclave.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace troxy::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+/// Runs the ChaCha20 block function for the given counter and returns the
+/// 64-byte keystream block.
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            std::uint32_t counter,
+                                            const ChaChaNonce& nonce) noexcept;
+
+/// Encrypts (= decrypts) `data` with the keystream starting at block
+/// `initial_counter`.
+Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   std::uint32_t initial_counter, ByteView data);
+
+}  // namespace troxy::crypto

@@ -1,0 +1,38 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HMAC is the message-certificate primitive used throughout the system:
+// replica-to-replica authentication, Troxy reply authentication (§IV-A),
+// and trusted-counter certificates. HKDF derives secure-channel session
+// keys from the handshake secret.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace troxy::crypto {
+
+using HmacTag = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Computes HMAC-SHA256(key, data). Keys longer than the block size are
+/// hashed first, per RFC 2104.
+HmacTag hmac_sha256(ByteView key, ByteView data) noexcept;
+
+/// Convenience returning a Bytes value.
+Bytes hmac_sha256_bytes(ByteView key, ByteView data);
+
+/// Verifies a tag in constant time.
+bool hmac_verify(ByteView key, ByteView data, ByteView tag) noexcept;
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+HmacTag hkdf_extract(ByteView salt, ByteView ikm) noexcept;
+
+/// HKDF-Expand: derives `length` bytes (≤ 255·32) from PRK and info.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand in one call.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace troxy::crypto

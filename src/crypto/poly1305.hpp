@@ -1,0 +1,22 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace troxy::crypto {
+
+inline constexpr std::size_t kPoly1305KeySize = 32;
+inline constexpr std::size_t kPoly1305TagSize = 16;
+
+using Poly1305Key = std::array<std::uint8_t, kPoly1305KeySize>;
+using Poly1305Tag = std::array<std::uint8_t, kPoly1305TagSize>;
+
+/// Computes the Poly1305 tag of `data` under a one-time key. The key must
+/// never be reused for two different messages; the AEAD construction
+/// derives a fresh key per nonce.
+Poly1305Tag poly1305(const Poly1305Key& key, ByteView data) noexcept;
+
+}  // namespace troxy::crypto

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for request identifiers (the fast-read cache keys replies by a hash
+// of the original request, §IV-A), enclave measurements, and as the
+// compression function under HMAC/HKDF.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace troxy::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256. `update` may be called any number of times;
+/// `finish` finalizes and invalidates the instance.
+class Sha256 {
+  public:
+    Sha256() noexcept;
+
+    void update(ByteView data) noexcept;
+    Sha256Digest finish() noexcept;
+
+  private:
+    void process_block(const std::uint8_t* block) noexcept;
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t buffer_len_ = 0;
+    std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Sha256Digest sha256(ByteView data) noexcept;
+
+/// One-shot returning a Bytes value (handy for serialization).
+Bytes sha256_bytes(ByteView data);
+
+}  // namespace troxy::crypto

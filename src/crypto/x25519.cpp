@@ -1,0 +1,277 @@
+#include "crypto/x25519.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace troxy::crypto {
+
+// Field arithmetic modulo p = 2^255 - 19 with five 51-bit limbs and
+// 128-bit intermediate products (the "donna" representation).
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+struct Fe {
+    u64 v[5];
+};
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+Fe fe_zero() noexcept { return Fe{{0, 0, 0, 0, 0}}; }
+Fe fe_one() noexcept { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe fe_from_bytes(const std::uint8_t* s) noexcept {
+    auto load64 = [](const std::uint8_t* p) {
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+        return v;
+    };
+    Fe f;
+    f.v[0] = load64(s) & kMask51;
+    f.v[1] = (load64(s + 6) >> 3) & kMask51;
+    f.v[2] = (load64(s + 12) >> 6) & kMask51;
+    f.v[3] = (load64(s + 19) >> 1) & kMask51;
+    f.v[4] = (load64(s + 24) >> 12) & kMask51;
+    return f;
+}
+
+void fe_to_bytes(std::uint8_t* out, const Fe& f) noexcept {
+    // Fully reduce mod p before serializing.
+    u64 t[5] = {f.v[0], f.v[1], f.v[2], f.v[3], f.v[4]};
+
+    for (int pass = 0; pass < 3; ++pass) {
+        t[1] += t[0] >> 51;
+        t[0] &= kMask51;
+        t[2] += t[1] >> 51;
+        t[1] &= kMask51;
+        t[3] += t[2] >> 51;
+        t[2] &= kMask51;
+        t[4] += t[3] >> 51;
+        t[3] &= kMask51;
+        t[0] += 19 * (t[4] >> 51);
+        t[4] &= kMask51;
+    }
+
+    // Conditional subtraction of p: compute t + 19, if that overflows
+    // 2^255 then t >= p.
+    u64 q = (t[0] + 19) >> 51;
+    q = (t[1] + q) >> 51;
+    q = (t[2] + q) >> 51;
+    q = (t[3] + q) >> 51;
+    q = (t[4] + q) >> 51;
+
+    t[0] += 19 * q;
+    t[1] += t[0] >> 51;
+    t[0] &= kMask51;
+    t[2] += t[1] >> 51;
+    t[1] &= kMask51;
+    t[3] += t[2] >> 51;
+    t[2] &= kMask51;
+    t[4] += t[3] >> 51;
+    t[3] &= kMask51;
+    t[4] &= kMask51;
+
+    auto store64 = [](std::uint8_t* p, u64 v) {
+        for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    store64(out, t[0] | (t[1] << 51));
+    store64(out + 8, (t[1] >> 13) | (t[2] << 38));
+    store64(out + 16, (t[2] >> 26) | (t[3] << 25));
+    store64(out + 24, (t[3] >> 39) | (t[4] << 12));
+}
+
+Fe fe_add(const Fe& a, const Fe& b) noexcept {
+    Fe out;
+    for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + b.v[i];
+    return out;
+}
+
+// a - b with a bias of 2p to keep limbs positive.
+Fe fe_sub(const Fe& a, const Fe& b) noexcept {
+    static constexpr u64 kTwoP0 = 0xfffffffffffdaULL;
+    static constexpr u64 kTwoP1234 = 0xffffffffffffeULL;
+    Fe out;
+    out.v[0] = a.v[0] + kTwoP0 - b.v[0];
+    out.v[1] = a.v[1] + kTwoP1234 - b.v[1];
+    out.v[2] = a.v[2] + kTwoP1234 - b.v[2];
+    out.v[3] = a.v[3] + kTwoP1234 - b.v[3];
+    out.v[4] = a.v[4] + kTwoP1234 - b.v[4];
+    return out;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) noexcept {
+    const u128 m0 = static_cast<u128>(a.v[0]) * b.v[0] +
+                    static_cast<u128>(a.v[1]) * (b.v[4] * 19) +
+                    static_cast<u128>(a.v[2]) * (b.v[3] * 19) +
+                    static_cast<u128>(a.v[3]) * (b.v[2] * 19) +
+                    static_cast<u128>(a.v[4]) * (b.v[1] * 19);
+    const u128 m1 = static_cast<u128>(a.v[0]) * b.v[1] +
+                    static_cast<u128>(a.v[1]) * b.v[0] +
+                    static_cast<u128>(a.v[2]) * (b.v[4] * 19) +
+                    static_cast<u128>(a.v[3]) * (b.v[3] * 19) +
+                    static_cast<u128>(a.v[4]) * (b.v[2] * 19);
+    const u128 m2 = static_cast<u128>(a.v[0]) * b.v[2] +
+                    static_cast<u128>(a.v[1]) * b.v[1] +
+                    static_cast<u128>(a.v[2]) * b.v[0] +
+                    static_cast<u128>(a.v[3]) * (b.v[4] * 19) +
+                    static_cast<u128>(a.v[4]) * (b.v[3] * 19);
+    const u128 m3 = static_cast<u128>(a.v[0]) * b.v[3] +
+                    static_cast<u128>(a.v[1]) * b.v[2] +
+                    static_cast<u128>(a.v[2]) * b.v[1] +
+                    static_cast<u128>(a.v[3]) * b.v[0] +
+                    static_cast<u128>(a.v[4]) * (b.v[4] * 19);
+    const u128 m4 = static_cast<u128>(a.v[0]) * b.v[4] +
+                    static_cast<u128>(a.v[1]) * b.v[3] +
+                    static_cast<u128>(a.v[2]) * b.v[2] +
+                    static_cast<u128>(a.v[3]) * b.v[1] +
+                    static_cast<u128>(a.v[4]) * b.v[0];
+
+    Fe out;
+    u64 carry;
+    out.v[0] = static_cast<u64>(m0) & kMask51;
+    carry = static_cast<u64>(m0 >> 51);
+    u128 acc = m1 + carry;
+    out.v[1] = static_cast<u64>(acc) & kMask51;
+    carry = static_cast<u64>(acc >> 51);
+    acc = m2 + carry;
+    out.v[2] = static_cast<u64>(acc) & kMask51;
+    carry = static_cast<u64>(acc >> 51);
+    acc = m3 + carry;
+    out.v[3] = static_cast<u64>(acc) & kMask51;
+    carry = static_cast<u64>(acc >> 51);
+    acc = m4 + carry;
+    out.v[4] = static_cast<u64>(acc) & kMask51;
+    carry = static_cast<u64>(acc >> 51);
+    out.v[0] += carry * 19;
+    out.v[1] += out.v[0] >> 51;
+    out.v[0] &= kMask51;
+    return out;
+}
+
+Fe fe_sq(const Fe& a) noexcept { return fe_mul(a, a); }
+
+// Multiplies by a small scalar (121666 in the ladder).
+Fe fe_mul_small(const Fe& a, u64 s) noexcept {
+    Fe out;
+    u128 acc = 0;
+    for (int i = 0; i < 5; ++i) {
+        acc += static_cast<u128>(a.v[i]) * s;
+        out.v[i] = static_cast<u64>(acc) & kMask51;
+        acc >>= 51;
+    }
+    out.v[0] += static_cast<u64>(acc) * 19;
+    return out;
+}
+
+Fe fe_invert(const Fe& z) noexcept {
+    // z^(p-2) via the standard addition chain.
+    Fe z2 = fe_sq(z);                       // 2
+    Fe z8 = fe_sq(fe_sq(z2));               // 8
+    Fe z9 = fe_mul(z8, z);                  // 9
+    Fe z11 = fe_mul(z9, z2);                // 11
+    Fe z22 = fe_sq(z11);                    // 22
+    Fe z_5_0 = fe_mul(z22, z9);             // 2^5 - 2^0
+    Fe t = fe_sq(z_5_0);
+    for (int i = 1; i < 5; ++i) t = fe_sq(t);
+    Fe z_10_0 = fe_mul(t, z_5_0);           // 2^10 - 2^0
+    t = fe_sq(z_10_0);
+    for (int i = 1; i < 10; ++i) t = fe_sq(t);
+    Fe z_20_0 = fe_mul(t, z_10_0);          // 2^20 - 2^0
+    t = fe_sq(z_20_0);
+    for (int i = 1; i < 20; ++i) t = fe_sq(t);
+    Fe z_40_0 = fe_mul(t, z_20_0);          // 2^40 - 2^0
+    t = fe_sq(z_40_0);
+    for (int i = 1; i < 10; ++i) t = fe_sq(t);
+    Fe z_50_0 = fe_mul(t, z_10_0);          // 2^50 - 2^0
+    t = fe_sq(z_50_0);
+    for (int i = 1; i < 50; ++i) t = fe_sq(t);
+    Fe z_100_0 = fe_mul(t, z_50_0);         // 2^100 - 2^0
+    t = fe_sq(z_100_0);
+    for (int i = 1; i < 100; ++i) t = fe_sq(t);
+    Fe z_200_0 = fe_mul(t, z_100_0);        // 2^200 - 2^0
+    t = fe_sq(z_200_0);
+    for (int i = 1; i < 50; ++i) t = fe_sq(t);
+    Fe z_250_0 = fe_mul(t, z_50_0);         // 2^250 - 2^0
+    t = fe_sq(z_250_0);
+    for (int i = 1; i < 5; ++i) t = fe_sq(t);
+    return fe_mul(t, z11);                  // 2^255 - 21 = p - 2
+}
+
+void fe_cswap(Fe& a, Fe& b, u64 swap) noexcept {
+    const u64 mask = 0 - swap;  // all ones if swap == 1
+    for (int i = 0; i < 5; ++i) {
+        const u64 x = mask & (a.v[i] ^ b.v[i]);
+        a.v[i] ^= x;
+        b.v[i] ^= x;
+    }
+}
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) noexcept {
+    std::uint8_t e[32];
+    std::memcpy(e, scalar.data(), 32);
+    e[0] &= 248;
+    e[31] &= 127;
+    e[31] |= 64;
+
+    // RFC 7748: mask the top bit of the u-coordinate.
+    std::uint8_t u_bytes[32];
+    std::memcpy(u_bytes, point.data(), 32);
+    u_bytes[31] &= 127;
+
+    const Fe x1 = fe_from_bytes(u_bytes);
+    Fe x2 = fe_one(), z2 = fe_zero();
+    Fe x3 = x1, z3 = fe_one();
+    u64 swap = 0;
+
+    for (int pos = 254; pos >= 0; --pos) {
+        const u64 bit = (e[pos / 8] >> (pos & 7)) & 1;
+        swap ^= bit;
+        fe_cswap(x2, x3, swap);
+        fe_cswap(z2, z3, swap);
+        swap = bit;
+
+        const Fe a = fe_add(x2, z2);
+        const Fe aa = fe_sq(a);
+        const Fe b = fe_sub(x2, z2);
+        const Fe bb = fe_sq(b);
+        const Fe ee = fe_sub(aa, bb);
+        const Fe c = fe_add(x3, z3);
+        const Fe d = fe_sub(x3, z3);
+        const Fe da = fe_mul(d, a);
+        const Fe cb = fe_mul(c, b);
+        x3 = fe_sq(fe_add(da, cb));
+        z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+        x2 = fe_mul(aa, bb);
+        z2 = fe_mul(ee, fe_add(aa, fe_mul_small(ee, 121665)));
+    }
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+
+    const Fe result = fe_mul(x2, fe_invert(z2));
+    X25519Key out;
+    fe_to_bytes(out.data(), result);
+    return out;
+}
+
+X25519Key x25519_public(const X25519Key& private_key) noexcept {
+    X25519Key basepoint{};
+    basepoint[0] = 9;
+    return x25519(private_key, basepoint);
+}
+
+X25519Keypair x25519_keypair_from_seed(ByteView seed) noexcept {
+    const Sha256Digest digest = sha256(seed);
+    X25519Keypair pair;
+    std::memcpy(pair.private_key.data(), digest.data(), kX25519KeySize);
+    pair.private_key[0] &= 248;
+    pair.private_key[31] &= 127;
+    pair.private_key[31] |= 64;
+    pair.public_key = x25519_public(pair.private_key);
+    return pair;
+}
+
+}  // namespace troxy::crypto

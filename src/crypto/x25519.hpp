@@ -1,0 +1,36 @@
+// X25519 Diffie-Hellman (RFC 7748).
+//
+// Provides the key agreement under the secure-channel handshake. The paper
+// provisions the Troxy's private key during SGX attestation; here the same
+// role is played by an X25519 keypair whose private half lives only inside
+// the simulated enclave.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace troxy::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// Computes scalar multiplication scalar·point on Curve25519.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) noexcept;
+
+/// Derives the public key for a private scalar (scalar·basepoint).
+X25519Key x25519_public(const X25519Key& private_key) noexcept;
+
+/// Keypair helper; the private key is clamped per the RFC.
+struct X25519Keypair {
+    X25519Key private_key;
+    X25519Key public_key;
+};
+
+/// Deterministically derives a keypair from seed bytes (the simulation has
+/// no OS entropy source; seeds come from the experiment RNG).
+X25519Keypair x25519_keypair_from_seed(ByteView seed) noexcept;
+
+}  // namespace troxy::crypto

@@ -1,0 +1,43 @@
+#include "enclave/attestation.hpp"
+
+#include "common/serialize.hpp"
+
+namespace troxy::enclave {
+
+Measurement measure(std::string_view code_identity) {
+    return crypto::sha256(to_bytes(code_identity));
+}
+
+AttestationAuthority::AttestationAuthority(Bytes platform_key)
+    : platform_key_(std::move(platform_key)) {}
+
+crypto::HmacTag AttestationAuthority::sign(const Measurement& measurement,
+                                           std::uint64_t nonce) const {
+    Writer w;
+    w.raw(measurement);
+    w.u64(nonce);
+    return crypto::hmac_sha256(platform_key_, w.data());
+}
+
+AttestationReport AttestationAuthority::issue(const Measurement& measurement,
+                                              std::uint64_t nonce) const {
+    return AttestationReport{measurement, nonce, sign(measurement, nonce)};
+}
+
+bool AttestationAuthority::verify(const AttestationReport& report,
+                                  const Measurement& expected,
+                                  std::uint64_t nonce) const {
+    if (report.nonce != nonce) return false;
+    if (!constant_time_equal(report.measurement, expected)) return false;
+    const crypto::HmacTag valid = sign(report.measurement, report.nonce);
+    return constant_time_equal(valid, report.signature);
+}
+
+std::optional<Bytes> AttestationAuthority::provision(
+    const AttestationReport& report, const Measurement& expected,
+    std::uint64_t nonce, const Bytes& secret) const {
+    if (!verify(report, expected, nonce)) return std::nullopt;
+    return secret;
+}
+
+}  // namespace troxy::enclave

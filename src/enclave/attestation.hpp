@@ -1,0 +1,63 @@
+// Simulated SGX remote attestation and provisioning.
+//
+// The real flow (§V-A): the CPU measures the enclave's pages, the
+// measurement is sent to Intel's attestation service, and once verified
+// the enclave is provisioned with its secrets (TLS private key, Troxy
+// group key). Here the "platform" is a per-experiment authority holding a
+// platform key: enclaves obtain a report binding their measurement, the
+// verifier checks the report against the expected measurement, and only
+// then releases secrets. The scheme is HMAC-based (the authority is both
+// issuer and verifier, as Intel's IAS effectively is for EPID).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace troxy::enclave {
+
+using Measurement = crypto::Sha256Digest;
+
+/// Hash of the enclave's initial code and data (MRENCLAVE equivalent).
+Measurement measure(std::string_view code_identity);
+
+struct AttestationReport {
+    Measurement measurement;
+    std::uint64_t nonce = 0;
+    crypto::HmacTag signature{};
+};
+
+/// The attestation authority for one deployment (stands in for the Intel
+/// Attestation Service plus the service operator's provisioning logic).
+class AttestationAuthority {
+  public:
+    explicit AttestationAuthority(Bytes platform_key);
+
+    /// Issues a report for an enclave with the given measurement.
+    [[nodiscard]] AttestationReport issue(const Measurement& measurement,
+                                          std::uint64_t nonce) const;
+
+    /// Verifies a report and checks it matches the expected measurement
+    /// and the challenger's nonce.
+    [[nodiscard]] bool verify(const AttestationReport& report,
+                              const Measurement& expected,
+                              std::uint64_t nonce) const;
+
+    /// Releases a secret to an attested enclave: returns the secret only
+    /// if the report verifies. Models provisioning after attestation.
+    [[nodiscard]] std::optional<Bytes> provision(
+        const AttestationReport& report, const Measurement& expected,
+        std::uint64_t nonce, const Bytes& secret) const;
+
+  private:
+    [[nodiscard]] crypto::HmacTag sign(const Measurement& measurement,
+                                       std::uint64_t nonce) const;
+
+    Bytes platform_key_;
+};
+
+}  // namespace troxy::enclave

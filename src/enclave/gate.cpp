@@ -1,0 +1,52 @@
+#include "enclave/gate.hpp"
+
+#include "common/assert.hpp"
+
+namespace troxy::enclave {
+
+EnclaveGate::EnclaveGate(std::string enclave_name, sim::EnclaveCosts costs,
+                         std::size_t max_ecalls)
+    : name_(std::move(enclave_name)), costs_(costs), max_ecalls_(max_ecalls) {}
+
+void EnclaveGate::ecall(CostMeter& meter, std::string_view name,
+                        std::size_t bytes_in, std::size_t bytes_out) {
+    if (!ecall_names_.contains(name)) {
+        ecall_names_.emplace(name);
+        TROXY_ASSERT(ecall_names_.size() <= max_ecalls_,
+                     "enclave interface exceeds its ecall budget");
+    }
+    ++transitions_;
+    meter.add(static_cast<sim::Duration>(costs_.ecall_transition_ns));
+    meter.add(static_cast<sim::Duration>(
+        costs_.param_copy_per_byte_ns *
+        static_cast<double>(bytes_in + bytes_out)));
+}
+
+void EnclaveGate::ocall(CostMeter& meter, std::size_t bytes) noexcept {
+    ++transitions_;
+    meter.add(static_cast<sim::Duration>(costs_.ocall_transition_ns));
+    meter.add(static_cast<sim::Duration>(costs_.param_copy_per_byte_ns *
+                                         static_cast<double>(bytes)));
+}
+
+void EnclaveGate::allocate(std::size_t bytes) noexcept { allocated_ += bytes; }
+
+void EnclaveGate::release(std::size_t bytes) noexcept {
+    allocated_ = bytes > allocated_ ? 0 : allocated_ - bytes;
+}
+
+void EnclaveGate::touch(CostMeter& meter, std::size_t bytes) noexcept {
+    if (costs_.epc_limit_bytes == 0 || allocated_ <= costs_.epc_limit_bytes) {
+        return;
+    }
+    // The fraction of trusted memory that does not fit in the EPC is the
+    // probability that a touched page faults; charge proportionally.
+    const double overflow_fraction =
+        1.0 - static_cast<double>(costs_.epc_limit_bytes) /
+                  static_cast<double>(allocated_);
+    const double pages = static_cast<double>(bytes + 4095) / 4096.0;
+    meter.add(static_cast<sim::Duration>(pages * overflow_fraction *
+                                         costs_.epc_page_fault_ns));
+}
+
+}  // namespace troxy::enclave

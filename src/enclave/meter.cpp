@@ -1,0 +1,4 @@
+#include "enclave/meter.hpp"
+
+// Header-only today; the translation unit exists so the library has a home
+// for future out-of-line definitions without touching the build.

@@ -1,0 +1,86 @@
+// Cost metering for one message-handling step.
+//
+// Protocol handlers run synchronously in simulation but must charge the
+// CPU time the real system would spend. A CostMeter accumulates the
+// nanoseconds of every operation performed while handling one message;
+// the handler then schedules its visible effects after meter.take()
+// nanoseconds on its Node. CostedCrypto pairs each real cryptographic
+// computation with its modelled cost so the two can never drift apart.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/cost.hpp"
+
+namespace troxy::enclave {
+
+class CostMeter {
+  public:
+    void add(sim::Duration d) noexcept { total_ += d; }
+
+    [[nodiscard]] sim::Duration total() const noexcept { return total_; }
+
+    /// Returns the accumulated cost and resets the meter.
+    sim::Duration take() noexcept {
+        const sim::Duration t = total_;
+        total_ = 0;
+        return t;
+    }
+
+  private:
+    sim::Duration total_ = 0;
+};
+
+/// Real crypto operations that also charge their modelled cost to a meter.
+/// The profile decides how expensive each operation is (Java vs native).
+class CostedCrypto {
+  public:
+    CostedCrypto(const sim::CostProfile& profile, CostMeter& meter) noexcept
+        : profile_(profile), meter_(meter) {}
+
+    crypto::Sha256Digest hash(ByteView data) {
+        meter_.add(profile_.hash(data.size()));
+        return crypto::sha256(data);
+    }
+
+    crypto::HmacTag mac(ByteView key, ByteView data) {
+        meter_.add(profile_.mac(data.size()));
+        return crypto::hmac_sha256(key, data);
+    }
+
+    bool mac_verify(ByteView key, ByteView data, ByteView tag) {
+        meter_.add(profile_.mac(data.size()));
+        return crypto::hmac_verify(key, data, tag);
+    }
+
+    Bytes seal(const crypto::ChaChaKey& key, const crypto::ChaChaNonce& nonce,
+               ByteView aad, ByteView plaintext) {
+        meter_.add(profile_.aead(plaintext.size()));
+        return crypto::aead_seal(key, nonce, aad, plaintext);
+    }
+
+    std::optional<Bytes> open(const crypto::ChaChaKey& key,
+                              const crypto::ChaChaNonce& nonce, ByteView aad,
+                              ByteView sealed) {
+        meter_.add(profile_.aead(sealed.size()));
+        return crypto::aead_open(key, nonce, aad, sealed);
+    }
+
+    void charge_dh() { meter_.add(profile_.dh()); }
+    void charge(sim::Duration d) { meter_.add(d); }
+    void charge_copy(std::size_t bytes) { meter_.add(profile_.copy(bytes)); }
+    void charge_dispatch() { meter_.add(profile_.dispatch()); }
+
+    [[nodiscard]] const sim::CostProfile& profile() const noexcept {
+        return profile_;
+    }
+    [[nodiscard]] CostMeter& meter() noexcept { return meter_; }
+
+  private:
+    const sim::CostProfile& profile_;
+    CostMeter& meter_;
+};
+
+}  // namespace troxy::enclave

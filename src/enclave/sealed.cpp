@@ -1,0 +1,51 @@
+#include "enclave/sealed.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace troxy::enclave {
+
+SealedBox::SealedBox(ByteView platform_key, const Measurement& measurement) {
+    const Bytes derived =
+        crypto::hkdf(platform_key, measurement, to_bytes("troxy-seal-key"),
+                     crypto::kChaChaKeySize);
+    std::memcpy(key_.data(), derived.data(), key_.size());
+}
+
+Bytes SealedBox::seal(ByteView plaintext) {
+    crypto::ChaChaNonce nonce{};
+    const std::uint64_t counter = seal_counter_++;
+    for (int i = 0; i < 8; ++i) {
+        nonce[i] = static_cast<std::uint8_t>(counter >> (8 * i));
+    }
+    Bytes out(nonce.begin(), nonce.end());
+    const Bytes sealed = crypto::aead_seal(key_, nonce, {}, plaintext);
+    out.insert(out.end(), sealed.begin(), sealed.end());
+    return out;
+}
+
+std::optional<Bytes> SealedBox::unseal(ByteView sealed) const {
+    if (sealed.size() < crypto::kChaChaNonceSize + crypto::kAeadTagSize) {
+        return std::nullopt;
+    }
+    crypto::ChaChaNonce nonce{};
+    std::memcpy(nonce.data(), sealed.data(), nonce.size());
+    return crypto::aead_open(key_, nonce, {},
+                             sealed.subspan(crypto::kChaChaNonceSize));
+}
+
+Bytes ExternalizedBlob::store(ByteView data) {
+    trusted_hash_ = crypto::sha256(data);
+    stored_ = true;
+    return Bytes(data.begin(), data.end());
+}
+
+std::optional<Bytes> ExternalizedBlob::load(ByteView untrusted) const {
+    if (!stored_) return std::nullopt;
+    const crypto::Sha256Digest actual = crypto::sha256(untrusted);
+    if (!constant_time_equal(actual, trusted_hash_)) return std::nullopt;
+    return Bytes(untrusted.begin(), untrusted.end());
+}
+
+}  // namespace troxy::enclave

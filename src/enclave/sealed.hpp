@@ -1,0 +1,61 @@
+// Sealed storage and externalized state.
+//
+// §V-A: "the Troxy can store data in an encrypted manner outside the
+// enclave. When it needs to be accessed, it is directly read from the
+// untrusted memory and validated by comparing it against a hash securely
+// stored inside the Troxy." Two mechanisms implement this:
+//
+//   * SealedBox — AEAD encryption under a key derived from the platform
+//     key and the enclave measurement (survives restarts of the same
+//     enclave code);
+//   * ExternalizedBlob — plaintext kept in untrusted memory with its hash
+//     retained inside; load() re-validates against the trusted hash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/sha256.hpp"
+#include "enclave/attestation.hpp"
+
+namespace troxy::enclave {
+
+class SealedBox {
+  public:
+    /// Derives the sealing key from platform key + measurement (the
+    /// MRENCLAVE sealing policy).
+    SealedBox(ByteView platform_key, const Measurement& measurement);
+
+    /// Seals plaintext; the counter makes every sealed blob's nonce
+    /// unique.
+    Bytes seal(ByteView plaintext);
+
+    /// Unseals; nullopt if the blob was tampered with.
+    std::optional<Bytes> unseal(ByteView sealed) const;
+
+  private:
+    crypto::ChaChaKey key_{};
+    std::uint64_t seal_counter_ = 0;
+};
+
+/// Integrity-only externalization: the data itself lives outside (cheap,
+/// no EPC pressure), the 32-byte hash stays inside the enclave.
+class ExternalizedBlob {
+  public:
+    /// Stores `data` outside; keeps its hash inside. Returns the
+    /// untrusted representation the host should hold.
+    Bytes store(ByteView data);
+
+    /// Validates untrusted bytes against the trusted hash.
+    [[nodiscard]] std::optional<Bytes> load(ByteView untrusted) const;
+
+    [[nodiscard]] bool has_value() const noexcept { return stored_; }
+
+  private:
+    crypto::Sha256Digest trusted_hash_{};
+    bool stored_ = false;
+};
+
+}  // namespace troxy::enclave

@@ -1,0 +1,74 @@
+#include "enclave/trinx.hpp"
+
+#include "common/serialize.hpp"
+
+namespace troxy::enclave {
+
+TrinX::TrinX(std::uint32_t replica_id, Bytes group_key)
+    : replica_id_(replica_id), group_key_(std::move(group_key)) {}
+
+Bytes TrinX::continuing_input(std::uint32_t replica_id, CounterId counter,
+                              CounterValue value, ByteView message) const {
+    Writer w;
+    w.u8(0x01);  // domain separation: continuing certificate
+    w.u32(replica_id);
+    w.u32(counter);
+    w.u64(value);
+    w.raw(crypto::sha256(message));
+    return std::move(w).take();
+}
+
+Bytes TrinX::independent_input(std::uint32_t replica_id,
+                               const crypto::Sha256Digest& digest) const {
+    Writer w;
+    w.u8(0x02);  // domain separation: independent certificate
+    w.u32(replica_id);
+    w.raw(digest);
+    return std::move(w).take();
+}
+
+TrinX::Certified TrinX::certify_continuing(CostedCrypto& crypto,
+                                           CounterId counter,
+                                           ByteView message) {
+    const CounterValue value = ++counters_[counter];
+    // The hash of the full message is charged; the HMAC runs over the
+    // short fixed-size input.
+    crypto.hash(message);
+    const Bytes input =
+        continuing_input(replica_id_, counter, value, message);
+    return Certified{value, crypto.mac(group_key_, input)};
+}
+
+Certificate TrinX::certify_independent(CostedCrypto& crypto,
+                                       ByteView message) const {
+    return certify_independent_digest(crypto, crypto.hash(message));
+}
+
+Certificate TrinX::certify_independent_digest(
+    CostedCrypto& crypto, const crypto::Sha256Digest& digest) const {
+    return crypto.mac(group_key_, independent_input(replica_id_, digest));
+}
+
+bool TrinX::verify_continuing(CostedCrypto& crypto, std::uint32_t replica_id,
+                              CounterId counter, CounterValue value,
+                              ByteView message,
+                              const Certificate& cert) const {
+    crypto.hash(message);
+    const Bytes input = continuing_input(replica_id, counter, value, message);
+    return crypto.mac_verify(group_key_, input, cert);
+}
+
+bool TrinX::verify_independent(CostedCrypto& crypto, std::uint32_t replica_id,
+                               ByteView message,
+                               const Certificate& cert) const {
+    const Bytes input =
+        independent_input(replica_id, crypto.hash(message));
+    return crypto.mac_verify(group_key_, input, cert);
+}
+
+CounterValue TrinX::current(CounterId counter) const noexcept {
+    const auto it = counters_.find(counter);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace troxy::enclave

@@ -1,0 +1,85 @@
+// TrinX — trusted monotonic counter subsystem (Hybster's trusted core).
+//
+// Hybster prevents equivocation with trusted counters: a replica can bind
+// a message to exactly one counter value, certified by an HMAC under a key
+// shared only among the trusted subsystems (established via attestation).
+// Because the counter can never be reused or rolled back, a Byzantine
+// replica cannot certify two different messages for the same (counter,
+// value) slot — the property Hybster's 2f+1 agreement depends on.
+//
+// The same subsystem authenticates Troxy reply certificates (§IV-A: reply
+// HMAC keyed by a secret "known amongst all Troxies" plus a per-instance
+// identifier).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+#include "enclave/meter.hpp"
+
+namespace troxy::enclave {
+
+using CounterId = std::uint32_t;
+using CounterValue = std::uint64_t;
+using Certificate = crypto::HmacTag;
+
+class TrinX {
+  public:
+    /// `replica_id` personalizes the certificates; `group_key` is the
+    /// secret shared by all trusted subsystems after attestation.
+    TrinX(std::uint32_t replica_id, Bytes group_key);
+
+    /// Certifies `message` with the *next* value of counter `counter`
+    /// (monotonic, gap-free). Returns the value used and the certificate.
+    struct Certified {
+        CounterValue value;
+        Certificate certificate;
+    };
+    Certified certify_continuing(CostedCrypto& crypto, CounterId counter,
+                                 ByteView message);
+
+    /// Certifies `message` without touching a counter (Troxy reply
+    /// authentication does not need ordering, only origin).
+    Certificate certify_independent(CostedCrypto& crypto,
+                                    ByteView message) const;
+
+    /// Same, for a caller that already hashed the message (avoids
+    /// re-hashing large payloads — the digest must be SHA-256 of the
+    /// message bytes).
+    Certificate certify_independent_digest(
+        CostedCrypto& crypto, const crypto::Sha256Digest& digest) const;
+
+    /// Verifies a certificate allegedly created by `replica_id`'s trusted
+    /// subsystem for (counter, value, message).
+    [[nodiscard]] bool verify_continuing(CostedCrypto& crypto,
+                                         std::uint32_t replica_id,
+                                         CounterId counter, CounterValue value,
+                                         ByteView message,
+                                         const Certificate& cert) const;
+
+    [[nodiscard]] bool verify_independent(CostedCrypto& crypto,
+                                          std::uint32_t replica_id,
+                                          ByteView message,
+                                          const Certificate& cert) const;
+
+    [[nodiscard]] CounterValue current(CounterId counter) const noexcept;
+
+    [[nodiscard]] std::uint32_t replica_id() const noexcept {
+        return replica_id_;
+    }
+
+  private:
+    [[nodiscard]] Bytes continuing_input(std::uint32_t replica_id,
+                                         CounterId counter, CounterValue value,
+                                         ByteView message) const;
+    [[nodiscard]] Bytes independent_input(
+        std::uint32_t replica_id, const crypto::Sha256Digest& digest) const;
+
+    std::uint32_t replica_id_;
+    Bytes group_key_;
+    std::map<CounterId, CounterValue> counters_;
+};
+
+}  // namespace troxy::enclave

@@ -1,0 +1,48 @@
+// Replicated HTTP page service (§VI-D): "handles HTTP GET and POST
+// requests and returns the queried or modified pages as responses."
+//
+// Pages live under /page/<n>. GET returns the page (response sizes in the
+// paper range 4–18 KB); POST replaces it and returns the new content.
+// classify() maps GET→read and POST→write keyed by the page path, which
+// is what the Troxy's fast-read cache partitions on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hybster/service.hpp"
+#include "troxy/enclave.hpp"
+
+namespace troxy::http {
+
+class PageService final : public hybster::Service {
+  public:
+    /// Preloads `page_count` pages with deterministic content whose sizes
+    /// cycle through the paper's 4–18 KB range.
+    explicit PageService(int page_count = 64);
+
+    [[nodiscard]] hybster::RequestInfo classify(
+        ByteView request) const override;
+    Bytes execute(ByteView request) override;
+    [[nodiscard]] Bytes checkpoint() const override;
+    void restore(ByteView snapshot) override;
+    [[nodiscard]] sim::Duration execution_cost(
+        ByteView request) const override;
+
+    /// The classifier to hand to a Troxy / Prophecy front end (same logic
+    /// as classify(), as a standalone function object).
+    [[nodiscard]] static troxy_core::Classifier classifier();
+
+    static Bytes make_get(int page);
+    static Bytes make_post(int page, ByteView body);
+
+    /// Deterministic initial content of a page (for tests).
+    static std::string initial_content(int page);
+    static std::size_t initial_size(int page);
+
+  private:
+    std::map<std::string, std::string> pages_;
+};
+
+}  // namespace troxy::http

@@ -1,0 +1,42 @@
+// Standalone unreplicated server ("Jetty" in Fig. 11).
+//
+// A single machine terminating the clients' secure channels and executing
+// the service directly — no replication, no fault tolerance. Serves as
+// the latency floor the replicated configurations are compared against.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "crypto/x25519.hpp"
+#include "hybster/service.hpp"
+#include "net/fabric.hpp"
+#include "net/secure_channel.hpp"
+
+namespace troxy::http {
+
+class StandaloneServer {
+  public:
+    StandaloneServer(net::Fabric& fabric, sim::Node& node,
+                     hybster::ServicePtr service,
+                     crypto::X25519Keypair channel_identity,
+                     const sim::CostProfile& profile);
+
+    void attach();
+
+    [[nodiscard]] hybster::Service& service() noexcept { return *service_; }
+
+  private:
+    void on_message(sim::NodeId from, Bytes message);
+
+    net::Fabric& fabric_;
+    sim::Node& node_;
+    hybster::ServicePtr service_;
+    crypto::X25519Keypair identity_;
+    const sim::CostProfile& profile_;
+
+    std::map<sim::NodeId, net::SecureChannelServer> channels_;
+    std::uint64_t handshake_counter_ = 0;
+};
+
+}  // namespace troxy::http

@@ -1,0 +1,63 @@
+// Static configuration of a Hybster group.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/node.hpp"
+#include "sim/time.hpp"
+
+namespace troxy::hybster {
+
+using ViewNumber = std::uint64_t;
+using SequenceNumber = std::uint64_t;
+
+struct Config {
+    /// Tolerated Byzantine faults; the hybrid fault model needs 2f+1
+    /// replicas (§III-B).
+    int f = 1;
+
+    /// Node ids of the replicas, index == replica id.
+    std::vector<sim::NodeId> replicas;
+
+    /// Ordered requests per checkpoint.
+    SequenceNumber checkpoint_interval = 128;
+
+    /// How long a non-leader waits for an ordered request it knows about
+    /// before suspecting the leader.
+    sim::Duration view_change_timeout = sim::milliseconds(500);
+
+    [[nodiscard]] int n() const noexcept {
+        return static_cast<int>(replicas.size());
+    }
+
+    /// Agreement quorum in the hybrid fault model: f+1.
+    [[nodiscard]] int quorum() const noexcept { return f + 1; }
+
+    [[nodiscard]] std::uint32_t leader_of(ViewNumber view) const noexcept {
+        return static_cast<std::uint32_t>(view %
+                                          static_cast<ViewNumber>(n()));
+    }
+
+    [[nodiscard]] sim::NodeId node_of(std::uint32_t replica) const {
+        TROXY_ASSERT(replica < replicas.size(), "replica id out of range");
+        return replicas[replica];
+    }
+
+    /// Replica id for a node id, or -1 if the node is not a replica.
+    [[nodiscard]] int replica_of(sim::NodeId node) const noexcept {
+        for (std::size_t i = 0; i < replicas.size(); ++i) {
+            if (replicas[i] == node) return static_cast<int>(i);
+        }
+        return -1;
+    }
+
+    void validate() const {
+        TROXY_ASSERT(n() == 2 * f + 1,
+                     "hybrid fault model requires exactly 2f+1 replicas");
+        TROXY_ASSERT(checkpoint_interval > 0, "checkpoint interval > 0");
+    }
+};
+
+}  // namespace troxy::hybster

@@ -1,0 +1,27 @@
+// Key-distribution helpers for experiment setup.
+//
+// Real deployments establish pairwise client↔replica secrets during
+// connection setup; the simulation derives them from a master secret at
+// *setup time* (trusted experiment code) and hands each party only the
+// keys it is entitled to. Byzantine fault injection operates on protocol
+// objects, which therefore can never sign with another party's identity.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "crypto/hmac.hpp"
+#include "sim/node.hpp"
+
+namespace troxy::hybster {
+
+/// Pairwise secret between a client node and replica `replica`.
+inline Bytes client_replica_key(ByteView master, sim::NodeId client,
+                                std::uint32_t replica) {
+    Writer info;
+    info.u32(client);
+    info.u32(replica);
+    return crypto::hkdf(to_bytes("troxy-client-key"), master, info.data(),
+                        32);
+}
+
+}  // namespace troxy::hybster

@@ -1,0 +1,352 @@
+#include "hybster/messages.hpp"
+
+namespace troxy::hybster {
+
+namespace {
+
+void put_tag(Writer& w, const Certificate& cert) { w.raw(cert); }
+
+Certificate get_tag(Reader& r) {
+    const Bytes raw = r.raw(sizeof(Certificate));
+    Certificate cert;
+    std::copy(raw.begin(), raw.end(), cert.begin());
+    return cert;
+}
+
+void put_digest(Writer& w, const crypto::Sha256Digest& d) { w.raw(d); }
+
+crypto::Sha256Digest get_digest(Reader& r) {
+    const Bytes raw = r.raw(crypto::kSha256DigestSize);
+    crypto::Sha256Digest d;
+    std::copy(raw.begin(), raw.end(), d.begin());
+    return d;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Request
+
+Bytes Request::signed_view() const {
+    Writer w;
+    w.u32(id.client);
+    w.u64(id.number);
+    w.u8(flags);
+    w.bytes(payload);
+    return std::move(w).take();
+}
+
+void Request::encode(Writer& w) const {
+    w.u32(id.client);
+    w.u64(id.number);
+    w.u8(flags);
+    w.bytes(payload);
+    w.u8(static_cast<std::uint8_t>(auth.size()));
+    for (const Certificate& cert : auth) put_tag(w, cert);
+}
+
+Request Request::decode(Reader& r) {
+    Request req;
+    req.id.client = r.u32();
+    req.id.number = r.u64();
+    req.flags = r.u8();
+    req.payload = r.bytes();
+    const std::uint8_t count = r.u8();
+    req.auth.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) req.auth.push_back(get_tag(r));
+    return req;
+}
+
+crypto::Sha256Digest Request::digest() const {
+    return crypto::sha256(signed_view());
+}
+
+// ---------------------------------------------------------------- Prepare
+
+Bytes Prepare::certified_view() const {
+    Writer w;
+    w.u64(view);
+    w.u64(seq);
+    w.u32(replica);
+    Writer req;
+    request.encode(req);
+    w.bytes(req.data());
+    return std::move(w).take();
+}
+
+void Prepare::encode(Writer& w) const {
+    w.u64(view);
+    w.u64(seq);
+    w.u32(replica);
+    w.u64(counter_value);
+    request.encode(w);
+    put_tag(w, cert);
+}
+
+Prepare Prepare::decode(Reader& r) {
+    Prepare p;
+    p.view = r.u64();
+    p.seq = r.u64();
+    p.replica = r.u32();
+    p.counter_value = r.u64();
+    p.request = Request::decode(r);
+    p.cert = get_tag(r);
+    return p;
+}
+
+// ----------------------------------------------------------------- Commit
+
+Bytes Commit::certified_view() const {
+    Writer w;
+    w.u64(view);
+    w.u64(seq);
+    w.u32(replica);
+    put_digest(w, request_digest);
+    return std::move(w).take();
+}
+
+void Commit::encode(Writer& w) const {
+    w.u64(view);
+    w.u64(seq);
+    w.u32(replica);
+    w.u64(counter_value);
+    put_digest(w, request_digest);
+    put_tag(w, cert);
+}
+
+Commit Commit::decode(Reader& r) {
+    Commit c;
+    c.view = r.u64();
+    c.seq = r.u64();
+    c.replica = r.u32();
+    c.counter_value = r.u64();
+    c.request_digest = get_digest(r);
+    c.cert = get_tag(r);
+    return c;
+}
+
+// ------------------------------------------------------------------ Reply
+
+Bytes Reply::certified_view() const {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u64(view);
+    w.u64(seq);
+    w.u32(request_id.client);
+    w.u64(request_id.number);
+    put_digest(w, request_digest);
+    w.bytes(result);
+    w.u32(replica);
+    return std::move(w).take();
+}
+
+void Reply::encode(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u64(view);
+    w.u64(seq);
+    w.u32(request_id.client);
+    w.u64(request_id.number);
+    put_digest(w, request_digest);
+    w.bytes(result);
+    w.u32(replica);
+    put_tag(w, cert);
+}
+
+Reply Reply::decode(Reader& r) {
+    Reply rep;
+    rep.kind = static_cast<Kind>(r.u8());
+    if (rep.kind != Kind::Ordered && rep.kind != Kind::Optimistic) {
+        throw DecodeError("invalid reply kind");
+    }
+    rep.view = r.u64();
+    rep.seq = r.u64();
+    rep.request_id.client = r.u32();
+    rep.request_id.number = r.u64();
+    rep.request_digest = get_digest(r);
+    rep.result = r.bytes();
+    rep.replica = r.u32();
+    rep.cert = get_tag(r);
+    return rep;
+}
+
+// ------------------------------------------------------------- Checkpoint
+
+Bytes CheckpointMsg::certified_view() const {
+    Writer w;
+    w.u64(seq);
+    put_digest(w, state_digest);
+    w.u32(replica);
+    return std::move(w).take();
+}
+
+void CheckpointMsg::encode(Writer& w) const {
+    w.u64(seq);
+    put_digest(w, state_digest);
+    w.u32(replica);
+    put_tag(w, cert);
+}
+
+CheckpointMsg CheckpointMsg::decode(Reader& r) {
+    CheckpointMsg c;
+    c.seq = r.u64();
+    c.state_digest = get_digest(r);
+    c.replica = r.u32();
+    c.cert = get_tag(r);
+    return c;
+}
+
+// ------------------------------------------------------------- ViewChange
+
+Bytes ViewChange::certified_view() const {
+    Writer w;
+    w.u64(new_view);
+    w.u32(replica);
+    w.u64(last_stable);
+    w.u32(static_cast<std::uint32_t>(prepared.size()));
+    for (const Prepare& p : prepared) p.encode(w);
+    return std::move(w).take();
+}
+
+void ViewChange::encode(Writer& w) const {
+    w.u64(new_view);
+    w.u32(replica);
+    w.u64(last_stable);
+    w.u32(static_cast<std::uint32_t>(prepared.size()));
+    for (const Prepare& p : prepared) p.encode(w);
+    put_tag(w, cert);
+}
+
+ViewChange ViewChange::decode(Reader& r) {
+    ViewChange vc;
+    vc.new_view = r.u64();
+    vc.replica = r.u32();
+    vc.last_stable = r.u64();
+    const std::uint32_t count = r.u32();
+    if (count > 1u << 20) throw DecodeError("unreasonable prepare count");
+    vc.prepared.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        vc.prepared.push_back(Prepare::decode(r));
+    }
+    vc.cert = get_tag(r);
+    return vc;
+}
+
+// ---------------------------------------------------------------- NewView
+
+Bytes NewView::certified_view() const {
+    Writer w;
+    w.u64(view);
+    w.u32(replica);
+    w.u64(start_seq);
+    w.u32(static_cast<std::uint32_t>(proofs.size()));
+    for (const ViewChange& vc : proofs) vc.encode(w);
+    w.u32(static_cast<std::uint32_t>(reproposed.size()));
+    for (const Prepare& p : reproposed) p.encode(w);
+    return std::move(w).take();
+}
+
+void NewView::encode(Writer& w) const {
+    w.u64(view);
+    w.u32(replica);
+    w.u64(start_seq);
+    w.u32(static_cast<std::uint32_t>(proofs.size()));
+    for (const ViewChange& vc : proofs) vc.encode(w);
+    w.u32(static_cast<std::uint32_t>(reproposed.size()));
+    for (const Prepare& p : reproposed) p.encode(w);
+    put_tag(w, cert);
+}
+
+NewView NewView::decode(Reader& r) {
+    NewView nv;
+    nv.view = r.u64();
+    nv.replica = r.u32();
+    nv.start_seq = r.u64();
+    const std::uint32_t proof_count = r.u32();
+    if (proof_count > 1024) throw DecodeError("unreasonable proof count");
+    nv.proofs.reserve(proof_count);
+    for (std::uint32_t i = 0; i < proof_count; ++i) {
+        nv.proofs.push_back(ViewChange::decode(r));
+    }
+    const std::uint32_t prep_count = r.u32();
+    if (prep_count > 1u << 20) throw DecodeError("unreasonable prepare count");
+    nv.reproposed.reserve(prep_count);
+    for (std::uint32_t i = 0; i < prep_count; ++i) {
+        nv.reproposed.push_back(Prepare::decode(r));
+    }
+    nv.cert = get_tag(r);
+    return nv;
+}
+
+// -------------------------------------------------------------- top level
+
+namespace {
+
+template <typename T>
+MsgType type_of();
+
+template <>
+MsgType type_of<Request>() {
+    return MsgType::Request;
+}
+template <>
+MsgType type_of<Prepare>() {
+    return MsgType::Prepare;
+}
+template <>
+MsgType type_of<Commit>() {
+    return MsgType::Commit;
+}
+template <>
+MsgType type_of<Reply>() {
+    return MsgType::Reply;
+}
+template <>
+MsgType type_of<CheckpointMsg>() {
+    return MsgType::Checkpoint;
+}
+template <>
+MsgType type_of<ViewChange>() {
+    return MsgType::ViewChange;
+}
+template <>
+MsgType type_of<NewView>() {
+    return MsgType::NewView;
+}
+
+}  // namespace
+
+Bytes encode_message(const Message& message) {
+    Writer w;
+    std::visit(
+        [&w](const auto& msg) {
+            w.u8(static_cast<std::uint8_t>(
+                type_of<std::decay_t<decltype(msg)>>()));
+            msg.encode(w);
+        },
+        message);
+    return std::move(w).take();
+}
+
+std::optional<Message> decode_message(ByteView data) {
+    try {
+        Reader r(data);
+        const auto type = static_cast<MsgType>(r.u8());
+        Message out = [&]() -> Message {
+            switch (type) {
+                case MsgType::Request: return Request::decode(r);
+                case MsgType::Prepare: return Prepare::decode(r);
+                case MsgType::Commit: return Commit::decode(r);
+                case MsgType::Reply: return Reply::decode(r);
+                case MsgType::Checkpoint: return CheckpointMsg::decode(r);
+                case MsgType::ViewChange: return ViewChange::decode(r);
+                case MsgType::NewView: return NewView::decode(r);
+            }
+            throw DecodeError("unknown message type");
+        }();
+        r.expect_done();
+        return out;
+    } catch (const DecodeError&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace troxy::hybster

@@ -1,0 +1,177 @@
+// Hybster wire messages.
+//
+// All structures encode to length-delimited binary via common/serialize;
+// decode validates sizes and throws DecodeError on malformed input, which
+// handlers translate into "discard the message".
+//
+// Certificates: PREPAREs and COMMITs carry trusted-counter certificates
+// (TrinX) that bind the message to one counter value — within a view,
+// counter value and sequence number are related by value = seq -
+// view_start + 1, so a Byzantine replica cannot certify two different
+// messages for the same slot (Hybster's anti-equivocation core). REPLYs
+// carry an *independent* certificate from the replica's trusted subsystem
+// (the Troxy in a Troxy deployment; §IV-A requires the voter to only
+// count replies authenticated by the sender's Troxy).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+#include "enclave/trinx.hpp"
+#include "hybster/config.hpp"
+
+namespace troxy::hybster {
+
+using enclave::Certificate;
+using enclave::CounterValue;
+
+enum class MsgType : std::uint8_t {
+    Request = 1,
+    Prepare = 2,
+    Commit = 3,
+    Reply = 4,
+    ViewChange = 5,
+    NewView = 6,
+    Checkpoint = 7,
+};
+
+/// Identifies a logical client request: (reply destination, number).
+struct RequestId {
+    sim::NodeId client = 0;
+    std::uint64_t number = 0;
+
+    auto operator<=>(const RequestId&) const = default;
+};
+
+struct Request {
+    RequestId id;
+    /// Bit 0: read-only; bit 1: client asks for optimistic (non-ordered)
+    /// read execution — the PBFT-like baseline read optimization;
+    /// bit 2: protocol no-op (view-change gap filler).
+    std::uint8_t flags = 0;
+    Bytes payload;
+    /// Authenticator over the fields above. Legacy BFT clients attach one
+    /// certificate per replica (index = replica id, pairwise keys); a
+    /// Troxy attaches a single trusted-subsystem certificate.
+    std::vector<Certificate> auth;
+
+    static constexpr std::uint8_t kFlagRead = 0x01;
+    static constexpr std::uint8_t kFlagOptimistic = 0x02;
+    static constexpr std::uint8_t kFlagNoop = 0x04;
+
+    [[nodiscard]] bool is_read() const noexcept { return flags & kFlagRead; }
+    [[nodiscard]] bool is_optimistic() const noexcept {
+        return flags & kFlagOptimistic;
+    }
+
+    /// Bytes covered by the certificate.
+    [[nodiscard]] Bytes signed_view() const;
+    void encode(Writer& w) const;
+    static Request decode(Reader& r);
+
+    /// Digest identifying this request in commits/replies.
+    [[nodiscard]] crypto::Sha256Digest digest() const;
+};
+
+struct Prepare {
+    ViewNumber view = 0;
+    SequenceNumber seq = 0;
+    std::uint32_t replica = 0;  // the leader
+    CounterValue counter_value = 0;
+    Request request;
+    Certificate cert{};
+
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static Prepare decode(Reader& r);
+};
+
+struct Commit {
+    ViewNumber view = 0;
+    SequenceNumber seq = 0;
+    std::uint32_t replica = 0;
+    CounterValue counter_value = 0;
+    crypto::Sha256Digest request_digest{};
+    Certificate cert{};
+
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static Commit decode(Reader& r);
+};
+
+struct Reply {
+    enum class Kind : std::uint8_t { Ordered = 0, Optimistic = 1 };
+
+    Kind kind = Kind::Ordered;
+    ViewNumber view = 0;
+    SequenceNumber seq = 0;
+    RequestId request_id;
+    /// Hash of the original request (§IV-A change (2): lets the voting
+    /// Troxy identify the cache entry a write outdates).
+    crypto::Sha256Digest request_digest{};
+    Bytes result;
+    std::uint32_t replica = 0;
+    /// Independent certificate by the replica's trusted subsystem.
+    Certificate cert{};
+
+    /// Bytes covered by the certificate (everything except the cert).
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static Reply decode(Reader& r);
+};
+
+struct CheckpointMsg {
+    SequenceNumber seq = 0;
+    crypto::Sha256Digest state_digest{};
+    std::uint32_t replica = 0;
+    Certificate cert{};
+
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static CheckpointMsg decode(Reader& r);
+};
+
+struct ViewChange {
+    ViewNumber new_view = 0;
+    std::uint32_t replica = 0;
+    SequenceNumber last_stable = 0;  // latest stable checkpoint
+    /// Certified prepares the replica has seen above the checkpoint.
+    std::vector<Prepare> prepared;
+    Certificate cert{};
+
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static ViewChange decode(Reader& r);
+};
+
+struct NewView {
+    ViewNumber view = 0;
+    std::uint32_t replica = 0;  // the new leader
+    SequenceNumber start_seq = 0;
+    std::vector<ViewChange> proofs;
+    /// Requests the new leader re-proposes, in sequence order starting at
+    /// start_seq (fresh prepares are issued by the new leader).
+    std::vector<Prepare> reproposed;
+    Certificate cert{};
+
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static NewView decode(Reader& r);
+};
+
+using Message = std::variant<Request, Prepare, Commit, Reply, CheckpointMsg,
+                             ViewChange, NewView>;
+
+/// Serializes a message with its type tag.
+Bytes encode_message(const Message& message);
+
+/// Parses a message; nullopt on any malformed input.
+std::optional<Message> decode_message(ByteView data);
+
+}  // namespace troxy::hybster

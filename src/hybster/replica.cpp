@@ -1,0 +1,637 @@
+#include "hybster/replica.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace troxy::hybster {
+
+namespace {
+constexpr std::uint8_t kFlagNoop = Request::kFlagNoop;
+
+bool digests_equal(const crypto::Sha256Digest& a,
+                   const crypto::Sha256Digest& b) noexcept {
+    return constant_time_equal(a, b);
+}
+}  // namespace
+
+Replica::Replica(net::Fabric& fabric, sim::Node& node, Config config,
+                 std::uint32_t replica_id, ServicePtr service,
+                 std::shared_ptr<enclave::TrinX> trinx,
+                 const sim::CostProfile& profile, Hooks hooks)
+    : fabric_(fabric),
+      node_(node),
+      config_(std::move(config)),
+      id_(replica_id),
+      service_(std::move(service)),
+      trinx_(std::move(trinx)),
+      profile_(profile),
+      hooks_(std::move(hooks)) {
+    config_.validate();
+    TROXY_ASSERT(service_ != nullptr, "replica needs a service");
+    TROXY_ASSERT(trinx_ != nullptr, "replica needs a trusted subsystem");
+}
+
+enclave::CounterId Replica::prepare_counter_id() const {
+    return static_cast<enclave::CounterId>(2 * view_);
+}
+
+enclave::CounterId Replica::commit_counter_id() const {
+    return static_cast<enclave::CounterId>(2 * view_ + 1);
+}
+
+CounterValue Replica::expected_counter(SequenceNumber seq) const {
+    return seq - view_start_ + 1;
+}
+
+void Replica::broadcast(net::Outbox& outbox, const Message& message) {
+    const Bytes wire = net::wrap(net::Channel::Hybster,
+                                 encode_message(message));
+    for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(config_.n());
+         ++r) {
+        if (r == id_) continue;
+        outbox.send(config_.node_of(r), wire);
+    }
+}
+
+void Replica::send_to(net::Outbox& outbox, std::uint32_t replica,
+                      const Message& message) {
+    outbox.send(config_.node_of(replica),
+                net::wrap(net::Channel::Hybster, encode_message(message)));
+}
+
+void Replica::on_message(sim::NodeId from, ByteView payload) {
+    if (faults_.crashed) return;
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+    crypto.charge_dispatch();
+
+    auto decoded = decode_message(payload);
+    if (!decoded) {
+        outbox.flush(meter);  // charge the wasted parse work
+        return;
+    }
+
+    std::visit(
+        [&](auto&& msg) {
+            using T = std::decay_t<decltype(msg)>;
+            if constexpr (std::is_same_v<T, Request>) {
+                handle_request(crypto, outbox, std::move(msg));
+            } else if constexpr (std::is_same_v<T, Prepare>) {
+                handle_prepare(crypto, outbox, std::move(msg));
+            } else if constexpr (std::is_same_v<T, Commit>) {
+                handle_commit(crypto, outbox, std::move(msg));
+            } else if constexpr (std::is_same_v<T, CheckpointMsg>) {
+                handle_checkpoint(crypto, std::move(msg));
+            } else if constexpr (std::is_same_v<T, ViewChange>) {
+                handle_view_change(crypto, outbox, std::move(msg));
+            } else if constexpr (std::is_same_v<T, NewView>) {
+                handle_new_view(crypto, outbox, std::move(msg));
+            }
+            // Reply messages are never addressed to a replica.
+        },
+        std::move(*decoded));
+    (void)from;
+
+    outbox.flush(meter);
+}
+
+void Replica::submit(const Request& request) {
+    if (faults_.crashed) return;
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+    handle_request(crypto, outbox, Request(request));
+    outbox.flush(meter);
+}
+
+void Replica::execute_optimistic_read(const Request& request) {
+    if (faults_.crashed) return;
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+
+    if (!hooks_.verify_request ||
+        !hooks_.verify_request(crypto, request)) {
+        outbox.flush(meter);
+        return;
+    }
+
+    // Execute against the *current* state without ordering; the client
+    // accepts the result only if f+1 replicas agree (PBFT-like read
+    // optimization), retrying as an ordered request on conflict.
+    //
+    // The execution is deferred to the read's processing-completion time:
+    // the read samples whatever state the replica has reached by then.
+    // Replicas under different load sample at different points, which is
+    // precisely what makes optimistic reads conflict with concurrent
+    // writes (§VI-C3).
+    outbox.defer([this, request]() {
+        enclave::CostMeter exec_meter;
+        enclave::CostedCrypto exec_crypto(profile_, exec_meter);
+        net::Outbox exec_outbox(fabric_, node_);
+
+        exec_meter.add(service_->execution_cost(request.payload));
+        Bytes result = service_->execute(request.payload);
+
+        Reply reply;
+        reply.kind = Reply::Kind::Optimistic;
+        reply.view = view_;
+        reply.seq = last_executed_;
+        reply.request_id = request.id;
+        reply.request_digest = exec_crypto.hash(request.signed_view());
+        reply.result = std::move(result);
+        reply.replica = id_;
+
+        if (!faults_.drop_replies && hooks_.deliver_reply) {
+            hooks_.deliver_reply(exec_crypto, exec_outbox, request,
+                                 std::move(reply));
+        }
+        exec_outbox.flush(exec_meter);
+    });
+    outbox.flush(meter);
+}
+
+void Replica::handle_request(enclave::CostedCrypto& crypto,
+                             net::Outbox& outbox, Request&& request) {
+    if (request.is_optimistic()) {
+        execute_optimistic_read(request);
+        return;
+    }
+
+    if (!hooks_.verify_request ||
+        !hooks_.verify_request(crypto, request)) {
+        return;  // unauthenticated request: discard
+    }
+
+    // Retransmission of an executed request: resend the stored reply.
+    auto& record = clients_[request.id.client];
+    if (record.last_reply && record.last_reply->request_id == request.id) {
+        if (!faults_.drop_replies && hooks_.deliver_reply) {
+            hooks_.deliver_reply(crypto, outbox, *record.last_request,
+                                 Reply(*record.last_reply));
+        }
+        return;
+    }
+
+    if (!is_leader()) {
+        // Follower: forward to the leader (Fig. 5c) and watch progress.
+        forwarded_.emplace(request.id, request);
+        send_to(outbox, config_.leader_of(view_), Message(request));
+        arm_progress_timer();
+        return;
+    }
+
+    if (in_view_change_) return;  // ordering paused
+
+    order_request(crypto, outbox, request);
+}
+
+void Replica::order_request(enclave::CostedCrypto& crypto,
+                            net::Outbox& outbox, const Request& request) {
+    // Suppress re-ordering of a request already in the log.
+    for (const auto& [seq, entry] : log_) {
+        if (entry.prepare && entry.prepare->request.id == request.id &&
+            !entry.executed) {
+            return;  // in flight
+        }
+    }
+
+    Prepare prepare;
+    prepare.view = view_;
+    prepare.seq = next_seq_++;
+    prepare.replica = id_;
+    prepare.request = request;
+
+    const auto certified = trinx_->certify_continuing(
+        crypto, prepare_counter_id(), prepare.certified_view());
+    prepare.counter_value = certified.value;
+    prepare.cert = certified.certificate;
+    TROXY_ASSERT(prepare.counter_value == expected_counter(prepare.seq),
+                 "leader counter out of sync with sequence numbers");
+
+    auto& entry = log_[prepare.seq];
+    entry.prepare = prepare;
+
+    if (!faults_.mute_agreement) {
+        broadcast(outbox, Message(prepare));
+    }
+    arm_progress_timer();
+    try_execute(crypto, outbox);
+}
+
+void Replica::handle_prepare(enclave::CostedCrypto& crypto,
+                             net::Outbox& outbox, Prepare&& prepare) {
+    if (prepare.view != view_ || in_view_change_) return;
+    if (prepare.replica != config_.leader_of(view_)) return;
+    if (prepare.seq <= last_stable_) return;  // garbage-collected slot
+    if (prepare.counter_value != expected_counter(prepare.seq)) return;
+
+    if (!trinx_->verify_continuing(crypto, prepare.replica,
+                                   prepare_counter_id(),
+                                   prepare.counter_value,
+                                   prepare.certified_view(), prepare.cert)) {
+        return;
+    }
+    // Validate the embedded client request as well: a Byzantine leader
+    // must not be able to inject unauthenticated requests.
+    if (!(prepare.request.flags & kFlagNoop) &&
+        (!hooks_.verify_request ||
+         !hooks_.verify_request(crypto, prepare.request))) {
+        return;
+    }
+
+    auto& entry = log_[prepare.seq];
+    if (entry.prepare) return;  // duplicate
+    entry.prepare = prepare;
+
+    // Certify and broadcast our COMMIT.
+    Commit commit;
+    commit.view = view_;
+    commit.seq = prepare.seq;
+    commit.replica = id_;
+    commit.request_digest = crypto.hash(prepare.request.signed_view());
+    const auto certified = trinx_->certify_continuing(
+        crypto, commit_counter_id(), commit.certified_view());
+    commit.counter_value = certified.value;
+    commit.cert = certified.certificate;
+
+    entry.commits[id_] = commit;
+    if (!faults_.mute_agreement) {
+        broadcast(outbox, Message(commit));
+    }
+    arm_progress_timer();
+    try_execute(crypto, outbox);
+}
+
+void Replica::handle_commit(enclave::CostedCrypto& crypto,
+                            net::Outbox& outbox, Commit&& commit) {
+    if (commit.view != view_ || in_view_change_) return;
+    if (commit.seq <= last_stable_) return;
+    if (commit.replica >= static_cast<std::uint32_t>(config_.n())) return;
+    if (commit.counter_value != expected_counter(commit.seq)) return;
+
+    if (!trinx_->verify_continuing(crypto, commit.replica,
+                                   commit_counter_id(), commit.counter_value,
+                                   commit.certified_view(), commit.cert)) {
+        return;
+    }
+
+    auto& entry = log_[commit.seq];
+    entry.commits.emplace(commit.replica, std::move(commit));
+    try_execute(crypto, outbox);
+}
+
+bool Replica::committed(const LogEntry& entry) const {
+    if (!entry.prepare) return false;
+    const crypto::Sha256Digest digest =
+        crypto::sha256(entry.prepare->request.signed_view());
+    // Vouchers: the leader via its PREPARE plus every replica with a
+    // matching certified COMMIT (our own included once we created it).
+    int vouchers = 1;
+    for (const auto& [replica, commit] : entry.commits) {
+        if (replica == entry.prepare->replica) continue;
+        if (digests_equal(commit.request_digest, digest)) ++vouchers;
+    }
+    return vouchers >= config_.quorum();
+}
+
+void Replica::try_execute(enclave::CostedCrypto& crypto,
+                          net::Outbox& outbox) {
+    for (;;) {
+        const SequenceNumber next = last_executed_ + 1;
+        const auto it = log_.find(next);
+        if (it == log_.end() || it->second.executed ||
+            !committed(it->second)) {
+            break;
+        }
+        execute_entry(crypto, outbox, next, it->second);
+    }
+}
+
+void Replica::execute_entry(enclave::CostedCrypto& crypto,
+                            net::Outbox& outbox, SequenceNumber seq,
+                            LogEntry& entry) {
+    entry.executed = true;
+    last_executed_ = seq;
+    const Request& request = entry.prepare->request;
+    forwarded_.erase(request.id);
+
+    if (!(request.flags & kFlagNoop)) {
+        crypto.charge(service_->execution_cost(request.payload));
+        Bytes result = service_->execute(request.payload);
+
+        Reply reply;
+        reply.kind = Reply::Kind::Ordered;
+        reply.view = view_;
+        reply.seq = seq;
+        reply.request_id = request.id;
+        reply.request_digest = crypto.hash(request.signed_view());
+        reply.result = std::move(result);
+        reply.replica = id_;
+
+        auto& record = clients_[request.id.client];
+        record.last_number = request.id.number;
+        record.last_request = request;
+        record.last_reply = reply;
+
+        if (!faults_.drop_replies && hooks_.deliver_reply) {
+            if (faults_.corrupt_replies && !reply.result.empty()) {
+                // Corruption happens in the untrusted part *after* the
+                // trusted subsystem authenticated the reply — the hook
+                // certifies first, so we corrupt inside a copy delivered
+                // through a corrupting wrapper. Here we flip a byte before
+                // certification to model a replica lying about the result;
+                // the voter masks it because f+1 matching replies are
+                // still required.
+                reply.result[0] ^= 0xff;
+            }
+            hooks_.deliver_reply(crypto, outbox, request, std::move(reply));
+        }
+    }
+
+    maybe_checkpoint(crypto, outbox);
+    arm_progress_timer();
+}
+
+void Replica::maybe_checkpoint(enclave::CostedCrypto& crypto,
+                               net::Outbox& outbox) {
+    if (last_executed_ == 0 ||
+        last_executed_ % config_.checkpoint_interval != 0) {
+        return;
+    }
+    const SequenceNumber seq = last_executed_;
+    Bytes snapshot = service_->checkpoint();
+    CheckpointMsg cp;
+    cp.seq = seq;
+    cp.state_digest = crypto.hash(snapshot);
+    cp.replica = id_;
+    cp.cert = trinx_->certify_independent(crypto, cp.certified_view());
+
+    own_checkpoints_[seq] = std::move(snapshot);
+
+    const Bytes digest_key(cp.state_digest.begin(), cp.state_digest.end());
+    checkpoint_votes_[seq][digest_key].insert(id_);
+
+    broadcast(outbox, Message(cp));
+
+    // f+1 votes might already be present (we could be last to checkpoint).
+    const auto& votes = checkpoint_votes_[seq][digest_key];
+    if (static_cast<int>(votes.size()) >= config_.quorum()) {
+        if (seq > last_stable_) {
+            last_stable_ = seq;
+            log_.erase(log_.begin(), log_.upper_bound(seq));
+            checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                                    checkpoint_votes_.upper_bound(seq - 1));
+            // Keep only the newest own snapshot.
+            while (own_checkpoints_.size() > 1) {
+                own_checkpoints_.erase(own_checkpoints_.begin());
+            }
+        }
+    }
+}
+
+void Replica::handle_checkpoint(enclave::CostedCrypto& crypto,
+                                CheckpointMsg&& checkpoint) {
+    if (checkpoint.seq <= last_stable_) return;
+    if (checkpoint.replica >= static_cast<std::uint32_t>(config_.n())) {
+        return;
+    }
+    if (!trinx_->verify_independent(crypto, checkpoint.replica,
+                                    checkpoint.certified_view(),
+                                    checkpoint.cert)) {
+        return;
+    }
+
+    const Bytes digest_key(checkpoint.state_digest.begin(),
+                           checkpoint.state_digest.end());
+    auto& votes = checkpoint_votes_[checkpoint.seq][digest_key];
+    votes.insert(checkpoint.replica);
+
+    // Stability requires f+1 matching checkpoints *including our own*
+    // (we can only truncate state we have actually reached).
+    if (static_cast<int>(votes.size()) >= config_.quorum() &&
+        votes.contains(id_) && checkpoint.seq > last_stable_) {
+        last_stable_ = checkpoint.seq;
+        log_.erase(log_.begin(), log_.upper_bound(checkpoint.seq));
+        checkpoint_votes_.erase(
+            checkpoint_votes_.begin(),
+            checkpoint_votes_.upper_bound(checkpoint.seq - 1));
+    }
+}
+
+void Replica::arm_progress_timer() {
+    // Pending work exists if the log holds unexecuted entries or a client
+    // request was forwarded; one timer at a time is enough.
+    if (timer_armed_ || faults_.crashed) return;
+    timer_armed_ = true;
+    const SequenceNumber executed_at_arm = last_executed_;
+    const ViewNumber view_at_arm = view_;
+    const std::uint64_t generation = ++timer_generation_;
+
+    fabric_.simulator().after(config_.view_change_timeout, [this,
+                                                            executed_at_arm,
+                                                            view_at_arm,
+                                                            generation]() {
+        if (generation != timer_generation_) return;
+        timer_armed_ = false;
+        if (faults_.crashed) return;
+        if (view_ != view_at_arm) return;
+
+        const bool pending =
+            !forwarded_.empty() ||
+            std::any_of(log_.begin(), log_.end(), [](const auto& kv) {
+                return !kv.second.executed;
+            });
+        if (!pending) return;
+
+        if (last_executed_ == executed_at_arm) {
+            // No progress for a full timeout: suspect the leader.
+            start_view_change(view_ + 1);
+        } else {
+            arm_progress_timer();
+        }
+    });
+}
+
+void Replica::start_view_change(ViewNumber new_view) {
+    if (new_view <= view_ || new_view <= highest_view_change_sent_) return;
+    highest_view_change_sent_ = new_view;
+    in_view_change_ = true;
+    ++view_changes_;
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+
+    ViewChange vc;
+    vc.new_view = new_view;
+    vc.replica = id_;
+    vc.last_stable = last_stable_;
+    for (const auto& [seq, entry] : log_) {
+        if (entry.prepare) vc.prepared.push_back(*entry.prepare);
+    }
+    vc.cert = trinx_->certify_independent(crypto, vc.certified_view());
+
+    view_changes_rx_[new_view][id_] = vc;
+    broadcast(outbox, Message(vc));
+    maybe_assemble_new_view(crypto, outbox, new_view);
+    outbox.flush(meter);
+}
+
+void Replica::handle_view_change(enclave::CostedCrypto& crypto,
+                                 net::Outbox& outbox,
+                                 ViewChange&& view_change) {
+    if (view_change.new_view <= view_) return;
+    if (view_change.replica >= static_cast<std::uint32_t>(config_.n())) {
+        return;
+    }
+    if (!trinx_->verify_independent(crypto, view_change.replica,
+                                    view_change.certified_view(),
+                                    view_change.cert)) {
+        return;
+    }
+
+    const ViewNumber v = view_change.new_view;
+    view_changes_rx_[v][view_change.replica] = std::move(view_change);
+
+    // Join the view change (a certified VC proves someone suspects the
+    // leader; with crash-only trusted parts one vote is enough for us).
+    if (v > highest_view_change_sent_) start_view_change(v);
+
+    maybe_assemble_new_view(crypto, outbox, v);
+}
+
+void Replica::maybe_assemble_new_view(enclave::CostedCrypto& crypto,
+                                      net::Outbox& outbox, ViewNumber view) {
+    if (config_.leader_of(view) != id_) return;
+    const auto it = view_changes_rx_.find(view);
+    if (it == view_changes_rx_.end() ||
+        static_cast<int>(it->second.size()) < config_.quorum()) {
+        return;
+    }
+    if (view_ >= view) return;  // already moved on
+
+    NewView nv;
+    nv.view = view;
+    nv.replica = id_;
+
+    SequenceNumber max_stable = 0;
+    std::map<SequenceNumber, Prepare> union_prepared;
+    for (const auto& [replica, vc] : it->second) {
+        nv.proofs.push_back(vc);
+        max_stable = std::max(max_stable, vc.last_stable);
+        for (const Prepare& p : vc.prepared) {
+            const auto existing = union_prepared.find(p.seq);
+            if (existing == union_prepared.end() ||
+                existing->second.view < p.view) {
+                union_prepared[p.seq] = p;
+            }
+        }
+    }
+
+    nv.start_seq = max_stable + 1;
+
+    // Adopt the new view locally before re-certifying so the fresh
+    // counters line up with expected_counter().
+    view_ = view;
+    view_start_ = nv.start_seq;
+    next_seq_ = nv.start_seq;
+    in_view_change_ = false;
+    log_.clear();
+
+    SequenceNumber max_seq = max_stable;
+    for (const auto& [seq, p] : union_prepared) {
+        max_seq = std::max(max_seq, seq);
+    }
+
+    for (SequenceNumber seq = nv.start_seq; seq <= max_seq; ++seq) {
+        Prepare fresh;
+        fresh.view = view_;
+        fresh.seq = seq;
+        fresh.replica = id_;
+        const auto found = union_prepared.find(seq);
+        if (found != union_prepared.end()) {
+            fresh.request = found->second.request;
+        } else {
+            fresh.request.flags = kFlagNoop;  // fill the counter gap
+        }
+        const auto certified = trinx_->certify_continuing(
+            crypto, prepare_counter_id(), fresh.certified_view());
+        fresh.counter_value = certified.value;
+        fresh.cert = certified.certificate;
+        nv.reproposed.push_back(fresh);
+
+        auto& entry = log_[seq];
+        entry.prepare = fresh;
+        ++next_seq_;
+    }
+
+    nv.cert = trinx_->certify_independent(crypto, nv.certified_view());
+    broadcast(outbox, Message(nv));
+    try_execute(crypto, outbox);
+    reissue_forwarded(crypto, outbox);
+    arm_progress_timer();
+}
+
+void Replica::reissue_forwarded(enclave::CostedCrypto& crypto,
+                                net::Outbox& outbox) {
+    // Requests we accepted from clients may have died with the old
+    // leader: order them ourselves (new leader) or re-forward them.
+    const auto pending = forwarded_;
+    for (const auto& [id, request] : pending) {
+        bool in_log = false;
+        for (const auto& [seq, entry] : log_) {
+            if (entry.prepare && entry.prepare->request.id == id) {
+                in_log = true;
+                break;
+            }
+        }
+        if (in_log) continue;
+        if (is_leader()) {
+            order_request(crypto, outbox, request);
+        } else {
+            send_to(outbox, config_.leader_of(view_), Message(request));
+        }
+    }
+}
+
+void Replica::handle_new_view(enclave::CostedCrypto& crypto,
+                              net::Outbox& outbox, NewView&& new_view) {
+    if (new_view.view <= view_) return;
+    if (new_view.replica != config_.leader_of(new_view.view)) return;
+    if (!trinx_->verify_independent(crypto, new_view.replica,
+                                    new_view.certified_view(),
+                                    new_view.cert)) {
+        return;
+    }
+    // The proofs must contain f+1 valid view changes for this view.
+    std::set<std::uint32_t> voters;
+    for (const ViewChange& vc : new_view.proofs) {
+        if (vc.new_view != new_view.view) continue;
+        if (!trinx_->verify_independent(crypto, vc.replica,
+                                        vc.certified_view(), vc.cert)) {
+            continue;
+        }
+        voters.insert(vc.replica);
+    }
+    if (static_cast<int>(voters.size()) < config_.quorum()) return;
+
+    view_ = new_view.view;
+    view_start_ = new_view.start_seq;
+    next_seq_ = new_view.start_seq;
+    in_view_change_ = false;
+    log_.clear();
+
+    // Process the re-proposed prepares through the normal path (they carry
+    // fresh certificates from the new leader).
+    for (Prepare& p : new_view.reproposed) {
+        handle_prepare(crypto, outbox, std::move(p));
+    }
+    reissue_forwarded(crypto, outbox);
+    arm_progress_timer();
+}
+
+}  // namespace troxy::hybster

@@ -1,0 +1,201 @@
+// Hybster replica: hybrid-fault-model BFT state machine replication.
+//
+// Leader-based ordering with trusted-counter certificates (TrinX):
+//
+//   REQUEST → leader assigns the next sequence number and broadcasts a
+//   PREPARE certified with its per-view ordering counter; every follower
+//   validates the counter continuity (value = seq - view_start + 1),
+//   certifies a COMMIT with its own counter and broadcasts it. An entry is
+//   committed once f+1 distinct replicas (the leader's PREPARE counts as
+//   its COMMIT) vouch for the same request digest — sufficient in the
+//   hybrid fault model because certified messages cannot equivocate.
+//   Committed entries execute in sequence order; each replica emits a
+//   REPLY through the host's deliver_reply hook (which in a Troxy
+//   deployment authenticates it inside the trusted subsystem and keeps
+//   the fast-read cache coherent, §IV-A).
+//
+// Checkpoints every `checkpoint_interval` sequences garbage-collect the
+// log; view changes replace an unresponsive leader using certified
+// VIEW-CHANGE/NEW-VIEW messages carrying the prepared-request history.
+//
+// The replica itself is *untrusted* code — it may be subjected to fault
+// injection (crash, reply dropping/corruption) — while every certificate
+// it emits goes through the trusted TrinX subsystem, so its misbehaviour
+// is detectable exactly as in the paper's model.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "enclave/trinx.hpp"
+#include "hybster/config.hpp"
+#include "hybster/messages.hpp"
+#include "hybster/service.hpp"
+#include "net/envelope.hpp"
+#include "net/outbox.hpp"
+#include "sim/cost.hpp"
+
+namespace troxy::hybster {
+
+/// Injectable misbehaviour for experiments and tests. The replica is the
+/// untrusted part of the machine; its trusted subsystem stays correct.
+struct FaultProfile {
+    bool crashed = false;          // drops everything (crash fault)
+    bool drop_replies = false;     // executes but never sends replies
+    bool corrupt_replies = false;  // flips bytes in the reply result
+                                   // (after trusted authentication — the
+                                   // voter must reject these)
+    bool mute_agreement = false;   // sends no PREPARE/COMMIT (leader DoS)
+};
+
+class Replica {
+  public:
+    struct Hooks {
+        /// Verifies an incoming request's client certificate.
+        std::function<bool(enclave::CostedCrypto&, const Request&)>
+            verify_request;
+
+        /// Authenticates and transmits a reply for an executed request.
+        /// The hook owns transport (baseline: encrypt to the client's
+        /// secure channel; Troxy: certify in the enclave, send to the
+        /// contact replica) and must queue into the outbox.
+        std::function<void(enclave::CostedCrypto&, net::Outbox&,
+                           const Request&, Reply)>
+            deliver_reply;
+    };
+
+    Replica(net::Fabric& fabric, sim::Node& node, Config config,
+            std::uint32_t replica_id, ServicePtr service,
+            std::shared_ptr<enclave::TrinX> trinx,
+            const sim::CostProfile& profile, Hooks hooks);
+
+    Replica(const Replica&) = delete;
+    Replica& operator=(const Replica&) = delete;
+
+    /// Entry point for Channel::Hybster payloads addressed to this node.
+    void on_message(sim::NodeId from, ByteView payload);
+
+    /// Local submission from a co-located component (the Troxy): orders
+    /// the request if leader, otherwise forwards it to the leader.
+    void submit(const Request& request);
+
+    /// Handles an optimistic (non-ordered) read: executes against the
+    /// current state and replies immediately. Used by the PBFT-like
+    /// baseline read optimization.
+    void execute_optimistic_read(const Request& request);
+
+    void set_faults(const FaultProfile& faults) noexcept { faults_ = faults; }
+
+    [[nodiscard]] ViewNumber view() const noexcept { return view_; }
+    [[nodiscard]] bool is_leader() const noexcept {
+        return config_.leader_of(view_) == id_;
+    }
+    [[nodiscard]] SequenceNumber last_executed() const noexcept {
+        return last_executed_;
+    }
+    [[nodiscard]] SequenceNumber last_stable() const noexcept {
+        return last_stable_;
+    }
+    [[nodiscard]] std::uint64_t view_changes() const noexcept {
+        return view_changes_;
+    }
+    [[nodiscard]] const Config& config() const noexcept { return config_; }
+    [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+    [[nodiscard]] Service& service() noexcept { return *service_; }
+
+  private:
+    struct LogEntry {
+        std::optional<Prepare> prepare;
+        std::map<std::uint32_t, Commit> commits;
+        bool executed = false;
+    };
+
+    // --- message handlers (all charge costs to the passed meter) ---
+    void handle_request(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                        Request&& request);
+    void handle_prepare(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                        Prepare&& prepare);
+    void handle_commit(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                       Commit&& commit);
+    void handle_checkpoint(enclave::CostedCrypto& crypto,
+                           CheckpointMsg&& checkpoint);
+    void handle_view_change(enclave::CostedCrypto& crypto,
+                            net::Outbox& outbox, ViewChange&& view_change);
+    void handle_new_view(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                         NewView&& new_view);
+
+    // --- ordering ---
+    void order_request(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                       const Request& request);
+    void try_execute(enclave::CostedCrypto& crypto, net::Outbox& outbox);
+    void execute_entry(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                       SequenceNumber seq, LogEntry& entry);
+    [[nodiscard]] bool committed(const LogEntry& entry) const;
+    void maybe_checkpoint(enclave::CostedCrypto& crypto, net::Outbox& outbox);
+
+    // --- view change ---
+    void start_view_change(ViewNumber new_view);
+    void maybe_assemble_new_view(enclave::CostedCrypto& crypto,
+                                 net::Outbox& outbox, ViewNumber view);
+    void reissue_forwarded(enclave::CostedCrypto& crypto,
+                           net::Outbox& outbox);
+    void arm_progress_timer();
+
+    // --- plumbing ---
+    void broadcast(net::Outbox& outbox, const Message& message);
+    void send_to(net::Outbox& outbox, std::uint32_t replica,
+                 const Message& message);
+    [[nodiscard]] CounterValue expected_counter(SequenceNumber seq) const;
+    [[nodiscard]] enclave::CounterId prepare_counter_id() const;
+    [[nodiscard]] enclave::CounterId commit_counter_id() const;
+
+    net::Fabric& fabric_;
+    sim::Node& node_;
+    Config config_;
+    std::uint32_t id_;
+    ServicePtr service_;
+    std::shared_ptr<enclave::TrinX> trinx_;
+    const sim::CostProfile& profile_;
+    Hooks hooks_;
+    FaultProfile faults_;
+
+    ViewNumber view_ = 0;
+    SequenceNumber view_start_ = 1;  // first sequence number of this view
+    SequenceNumber next_seq_ = 1;    // leader: next to assign
+    SequenceNumber last_executed_ = 0;
+    SequenceNumber last_stable_ = 0;
+    std::map<SequenceNumber, LogEntry> log_;
+
+    // Duplicate suppression + retransmit support: last reply per client.
+    struct ClientRecord {
+        std::uint64_t last_number = 0;
+        std::optional<Reply> last_reply;
+        std::optional<Request> last_request;
+    };
+    std::map<sim::NodeId, ClientRecord> clients_;
+
+    // Checkpoint collection: seq → digest → replicas vouching.
+    std::map<SequenceNumber,
+             std::map<Bytes, std::set<std::uint32_t>>>
+        checkpoint_votes_;
+    std::map<SequenceNumber, Bytes> own_checkpoints_;  // seq → snapshot
+
+    // Requests forwarded to the leader but not yet executed locally; a
+    // non-empty set keeps the progress timer armed so an unresponsive
+    // leader is eventually suspected, and pending requests are re-ordered
+    // or re-forwarded after a view change (they may have died with the
+    // old leader).
+    std::map<RequestId, Request> forwarded_;
+
+    // View change state.
+    std::map<ViewNumber, std::map<std::uint32_t, ViewChange>> view_changes_rx_;
+    ViewNumber highest_view_change_sent_ = 0;
+    bool in_view_change_ = false;
+    std::uint64_t view_changes_ = 0;
+    std::uint64_t timer_generation_ = 0;
+    bool timer_armed_ = false;
+};
+
+}  // namespace troxy::hybster

@@ -1,0 +1,59 @@
+// Replicated-service interface (the state machine under SMR).
+//
+// The fast-read optimization "assumes that read and write requests can be
+// distinguished before executing them and that it can be determined which
+// part of the state a request is about to access or modify" (§IV-A).
+// classify() exposes exactly that: an operation kind plus the state key
+// the request touches. execute() must be deterministic — all correct
+// replicas apply requests in sequence order and must produce identical
+// replies. Checkpoint/restore support the protocol's garbage collection
+// and state transfer.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "sim/cost.hpp"
+
+namespace troxy::hybster {
+
+struct RequestInfo {
+    bool is_read = false;
+    /// Identifier of the state partition the request touches; the
+    /// fast-read cache is keyed and invalidated by this.
+    std::string state_key;
+};
+
+class Service {
+  public:
+    virtual ~Service() = default;
+
+    /// Inspects a request without executing it (trusted-side use).
+    [[nodiscard]] virtual RequestInfo classify(ByteView request) const = 0;
+
+    /// Deterministically executes a request and returns the reply payload.
+    virtual Bytes execute(ByteView request) = 0;
+
+    /// Serializes the full service state.
+    [[nodiscard]] virtual Bytes checkpoint() const = 0;
+
+    /// Replaces the service state with a checkpoint.
+    virtual void restore(ByteView snapshot) = 0;
+
+    /// Modelled CPU cost of executing this request (charged on the
+    /// replica's node in addition to protocol costs).
+    [[nodiscard]] virtual sim::Duration execution_cost(
+        ByteView request) const {
+        (void)request;
+        return 0;
+    }
+};
+
+using ServicePtr = std::unique_ptr<Service>;
+
+/// Factory so each replica can own an identical, independent instance.
+using ServiceFactory = std::function<ServicePtr()>;
+
+}  // namespace troxy::hybster

@@ -1,0 +1,41 @@
+// Framing for client↔server traffic on Channel::Client.
+//
+// Three frame kinds: the two handshake flights of the secure channel and
+// encrypted application records. The header is plaintext (it only routes),
+// everything else is protected by the channel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace troxy::net {
+
+enum class ClientFrame : std::uint8_t {
+    Hello = 0,
+    ServerHello = 1,
+    Record = 2,
+};
+
+inline Bytes frame_client(ClientFrame kind, ByteView payload) {
+    Bytes out;
+    out.reserve(payload.size() + 1);
+    out.push_back(static_cast<std::uint8_t>(kind));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+inline std::optional<std::pair<ClientFrame, Bytes>> unframe_client(
+    ByteView data) {
+    if (data.empty()) return std::nullopt;
+    const auto kind = static_cast<ClientFrame>(data[0]);
+    if (kind != ClientFrame::Hello && kind != ClientFrame::ServerHello &&
+        kind != ClientFrame::Record) {
+        return std::nullopt;
+    }
+    return std::make_pair(kind, Bytes(data.begin() + 1, data.end()));
+}
+
+}  // namespace troxy::net

@@ -1,0 +1,52 @@
+// Top-level message envelope.
+//
+// A replica machine receives traffic of several kinds on the same NodeId:
+// BFT protocol messages, legacy-client secure-channel records, Troxy
+// cache-coordination messages. The one-byte envelope channel lets the
+// untrusted host dispatch without parsing (it cannot parse client records
+// — they are encrypted for the enclave).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+
+namespace troxy::net {
+
+enum class Channel : std::uint8_t {
+    Hybster = 1,     // replica ↔ replica agreement traffic
+    Pbft = 2,        // baseline PBFT agreement traffic (Prophecy substrate)
+    Client = 3,      // legacy client ↔ server secure-channel records
+    TroxyCache = 4,  // Troxy ↔ Troxy fast-read queries/responses
+    Middlebox = 5,   // Prophecy middlebox ↔ replica traffic
+};
+
+inline Bytes wrap(Channel channel, ByteView payload) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(channel));
+    w.raw(payload);
+    return std::move(w).take();
+}
+
+/// Returns nullopt on an empty or unknown-channel message.
+inline std::optional<std::pair<Channel, Bytes>> unwrap(ByteView message) {
+    if (message.empty()) return std::nullopt;
+    const auto channel = static_cast<Channel>(message[0]);
+    switch (channel) {
+        case Channel::Hybster:
+        case Channel::Pbft:
+        case Channel::Client:
+        case Channel::TroxyCache:
+        case Channel::Middlebox:
+            break;
+        default:
+            return std::nullopt;
+    }
+    return std::make_pair(channel,
+                          Bytes(message.begin() + 1, message.end()));
+}
+
+}  // namespace troxy::net

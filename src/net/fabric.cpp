@@ -1,0 +1,26 @@
+#include "net/fabric.hpp"
+
+#include <utility>
+
+namespace troxy::net {
+
+Fabric::Fabric(sim::Simulator& simulator, sim::Network& network)
+    : sim_(simulator), network_(network) {}
+
+void Fabric::attach(sim::NodeId id, Handler handler) {
+    handlers_[id] = std::move(handler);
+}
+
+void Fabric::detach(sim::NodeId id) { handlers_.erase(id); }
+
+void Fabric::send(sim::NodeId from, sim::NodeId to, Bytes message) {
+    const std::size_t size = message.size();
+    network_.send(from, to, size,
+                  [this, from, to, msg = std::move(message)]() mutable {
+                      const auto it = handlers_.find(to);
+                      if (it == handlers_.end()) return;  // crashed endpoint
+                      it->second(from, std::move(msg));
+                  });
+}
+
+}  // namespace troxy::net

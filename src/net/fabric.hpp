@@ -1,0 +1,44 @@
+// Message fabric: typed delivery between simulated processes.
+//
+// The Fabric owns the mapping from NodeId to message handler and routes
+// byte messages through the simulated Network (which applies latency,
+// bandwidth and FIFO ordering). Protocol components attach themselves and
+// exchange opaque Bytes; interpretation is entirely up to the endpoints,
+// so a Byzantine endpoint can send arbitrary garbage, exactly like on a
+// real network.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/bytes.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace troxy::net {
+
+class Fabric {
+  public:
+    using Handler = std::function<void(sim::NodeId from, Bytes message)>;
+
+    Fabric(sim::Simulator& simulator, sim::Network& network);
+
+    /// Registers the handler invoked when a message arrives at `id`.
+    void attach(sim::NodeId id, Handler handler);
+    void detach(sim::NodeId id);
+
+    /// Sends `message` from `from` to `to`. Delivery is asynchronous; if
+    /// the destination has no handler at delivery time the message is
+    /// dropped (crashed process).
+    void send(sim::NodeId from, sim::NodeId to, Bytes message);
+
+    [[nodiscard]] sim::Network& network() noexcept { return network_; }
+    [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  private:
+    sim::Simulator& sim_;
+    sim::Network& network_;
+    std::map<sim::NodeId, Handler> handlers_;
+};
+
+}  // namespace troxy::net

@@ -1,0 +1,63 @@
+#include "net/mac_table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+
+namespace troxy::net {
+
+MacTable MacTable::for_group(ByteView master_secret,
+                             const std::vector<sim::NodeId>& ids) {
+    MacTable table;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        for (std::size_t j = i + 1; j < ids.size(); ++j) {
+            Writer info;
+            info.u32(std::min(ids[i], ids[j]));
+            info.u32(std::max(ids[i], ids[j]));
+            Bytes key = crypto::hkdf(to_bytes("troxy-pairwise"),
+                                     master_secret, info.data(), 32);
+            table.set_key(ids[i], ids[j], std::move(key));
+        }
+    }
+    return table;
+}
+
+void MacTable::set_key(sim::NodeId a, sim::NodeId b, Bytes key) {
+    keys_[{std::min(a, b), std::max(a, b)}] = std::move(key);
+}
+
+const Bytes* MacTable::key_for(sim::NodeId a, sim::NodeId b) const {
+    const auto it = keys_.find({std::min(a, b), std::max(a, b)});
+    return it == keys_.end() ? nullptr : &it->second;
+}
+
+bool MacTable::has_key(sim::NodeId a, sim::NodeId b) const {
+    return key_for(a, b) != nullptr;
+}
+
+Bytes MacTable::frame(sim::NodeId from, sim::NodeId to, ByteView message) {
+    Writer w;
+    w.u32(from);
+    w.u32(to);
+    w.raw(message);
+    return std::move(w).take();
+}
+
+crypto::HmacTag MacTable::sign(enclave::CostedCrypto& crypto,
+                               sim::NodeId from, sim::NodeId to,
+                               ByteView message) const {
+    const Bytes* key = key_for(from, to);
+    TROXY_ASSERT(key != nullptr, "no pairwise key for this link");
+    return crypto.mac(*key, frame(from, to, message));
+}
+
+bool MacTable::verify(enclave::CostedCrypto& crypto, sim::NodeId from,
+                      sim::NodeId to, ByteView message,
+                      const crypto::HmacTag& tag) const {
+    const Bytes* key = key_for(from, to);
+    if (key == nullptr) return false;
+    return crypto.mac_verify(*key, frame(from, to, message), tag);
+}
+
+}  // namespace troxy::net

@@ -1,0 +1,49 @@
+// Pairwise HMAC message certificates for replica↔replica traffic.
+//
+// "Messages exchanged between Troxies and replicas are authenticated using
+// common message certificates, as they are prevalent for BFT" (§I). Each
+// ordered pair of processes shares a secret; a certificate is the HMAC of
+// the message under that secret plus sender/receiver framing, so a
+// certificate for one link can never be replayed on another.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+#include "enclave/meter.hpp"
+#include "sim/node.hpp"
+
+namespace troxy::net {
+
+class MacTable {
+  public:
+    /// Derives all pairwise keys for `ids` from a deployment master secret
+    /// (stands in for the usual per-pair key establishment).
+    static MacTable for_group(ByteView master_secret,
+                              const std::vector<sim::NodeId>& ids);
+
+    /// Adds a single pairwise key (both directions use the same secret).
+    void set_key(sim::NodeId a, sim::NodeId b, Bytes key);
+
+    /// Certificate for a message sent `from` → `to`.
+    crypto::HmacTag sign(enclave::CostedCrypto& crypto, sim::NodeId from,
+                         sim::NodeId to, ByteView message) const;
+
+    [[nodiscard]] bool verify(enclave::CostedCrypto& crypto, sim::NodeId from,
+                              sim::NodeId to, ByteView message,
+                              const crypto::HmacTag& tag) const;
+
+    [[nodiscard]] bool has_key(sim::NodeId a, sim::NodeId b) const;
+
+  private:
+    [[nodiscard]] const Bytes* key_for(sim::NodeId a, sim::NodeId b) const;
+    [[nodiscard]] static Bytes frame(sim::NodeId from, sim::NodeId to,
+                                     ByteView message);
+
+    std::map<std::pair<sim::NodeId, sim::NodeId>, Bytes> keys_;
+};
+
+}  // namespace troxy::net

@@ -1,0 +1,78 @@
+// Deferred send buffer.
+//
+// A message handler runs synchronously in simulation but its CPU cost must
+// elapse before its outgoing messages hit the wire. Handlers queue sends
+// into an Outbox while a CostMeter accumulates their cost; flush()
+// schedules the actual transmissions after the metered time on the node's
+// earliest-free core.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "enclave/meter.hpp"
+#include "net/fabric.hpp"
+#include "sim/node.hpp"
+
+namespace troxy::net {
+
+class Outbox {
+  public:
+    Outbox(Fabric& fabric, sim::Node& node) : fabric_(fabric), node_(node) {}
+
+    /// Queues `message` for `to`; transmitted at flush time.
+    void send(sim::NodeId to, Bytes message) {
+        pending_.emplace_back(to, std::move(message));
+    }
+
+    /// Queues a callback to run at flush time (local effects that must
+    /// wait for the processing delay, e.g. completing a client reply).
+    void defer(std::function<void()> fn) {
+        deferred_.push_back(std::move(fn));
+    }
+
+    /// Schedules all queued sends and callbacks after `meter`'s
+    /// accumulated cost; resets the meter. `not_before` floors the
+    /// completion (used for enclave-thread serialization) without
+    /// charging CPU for the wait.
+    void flush(enclave::CostMeter& meter, sim::SimTime not_before = 0) {
+        if (pending_.empty() && deferred_.empty()) {
+            node_.charge(meter.take());
+            return;
+        }
+        auto sends = std::move(pending_);
+        pending_.clear();
+        auto callbacks = std::move(deferred_);
+        deferred_.clear();
+        const sim::NodeId from = node_.id();
+        // NB: the Outbox itself is usually stack-allocated and gone by the
+        // time this event fires — capture the long-lived Fabric, not this.
+        // exec_ordered keeps the node's wire order equal to its message
+        // processing order (single egress path), which the protocol's
+        // trusted-counter continuity and the secure channel's stream
+        // semantics both rely on.
+        Fabric* fabric = &fabric_;
+        node_.exec_ordered(
+            meter.take(),
+            [fabric, from, sends = std::move(sends),
+             callbacks = std::move(callbacks)]() mutable {
+                for (auto& [to, message] : sends) {
+                    fabric->send(from, to, std::move(message));
+                }
+                for (auto& fn : callbacks) fn();
+            },
+            not_before);
+    }
+
+    [[nodiscard]] sim::Node& node() noexcept { return node_; }
+    [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+
+  private:
+    Fabric& fabric_;
+    sim::Node& node_;
+    std::vector<std::pair<sim::NodeId, Bytes>> pending_;
+    std::vector<std::function<void()>> deferred_;
+};
+
+}  // namespace troxy::net

@@ -1,0 +1,197 @@
+#include "net/secure_channel.hpp"
+
+#include <cstring>
+
+#include "common/serialize.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace troxy::net {
+
+namespace {
+
+constexpr std::size_t kHelloNonceSize = 16;
+
+Bytes transcript_of(ByteView client_hello, ByteView server_ephemeral) {
+    return concat(client_hello, server_ephemeral);
+}
+
+Bytes handshake_mac_key(ByteView dh_static, ByteView transcript) {
+    return crypto::hkdf(to_bytes("troxy-hs-salt"), dh_static,
+                        crypto::sha256_bytes(transcript), 32);
+}
+
+}  // namespace
+
+SessionKeys derive_session_keys(ByteView dh_static, ByteView dh_ephemeral,
+                                ByteView transcript) {
+    const Bytes ikm = concat(dh_static, dh_ephemeral);
+    const Bytes material = crypto::hkdf(
+        to_bytes("troxy-session-salt"), ikm, crypto::sha256_bytes(transcript),
+        2 * (crypto::kChaChaKeySize + crypto::kChaChaNonceSize));
+
+    SessionKeys keys;
+    const std::uint8_t* p = material.data();
+    std::memcpy(keys.client_key.data(), p, crypto::kChaChaKeySize);
+    p += crypto::kChaChaKeySize;
+    std::memcpy(keys.client_iv.data(), p, crypto::kChaChaNonceSize);
+    p += crypto::kChaChaNonceSize;
+    std::memcpy(keys.server_key.data(), p, crypto::kChaChaKeySize);
+    p += crypto::kChaChaKeySize;
+    std::memcpy(keys.server_iv.data(), p, crypto::kChaChaNonceSize);
+    return keys;
+}
+
+RecordProtection::RecordProtection(const crypto::ChaChaKey& key,
+                                   const crypto::ChaChaNonce& iv) noexcept
+    : key_(key), iv_(iv) {}
+
+Bytes RecordProtection::protect(ByteView plaintext) {
+    const std::uint64_t seq = send_seq_++;
+    Writer aad;
+    aad.u64(seq);
+    const crypto::ChaChaNonce nonce = crypto::make_record_nonce(iv_, seq);
+    Writer record;
+    record.u64(seq);
+    record.bytes(crypto::aead_seal(key_, nonce, aad.data(), plaintext));
+    return std::move(record).take();
+}
+
+std::vector<Bytes> RecordProtection::unprotect(ByteView record) {
+    std::vector<Bytes> deliverable;
+    try {
+        Reader r(record);
+        const std::uint64_t seq = r.u64();
+        const Bytes sealed = r.bytes();
+        r.expect_done();
+
+        // Replay and window checks: a sequence number is accepted at most
+        // once, and only within the receive window.
+        if (seq < next_deliver_) return deliverable;                // replay
+        if (seq >= next_deliver_ + kReceiveWindow) return deliverable;
+        if (received_.contains(seq)) return deliverable;            // replay
+
+        Writer aad;
+        aad.u64(seq);
+        const crypto::ChaChaNonce nonce = crypto::make_record_nonce(iv_, seq);
+        auto plaintext = crypto::aead_open(key_, nonce, aad.data(), sealed);
+        if (!plaintext) return deliverable;  // tampered
+
+        received_.insert(seq);
+        reorder_buffer_.emplace(seq, std::move(*plaintext));
+
+        // Release everything that is now consecutive.
+        for (auto it = reorder_buffer_.find(next_deliver_);
+             it != reorder_buffer_.end() && it->first == next_deliver_;
+             it = reorder_buffer_.find(next_deliver_)) {
+            deliverable.push_back(std::move(it->second));
+            reorder_buffer_.erase(it);
+            received_.erase(next_deliver_);
+            ++next_deliver_;
+        }
+        return deliverable;
+    } catch (const DecodeError&) {
+        return deliverable;
+    }
+}
+
+SecureChannelClient::SecureChannelClient(
+    const crypto::X25519Key& pinned_server_key, ByteView seed)
+    : pinned_server_key_(pinned_server_key),
+      ephemeral_(crypto::x25519_keypair_from_seed(seed)) {
+    const Bytes nonce_material = crypto::hkdf(
+        to_bytes("troxy-hello-nonce"), seed, {}, kHelloNonceSize);
+    hello_nonce_ = nonce_material;
+}
+
+Bytes SecureChannelClient::client_hello() const {
+    Writer w;
+    w.raw(ephemeral_.public_key);
+    w.raw(hello_nonce_);
+    return std::move(w).take();
+}
+
+bool SecureChannelClient::finish(ByteView server_hello) {
+    if (server_hello.size() !=
+        crypto::kX25519KeySize + crypto::kSha256DigestSize) {
+        return false;
+    }
+    crypto::X25519Key server_ephemeral;
+    std::memcpy(server_ephemeral.data(), server_hello.data(),
+                crypto::kX25519KeySize);
+    const ByteView mac = server_hello.subspan(crypto::kX25519KeySize);
+
+    const crypto::X25519Key dh_static =
+        crypto::x25519(ephemeral_.private_key, pinned_server_key_);
+    const Bytes hello = client_hello();
+    const Bytes transcript = transcript_of(hello, server_ephemeral);
+    const Bytes mac_key = handshake_mac_key(dh_static, transcript);
+    if (!crypto::hmac_verify(mac_key, transcript, mac)) return false;
+
+    const crypto::X25519Key dh_ephemeral =
+        crypto::x25519(ephemeral_.private_key, server_ephemeral);
+    const SessionKeys keys =
+        derive_session_keys(dh_static, dh_ephemeral, transcript);
+    send_ = RecordProtection(keys.client_key, keys.client_iv);
+    recv_ = RecordProtection(keys.server_key, keys.server_iv);
+    established_ = true;
+    return true;
+}
+
+Bytes SecureChannelClient::protect(ByteView plaintext) {
+    return send_.protect(plaintext);
+}
+
+std::vector<Bytes> SecureChannelClient::unprotect(ByteView record) {
+    return recv_.unprotect(record);
+}
+
+SecureChannelServer::SecureChannelServer(
+    const crypto::X25519Keypair& static_keys)
+    : static_keys_(static_keys) {}
+
+std::optional<Bytes> SecureChannelServer::accept(
+    enclave::CostedCrypto& crypto_ops, ByteView client_hello, ByteView seed) {
+    if (client_hello.size() != crypto::kX25519KeySize + kHelloNonceSize) {
+        return std::nullopt;
+    }
+    crypto::X25519Key client_ephemeral;
+    std::memcpy(client_ephemeral.data(), client_hello.data(),
+                crypto::kX25519KeySize);
+
+    const crypto::X25519Keypair server_ephemeral =
+        crypto::x25519_keypair_from_seed(seed);
+
+    crypto_ops.charge_dh();  // DH(static, client ephemeral)
+    const crypto::X25519Key dh_static =
+        crypto::x25519(static_keys_.private_key, client_ephemeral);
+    crypto_ops.charge_dh();  // DH(ephemeral, client ephemeral)
+    const crypto::X25519Key dh_ephemeral =
+        crypto::x25519(server_ephemeral.private_key, client_ephemeral);
+
+    const Bytes transcript =
+        transcript_of(client_hello, server_ephemeral.public_key);
+    const Bytes mac_key = handshake_mac_key(dh_static, transcript);
+    const crypto::HmacTag mac = crypto_ops.mac(mac_key, transcript);
+
+    const SessionKeys keys =
+        derive_session_keys(dh_static, dh_ephemeral, transcript);
+    send_ = RecordProtection(keys.server_key, keys.server_iv);
+    recv_ = RecordProtection(keys.client_key, keys.client_iv);
+    established_ = true;
+
+    Writer w;
+    w.raw(server_ephemeral.public_key);
+    w.raw(mac);
+    return std::move(w).take();
+}
+
+Bytes SecureChannelServer::protect(ByteView plaintext) {
+    return send_.protect(plaintext);
+}
+
+std::vector<Bytes> SecureChannelServer::unprotect(ByteView record) {
+    return recv_.unprotect(record);
+}
+
+}  // namespace troxy::net

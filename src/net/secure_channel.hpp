@@ -1,0 +1,147 @@
+// TLS-like secure channel between legacy clients and the Troxy.
+//
+// The paper terminates TLS inside the enclave (TaLoS, §V-A) so the
+// untrusted replica never sees session keys and "each endpoint will never
+// accept the same chunk of encrypted data twice" (§III-D). This module
+// implements an equivalent channel as a pure state machine over byte
+// buffers — no I/O — so the server half can live inside the simulated
+// enclave and the client half inside an unmodified legacy client.
+//
+// Handshake (Noise-NK-shaped, 1-RTT):
+//   client → server : ClientHello  = client ephemeral public key ‖ nonce
+//   server → client : ServerHello  = server ephemeral public key ‖
+//                                    MAC(k_hs, transcript)
+// where k_hs is derived from DH(client_eph, server_static); the MAC proves
+// the server controls the static key the client pinned (the paper's
+// provisioned TLS private key). Session keys for the two directions come
+// from HKDF over both DH results and the transcript hash.
+//
+// Records: AEAD(ChaCha20-Poly1305) with per-direction sequence numbers in
+// the nonce and as associated data. A sequence number is accepted at most
+// once (sliding-window replay suppression, DTLS-style), so a replayed
+// record is always rejected — the anti-replay property §III-D relies on.
+// The receiver additionally reassembles records into sequence order
+// before delivery (TCP-under-TLS stream semantics), so the application
+// above always observes an in-order byte-message stream even though the
+// simulated multi-core endpoints may emit records slightly out of order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/x25519.hpp"
+#include "enclave/meter.hpp"
+
+namespace troxy::net {
+
+/// Direction-specific record protection state.
+class RecordProtection {
+  public:
+    /// Receive window: how far ahead of the next expected sequence a
+    /// record may arrive before it is dropped.
+    static constexpr std::uint64_t kReceiveWindow = 4096;
+
+    RecordProtection() = default;
+    RecordProtection(const crypto::ChaChaKey& key,
+                     const crypto::ChaChaNonce& iv) noexcept;
+
+    /// Seals plaintext into a record (header ‖ ciphertext ‖ tag).
+    Bytes protect(ByteView plaintext);
+
+    /// Opens a record and returns every message that is now deliverable
+    /// in sequence order (possibly none if this record only filled a
+    /// buffer slot, possibly several if it closed a gap). Tampered,
+    /// replayed, truncated or out-of-window records yield nothing and
+    /// poison no state.
+    std::vector<Bytes> unprotect(ByteView record);
+
+    [[nodiscard]] std::uint64_t send_sequence() const noexcept {
+        return send_seq_;
+    }
+
+  private:
+    crypto::ChaChaKey key_{};
+    crypto::ChaChaNonce iv_{};
+    std::uint64_t send_seq_ = 0;
+    std::uint64_t next_deliver_ = 0;
+    std::map<std::uint64_t, Bytes> reorder_buffer_;
+    std::set<std::uint64_t> received_;  // ≥ next_deliver_, replay guard
+};
+
+struct SessionKeys {
+    crypto::ChaChaKey client_key{};
+    crypto::ChaChaNonce client_iv{};
+    crypto::ChaChaKey server_key{};
+    crypto::ChaChaNonce server_iv{};
+};
+
+/// Client half of the handshake; run by legacy clients (their TLS stack).
+class SecureChannelClient {
+  public:
+    /// `pinned_server_key` is the server's static public key, obtained out
+    /// of band (the paper's certificate distribution); `seed` provides the
+    /// ephemeral key randomness.
+    SecureChannelClient(const crypto::X25519Key& pinned_server_key,
+                        ByteView seed);
+
+    /// First flight (ClientHello bytes to send).
+    [[nodiscard]] Bytes client_hello() const;
+
+    /// Processes the ServerHello; returns false (channel unusable) if the
+    /// server failed to prove possession of the pinned static key.
+    bool finish(ByteView server_hello);
+
+    [[nodiscard]] bool established() const noexcept { return established_; }
+
+    /// Encrypts application data client→server.
+    Bytes protect(ByteView plaintext);
+
+    /// Decrypts server→client records; returns the messages now
+    /// deliverable in order.
+    std::vector<Bytes> unprotect(ByteView record);
+
+  private:
+    crypto::X25519Key pinned_server_key_;
+    crypto::X25519Keypair ephemeral_;
+    Bytes hello_nonce_;
+    bool established_ = false;
+    RecordProtection send_;
+    RecordProtection recv_;
+};
+
+/// Server half; in a Troxy deployment this object lives inside the
+/// enclave and its keys never leave it.
+class SecureChannelServer {
+  public:
+    /// `static_keys` is the provisioned identity keypair; `crypto` charges
+    /// handshake costs to the caller's meter.
+    SecureChannelServer(const crypto::X25519Keypair& static_keys);
+
+    /// Handles a ClientHello; returns the ServerHello to transmit, or
+    /// nullopt if the hello was malformed. `crypto` meters the two DH
+    /// operations and the transcript MAC.
+    std::optional<Bytes> accept(enclave::CostedCrypto& crypto,
+                                ByteView client_hello, ByteView seed);
+
+    [[nodiscard]] bool established() const noexcept { return established_; }
+
+    Bytes protect(ByteView plaintext);
+    std::vector<Bytes> unprotect(ByteView record);
+
+  private:
+    crypto::X25519Keypair static_keys_;
+    bool established_ = false;
+    RecordProtection send_;
+    RecordProtection recv_;
+};
+
+/// Key schedule shared by both ends (exposed for tests).
+SessionKeys derive_session_keys(ByteView dh_static, ByteView dh_ephemeral,
+                                ByteView transcript);
+
+}  // namespace troxy::net

@@ -1,0 +1,84 @@
+// CPU cost model.
+//
+// The paper's performance effects hinge on *relative* processing costs:
+// Java (Hybster baseline) authenticates messages slower per byte than the
+// native C/C++ Troxy ("authenticating messages with large payload is
+// faster in C/C++ than it is in Java", §VI-C1), and entering an SGX
+// enclave costs a fixed transition penalty. A CostProfile captures these
+// per-operation costs; replicas charge them to their Node before acting on
+// a message. Values are calibrated, not measured: they reproduce the
+// paper's reported shapes (43% overhead at 256 B writes, crossover at
+// 8 KB, 115% read overhead at 256 B, …) on the simulated cluster.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace troxy::sim {
+
+struct CostProfile {
+    // Per-message protocol bookkeeping (deserialize, queue, dispatch).
+    double dispatch_ns = 0.0;
+
+    // Hashing (SHA-256): base + per byte.
+    double hash_base_ns = 0.0;
+    double hash_per_byte_ns = 0.0;
+
+    // MAC (HMAC-SHA256) — the dominant cost for message certificates.
+    double mac_base_ns = 0.0;
+    double mac_per_byte_ns = 0.0;
+
+    // AEAD record protection (secure channel).
+    double aead_base_ns = 0.0;
+    double aead_per_byte_ns = 0.0;
+
+    // Asymmetric handshake operation (X25519 scalar mult).
+    double dh_op_ns = 0.0;
+
+    // Buffer copies in/out of protection domains.
+    double memcpy_per_byte_ns = 0.0;
+
+    // Application execution cost per request (service work).
+    double app_base_ns = 0.0;
+    double app_per_byte_ns = 0.0;
+
+    [[nodiscard]] Duration dispatch() const noexcept;
+    [[nodiscard]] Duration hash(std::size_t bytes) const noexcept;
+    [[nodiscard]] Duration mac(std::size_t bytes) const noexcept;
+    [[nodiscard]] Duration aead(std::size_t bytes) const noexcept;
+    [[nodiscard]] Duration dh() const noexcept;
+    [[nodiscard]] Duration copy(std::size_t bytes) const noexcept;
+    [[nodiscard]] Duration app(std::size_t bytes) const noexcept;
+
+    /// JVM profile used by the baseline Hybster replica and the
+    /// traditional client-side library (JCA crypto, JNI overhead folded
+    /// into base costs).
+    static CostProfile java() noexcept;
+
+    /// Native C/C++ profile used by ctroxy (outside any enclave).
+    static CostProfile native() noexcept;
+};
+
+/// Enclave-specific fixed costs, charged by the EnclaveHost gate on top of
+/// a CostProfile. Mirrors §V-A: ecalls flush the TLB, switch stacks and
+/// copy parameters; EPC paging encrypts evicted pages.
+struct EnclaveCosts {
+    double ecall_transition_ns = 0.0;
+    double ocall_transition_ns = 0.0;
+    double param_copy_per_byte_ns = 0.0;
+    double epc_page_fault_ns = 0.0;
+    std::size_t epc_limit_bytes = 0;
+
+    /// SGXv1-era costs matching the paper's i7-6700 / SDK v1.9 setup.
+    static EnclaveCosts sgx_v1() noexcept;
+
+    /// The "ctroxy" variant: the same native library invoked through JNI
+    /// but outside SGX — cheap call transitions, no EPC.
+    static EnclaveCosts jni_only() noexcept;
+
+    /// Zero-cost variant (for ablations: "what if transitions were free").
+    static EnclaveCosts free() noexcept;
+};
+
+}  // namespace troxy::sim

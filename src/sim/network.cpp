@@ -1,0 +1,135 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace troxy::sim {
+
+LatencyModel LatencyModel::constant(Duration latency) noexcept {
+    LatencyModel m;
+    m.mean_ = latency;
+    return m;
+}
+
+LatencyModel LatencyModel::normal(Duration mean, Duration stddev,
+                                  Duration floor) noexcept {
+    LatencyModel m;
+    m.mean_ = mean;
+    m.stddev_ = stddev;
+    m.floor_ = floor;
+    return m;
+}
+
+Duration LatencyModel::sample(Rng& rng) const noexcept {
+    if (stddev_ == 0) return mean_;
+    const double value = rng.next_normal(static_cast<double>(mean_),
+                                         static_cast<double>(stddev_));
+    const double floored = std::max(value, static_cast<double>(floor_));
+    return static_cast<Duration>(floored);
+}
+
+LinkSpec LinkSpec::lan() noexcept {
+    LinkSpec spec;
+    spec.latency = LatencyModel::constant(microseconds(50));
+    spec.bandwidth_bits_per_sec = 1e9;
+    return spec;
+}
+
+LinkSpec LinkSpec::wan() noexcept {
+    LinkSpec spec;
+    // 100 ± 20 ms normal distribution per §VI-C, floored at 10 ms.
+    spec.latency = LatencyModel::normal(milliseconds(100), milliseconds(20),
+                                        milliseconds(10));
+    spec.bandwidth_bits_per_sec = 1e9;
+    return spec;
+}
+
+Network::Network(Simulator& simulator)
+    : sim_(simulator), rng_(simulator.rng().fork(0x6e657477)) {}
+
+void Network::set_default_link(const LinkSpec& spec) { default_spec_ = spec; }
+
+void Network::set_link(NodeId from, NodeId to, const LinkSpec& spec) {
+    links_[{from, to}] = spec;
+}
+
+void Network::set_link_bidirectional(NodeId a, NodeId b,
+                                     const LinkSpec& spec) {
+    set_link(a, b, spec);
+    set_link(b, a, spec);
+}
+
+const LinkSpec& Network::spec_for(NodeId from, NodeId to) const {
+    const auto it = links_.find({from, to});
+    return it != links_.end() ? it->second : default_spec_;
+}
+
+void Network::set_nic_group(NodeId node, int group,
+                            double bandwidth_bits_per_sec) {
+    nic_assignment_[node] = group;
+    nic_groups_[group].bandwidth_bits_per_sec = bandwidth_bits_per_sec;
+}
+
+void Network::send(NodeId from, NodeId to, std::size_t bytes,
+                   std::function<void()> deliver) {
+    const LinkSpec& spec = spec_for(from, to);
+
+    // Wire framing overhead (Ethernet + IP + TCP headers, amortized).
+    const std::size_t wire_bytes = bytes + 66;
+    const double wire_bits = static_cast<double>(wire_bytes) * 8.0;
+    const Duration latency = spec.latency.sample(rng_);
+
+    const auto from_group = nic_assignment_.find(from);
+    const auto to_group = nic_assignment_.find(to);
+
+    // Shared-NIC contention: the sender's machine must finish putting the
+    // message on the wire, and the receiver's machine must have taken it
+    // off, before it is delivered. Different node pairs on the same
+    // machines therefore compete for bandwidth. Nodes without a NIC group
+    // use the per-link bandwidth instead.
+    SimTime egress_done = sim_.now();
+    if (from_group != nic_assignment_.end()) {
+        NicGroup& nic = nic_groups_[from_group->second];
+        const Duration tx = static_cast<Duration>(
+            wire_bits * 1e9 / nic.bandwidth_bits_per_sec);
+        egress_done = std::max(sim_.now(), nic.egress_free_at) + tx;
+        nic.egress_free_at = egress_done;
+    } else if (to_group == nic_assignment_.end()) {
+        egress_done += static_cast<Duration>(wire_bits * 1e9 /
+                                             spec.bandwidth_bits_per_sec);
+    }
+
+    SimTime arrival = egress_done + latency;
+
+    // FIFO per directed pair, like a TCP stream: a later send on the same
+    // pair never overtakes an earlier one, even under latency jitter.
+    SimTime& last = last_delivery_[{from, to}];
+    arrival = std::max(arrival, last + 1);
+    last = arrival;
+
+    ++messages_sent_;
+    bytes_sent_ += bytes;
+
+    if (to_group != nic_assignment_.end()) {
+        // Receive-side bandwidth must be booked in true *arrival* order —
+        // booking at send time would let an early-sent-but-jitter-delayed
+        // packet block later-sent packets that physically arrive first.
+        // An intermediate event runs at arrival time (the simulator
+        // executes those in time order), so the scalar ingress chain is
+        // correct.
+        const int group = to_group->second;
+        sim_.at(arrival, [this, group, wire_bits,
+                          deliver = std::move(deliver)]() mutable {
+            NicGroup& nic = nic_groups_[group];
+            const Duration rx = static_cast<Duration>(
+                wire_bits * 1e9 / nic.bandwidth_bits_per_sec);
+            const SimTime done =
+                std::max(sim_.now(), nic.ingress_free_at) + rx;
+            nic.ingress_free_at = done;
+            sim_.at(done, std::move(deliver));
+        });
+        return;
+    }
+    sim_.at(arrival, std::move(deliver));
+}
+
+}  // namespace troxy::sim

@@ -1,0 +1,107 @@
+// Simulated network.
+//
+// Links between node pairs have a latency distribution plus a bandwidth
+// term (serialization delay), matching the paper's setup: a 1 Gbps LAN and
+// a WAN emulated by adding 100 ± 20 ms normally-distributed delay on the
+// client NICs (§VI-A, §VI-C). Delivery per directed pair is FIFO, like a
+// TCP connection; messages are never lost unless a fault injector drops
+// them explicitly at the endpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace troxy::sim {
+
+/// One-way latency model for a link.
+class LatencyModel {
+  public:
+    static LatencyModel constant(Duration latency) noexcept;
+
+    /// Normal(mean, stddev) clamped at `floor` to avoid negative samples.
+    static LatencyModel normal(Duration mean, Duration stddev,
+                               Duration floor = 0) noexcept;
+
+    [[nodiscard]] Duration sample(Rng& rng) const noexcept;
+    [[nodiscard]] Duration mean() const noexcept { return mean_; }
+
+  private:
+    Duration mean_ = 0;
+    Duration stddev_ = 0;
+    Duration floor_ = 0;
+};
+
+struct LinkSpec {
+    LatencyModel latency = LatencyModel::constant(0);
+    double bandwidth_bits_per_sec = 1e9;  // 1 Gbps default
+
+    /// LAN link inside the cluster: ~0.1 ms RTT/2, 1 Gbps.
+    static LinkSpec lan() noexcept;
+
+    /// Paper's emulated WAN client link: 100 ± 20 ms (per direction the
+    /// emulation adds the delay once on the client NIC; we attribute it to
+    /// the client→server direction and keep the reverse at LAN latency
+    /// plus the same distribution halved is *not* what the paper does —
+    /// the delay applies to the NIC, so both directions see it).
+    static LinkSpec wan() noexcept;
+};
+
+class Network {
+  public:
+    explicit Network(Simulator& simulator);
+
+    /// Fallback spec for pairs without an explicit link.
+    void set_default_link(const LinkSpec& spec);
+
+    /// Directed link override.
+    void set_link(NodeId from, NodeId to, const LinkSpec& spec);
+
+    /// Symmetric convenience: sets both directions.
+    void set_link_bidirectional(NodeId a, NodeId b, const LinkSpec& spec);
+
+    /// Assigns a node to a shared NIC group (a physical machine): all
+    /// traffic of the group's members contends for the same egress and
+    /// ingress bandwidth. Mirrors the paper's setup of many logical
+    /// clients per client machine and four 1 Gbps NICs per server.
+    void set_nic_group(NodeId node, int group,
+                       double bandwidth_bits_per_sec);
+
+    /// Schedules `deliver` on the destination after latency plus
+    /// serialization delay for `bytes`. FIFO per directed pair.
+    void send(NodeId from, NodeId to, std::size_t bytes,
+              std::function<void()> deliver);
+
+    [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+        return messages_sent_;
+    }
+    [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+        return bytes_sent_;
+    }
+
+  private:
+    struct NicGroup {
+        double bandwidth_bits_per_sec = 1e9;
+        SimTime egress_free_at = 0;
+        SimTime ingress_free_at = 0;
+    };
+
+    [[nodiscard]] const LinkSpec& spec_for(NodeId from, NodeId to) const;
+
+    Simulator& sim_;
+    Rng rng_;
+    LinkSpec default_spec_;
+    std::map<std::pair<NodeId, NodeId>, LinkSpec> links_;
+    std::map<std::pair<NodeId, NodeId>, SimTime> last_delivery_;
+    std::map<NodeId, int> nic_assignment_;
+    std::map<int, NicGroup> nic_groups_;
+    std::uint64_t messages_sent_ = 0;
+    std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace troxy::sim

@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace troxy::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::at(SimTime t, std::function<void()> fn) {
+    TROXY_ASSERT(t >= now_, "cannot schedule an event in the past");
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(Duration delay, std::function<void()> fn) {
+    at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top() is const; the event is copied out so the
+    // handler may schedule further events (including at the same time).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+void Simulator::run() {
+    while (step()) {
+    }
+}
+
+void Simulator::run_until(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) step();
+    if (now_ < t) now_ = t;
+}
+
+}  // namespace troxy::sim

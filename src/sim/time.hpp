@@ -1,0 +1,34 @@
+// Simulated time.
+//
+// All protocol and workload code measures time in simulated nanoseconds;
+// wall-clock time never enters an experiment, which is what makes runs
+// reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace troxy::sim {
+
+/// Simulated time in nanoseconds since experiment start.
+using SimTime = std::uint64_t;
+
+/// Durations, also in nanoseconds.
+using Duration = std::uint64_t;
+
+constexpr Duration nanoseconds(std::uint64_t v) noexcept { return v; }
+constexpr Duration microseconds(std::uint64_t v) noexcept { return v * 1'000; }
+constexpr Duration milliseconds(std::uint64_t v) noexcept {
+    return v * 1'000'000;
+}
+constexpr Duration seconds(std::uint64_t v) noexcept {
+    return v * 1'000'000'000;
+}
+
+constexpr double to_seconds(Duration d) noexcept {
+    return static_cast<double>(d) / 1e9;
+}
+constexpr double to_millis(Duration d) noexcept {
+    return static_cast<double>(d) / 1e6;
+}
+
+}  // namespace troxy::sim

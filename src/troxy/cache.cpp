@@ -1,0 +1,84 @@
+#include "troxy/cache.hpp"
+
+#include <algorithm>
+
+namespace troxy::troxy_core {
+
+FastReadCache::FastReadCache(enclave::EnclaveGate& gate,
+                             std::size_t capacity_bytes)
+    : gate_(gate), capacity_(capacity_bytes) {}
+
+std::size_t FastReadCache::footprint(const std::string& key,
+                                     const CacheEntry& entry) {
+    return key.size() + entry.result.size() + sizeof(CacheEntry) + 64;
+}
+
+const CacheEntry* FastReadCache::get(const std::string& state_key) {
+    const auto it = map_.find(state_key);
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return &it->second.entry;
+}
+
+void FastReadCache::put(const std::string& state_key, CacheEntry entry) {
+    invalidate(state_key);
+    const std::size_t size = footprint(state_key, entry);
+    lru_.push_front(state_key);
+    map_.emplace(state_key, Slot{std::move(entry), lru_.begin()});
+    bytes_ += size;
+    gate_.allocate(size);
+    evict_if_needed();
+}
+
+void FastReadCache::invalidate(const std::string& state_key) {
+    const auto it = map_.find(state_key);
+    if (it == map_.end()) return;
+    const std::size_t size = footprint(it->first, it->second.entry);
+    lru_.erase(it->second.lru_position);
+    map_.erase(it);
+    bytes_ -= size;
+    gate_.release(size);
+}
+
+void FastReadCache::clear() {
+    gate_.release(bytes_);
+    bytes_ = 0;
+    map_.clear();
+    lru_.clear();
+}
+
+void FastReadCache::evict_if_needed() {
+    while (bytes_ > capacity_ && !lru_.empty()) {
+        invalidate(lru_.back());
+    }
+}
+
+void MissRateMonitor::record(bool miss) {
+    const double alpha = 1.0 / static_cast<double>(options_.window);
+    if (samples_ < options_.window) ++samples_;
+    miss_ewma_ = (1.0 - alpha) * miss_ewma_ + alpha * (miss ? 1.0 : 0.0);
+
+    if (!options_.adaptive || !fast_enabled_) return;
+    if (samples_ >= options_.window / 2 &&
+        miss_ewma_ > options_.miss_threshold) {
+        fast_enabled_ = false;
+        cooldown_left_ = options_.cooldown;
+        ++switches_;
+        // Reset the estimate so the next probe starts fresh.
+        miss_ewma_ = 0.0;
+        samples_ = 0;
+    }
+}
+
+void MissRateMonitor::record_total_order() {
+    if (fast_enabled_ || !options_.adaptive) return;
+    if (cooldown_left_ > 0) --cooldown_left_;
+    if (cooldown_left_ == 0) {
+        fast_enabled_ = true;
+        ++switches_;
+    }
+}
+
+double MissRateMonitor::miss_rate() const noexcept { return miss_ewma_; }
+
+}  // namespace troxy::troxy_core

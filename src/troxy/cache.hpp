@@ -1,0 +1,122 @@
+// Managed fast-read cache (§IV).
+//
+// The cache maps a state key (the partition a request touches, from
+// Service::classify) to the last correctly executed read on that key:
+// request digest plus result. It is *actively maintained*: every write
+// reply that passes through the trusted reply-authentication path removes
+// the entry for the written key before the write becomes visible to any
+// client — this is what lets the quorum-intersection argument of §IV-B
+// guarantee linearizability of fast reads.
+//
+// Entries enter the cache from two trustworthy-enough sources:
+//   * local ordered-read execution (value correctness is protected by the
+//     f+1 cache-match quorum at read time, so a faulty local replica can
+//     only cause mismatches, never wrong results), and
+//   * voted results at the contact Troxy (already proven correct).
+// Write replies never *update* the cache ("a faulty replica should not be
+// able to pollute the cache", §IV-B) — they only invalidate.
+//
+// A miss-rate monitor implements the §IV-B / §VI-C3 optimization: when the
+// recent miss/conflict rate exceeds a threshold, the fast path is switched
+// off in favour of total ordering, and probed again after a cooldown.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "enclave/gate.hpp"
+
+namespace troxy::troxy_core {
+
+struct CacheEntry {
+    crypto::Sha256Digest request_digest{};
+    Bytes result;
+    /// SHA-256 of `result`, computed once at insertion so that remote
+    /// cache queries and quorum comparisons never re-hash large replies.
+    crypto::Sha256Digest result_digest{};
+};
+
+class FastReadCache {
+  public:
+    /// `gate` accounts the entries against the EPC model; `capacity_bytes`
+    /// bounds the cache (LRU eviction).
+    FastReadCache(enclave::EnclaveGate& gate, std::size_t capacity_bytes);
+
+    /// Looks up the entry for a state key (refreshes LRU position).
+    [[nodiscard]] const CacheEntry* get(const std::string& state_key);
+
+    /// Inserts or overwrites the entry for a state key.
+    void put(const std::string& state_key, CacheEntry entry);
+
+    /// Removes the entry for a state key (write invalidation).
+    void invalidate(const std::string& state_key);
+
+    /// Drops everything (enclave restart: "the cache would simply lose
+    /// its entire state", §IV-B).
+    void clear();
+
+    [[nodiscard]] std::size_t entries() const noexcept { return map_.size(); }
+    [[nodiscard]] std::size_t bytes_used() const noexcept { return bytes_; }
+
+  private:
+    struct Slot {
+        CacheEntry entry;
+        std::list<std::string>::iterator lru_position;
+    };
+
+    [[nodiscard]] static std::size_t footprint(const std::string& key,
+                                               const CacheEntry& entry);
+    void evict_if_needed();
+
+    enclave::EnclaveGate& gate_;
+    std::size_t capacity_;
+    std::size_t bytes_ = 0;
+    std::map<std::string, Slot> map_;
+    std::list<std::string> lru_;  // front = most recent
+};
+
+/// Sliding-window miss-rate monitor with hysteresis: above
+/// `miss_threshold` over the last `window` fast-read attempts the Troxy
+/// leaves fast-read mode; after `cooldown` ordered requests it probes the
+/// fast path again.
+class MissRateMonitor {
+  public:
+    struct Options {
+        double miss_threshold = 0.5;
+        std::uint32_t window = 64;
+        std::uint32_t cooldown = 256;
+        bool adaptive = true;  // false: never switch modes (Fig. 10 ablation)
+    };
+
+    explicit MissRateMonitor(Options options) : options_(options) {}
+
+    /// Records a fast-read attempt outcome.
+    void record(bool miss);
+
+    /// Records an ordered request processed while the fast path is off
+    /// (progress towards the probe).
+    void record_total_order();
+
+    [[nodiscard]] bool fast_path_enabled() const noexcept {
+        return fast_enabled_;
+    }
+    [[nodiscard]] double miss_rate() const noexcept;
+    [[nodiscard]] std::uint64_t mode_switches() const noexcept {
+        return switches_;
+    }
+
+  private:
+    Options options_;
+    std::uint32_t samples_ = 0;   // capped at window
+    double miss_ewma_ = 0.0;      // exponentially weighted over the window
+    bool fast_enabled_ = true;
+    std::uint32_t cooldown_left_ = 0;
+    std::uint64_t switches_ = 0;
+};
+
+}  // namespace troxy::troxy_core

@@ -1,0 +1,113 @@
+#include "troxy/cache_messages.hpp"
+
+namespace troxy::troxy_core {
+
+namespace {
+
+void put_digest(Writer& w, const crypto::Sha256Digest& d) { w.raw(d); }
+
+crypto::Sha256Digest get_digest(Reader& r) {
+    const Bytes raw = r.raw(crypto::kSha256DigestSize);
+    crypto::Sha256Digest d;
+    std::copy(raw.begin(), raw.end(), d.begin());
+    return d;
+}
+
+enclave::Certificate get_cert(Reader& r) {
+    const Bytes raw = r.raw(sizeof(enclave::Certificate));
+    enclave::Certificate cert;
+    std::copy(raw.begin(), raw.end(), cert.begin());
+    return cert;
+}
+
+}  // namespace
+
+Bytes CacheQuery::certified_view() const {
+    Writer w;
+    w.u32(requester);
+    w.u64(query_id);
+    w.str(state_key);
+    put_digest(w, request_digest);
+    return std::move(w).take();
+}
+
+void CacheQuery::encode(Writer& w) const {
+    w.u32(requester);
+    w.u64(query_id);
+    w.str(state_key);
+    put_digest(w, request_digest);
+    w.raw(cert);
+}
+
+CacheQuery CacheQuery::decode(Reader& r) {
+    CacheQuery q;
+    q.requester = r.u32();
+    q.query_id = r.u64();
+    q.state_key = r.str();
+    q.request_digest = get_digest(r);
+    q.cert = get_cert(r);
+    return q;
+}
+
+Bytes CacheResponse::certified_view() const {
+    Writer w;
+    w.u32(responder);
+    w.u32(responder_replica);
+    w.u64(query_id);
+    w.u8(has_entry ? 1 : 0);
+    put_digest(w, request_digest);
+    put_digest(w, result_digest);
+    return std::move(w).take();
+}
+
+void CacheResponse::encode(Writer& w) const {
+    w.u32(responder);
+    w.u32(responder_replica);
+    w.u64(query_id);
+    w.u8(has_entry ? 1 : 0);
+    put_digest(w, request_digest);
+    put_digest(w, result_digest);
+    w.raw(cert);
+}
+
+CacheResponse CacheResponse::decode(Reader& r) {
+    CacheResponse resp;
+    resp.responder = r.u32();
+    resp.responder_replica = r.u32();
+    resp.query_id = r.u64();
+    resp.has_entry = r.u8() != 0;
+    resp.request_digest = get_digest(r);
+    resp.result_digest = get_digest(r);
+    resp.cert = get_cert(r);
+    return resp;
+}
+
+Bytes encode_cache_message(const CacheMessage& message) {
+    Writer w;
+    if (const auto* query = std::get_if<CacheQuery>(&message)) {
+        w.u8(1);
+        query->encode(w);
+    } else {
+        w.u8(2);
+        std::get<CacheResponse>(message).encode(w);
+    }
+    return std::move(w).take();
+}
+
+std::optional<CacheMessage> decode_cache_message(ByteView data) {
+    try {
+        Reader r(data);
+        const std::uint8_t tag = r.u8();
+        CacheMessage out = [&]() -> CacheMessage {
+            if (tag == 1) return CacheQuery::decode(r);
+            if (tag == 2) return CacheResponse::decode(r);
+            throw DecodeError("unknown cache message tag");
+        }();
+        r.expect_done();
+        return out;
+    } catch (const DecodeError&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace troxy::troxy_core

@@ -1,0 +1,55 @@
+// Fast-read coordination messages between Troxies (Channel::TroxyCache).
+//
+// A voting Troxy with a local cache hit queries f randomly chosen remote
+// Troxies (Fig. 4). The exchange is authenticated with trusted-subsystem
+// certificates; responses carry the *hash* of the cached result rather
+// than the full reply ("the fast-read cache only needs to transfer the
+// hash of the reply between replicas", §VI-C2), which is what makes the
+// fast path cheap for large replies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+#include "enclave/trinx.hpp"
+#include "sim/node.hpp"
+
+namespace troxy::troxy_core {
+
+struct CacheQuery {
+    sim::NodeId requester = 0;
+    std::uint64_t query_id = 0;
+    std::string state_key;
+    crypto::Sha256Digest request_digest{};
+    enclave::Certificate cert{};
+
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static CacheQuery decode(Reader& r);
+};
+
+struct CacheResponse {
+    sim::NodeId responder = 0;
+    std::uint32_t responder_replica = 0;
+    std::uint64_t query_id = 0;
+    bool has_entry = false;
+    crypto::Sha256Digest request_digest{};
+    crypto::Sha256Digest result_digest{};
+    enclave::Certificate cert{};
+
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static CacheResponse decode(Reader& r);
+};
+
+using CacheMessage = std::variant<CacheQuery, CacheResponse>;
+
+Bytes encode_cache_message(const CacheMessage& message);
+std::optional<CacheMessage> decode_cache_message(ByteView data);
+
+}  // namespace troxy::troxy_core

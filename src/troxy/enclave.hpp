@@ -1,0 +1,251 @@
+// The Troxy: trusted server-side substitute for the client-side BFT
+// library (§III).
+//
+// Everything in this class is conceptually *inside the SGX enclave*: the
+// secure-channel session keys, the voter, the fast-read cache and the
+// trusted-counter subsystem. The untrusted replica host interacts with it
+// exclusively through the ecall methods below (each charges its enclave
+// transition through the EnclaveGate), hands it raw bytes, and transmits
+// whatever the Troxy returns — it can delay or drop, but never forge or
+// alter without detection.
+//
+// Ecall inventory (the paper's implementation keeps the interface at 16
+// entry points; ours needs 9):
+//   accept_connection, close_connection, handle_request, handle_reply,
+//   authenticate_reply, handle_cache_query, handle_cache_response,
+//   fast_read_timeout, retransmit.
+// Key provisioning happens at enclave construction through the
+// attestation flow (enclave/attestation.hpp), not through an ecall.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "common/rng.hpp"
+#include "crypto/x25519.hpp"
+#include "enclave/gate.hpp"
+#include "enclave/trinx.hpp"
+#include "hybster/config.hpp"
+#include "hybster/messages.hpp"
+#include "hybster/service.hpp"
+#include "net/secure_channel.hpp"
+#include "troxy/cache.hpp"
+#include "troxy/cache_messages.hpp"
+
+namespace troxy::troxy_core {
+
+/// App-specific trusted parsing: classifies a legacy request (read/write
+/// plus the state key it touches). Runs inside the enclave (§IV-A).
+using Classifier = std::function<hybster::RequestInfo(ByteView app_request)>;
+
+struct TroxyOptions {
+    /// Enables the fast-read cache (§IV).
+    bool fast_reads = true;
+    std::size_t cache_capacity_bytes = 32ull * 1024 * 1024;
+    MissRateMonitor::Options monitor;
+    sim::EnclaveCosts enclave_costs = sim::EnclaveCosts::sgx_v1();
+    /// false = the paper's "ctroxy" variant: same native code path but
+    /// running outside SGX (JNI call costs only, no SGX transitions/EPC).
+    bool inside_enclave = true;
+    /// Concurrent threads allowed inside the enclave (the TCS budget the
+    /// enclave interface fixes at build time, §V-A). Ecall work beyond
+    /// this concurrency serializes. Ignored for ctroxy.
+    int tcs_count = 1;
+};
+
+/// What the untrusted host must do after an ecall returns: transmit the
+/// listed wire messages and/or hand a BFT request to the local replica.
+struct TroxyActions {
+    std::vector<std::pair<sim::NodeId, Bytes>> sends;
+    /// BFT requests to hand to the local replica for ordering (one ecall
+    /// can surface several client requests when a record closes a gap).
+    std::vector<hybster::Request> to_order;
+    /// Ordered-request numbers that now need a retransmit/vote timer.
+    std::vector<std::uint64_t> arm_vote_timers;
+    /// Fast-read query ids that now need a timeout timer.
+    std::vector<std::uint64_t> arm_fast_read_timers;
+    /// Completion notifications so the untrusted host can cancel timers
+    /// without an extra ecall (reveals only what the outgoing client
+    /// record already reveals).
+    std::vector<std::uint64_t> completed_votes;
+    std::vector<std::uint64_t> completed_fast_reads;
+};
+
+class TroxyEnclave {
+  public:
+    TroxyEnclave(sim::NodeId host_node, std::uint32_t replica_id,
+                 hybster::Config config,
+                 std::shared_ptr<enclave::TrinX> trinx,
+                 crypto::X25519Keypair channel_identity,
+                 Classifier classifier, const sim::CostProfile& profile,
+                 TroxyOptions options, std::uint64_t seed);
+
+    // ------------------------------------------------------------ ecalls
+
+    /// Secure-channel establishment for a new client connection; returns
+    /// the ServerHello to transmit.
+    TroxyActions accept_connection(enclave::CostMeter& meter,
+                                   sim::NodeId client, ByteView hello);
+
+    /// Tears down a client connection, wiping its session state.
+    void close_connection(enclave::CostMeter& meter, sim::NodeId client);
+
+    /// Decrypts one client record, classifies it, and either starts the
+    /// fast-read protocol or emits an authenticated BFT request (§III-C
+    /// task 2 — decrypt and translate atomically).
+    TroxyActions handle_request(enclave::CostMeter& meter, sim::NodeId client,
+                                ByteView record);
+
+    /// Voter (§III-C task 3): ingests one replica reply; once f+1
+    /// matching, Troxy-authenticated replies arrived, emits the encrypted
+    /// client reply.
+    TroxyActions handle_reply(enclave::CostMeter& meter,
+                              hybster::Reply reply);
+
+    /// Reply authentication for the *local* replica (§IV-A change (1)).
+    /// Certifies the reply with the trusted subsystem and maintains the
+    /// fast-read cache: write replies invalidate their state key before
+    /// the certificate — and hence the write's visibility — exists; read
+    /// replies populate the local cache.
+    enclave::Certificate authenticate_reply(enclave::CostMeter& meter,
+                                            const hybster::Request& request,
+                                            const hybster::Reply& reply);
+
+    /// Remote side of the fast read (get_remote_cache_entry, Fig. 4).
+    TroxyActions handle_cache_query(enclave::CostMeter& meter,
+                                    const CacheQuery& query);
+
+    /// Voting side: validates one remote cache response; on f matches the
+    /// fast read succeeds, on any mismatch the request falls back to
+    /// ordering.
+    TroxyActions handle_cache_response(enclave::CostMeter& meter,
+                                       const CacheResponse& response);
+
+    /// Fast-read liveness: an unresponsive remote Troxy must not stall
+    /// the client; the read falls back to ordering.
+    TroxyActions fast_read_timeout(enclave::CostMeter& meter,
+                                   std::uint64_t query_id);
+
+    /// Vote liveness: rebroadcasts an ordered request to all replicas so
+    /// followers can suspect an unresponsive leader.
+    TroxyActions retransmit(enclave::CostMeter& meter,
+                            std::uint64_t request_number);
+
+    // ----------------------------------------------------------- metrics
+
+    struct Status {
+        std::uint64_t fast_read_hits = 0;
+        std::uint64_t fast_read_misses = 0;    // local cache miss
+        std::uint64_t fast_read_conflicts = 0; // remote mismatch/timeout
+        std::uint64_t ordered_requests = 0;
+        std::uint64_t completed_votes = 0;
+        std::uint64_t rejected_replies = 0;
+        double miss_rate = 0.0;
+        bool fast_path_enabled = true;
+        std::uint64_t mode_switches = 0;
+        std::size_t cache_entries = 0;
+        std::uint64_t enclave_transitions = 0;
+        std::size_t pending_votes = 0;
+        std::size_t pending_fast_reads = 0;
+        std::size_t stuck_replies = 0;  // buffered out-of-order releases
+    };
+    [[nodiscard]] Status status() const;
+
+    [[nodiscard]] const enclave::EnclaveGate& gate() const noexcept {
+        return gate_;
+    }
+
+    /// Simulates an enclave restart: all volatile trusted state is lost
+    /// (the rollback "attack" of §IV-B — the cache empties, safety holds).
+    void restart();
+
+    /// Test-only introspection: the current cache entry for a state key
+    /// (no LRU side effects would matter in tests). Real deployments have
+    /// no such interface — it exists to let property tests check the
+    /// write-invalidation quorum invariant directly.
+    [[nodiscard]] const CacheEntry* debug_cache_entry(
+        const std::string& state_key) {
+        return cache_.get(state_key);
+    }
+
+  private:
+    struct Connection {
+        net::SecureChannelServer channel;
+        std::uint64_t next_assign = 0;   // per-connection request slot
+        std::uint64_t next_release = 0;  // in-order reply release
+        std::map<std::uint64_t, Bytes> ready;  // slot → plaintext reply
+
+        explicit Connection(const crypto::X25519Keypair& identity)
+            : channel(identity) {}
+    };
+
+    struct PendingVote {
+        sim::NodeId client = 0;
+        std::uint64_t conn_slot = 0;
+        std::string state_key;
+        bool is_read = false;
+        crypto::Sha256Digest request_digest{};
+        hybster::Request request;  // kept for retransmission
+        std::map<std::uint32_t, Bytes> votes;
+        std::map<Bytes, int> tally;
+    };
+
+    struct PendingFastRead {
+        sim::NodeId client = 0;
+        std::uint64_t conn_slot = 0;
+        std::string state_key;
+        CacheEntry local;        // snapshot compared against responses
+        Bytes app_request;       // for fallback ordering
+        std::set<std::uint32_t> awaiting;
+        bool resolved = false;
+    };
+
+    static void merge_actions(TroxyActions& into, TroxyActions&& from);
+    TroxyActions order_request(enclave::CostedCrypto& crypto,
+                               sim::NodeId client, std::uint64_t conn_slot,
+                               const hybster::RequestInfo& info,
+                               ByteView app_request);
+    void start_fast_read(enclave::CostedCrypto& crypto, TroxyActions& actions,
+                         sim::NodeId client, std::uint64_t conn_slot,
+                         const hybster::RequestInfo& info,
+                         ByteView app_request, const CacheEntry& entry);
+    void fast_read_fallback(enclave::CostedCrypto& crypto,
+                            TroxyActions& actions, std::uint64_t query_id);
+    void release_reply(enclave::CostedCrypto& crypto, TroxyActions& actions,
+                       sim::NodeId client, std::uint64_t conn_slot,
+                       Bytes app_reply);
+    [[nodiscard]] crypto::Sha256Digest app_request_digest(
+        enclave::CostedCrypto& crypto, ByteView app_request) const;
+
+    sim::NodeId host_node_;
+    std::uint32_t replica_id_;
+    hybster::Config config_;
+    std::shared_ptr<enclave::TrinX> trinx_;
+    crypto::X25519Keypair identity_;
+    Classifier classifier_;
+    const sim::CostProfile& profile_;
+    TroxyOptions options_;
+
+    enclave::EnclaveGate gate_;
+    FastReadCache cache_;
+    MissRateMonitor monitor_;
+    Rng rng_;
+
+    std::map<sim::NodeId, Connection> connections_;
+    std::map<std::uint64_t, PendingVote> pending_votes_;   // by request no.
+    std::map<std::uint64_t, PendingFastRead> fast_reads_;  // by query id
+    /// Keys with own writes still in flight: fast reads on them would
+    /// almost certainly conflict, so they are conservatively ordered.
+    std::map<std::string, int> pending_write_keys_;
+    std::uint64_t next_request_number_ = 1;
+    std::uint64_t next_query_id_ = 1;
+    std::uint64_t handshake_counter_ = 0;
+
+    Status stats_;
+};
+
+}  // namespace troxy::troxy_core

@@ -1,0 +1,199 @@
+#include "troxy/host.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "net/client_framing.hpp"
+#include "net/envelope.hpp"
+#include "net/outbox.hpp"
+
+namespace troxy::troxy_core {
+
+TroxyReplicaHost::TroxyReplicaHost(
+    net::Fabric& fabric, sim::Node& node, hybster::Config config,
+    std::uint32_t replica_id, hybster::ServicePtr service,
+    std::shared_ptr<enclave::TrinX> trinx,
+    crypto::X25519Keypair channel_identity, Classifier classifier,
+    const sim::CostProfile& replica_profile,
+    const sim::CostProfile& troxy_profile, Options options,
+    std::uint64_t seed)
+    : fabric_(fabric),
+      node_(node),
+      config_(config),
+      troxy_profile_(troxy_profile),
+      options_(options) {
+    troxy_ = std::make_unique<TroxyEnclave>(
+        node.id(), replica_id, config, trinx, channel_identity,
+        std::move(classifier), troxy_profile, options.troxy, seed);
+
+    hybster::Replica::Hooks hooks;
+    // Requests in a Troxy deployment carry a single trusted-subsystem
+    // certificate from the issuing Troxy (identified by its host replica).
+    hooks.verify_request = [this, trinx](enclave::CostedCrypto& crypto,
+                                         const hybster::Request& request) {
+        if (request.auth.size() != 1) return false;
+        const int issuer = config_.replica_of(request.id.client);
+        if (issuer < 0) return false;
+        return trinx->verify_independent(crypto,
+                                         static_cast<std::uint32_t>(issuer),
+                                         request.signed_view(),
+                                         request.auth[0]);
+    };
+    // Replies are authenticated by the local Troxy (which uses the moment
+    // to keep its fast-read cache coherent), then sent to the contact
+    // replica hosting the issuing Troxy.
+    hooks.deliver_reply = [this](enclave::CostedCrypto& crypto,
+                                 net::Outbox& outbox,
+                                 const hybster::Request& request,
+                                 hybster::Reply reply) {
+        reply.cert =
+            troxy_->authenticate_reply(crypto.meter(), request, reply);
+        outbox.send(request.id.client,
+                    net::wrap(net::Channel::Hybster,
+                              encode_message(hybster::Message(reply))));
+    };
+
+    replica_ = std::make_unique<hybster::Replica>(
+        fabric, node, config, replica_id, std::move(service),
+        std::move(trinx), replica_profile, std::move(hooks));
+
+    // All ecalls mutate shared trusted state (voter tables, cache,
+    // session keys), so the Troxy serializes them on a bounded number of
+    // enclave threads — for etroxy that is the TCS budget, for ctroxy the
+    // same library lock without SGX. Transition costs differ (SGX vs JNI).
+    if (options_.troxy.tcs_count > 0) {
+        tcs_free_.assign(
+            static_cast<std::size_t>(options_.troxy.tcs_count), 0);
+    }
+}
+
+void TroxyReplicaHost::attach() {
+    fabric_.attach(node_.id(), [this](sim::NodeId from, Bytes message) {
+        on_message(from, std::move(message));
+    });
+}
+
+void TroxyReplicaHost::on_message(sim::NodeId from, Bytes message) {
+    if (faults_.crashed) return;
+
+    auto unwrapped = net::unwrap(message);
+    if (!unwrapped) return;
+    auto& [channel, payload] = *unwrapped;
+
+    switch (channel) {
+        case net::Channel::Hybster: {
+            // Replies addressed to this node feed the local Troxy's voter;
+            // everything else is agreement traffic for the replica.
+            auto decoded = hybster::decode_message(payload);
+            if (!decoded) return;
+            if (auto* reply = std::get_if<hybster::Reply>(&*decoded)) {
+                if (reply->request_id.client == node_.id()) {
+                    enclave::CostMeter meter;
+                    apply(meter,
+                          troxy_->handle_reply(meter, std::move(*reply)));
+                    return;
+                }
+                return;  // misrouted reply
+            }
+            replica_->on_message(from, payload);
+            return;
+        }
+        case net::Channel::Client: {
+            auto frame = net::unframe_client(payload);
+            if (!frame) return;
+            enclave::CostMeter meter;
+            switch (frame->first) {
+                case net::ClientFrame::Hello:
+                    apply(meter, troxy_->accept_connection(meter, from,
+                                                           frame->second));
+                    return;
+                case net::ClientFrame::Record:
+                    apply(meter, troxy_->handle_request(meter, from,
+                                                        frame->second));
+                    return;
+                case net::ClientFrame::ServerHello:
+                    return;  // servers never receive server hellos
+            }
+            return;
+        }
+        case net::Channel::TroxyCache: {
+            auto decoded = decode_cache_message(payload);
+            if (!decoded) return;
+            enclave::CostMeter meter;
+            if (auto* query = std::get_if<CacheQuery>(&*decoded)) {
+                apply(meter, troxy_->handle_cache_query(meter, *query));
+            } else {
+                apply(meter,
+                      troxy_->handle_cache_response(
+                          meter, std::get<CacheResponse>(*decoded)));
+            }
+            return;
+        }
+        default:
+            return;  // not for this host
+    }
+}
+
+void TroxyReplicaHost::apply(enclave::CostMeter& meter,
+                             TroxyActions&& actions) {
+    // Enclave concurrency: the ecall's work occupies one TCS slot for its
+    // duration; when every slot is busy the call's effects wait for a
+    // free slot. The wait delays completion but burns no CPU.
+    sim::SimTime tcs_done = 0;
+    if (!tcs_free_.empty() && meter.total() > 0) {
+        const sim::SimTime now = fabric_.simulator().now();
+        auto slot = std::min_element(tcs_free_.begin(), tcs_free_.end());
+        const sim::SimTime start = std::max(now, *slot);
+        tcs_done = start + meter.total();
+        *slot = tcs_done;
+    }
+
+    for (const std::uint64_t number : actions.completed_votes) {
+        votes_in_flight_.erase(number);
+    }
+    for (const std::uint64_t id : actions.completed_fast_reads) {
+        fast_reads_in_flight_.erase(id);
+    }
+
+    net::Outbox outbox(fabric_, node_);
+    for (auto& [to, bytes] : actions.sends) {
+        outbox.send(to, std::move(bytes));
+    }
+    for (auto& request : actions.to_order) {
+        // The replica's processing happens after the Troxy's metered work.
+        outbox.defer([this, request = std::move(request)]() {
+            replica_->submit(request);
+        });
+    }
+    outbox.flush(meter, tcs_done);
+
+    for (const std::uint64_t number : actions.arm_vote_timers) {
+        votes_in_flight_.insert(number);
+        arm_vote_timer(number);
+    }
+    for (const std::uint64_t id : actions.arm_fast_read_timers) {
+        fast_reads_in_flight_.insert(id);
+        arm_fast_read_timer(id);
+    }
+}
+
+void TroxyReplicaHost::arm_vote_timer(std::uint64_t number) {
+    fabric_.simulator().after(options_.vote_timeout, [this, number]() {
+        if (faults_.crashed) return;
+        if (!votes_in_flight_.contains(number)) return;
+        enclave::CostMeter meter;
+        apply(meter, troxy_->retransmit(meter, number));
+    });
+}
+
+void TroxyReplicaHost::arm_fast_read_timer(std::uint64_t query_id) {
+    fabric_.simulator().after(options_.fast_read_timeout, [this, query_id]() {
+        if (faults_.crashed) return;
+        if (!fast_reads_in_flight_.contains(query_id)) return;
+        fast_reads_in_flight_.erase(query_id);
+        enclave::CostMeter meter;
+        apply(meter, troxy_->fast_read_timeout(meter, query_id));
+    });
+}
+
+}  // namespace troxy::troxy_core

@@ -1,0 +1,81 @@
+// Untrusted replica host of a Troxy-backed machine.
+//
+// One of these runs per replica server. It owns the noncritical tasks the
+// paper keeps outside the enclave (§III-C): socket/connection management,
+// timers, and actual send/receive operations. It demultiplexes incoming
+// traffic between the Hybster replica, the Troxy ecall interface, and the
+// Troxy↔Troxy cache channel, and forwards whatever the Troxy tells it to
+// transmit. Being untrusted, it can be subjected to fault injection — but
+// everything security-relevant already happened inside the enclave.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "hybster/replica.hpp"
+#include "troxy/enclave.hpp"
+
+namespace troxy::troxy_core {
+
+class TroxyReplicaHost {
+  public:
+    struct Options {
+        TroxyOptions troxy;
+        /// Retransmit interval for ordered requests awaiting votes.
+        sim::Duration vote_timeout = sim::milliseconds(2000);
+        /// Remote-cache-query timeout before falling back to ordering.
+        sim::Duration fast_read_timeout = sim::milliseconds(50);
+    };
+
+    TroxyReplicaHost(net::Fabric& fabric, sim::Node& node,
+                     hybster::Config config, std::uint32_t replica_id,
+                     hybster::ServicePtr service,
+                     std::shared_ptr<enclave::TrinX> trinx,
+                     crypto::X25519Keypair channel_identity,
+                     Classifier classifier,
+                     const sim::CostProfile& replica_profile,
+                     const sim::CostProfile& troxy_profile, Options options,
+                     std::uint64_t seed);
+
+    /// Registers this host as its node's message handler.
+    void attach();
+
+    [[nodiscard]] hybster::Replica& replica() noexcept { return *replica_; }
+    [[nodiscard]] TroxyEnclave& troxy() noexcept { return *troxy_; }
+    [[nodiscard]] sim::Node& node() noexcept { return node_; }
+
+    /// Fault injection on the untrusted part.
+    void set_faults(const hybster::FaultProfile& faults) {
+        faults_ = faults;
+        replica_->set_faults(faults);
+    }
+    [[nodiscard]] const hybster::FaultProfile& faults() const noexcept {
+        return faults_;
+    }
+
+  private:
+    void on_message(sim::NodeId from, Bytes message);
+    void apply(enclave::CostMeter& meter, TroxyActions&& actions);
+    void arm_vote_timer(std::uint64_t number);
+    void arm_fast_read_timer(std::uint64_t query_id);
+
+    net::Fabric& fabric_;
+    sim::Node& node_;
+    hybster::Config config_;
+    const sim::CostProfile& troxy_profile_;
+    Options options_;
+    hybster::FaultProfile faults_;
+
+    std::unique_ptr<TroxyEnclave> troxy_;
+    std::unique_ptr<hybster::Replica> replica_;
+
+    // Timer bookkeeping (untrusted, liveness only).
+    std::set<std::uint64_t> votes_in_flight_;
+    std::set<std::uint64_t> fast_reads_in_flight_;
+
+    // Enclave thread (TCS) slots: ecall work serializes once all slots
+    // are busy, modelling the enclave's fixed concurrency budget.
+    std::vector<sim::SimTime> tcs_free_;
+};
+
+}  // namespace troxy::troxy_core

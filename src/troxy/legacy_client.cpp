@@ -1,0 +1,161 @@
+#include "troxy/legacy_client.hpp"
+
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+#include "net/client_framing.hpp"
+#include "net/envelope.hpp"
+#include "net/outbox.hpp"
+
+namespace troxy::troxy_core {
+
+LegacyClient::LegacyClient(net::Fabric& fabric, sim::Node& node,
+                           std::vector<sim::NodeId> servers,
+                           std::vector<crypto::X25519Key> pinned_keys,
+                           const sim::CostProfile& profile, Options options)
+    : fabric_(fabric),
+      node_(node),
+      servers_(std::move(servers)),
+      pinned_keys_(std::move(pinned_keys)),
+      profile_(profile),
+      options_(options) {
+    TROXY_ASSERT(!servers_.empty(), "client needs at least one server");
+    TROXY_ASSERT(servers_.size() == pinned_keys_.size(),
+                 "one pinned key per server");
+}
+
+void LegacyClient::start(std::function<void()> ready) {
+    ready_ = std::move(ready);
+    connect();
+}
+
+void LegacyClient::connect() {
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+
+    Writer seed;
+    seed.u32(node_.id());
+    seed.u64(++handshake_counter_);
+    channel_.emplace(pinned_keys_[server_index_], seed.data());
+    crypto.charge_dh();
+
+    outbox.send(servers_[server_index_],
+                net::wrap(net::Channel::Client,
+                          net::frame_client(net::ClientFrame::Hello,
+                                            channel_->client_hello())));
+    outbox.flush(meter);
+    last_activity_ = fabric_.simulator().now();
+    arm_watchdog();
+}
+
+void LegacyClient::failover() {
+    ++failovers_;
+    server_index_ = (server_index_ + 1) % servers_.size();
+
+    // The channel died with its server; in-flight requests will be
+    // retransmitted on the fresh connection (the service deduplicates at
+    // the application level or tolerates re-execution, as with any
+    // ordinary web service retry).
+    std::deque<Outstanding> retry = std::move(outstanding_);
+    outstanding_.clear();
+    connect();
+
+    // Re-issue once the new channel is up; queue them now — send() is
+    // buffered until establishment.
+    for (auto& item : retry) {
+        outstanding_.push_back(std::move(item));
+    }
+}
+
+void LegacyClient::arm_watchdog() {
+    const std::uint64_t generation = ++watchdog_generation_;
+    fabric_.simulator().after(options_.connection_timeout, [this,
+                                                            generation]() {
+        if (generation != watchdog_generation_) return;
+        const sim::SimTime idle_since = last_activity_;
+        const bool waiting = !outstanding_.empty() || !connected();
+        if (waiting && fabric_.simulator().now() - idle_since >=
+                           options_.connection_timeout) {
+            failover();
+            return;
+        }
+        arm_watchdog();
+    });
+}
+
+void LegacyClient::send(Bytes app_request, ReplyCallback callback) {
+    outstanding_.push_back(Outstanding{app_request, std::move(callback)});
+    if (!connected()) return;  // flushed after handshake completes
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+    crypto.charge(profile_.aead(app_request.size()));
+    outbox.send(servers_[server_index_],
+                net::wrap(net::Channel::Client,
+                          net::frame_client(net::ClientFrame::Record,
+                                            channel_->protect(app_request))));
+    outbox.flush(meter);
+}
+
+void LegacyClient::on_message(sim::NodeId from, ByteView payload) {
+    if (from != servers_[server_index_]) return;  // stale server
+    auto frame = net::unframe_client(payload);
+    if (!frame) return;
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    crypto.charge_dispatch();
+    last_activity_ = fabric_.simulator().now();
+
+    switch (frame->first) {
+        case net::ClientFrame::ServerHello: {
+            crypto.charge_dh();
+            if (!channel_ || !channel_->finish(frame->second)) break;
+
+            // Flush everything queued while disconnected.
+            net::Outbox outbox(fabric_, node_);
+            for (const Outstanding& item : outstanding_) {
+                crypto.charge(profile_.aead(item.request.size()));
+                outbox.send(
+                    servers_[server_index_],
+                    net::wrap(net::Channel::Client,
+                              net::frame_client(net::ClientFrame::Record,
+                                                channel_->protect(
+                                                    item.request))));
+            }
+            if (ready_) {
+                outbox.defer(std::exchange(ready_, nullptr));
+            }
+            outbox.flush(meter);
+            return;
+        }
+        case net::ClientFrame::Record: {
+            if (!connected()) break;
+            crypto.charge(profile_.aead(frame->second.size()));
+            auto replies = channel_->unprotect(frame->second);
+            if (replies.empty()) break;  // buffered, replayed or tampered
+
+            std::vector<std::pair<ReplyCallback, Bytes>> completions;
+            for (Bytes& reply : replies) {
+                if (outstanding_.empty()) break;
+                completions.emplace_back(
+                    std::move(outstanding_.front().callback),
+                    std::move(reply));
+                outstanding_.pop_front();
+            }
+            node_.exec(meter.take(),
+                       [completions = std::move(completions)]() mutable {
+                           for (auto& [callback, reply] : completions) {
+                               if (callback) callback(std::move(reply));
+                           }
+                       });
+            return;
+        }
+        case net::ClientFrame::Hello:
+            break;
+    }
+    node_.charge(meter.take());
+}
+
+}  // namespace troxy::troxy_core

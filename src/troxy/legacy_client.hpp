@@ -1,0 +1,93 @@
+// Legacy client — completely BFT-unaware.
+//
+// This is the point of the whole system: the client below implements only
+// (a) a TLS-like secure channel to *one* server and (b) its application
+// protocol. It knows nothing about replicas, quorums, voting or
+// certificates. Failover works like for any ordinary service: if the
+// connection times out, the client reconnects to the next address from
+// its location service (§II-C, §III-D).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "crypto/x25519.hpp"
+#include "enclave/meter.hpp"
+#include "net/fabric.hpp"
+#include "net/secure_channel.hpp"
+#include "sim/cost.hpp"
+
+namespace troxy::troxy_core {
+
+class LegacyClient {
+  public:
+    struct Options {
+        /// Time without any reply before the client reconnects to the
+        /// next server (location-service failover).
+        sim::Duration connection_timeout = sim::milliseconds(3000);
+    };
+
+    using ReplyCallback = std::function<void(Bytes app_reply)>;
+
+    /// `servers` is the failover list from the location service; the
+    /// client pins one channel identity key per server.
+    LegacyClient(net::Fabric& fabric, sim::Node& node,
+                 std::vector<sim::NodeId> servers,
+                 std::vector<crypto::X25519Key> pinned_keys,
+                 const sim::CostProfile& profile, Options options);
+
+    /// Connects to the first server; `ready` fires once the secure
+    /// channel is established.
+    void start(std::function<void()> ready);
+
+    /// Sends an application request; the callback fires with the reply.
+    /// Replies arrive in request order (stream semantics), so pipelining
+    /// is allowed.
+    void send(Bytes app_request, ReplyCallback callback);
+
+    /// Entry point for Channel::Client payloads addressed to this node.
+    void on_message(sim::NodeId from, ByteView payload);
+
+    [[nodiscard]] bool connected() const noexcept {
+        return channel_ && channel_->established();
+    }
+    [[nodiscard]] std::uint64_t failovers() const noexcept {
+        return failovers_;
+    }
+    [[nodiscard]] std::size_t outstanding() const noexcept {
+        return outstanding_.size();
+    }
+    [[nodiscard]] sim::NodeId current_server() const noexcept {
+        return servers_[server_index_];
+    }
+
+  private:
+    void connect();
+    void failover();
+    void arm_watchdog();
+
+    net::Fabric& fabric_;
+    sim::Node& node_;
+    std::vector<sim::NodeId> servers_;
+    std::vector<crypto::X25519Key> pinned_keys_;
+    const sim::CostProfile& profile_;
+    Options options_;
+
+    std::size_t server_index_ = 0;
+    std::optional<net::SecureChannelClient> channel_;
+    std::function<void()> ready_;
+
+    struct Outstanding {
+        Bytes request;
+        ReplyCallback callback;
+    };
+    std::deque<Outstanding> outstanding_;  // FIFO: replies match in order
+    std::uint64_t failovers_ = 0;
+    std::uint64_t handshake_counter_ = 0;
+    std::uint64_t watchdog_generation_ = 0;
+    sim::SimTime last_activity_ = 0;
+};
+
+}  // namespace troxy::troxy_core

@@ -1,0 +1,169 @@
+// Tests for the measurement harness itself: recorders, workload drivers,
+// cluster builders — the instruments must be trustworthy before any
+// experiment built on them is.
+#include <gtest/gtest.h>
+
+#include "apps/echo_service.hpp"
+#include "bench_support/cluster.hpp"
+#include "bench_support/experiments.hpp"
+#include "bench_support/stats.hpp"
+#include "bench_support/workload.hpp"
+
+namespace troxy::bench {
+namespace {
+
+using apps::EchoService;
+
+TEST(Recorder, CountsOnlyInsideWindow) {
+    Recorder recorder(sim::milliseconds(100), sim::milliseconds(200));
+    recorder.record(sim::milliseconds(50), sim::milliseconds(1));   // early
+    recorder.record(sim::milliseconds(150), sim::milliseconds(2));  // in
+    recorder.record(sim::milliseconds(250), sim::milliseconds(3));  // in
+    recorder.record(sim::milliseconds(300), sim::milliseconds(4));  // late
+    EXPECT_EQ(recorder.completed(), 2u);
+    EXPECT_DOUBLE_EQ(recorder.throughput_per_sec(), 2.0 / 0.2);
+    EXPECT_DOUBLE_EQ(recorder.mean_latency_ms(), 2.5);
+}
+
+TEST(Recorder, Percentiles) {
+    Recorder recorder(0, sim::seconds(1));
+    for (int i = 1; i <= 100; ++i) {
+        recorder.record(sim::milliseconds(10),
+                        sim::milliseconds(static_cast<unsigned>(i)));
+    }
+    EXPECT_NEAR(recorder.percentile_latency_ms(50), 50.0, 1.5);
+    EXPECT_NEAR(recorder.percentile_latency_ms(99), 99.0, 1.5);
+    EXPECT_NEAR(recorder.percentile_latency_ms(0), 1.0, 0.5);
+}
+
+TEST(Recorder, EmptyIsZeroNotNan) {
+    Recorder recorder(0, sim::seconds(1));
+    EXPECT_EQ(recorder.completed(), 0u);
+    EXPECT_DOUBLE_EQ(recorder.mean_latency_ms(), 0.0);
+    EXPECT_DOUBLE_EQ(recorder.percentile_latency_ms(99), 0.0);
+}
+
+TEST(Workload, ClosedLoopMaintainsPipeline) {
+    TroxyCluster::Params params;
+    params.base.seed = 5;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    TroxyCluster cluster(std::move(params));
+
+    Recorder recorder(sim::milliseconds(100), sim::milliseconds(500));
+    Workload workload(
+        cluster.simulator(), recorder,
+        [](Rng& rng) {
+            GeneratedRequest request;
+            request.is_read = false;
+            request.payload =
+                EchoService::make_write(rng.next_below(4), 64);
+            return request;
+        },
+        5);
+    workload.drive_legacy(cluster.add_client(), 3);
+    cluster.simulator().run_until(recorder.window_end() + sim::seconds(2));
+
+    // A 3-deep closed loop completed far more than 3 requests.
+    EXPECT_GT(recorder.completed(), 50u);
+    EXPECT_GE(workload.issued(), recorder.completed());
+}
+
+TEST(Workload, OpenLoopApproximatesRate) {
+    StandaloneCluster::Params params;
+    params.base.seed = 6;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    StandaloneCluster cluster(params);
+
+    Recorder recorder(sim::milliseconds(200), sim::seconds(2));
+    Workload workload(
+        cluster.simulator(), recorder,
+        [](Rng&) {
+            GeneratedRequest request;
+            request.is_read = true;
+            request.payload = EchoService::make_read(1, 32, 64);
+            return request;
+        },
+        6);
+    workload.drive_legacy_open(cluster.add_client(), 200.0);
+    cluster.simulator().run_until(recorder.window_end() + sim::seconds(1));
+    EXPECT_NEAR(recorder.throughput_per_sec(), 200.0, 40.0);
+}
+
+TEST(Clusters, TroxyBuildsForDifferentF) {
+    for (const int f : {1, 2}) {
+        TroxyCluster::Params params;
+        params.base.seed = 7;
+        params.base.f = f;
+        params.service = []() { return std::make_unique<EchoService>(); };
+        params.classifier = [](ByteView request) {
+            return EchoService().classify(request);
+        };
+        TroxyCluster cluster(std::move(params));
+        EXPECT_EQ(cluster.n(), 2 * f + 1);
+    }
+}
+
+TEST(Clusters, ProphecyUsesThreeFPlusOne) {
+    ProphecyCluster::Params params;
+    params.base.seed = 8;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    ProphecyCluster cluster(params);
+    EXPECT_EQ(cluster.config().n(), 4);
+}
+
+TEST(Experiments, MicroRunProducesConsistentCounters) {
+    MicroParams params;
+    params.read_workload = true;
+    params.reply_size = 128;
+    params.clients = 4;
+    params.pipeline = 2;
+    params.warmup = sim::milliseconds(100);
+    params.window = sim::milliseconds(400);
+
+    const MicroResult result = run_micro(SystemKind::ETroxy, params);
+    EXPECT_GT(result.row.throughput, 0.0);
+    EXPECT_GT(result.fast_read_hits + result.ordered_requests, 0u);
+    EXPECT_GE(result.conflict_rate(), 0.0);
+    EXPECT_LE(result.conflict_rate(), 1.0);
+}
+
+TEST(Experiments, BaselineAndTroxyBothComplete) {
+    MicroParams params;
+    params.request_size = 256;
+    params.clients = 4;
+    params.pipeline = 2;
+    params.warmup = sim::milliseconds(100);
+    params.window = sim::milliseconds(400);
+
+    for (const SystemKind kind :
+         {SystemKind::Baseline, SystemKind::CTroxy, SystemKind::ETroxy}) {
+        const MicroResult result = run_micro(kind, params);
+        EXPECT_GT(result.row.throughput, 100.0) << system_name(kind);
+        EXPECT_GT(result.row.mean_ms, 0.0) << system_name(kind);
+    }
+}
+
+TEST(Experiments, HttpRunsForEverySystem) {
+    HttpParams params;
+    params.clients = 4;
+    params.total_rate_per_sec = 40;
+    params.warmup = sim::milliseconds(200);
+    params.window = sim::seconds(1);
+
+    for (const HttpSystem system :
+         {HttpSystem::Standalone, HttpSystem::Baseline, HttpSystem::Prophecy,
+          HttpSystem::Troxy}) {
+        const Row row = run_http(system, params);
+        EXPECT_GT(row.throughput, 10.0) << http_system_name(system);
+        EXPECT_GT(row.mean_ms, 0.0) << http_system_name(system);
+    }
+}
+
+}  // namespace
+}  // namespace troxy::bench

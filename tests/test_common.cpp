@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bytes.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace troxy {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+    const Bytes data = {0x00, 0x01, 0xab, 0xff};
+    EXPECT_EQ(hex_encode(data), "0001abff");
+    EXPECT_EQ(hex_decode("0001abff"), data);
+    EXPECT_EQ(hex_decode("0001ABFF"), data);
+}
+
+TEST(Bytes, HexDecodeRejectsBadInput) {
+    EXPECT_THROW(hex_decode("abc"), std::invalid_argument);   // odd length
+    EXPECT_THROW(hex_decode("zz"), std::invalid_argument);    // non-hex
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+    EXPECT_EQ(to_string(to_bytes("hello")), "hello");
+    EXPECT_TRUE(to_bytes("").empty());
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+    const Bytes a = to_bytes("same");
+    const Bytes b = to_bytes("same");
+    const Bytes c = to_bytes("diff");
+    EXPECT_TRUE(constant_time_equal(a, b));
+    EXPECT_FALSE(constant_time_equal(a, c));
+    EXPECT_FALSE(constant_time_equal(a, to_bytes("longer string")));
+}
+
+TEST(Bytes, Concat) {
+    EXPECT_EQ(concat(to_bytes("ab"), to_bytes("cd")), to_bytes("abcd"));
+    EXPECT_EQ(concat(to_bytes("a"), to_bytes("b"), to_bytes("c")),
+              to_bytes("abc"));
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.next_below(17), 17u);
+    }
+    // Bound of 1 always yields 0.
+    EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+    Rng rng(8);
+    std::array<int, 10> histogram{};
+    constexpr int kSamples = 100'000;
+    for (int i = 0; i < kSamples; ++i) {
+        ++histogram[rng.next_below(10)];
+    }
+    for (const int count : histogram) {
+        EXPECT_NEAR(count, kSamples / 10, kSamples / 100);
+    }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+    Rng rng(9);
+    double sum = 0, sum_sq = 0;
+    constexpr int kSamples = 200'000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double x = rng.next_normal(100.0, 20.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / kSamples;
+    const double variance = sum_sq / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 100.0, 0.5);
+    EXPECT_NEAR(std::sqrt(variance), 20.0, 0.5);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(10);
+    double sum = 0;
+    constexpr int kSamples = 200'000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.next_exponential(5.0);
+    EXPECT_NEAR(sum / kSamples, 5.0, 0.1);
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+    Rng parent(11);
+    Rng child_a = parent.fork(1);
+    Rng child_b = parent.fork(2);
+    EXPECT_NE(child_a.next(), child_b.next());
+}
+
+TEST(Serialize, IntegerRoundTrip) {
+    Writer w;
+    w.u8(0xab);
+    w.u16(0x1234);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefULL);
+    Reader r(w.data());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0x1234);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, BytesAndStrings) {
+    Writer w;
+    w.bytes(to_bytes("payload"));
+    w.str("text");
+    Reader r(w.data());
+    EXPECT_EQ(r.bytes(), to_bytes("payload"));
+    EXPECT_EQ(r.str(), "text");
+    r.expect_done();
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+    Writer w;
+    w.u64(1);
+    const Bytes data = w.data();
+    Reader r(ByteView(data).first(4));
+    EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(Serialize, LengthPrefixBeyondInputThrows) {
+    Writer w;
+    w.u32(1000);  // claims 1000 bytes follow
+    Reader r(w.data());
+    EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Serialize, TrailingGarbageDetected) {
+    Writer w;
+    w.u8(1);
+    w.u8(2);
+    Reader r(w.data());
+    r.u8();
+    EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(Serialize, EmptyByteString) {
+    Writer w;
+    w.bytes({});
+    Reader r(w.data());
+    EXPECT_TRUE(r.bytes().empty());
+}
+
+TEST(Log, FormatSubstitution) {
+    EXPECT_EQ(format("a {} c {}", 1, "two"), "a 1 c two");
+    EXPECT_EQ(format("no placeholders"), "no placeholders");
+    EXPECT_EQ(format("{} extra args ignored"), "{} extra args ignored");
+}
+
+TEST(Log, LevelGuardRestores) {
+    const LogLevel before = log_level();
+    {
+        LogLevelGuard guard(LogLevel::Error);
+        EXPECT_EQ(log_level(), LogLevel::Error);
+    }
+    EXPECT_EQ(log_level(), before);
+}
+
+}  // namespace
+}  // namespace troxy

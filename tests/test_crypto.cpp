@@ -1,0 +1,317 @@
+// Crypto primitives against published test vectors plus behavioural
+// properties (tamper detection, replay rejection, fast-mode equivalence).
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/fastmode.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/poly1305.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace troxy::crypto {
+namespace {
+
+// ----------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyInput) {
+    EXPECT_EQ(hex_encode(sha256({})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b8"
+              "55");
+}
+
+TEST(Sha256, Abc) {
+    EXPECT_EQ(hex_encode(sha256(to_bytes("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f2001"
+              "5ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+    EXPECT_EQ(hex_encode(sha256(to_bytes(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db0"
+              "6c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 hasher;
+    const Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+    EXPECT_EQ(hex_encode(hasher.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112"
+              "cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        Sha256 hasher;
+        hasher.update(ByteView(data).first(split));
+        hasher.update(ByteView(data).subspan(split));
+        EXPECT_EQ(hasher.finish(), sha256(data)) << "split=" << split;
+    }
+}
+
+// --------------------------------------------------------------- HMAC/HKDF
+
+TEST(Hmac, Rfc4231Case1) {
+    const Bytes key(20, 0x0b);
+    EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32c"
+              "ff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+    EXPECT_EQ(hex_encode(hmac_sha256(to_bytes("Jefe"),
+                                     to_bytes("what do ya want for "
+                                              "nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3"
+              "843");
+}
+
+TEST(Hmac, Rfc4231Case3LongKeyData) {
+    const Bytes key(20, 0xaa);
+    const Bytes data(50, 0xdd);
+    EXPECT_EQ(hex_encode(hmac_sha256(key, data)),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced56"
+              "5fe");
+}
+
+TEST(Hmac, Rfc4231Case6KeyLargerThanBlock) {
+    const Bytes key(131, 0xaa);
+    EXPECT_EQ(hex_encode(hmac_sha256(
+                  key, to_bytes("Test Using Larger Than Block-Size Key - "
+                                "Hash Key First"))),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37"
+              "f54");
+}
+
+TEST(Hmac, VerifyRejectsTamperedTag) {
+    const Bytes key = to_bytes("secret");
+    const Bytes data = to_bytes("message");
+    HmacTag tag = hmac_sha256(key, data);
+    EXPECT_TRUE(hmac_verify(key, data, tag));
+    tag[0] ^= 1;
+    EXPECT_FALSE(hmac_verify(key, data, tag));
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+    const Bytes ikm(22, 0x0b);
+    const Bytes salt = hex_decode("000102030405060708090a0b0c");
+    const Bytes info = hex_decode("f0f1f2f3f4f5f6f7f8f9");
+    const Bytes okm = hkdf(salt, ikm, info, 42);
+    EXPECT_EQ(hex_encode(okm),
+              "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c"
+              "5bf34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3NoSaltNoInfo) {
+    const Bytes ikm(22, 0x0b);
+    const Bytes okm = hkdf({}, ikm, {}, 42);
+    EXPECT_EQ(hex_encode(okm),
+              "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738"
+              "d2d9d201395faa4b61a96c8");
+}
+
+// ---------------------------------------------------------------- ChaCha20
+
+TEST(ChaCha20, Rfc8439BlockFunction) {
+    ChaChaKey key;
+    for (std::size_t i = 0; i < key.size(); ++i) {
+        key[i] = static_cast<std::uint8_t>(i);
+    }
+    ChaChaNonce nonce{};
+    nonce[3] = 0x09;
+    nonce[7] = 0x4a;
+    const auto block = chacha20_block(key, 1, nonce);
+    EXPECT_EQ(hex_encode(ByteView(block.data(), 16)),
+              "10f1e7e4d13b5915500fdd1fa32071c4");
+}
+
+TEST(ChaCha20, Rfc8439Encryption) {
+    ChaChaKey key;
+    for (std::size_t i = 0; i < key.size(); ++i) {
+        key[i] = static_cast<std::uint8_t>(i);
+    }
+    ChaChaNonce nonce{};
+    nonce[7] = 0x4a;
+    const Bytes plaintext = to_bytes(
+        "Ladies and Gentlemen of the class of '99: If I could offer you "
+        "only one tip for the future, sunscreen would be it.");
+    const Bytes ciphertext = chacha20_xor(key, nonce, 1, plaintext);
+    EXPECT_EQ(hex_encode(ByteView(ciphertext.data(), 16)),
+              "6e2e359a2568f98041ba0728dd0d6981");
+    // Decryption is the same operation.
+    EXPECT_EQ(chacha20_xor(key, nonce, 1, ciphertext), plaintext);
+}
+
+// ---------------------------------------------------------------- Poly1305
+
+TEST(Poly1305, Rfc8439Vector) {
+    Poly1305Key key{};
+    const Bytes key_bytes = hex_decode(
+        "85d6be7857556d337f4452fe42d506a8"
+        "0103808afb0db2fd4abff6af4149f51b");
+    std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+    const Bytes message = to_bytes("Cryptographic Forum Research Group");
+    EXPECT_EQ(hex_encode(poly1305(key, message)),
+              "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, EmptyMessage) {
+    Poly1305Key key{};
+    key[0] = 1;
+    const Poly1305Tag tag = poly1305(key, {});
+    // s = key[16..32] = 0 and empty message → tag must be all zero.
+    for (const std::uint8_t byte : tag) EXPECT_EQ(byte, 0);
+}
+
+// -------------------------------------------------------------------- AEAD
+
+TEST(Aead, Rfc8439SealVector) {
+    ChaChaKey key;
+    const Bytes key_bytes = hex_decode(
+        "808182838485868788898a8b8c8d8e8f"
+        "909192939495969798999a9b9c9d9e9f");
+    std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+    ChaChaNonce nonce{};
+    const Bytes nonce_bytes = hex_decode("070000004041424344454647");
+    std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+    const Bytes aad = hex_decode("50515253c0c1c2c3c4c5c6c7");
+    const Bytes plaintext = to_bytes(
+        "Ladies and Gentlemen of the class of '99: If I could offer you "
+        "only one tip for the future, sunscreen would be it.");
+
+    const Bytes sealed = aead_seal(key, nonce, aad, plaintext);
+    ASSERT_EQ(sealed.size(), plaintext.size() + kAeadTagSize);
+    EXPECT_EQ(hex_encode(ByteView(sealed.data(), 16)),
+              "d31a8d34648e60db7b86afbc53ef7ec2");
+    EXPECT_EQ(hex_encode(ByteView(sealed.data() + plaintext.size(), 16)),
+              "1ae10b594f09e26a7e902ecbd0600691");
+
+    const auto opened = aead_open(key, nonce, aad, sealed);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Aead, RejectsTamperedCiphertext) {
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+    const Bytes aad = to_bytes("header");
+    Bytes sealed = aead_seal(key, nonce, aad, to_bytes("payload"));
+    sealed[2] ^= 0x40;
+    EXPECT_FALSE(aead_open(key, nonce, aad, sealed).has_value());
+}
+
+TEST(Aead, RejectsWrongAad) {
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+    const Bytes sealed = aead_seal(key, nonce, to_bytes("a"), to_bytes("x"));
+    EXPECT_FALSE(aead_open(key, nonce, to_bytes("b"), sealed).has_value());
+}
+
+TEST(Aead, RejectsTruncatedInput) {
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+    EXPECT_FALSE(aead_open(key, nonce, {}, Bytes(8, 0)).has_value());
+}
+
+TEST(Aead, RecordNonceChangesPerSequence) {
+    ChaChaNonce iv{};
+    iv[0] = 0xff;
+    const ChaChaNonce n0 = make_record_nonce(iv, 0);
+    const ChaChaNonce n1 = make_record_nonce(iv, 1);
+    EXPECT_EQ(n0, iv);  // sequence 0 leaves the IV unchanged
+    EXPECT_NE(n0, n1);
+}
+
+// ------------------------------------------------------------------ X25519
+
+TEST(X25519, Rfc7748Vector1) {
+    X25519Key scalar{}, point{};
+    const Bytes s = hex_decode(
+        "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+    const Bytes p = hex_decode(
+        "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+    std::copy(s.begin(), s.end(), scalar.begin());
+    std::copy(p.begin(), p.end(), point.begin());
+    EXPECT_EQ(hex_encode(x25519(scalar, point)),
+              "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28"
+              "552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+    X25519Key scalar{}, point{};
+    const Bytes s = hex_decode(
+        "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+    const Bytes p = hex_decode(
+        "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+    std::copy(s.begin(), s.end(), scalar.begin());
+    std::copy(p.begin(), p.end(), point.begin());
+    EXPECT_EQ(hex_encode(x25519(scalar, point)),
+              "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7"
+              "957");
+}
+
+TEST(X25519, DiffieHellmanAgreement) {
+    const X25519Keypair alice = x25519_keypair_from_seed(to_bytes("alice"));
+    const X25519Keypair bob = x25519_keypair_from_seed(to_bytes("bob"));
+    const X25519Key shared_a = x25519(alice.private_key, bob.public_key);
+    const X25519Key shared_b = x25519(bob.private_key, alice.public_key);
+    EXPECT_EQ(shared_a, shared_b);
+    EXPECT_NE(hex_encode(shared_a), std::string(64, '0'));
+}
+
+TEST(X25519, DistinctSeedsDistinctKeys) {
+    const X25519Keypair a = x25519_keypair_from_seed(to_bytes("one"));
+    const X25519Keypair b = x25519_keypair_from_seed(to_bytes("two"));
+    EXPECT_NE(a.public_key, b.public_key);
+}
+
+// --------------------------------------------------------------- fast mode
+
+class FastModeTest : public ::testing::Test {
+  protected:
+    void TearDown() override { set_fast_crypto(false); }
+};
+
+TEST_F(FastModeTest, HmacStillVerifiesAndRejects) {
+    set_fast_crypto(true);
+    const Bytes key = to_bytes("k");
+    const Bytes data = to_bytes("d");
+    HmacTag tag = hmac_sha256(key, data);
+    EXPECT_TRUE(hmac_verify(key, data, tag));
+    tag[5] ^= 1;
+    EXPECT_FALSE(hmac_verify(key, data, tag));
+    EXPECT_FALSE(hmac_verify(to_bytes("other"), data, hmac_sha256(key, data)));
+}
+
+TEST_F(FastModeTest, AeadRoundTripAndTamperDetection) {
+    set_fast_crypto(true);
+    ChaChaKey key{};
+    key[0] = 7;
+    ChaChaNonce nonce{};
+    const Bytes plaintext = to_bytes("fast payload");
+    Bytes sealed = aead_seal(key, nonce, to_bytes("aad"), plaintext);
+    EXPECT_EQ(sealed.size(), plaintext.size() + kAeadTagSize);
+    auto opened = aead_open(key, nonce, to_bytes("aad"), sealed);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, plaintext);
+    sealed[0] ^= 1;
+    EXPECT_FALSE(aead_open(key, nonce, to_bytes("aad"), sealed).has_value());
+}
+
+TEST_F(FastModeTest, SizesMatchRealMode) {
+    const Bytes data = to_bytes("some data");
+    const Bytes key = to_bytes("key");
+    const auto real = hmac_sha256(key, data);
+    set_fast_crypto(true);
+    const auto fast = hmac_sha256(key, data);
+    EXPECT_EQ(real.size(), fast.size());
+    EXPECT_EQ(sha256(data).size(), kSha256DigestSize);
+}
+
+}  // namespace
+}  // namespace troxy::crypto

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "enclave/attestation.hpp"
+#include "enclave/gate.hpp"
+#include "enclave/meter.hpp"
+#include "enclave/sealed.hpp"
+#include "enclave/trinx.hpp"
+
+namespace troxy::enclave {
+namespace {
+
+const sim::CostProfile kNative = sim::CostProfile::native();
+
+TEST(CostMeter, AccumulatesAndResets) {
+    CostMeter meter;
+    meter.add(100);
+    meter.add(50);
+    EXPECT_EQ(meter.total(), 150u);
+    EXPECT_EQ(meter.take(), 150u);
+    EXPECT_EQ(meter.total(), 0u);
+}
+
+TEST(CostedCrypto, ChargesForOperations) {
+    CostMeter meter;
+    CostedCrypto crypto(kNative, meter);
+    crypto.hash(Bytes(1024, 1));
+    const sim::Duration after_hash = meter.total();
+    EXPECT_GT(after_hash, 0u);
+    crypto.mac(to_bytes("key"), Bytes(1024, 2));
+    EXPECT_GT(meter.total(), after_hash);
+}
+
+TEST(CostedCrypto, RealResults) {
+    CostMeter meter;
+    CostedCrypto crypto(kNative, meter);
+    EXPECT_EQ(crypto.hash(to_bytes("abc")), crypto::sha256(to_bytes("abc")));
+    EXPECT_TRUE(crypto.mac_verify(to_bytes("k"), to_bytes("m"),
+                                  crypto.mac(to_bytes("k"), to_bytes("m"))));
+}
+
+TEST(EnclaveGate, ChargesTransitions) {
+    EnclaveGate gate("test", sim::EnclaveCosts::sgx_v1(), 16);
+    CostMeter meter;
+    gate.ecall(meter, "foo", 100, 50);
+    EXPECT_GT(meter.total(), 0u);
+    EXPECT_EQ(gate.transitions(), 1u);
+    EXPECT_EQ(gate.distinct_ecalls(), 1u);
+    gate.ecall(meter, "foo", 10, 0);
+    EXPECT_EQ(gate.distinct_ecalls(), 1u);  // same entry point
+    gate.ecall(meter, "bar", 10, 0);
+    EXPECT_EQ(gate.distinct_ecalls(), 2u);
+}
+
+TEST(EnclaveGate, FreeCostsChargeNothing) {
+    EnclaveGate gate("ctroxy", sim::EnclaveCosts::free(), 16);
+    CostMeter meter;
+    gate.ecall(meter, "foo", 1'000'000, 0);
+    EXPECT_EQ(meter.total(), 0u);
+}
+
+TEST(EnclaveGate, EpcPagingChargedBeyondLimit) {
+    sim::EnclaveCosts costs = sim::EnclaveCosts::sgx_v1();
+    costs.epc_limit_bytes = 1024 * 1024;
+    EnclaveGate gate("test", costs, 16);
+
+    CostMeter meter;
+    gate.allocate(512 * 1024);  // within EPC
+    gate.touch(meter, 64 * 1024);
+    EXPECT_EQ(meter.total(), 0u);
+
+    gate.allocate(2 * 1024 * 1024);  // now over the limit
+    gate.touch(meter, 64 * 1024);
+    EXPECT_GT(meter.total(), 0u);
+
+    gate.release(3 * 1024 * 1024 - 512 * 1024);
+    CostMeter meter2;
+    gate.touch(meter2, 64 * 1024);
+    EXPECT_EQ(meter2.total(), 0u);
+}
+
+TEST(EnclaveGate, ReleaseNeverUnderflows) {
+    EnclaveGate gate("test", sim::EnclaveCosts::sgx_v1(), 16);
+    gate.allocate(100);
+    gate.release(1000);
+    EXPECT_EQ(gate.allocated_bytes(), 0u);
+}
+
+// ------------------------------------------------------------------ TrinX
+
+TEST(TrinX, ContinuingCounterIsMonotonicAndGapFree) {
+    TrinX trinx(0, to_bytes("group-key"));
+    CostMeter meter;
+    CostedCrypto crypto(kNative, meter);
+
+    const auto first = trinx.certify_continuing(crypto, 1, to_bytes("a"));
+    const auto second = trinx.certify_continuing(crypto, 1, to_bytes("b"));
+    EXPECT_EQ(first.value, 1u);
+    EXPECT_EQ(second.value, 2u);
+    EXPECT_EQ(trinx.current(1), 2u);
+    // Separate counters are independent.
+    EXPECT_EQ(trinx.certify_continuing(crypto, 2, to_bytes("c")).value, 1u);
+}
+
+TEST(TrinX, VerifyAcceptsValidCertificate) {
+    const Bytes key = to_bytes("shared");
+    TrinX signer(3, key);
+    TrinX verifier(1, key);
+    CostMeter meter;
+    CostedCrypto crypto(kNative, meter);
+
+    const Bytes message = to_bytes("prepare");
+    const auto certified = signer.certify_continuing(crypto, 7, message);
+    EXPECT_TRUE(verifier.verify_continuing(crypto, 3, 7, certified.value,
+                                           message,
+                                           certified.certificate));
+}
+
+TEST(TrinX, VerifyRejectsWrongBinding) {
+    const Bytes key = to_bytes("shared");
+    TrinX signer(3, key);
+    TrinX verifier(1, key);
+    CostMeter meter;
+    CostedCrypto crypto(kNative, meter);
+
+    const Bytes message = to_bytes("prepare");
+    const auto certified = signer.certify_continuing(crypto, 7, message);
+
+    // Wrong replica id, counter, value or message must all fail.
+    EXPECT_FALSE(verifier.verify_continuing(crypto, 2, 7, certified.value,
+                                            message,
+                                            certified.certificate));
+    EXPECT_FALSE(verifier.verify_continuing(crypto, 3, 8, certified.value,
+                                            message,
+                                            certified.certificate));
+    EXPECT_FALSE(verifier.verify_continuing(crypto, 3, 7,
+                                            certified.value + 1, message,
+                                            certified.certificate));
+    EXPECT_FALSE(verifier.verify_continuing(crypto, 3, 7, certified.value,
+                                            to_bytes("other"),
+                                            certified.certificate));
+}
+
+TEST(TrinX, CannotEquivocate) {
+    // A replica cannot certify two different messages with the same
+    // counter value — each certify call consumes the next value.
+    TrinX trinx(0, to_bytes("key"));
+    CostMeter meter;
+    CostedCrypto crypto(kNative, meter);
+    const auto a = trinx.certify_continuing(crypto, 1, to_bytes("msg-a"));
+    const auto b = trinx.certify_continuing(crypto, 1, to_bytes("msg-b"));
+    EXPECT_NE(a.value, b.value);
+}
+
+TEST(TrinX, IndependentCertificates) {
+    const Bytes key = to_bytes("shared");
+    TrinX signer(2, key);
+    TrinX verifier(0, key);
+    CostMeter meter;
+    CostedCrypto crypto(kNative, meter);
+
+    const Bytes message = to_bytes("reply");
+    const Certificate cert = signer.certify_independent(crypto, message);
+    EXPECT_TRUE(verifier.verify_independent(crypto, 2, message, cert));
+    EXPECT_FALSE(verifier.verify_independent(crypto, 1, message, cert));
+    EXPECT_FALSE(
+        verifier.verify_independent(crypto, 2, to_bytes("forged"), cert));
+}
+
+TEST(TrinX, IndependentAndContinuingDomainsSeparated) {
+    const Bytes key = to_bytes("shared");
+    TrinX signer(0, key);
+    TrinX verifier(1, key);
+    CostMeter meter;
+    CostedCrypto crypto(kNative, meter);
+
+    const Bytes message = to_bytes("m");
+    const Certificate independent =
+        signer.certify_independent(crypto, message);
+    // An independent certificate must not validate as a continuing one.
+    EXPECT_FALSE(verifier.verify_continuing(crypto, 0, 0, 1, message,
+                                            independent));
+}
+
+TEST(TrinX, DifferentGroupKeysDoNotVerify) {
+    TrinX signer(0, to_bytes("key-a"));
+    TrinX verifier(1, to_bytes("key-b"));
+    CostMeter meter;
+    CostedCrypto crypto(kNative, meter);
+    const Certificate cert =
+        signer.certify_independent(crypto, to_bytes("m"));
+    EXPECT_FALSE(verifier.verify_independent(crypto, 0, to_bytes("m"), cert));
+}
+
+// ------------------------------------------------------------ attestation
+
+TEST(Attestation, IssueAndVerify) {
+    AttestationAuthority authority(to_bytes("platform"));
+    const Measurement m = measure("enclave-v1");
+    const AttestationReport report = authority.issue(m, 42);
+    EXPECT_TRUE(authority.verify(report, m, 42));
+}
+
+TEST(Attestation, RejectsWrongMeasurement) {
+    AttestationAuthority authority(to_bytes("platform"));
+    const AttestationReport report =
+        authority.issue(measure("evil-enclave"), 42);
+    EXPECT_FALSE(authority.verify(report, measure("enclave-v1"), 42));
+}
+
+TEST(Attestation, RejectsWrongNonce) {
+    AttestationAuthority authority(to_bytes("platform"));
+    const Measurement m = measure("enclave-v1");
+    const AttestationReport report = authority.issue(m, 42);
+    EXPECT_FALSE(authority.verify(report, m, 43));  // replayed report
+}
+
+TEST(Attestation, RejectsForgedSignature) {
+    AttestationAuthority authority(to_bytes("platform"));
+    const Measurement m = measure("enclave-v1");
+    AttestationReport report = authority.issue(m, 1);
+    report.signature[0] ^= 1;
+    EXPECT_FALSE(authority.verify(report, m, 1));
+}
+
+TEST(Attestation, ProvisionReleasesSecretOnlyWhenValid) {
+    AttestationAuthority authority(to_bytes("platform"));
+    const Measurement good = measure("enclave-v1");
+    const Bytes secret = to_bytes("group-key");
+
+    const AttestationReport report = authority.issue(good, 9);
+    const auto released = authority.provision(report, good, 9, secret);
+    ASSERT_TRUE(released.has_value());
+    EXPECT_EQ(*released, secret);
+
+    const AttestationReport bad = authority.issue(measure("evil"), 9);
+    EXPECT_FALSE(authority.provision(bad, good, 9, secret).has_value());
+}
+
+// ---------------------------------------------------------------- sealing
+
+TEST(SealedBox, RoundTrip) {
+    SealedBox box(to_bytes("platform"), measure("enclave-v1"));
+    const Bytes data = to_bytes("session keys");
+    const Bytes sealed = box.seal(data);
+    EXPECT_NE(sealed, data);
+    const auto unsealed = box.unseal(sealed);
+    ASSERT_TRUE(unsealed.has_value());
+    EXPECT_EQ(*unsealed, data);
+}
+
+TEST(SealedBox, TamperingDetected) {
+    SealedBox box(to_bytes("platform"), measure("enclave-v1"));
+    Bytes sealed = box.seal(to_bytes("secret"));
+    sealed[sealed.size() / 2] ^= 1;
+    EXPECT_FALSE(box.unseal(sealed).has_value());
+}
+
+TEST(SealedBox, DifferentMeasurementCannotUnseal) {
+    SealedBox box_a(to_bytes("platform"), measure("enclave-v1"));
+    SealedBox box_b(to_bytes("platform"), measure("enclave-v2"));
+    const Bytes sealed = box_a.seal(to_bytes("secret"));
+    EXPECT_FALSE(box_b.unseal(sealed).has_value());
+}
+
+TEST(SealedBox, UniqueNoncesAcrossSeals) {
+    SealedBox box(to_bytes("platform"), measure("enclave-v1"));
+    const Bytes a = box.seal(to_bytes("same"));
+    const Bytes b = box.seal(to_bytes("same"));
+    EXPECT_NE(a, b);  // counter-based nonces differ
+}
+
+TEST(ExternalizedBlob, ValidatesAgainstTrustedHash) {
+    ExternalizedBlob blob;
+    const Bytes untrusted = blob.store(to_bytes("cache line"));
+    const auto loaded = blob.load(untrusted);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, to_bytes("cache line"));
+
+    Bytes tampered = untrusted;
+    tampered[0] ^= 1;
+    EXPECT_FALSE(blob.load(tampered).has_value());
+}
+
+TEST(ExternalizedBlob, EmptyUntilStored) {
+    ExternalizedBlob blob;
+    EXPECT_FALSE(blob.has_value());
+    EXPECT_FALSE(blob.load(to_bytes("anything")).has_value());
+}
+
+}  // namespace
+}  // namespace troxy::enclave

@@ -1,0 +1,379 @@
+// Hybster protocol unit tests: wire messages, configuration, and a bare
+// replica group driven without any client/Troxy machinery.
+#include <gtest/gtest.h>
+
+#include "apps/echo_service.hpp"
+#include "hybster/client.hpp"
+#include "hybster/config.hpp"
+#include "hybster/keys.hpp"
+#include "hybster/messages.hpp"
+#include "hybster/replica.hpp"
+#include "net/envelope.hpp"
+
+namespace troxy::hybster {
+namespace {
+
+// ----------------------------------------------------------------- config
+
+TEST(Config, QuorumAndLeader) {
+    Config config;
+    config.f = 1;
+    config.replicas = {10, 11, 12};
+    config.validate();
+    EXPECT_EQ(config.n(), 3);
+    EXPECT_EQ(config.quorum(), 2);
+    EXPECT_EQ(config.leader_of(0), 0u);
+    EXPECT_EQ(config.leader_of(1), 1u);
+    EXPECT_EQ(config.leader_of(3), 0u);
+    EXPECT_EQ(config.node_of(2), 12u);
+    EXPECT_EQ(config.replica_of(11), 1);
+    EXPECT_EQ(config.replica_of(99), -1);
+}
+
+TEST(Config, LargerGroups) {
+    Config config;
+    config.f = 2;
+    config.replicas = {1, 2, 3, 4, 5};
+    config.validate();
+    EXPECT_EQ(config.quorum(), 3);
+}
+
+// --------------------------------------------------------------- messages
+
+TEST(Messages, RequestRoundTrip) {
+    Request request;
+    request.id = {7, 42};
+    request.flags = Request::kFlagRead;
+    request.payload = to_bytes("payload");
+    request.auth.push_back(enclave::Certificate{});
+    request.auth.back().fill(0x11);
+
+    const Bytes wire = encode_message(Message(request));
+    const auto decoded = decode_message(wire);
+    ASSERT_TRUE(decoded.has_value());
+    const auto* out = std::get_if<Request>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->id, request.id);
+    EXPECT_TRUE(out->is_read());
+    EXPECT_FALSE(out->is_optimistic());
+    EXPECT_EQ(out->payload, request.payload);
+    ASSERT_EQ(out->auth.size(), 1u);
+    EXPECT_EQ(out->auth[0], request.auth[0]);
+}
+
+TEST(Messages, RequestDigestExcludesAuth) {
+    Request a;
+    a.id = {1, 2};
+    a.payload = to_bytes("x");
+    Request b = a;
+    b.auth.push_back(enclave::Certificate{});
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Messages, PrepareRoundTrip) {
+    Prepare prepare;
+    prepare.view = 3;
+    prepare.seq = 17;
+    prepare.replica = 0;
+    prepare.counter_value = 5;
+    prepare.request.id = {9, 1};
+    prepare.request.payload = to_bytes("req");
+    prepare.cert.fill(0x22);
+
+    const auto decoded = decode_message(encode_message(Message(prepare)));
+    ASSERT_TRUE(decoded.has_value());
+    const auto* out = std::get_if<Prepare>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->view, 3u);
+    EXPECT_EQ(out->seq, 17u);
+    EXPECT_EQ(out->counter_value, 5u);
+    EXPECT_EQ(out->request.payload, to_bytes("req"));
+}
+
+TEST(Messages, CommitReplyCheckpointRoundTrip) {
+    Commit commit;
+    commit.view = 1;
+    commit.seq = 2;
+    commit.replica = 2;
+    commit.counter_value = 2;
+    commit.request_digest = crypto::sha256(to_bytes("r"));
+    auto c = decode_message(encode_message(Message(commit)));
+    ASSERT_TRUE(c && std::holds_alternative<Commit>(*c));
+    EXPECT_EQ(std::get<Commit>(*c).request_digest, commit.request_digest);
+
+    Reply reply;
+    reply.kind = Reply::Kind::Optimistic;
+    reply.request_id = {5, 6};
+    reply.result = to_bytes("result");
+    reply.replica = 1;
+    auto r = decode_message(encode_message(Message(reply)));
+    ASSERT_TRUE(r && std::holds_alternative<Reply>(*r));
+    EXPECT_EQ(std::get<Reply>(*r).kind, Reply::Kind::Optimistic);
+    EXPECT_EQ(std::get<Reply>(*r).result, to_bytes("result"));
+
+    CheckpointMsg cp;
+    cp.seq = 128;
+    cp.replica = 0;
+    cp.state_digest = crypto::sha256(to_bytes("state"));
+    auto k = decode_message(encode_message(Message(cp)));
+    ASSERT_TRUE(k && std::holds_alternative<CheckpointMsg>(*k));
+    EXPECT_EQ(std::get<CheckpointMsg>(*k).seq, 128u);
+}
+
+TEST(Messages, ViewChangeNewViewRoundTrip) {
+    ViewChange vc;
+    vc.new_view = 2;
+    vc.replica = 1;
+    vc.last_stable = 64;
+    Prepare prepared;
+    prepared.view = 1;
+    prepared.seq = 65;
+    prepared.request.payload = to_bytes("pending");
+    vc.prepared.push_back(prepared);
+
+    auto v = decode_message(encode_message(Message(vc)));
+    ASSERT_TRUE(v && std::holds_alternative<ViewChange>(*v));
+    EXPECT_EQ(std::get<ViewChange>(*v).prepared.size(), 1u);
+
+    NewView nv;
+    nv.view = 2;
+    nv.replica = 2;
+    nv.start_seq = 65;
+    nv.proofs.push_back(vc);
+    nv.reproposed.push_back(prepared);
+    auto n = decode_message(encode_message(Message(nv)));
+    ASSERT_TRUE(n && std::holds_alternative<NewView>(*n));
+    EXPECT_EQ(std::get<NewView>(*n).proofs.size(), 1u);
+    EXPECT_EQ(std::get<NewView>(*n).reproposed.size(), 1u);
+}
+
+TEST(Messages, MalformedInputsRejected) {
+    EXPECT_FALSE(decode_message(Bytes{}).has_value());
+    EXPECT_FALSE(decode_message(Bytes{99}).has_value());
+    Bytes truncated = encode_message(Message(Request{}));
+    truncated.resize(truncated.size() - 3);
+    EXPECT_FALSE(decode_message(truncated).has_value());
+    Bytes trailing = encode_message(Message(Request{}));
+    trailing.push_back(0);
+    EXPECT_FALSE(decode_message(trailing).has_value());
+}
+
+TEST(Keys, PairwiseKeysDistinct) {
+    const Bytes master = to_bytes("master");
+    EXPECT_NE(client_replica_key(master, 1, 0),
+              client_replica_key(master, 1, 1));
+    EXPECT_NE(client_replica_key(master, 1, 0),
+              client_replica_key(master, 2, 0));
+    EXPECT_EQ(client_replica_key(master, 1, 0),
+              client_replica_key(master, 1, 0));
+}
+
+// ---------------------------------------------------- bare replica harness
+
+struct BareGroup {
+    sim::Simulator sim{123};
+    sim::Network network{sim};
+    net::Fabric fabric{sim, network};
+    Config config;
+    std::vector<std::unique_ptr<sim::Node>> nodes;
+    std::vector<std::unique_ptr<Replica>> replicas;
+    std::vector<Reply> delivered;  // replies that reached "the client"
+    sim::CostProfile profile = sim::CostProfile::java();
+
+    explicit BareGroup(int f = 1) {
+        config.f = f;
+        config.checkpoint_interval = 8;
+        config.view_change_timeout = sim::milliseconds(200);
+        const int n = 2 * f + 1;
+        for (int i = 0; i < n; ++i) {
+            config.replicas.push_back(static_cast<sim::NodeId>(i + 1));
+        }
+        const Bytes group_key = to_bytes("test-group-key");
+        for (int i = 0; i < n; ++i) {
+            nodes.push_back(std::make_unique<sim::Node>(
+                sim, config.replicas[static_cast<std::size_t>(i)],
+                "r" + std::to_string(i), 4));
+            auto trinx = std::make_shared<enclave::TrinX>(
+                static_cast<std::uint32_t>(i), group_key);
+
+            Replica::Hooks hooks;
+            hooks.verify_request = [](enclave::CostedCrypto&,
+                                      const Request&) { return true; };
+            hooks.deliver_reply = [this](enclave::CostedCrypto&,
+                                         net::Outbox&, const Request&,
+                                         Reply reply) {
+                delivered.push_back(std::move(reply));
+            };
+            replicas.push_back(std::make_unique<Replica>(
+                fabric, *nodes.back(), config,
+                static_cast<std::uint32_t>(i),
+                std::make_unique<apps::EchoService>(), std::move(trinx),
+                profile, std::move(hooks)));
+            auto* replica = replicas.back().get();
+            fabric.attach(config.replicas[static_cast<std::size_t>(i)],
+                          [replica](sim::NodeId from, Bytes message) {
+                              auto unwrapped = net::unwrap(message);
+                              if (!unwrapped) return;
+                              replica->on_message(from, unwrapped->second);
+                          });
+        }
+    }
+
+    Request make_request(std::uint64_t number, Bytes payload,
+                         std::uint8_t flags = 0) {
+        Request request;
+        request.id = {500, number};
+        request.flags = flags;
+        request.payload = std::move(payload);
+        return request;
+    }
+
+    /// Replies delivered by distinct replicas for a request number.
+    int replies_for(std::uint64_t number) {
+        std::set<std::uint32_t> replicas_seen;
+        for (const Reply& reply : delivered) {
+            if (reply.request_id.number == number) {
+                replicas_seen.insert(reply.replica);
+            }
+        }
+        return static_cast<int>(replicas_seen.size());
+    }
+};
+
+TEST(Replica, LeaderOrdersAndAllExecute) {
+    BareGroup group;
+    group.replicas[0]->submit(
+        group.make_request(1, apps::EchoService::make_write(1, 64)));
+    group.sim.run_until(sim::seconds(2));
+
+    for (const auto& replica : group.replicas) {
+        EXPECT_EQ(replica->last_executed(), 1u);
+    }
+    EXPECT_EQ(group.replies_for(1), 3);
+}
+
+TEST(Replica, FollowerForwardsToLeader) {
+    BareGroup group;
+    group.replicas[2]->submit(
+        group.make_request(1, apps::EchoService::make_write(1, 64)));
+    group.sim.run_until(sim::seconds(2));
+    EXPECT_EQ(group.replicas[0]->last_executed(), 1u);
+    EXPECT_EQ(group.replies_for(1), 3);
+}
+
+TEST(Replica, SequentialRequestsExecuteInOrder) {
+    BareGroup group;
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        group.replicas[0]->submit(
+            group.make_request(i, apps::EchoService::make_write(i % 3, 64)));
+    }
+    group.sim.run_until(sim::seconds(2));
+    for (const auto& replica : group.replicas) {
+        EXPECT_EQ(replica->last_executed(), 10u);
+    }
+    // Deterministic execution ⇒ identical state.
+    const Bytes snapshot = group.replicas[0]->service().checkpoint();
+    EXPECT_EQ(group.replicas[1]->service().checkpoint(), snapshot);
+    EXPECT_EQ(group.replicas[2]->service().checkpoint(), snapshot);
+}
+
+TEST(Replica, DuplicateRequestGetsReplyRetransmission) {
+    BareGroup group;
+    const Request request =
+        group.make_request(1, apps::EchoService::make_write(1, 64));
+    group.replicas[0]->submit(request);
+    group.sim.run_until(sim::seconds(1));
+    const std::size_t replies_before = group.delivered.size();
+
+    group.replicas[0]->submit(request);  // retransmission
+    group.sim.run_until(sim::seconds(2));
+    EXPECT_GT(group.delivered.size(), replies_before);
+    // But no double execution.
+    EXPECT_EQ(group.replicas[0]->last_executed(), 1u);
+}
+
+TEST(Replica, CheckpointsTruncateAndStabilize) {
+    BareGroup group;  // checkpoint interval 8
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+        group.replicas[0]->submit(
+            group.make_request(i, apps::EchoService::make_write(1, 32)));
+    }
+    group.sim.run_until(sim::seconds(3));
+    for (const auto& replica : group.replicas) {
+        EXPECT_EQ(replica->last_executed(), 20u);
+        EXPECT_GE(replica->last_stable(), 8u);
+    }
+}
+
+TEST(Replica, OptimisticReadDoesNotOrder) {
+    BareGroup group;
+    group.replicas[1]->execute_optimistic_read(group.make_request(
+        1, apps::EchoService::make_read(1, 32, 64),
+        Request::kFlagRead | Request::kFlagOptimistic));
+    group.sim.run_until(sim::seconds(1));
+    EXPECT_EQ(group.replicas[1]->last_executed(), 0u);
+    ASSERT_EQ(group.delivered.size(), 1u);
+    EXPECT_EQ(group.delivered[0].kind, Reply::Kind::Optimistic);
+}
+
+TEST(Replica, ViewChangeOnCrashedLeader) {
+    BareGroup group;
+    // Execute something first so all replicas are warm.
+    group.replicas[0]->submit(
+        group.make_request(1, apps::EchoService::make_write(1, 32)));
+    group.sim.run_until(sim::seconds(1));
+    ASSERT_EQ(group.replicas[1]->last_executed(), 1u);
+
+    // Crash the leader, then a follower receives a request and forwards
+    // it into the void — the progress timer must fire a view change.
+    FaultProfile crash;
+    crash.crashed = true;
+    group.replicas[0]->set_faults(crash);
+
+    group.replicas[1]->submit(
+        group.make_request(2, apps::EchoService::make_write(2, 32)));
+    group.sim.run_until(sim::seconds(5));
+
+    EXPECT_GT(group.replicas[1]->view(), 0u);
+    EXPECT_EQ(group.replicas[1]->last_executed(), 2u);
+    EXPECT_EQ(group.replicas[2]->last_executed(), 2u);
+    EXPECT_GE(group.replies_for(2), 2);
+}
+
+TEST(Replica, MutedLeaderTriggersViewChange) {
+    BareGroup group;
+    FaultProfile mute;
+    mute.mute_agreement = true;
+    group.replicas[0]->set_faults(mute);
+
+    // Follower forwards a request; the muted leader never proposes.
+    group.replicas[1]->submit(
+        group.make_request(1, apps::EchoService::make_write(1, 32)));
+    group.sim.run_until(sim::seconds(5));
+
+    EXPECT_GT(group.replicas[1]->view(), 0u);
+    EXPECT_EQ(group.replicas[1]->last_executed(), 1u);
+}
+
+TEST(Replica, FiveReplicaGroupToleratesTwoFaults) {
+    BareGroup group(2);  // n = 5
+    group.replicas[0]->submit(
+        group.make_request(1, apps::EchoService::make_write(1, 32)));
+    group.sim.run_until(sim::seconds(2));
+    EXPECT_EQ(group.replies_for(1), 5);
+
+    FaultProfile crash;
+    crash.crashed = true;
+    group.replicas[3]->set_faults(crash);
+    group.replicas[4]->set_faults(crash);
+
+    group.delivered.clear();
+    group.replicas[0]->submit(
+        group.make_request(2, apps::EchoService::make_write(1, 32)));
+    group.sim.run_until(sim::seconds(4));
+    EXPECT_EQ(group.replicas[0]->last_executed(), 2u);
+    EXPECT_EQ(group.replies_for(2), 3);  // the three alive replicas
+}
+
+}  // namespace
+}  // namespace troxy::hybster

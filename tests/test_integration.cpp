@@ -1,0 +1,349 @@
+// End-to-end integration: full clusters processing real workloads.
+#include <gtest/gtest.h>
+
+#include "apps/echo_service.hpp"
+#include "apps/kv_service.hpp"
+#include "bench_support/cluster.hpp"
+#include "bench_support/workload.hpp"
+#include "http/http.hpp"
+#include "http/page_service.hpp"
+
+namespace troxy {
+namespace {
+
+using apps::EchoService;
+using apps::KvService;
+
+troxy_core::Classifier echo_classifier() {
+    return [](ByteView request) {
+        return EchoService().classify(request);
+    };
+}
+
+bench::TroxyCluster::Params troxy_params(std::uint64_t seed = 7) {
+    bench::TroxyCluster::Params params;
+    params.base.seed = seed;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = echo_classifier();
+    return params;
+}
+
+// A legacy client can write and read through a Troxy-backed cluster and
+// observes linearizable results.
+TEST(Integration, TroxyEchoWriteThenRead) {
+    bench::TroxyCluster cluster(troxy_params());
+    auto& client = cluster.add_client(0);
+
+    Bytes read_reply;
+    bool done = false;
+    client.start([&]() {
+        client.send(EchoService::make_write(5, 256), [&](Bytes ack) {
+            ASSERT_FALSE(ack.empty());
+            client.send(EchoService::make_read(5, 64, 128),
+                        [&](Bytes reply) {
+                            read_reply = std::move(reply);
+                            done = true;
+                        });
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(10));
+
+    ASSERT_TRUE(done);
+    // One write happened → version 1.
+    EXPECT_EQ(read_reply, EchoService::expected_read_reply(5, 1, 128));
+}
+
+// All replicas execute the same request sequence (SMR safety).
+TEST(Integration, TroxyReplicasStayInSync) {
+    bench::TroxyCluster cluster(troxy_params());
+    auto& client = cluster.add_client(1);  // contact a follower
+
+    int remaining = 20;
+    client.start([&]() {
+        for (int i = 0; i < 20; ++i) {
+            client.send(EchoService::make_write(i % 3, 100),
+                        [&](Bytes) { --remaining; });
+        }
+    });
+    cluster.simulator().run_until(sim::seconds(10));
+    ASSERT_EQ(remaining, 0);
+
+    for (int r = 0; r < cluster.n(); ++r) {
+        EXPECT_EQ(cluster.host(r).replica().last_executed(), 20u)
+            << "replica " << r;
+    }
+    // Identical service state everywhere.
+    const Bytes snapshot0 = cluster.host(0).replica().service().checkpoint();
+    for (int r = 1; r < cluster.n(); ++r) {
+        EXPECT_EQ(cluster.host(r).replica().service().checkpoint(),
+                  snapshot0);
+    }
+}
+
+// Multiple clients against different contact replicas, interleaved
+// reads/writes; every read must return the value of the latest completed
+// write (checked via version monotonicity in the reply).
+TEST(Integration, TroxyMultipleClientsMultipleContacts) {
+    bench::TroxyCluster cluster(troxy_params(21));
+    std::vector<troxy_core::LegacyClient*> clients;
+    for (int i = 0; i < 6; ++i) clients.push_back(&cluster.add_client());
+
+    int completed = 0;
+    for (auto* client : clients) {
+        client->start([&completed, client]() {
+            client->send(EchoService::make_write(1, 64), [&completed,
+                                                          client](Bytes) {
+                client->send(EchoService::make_read(1, 32, 64),
+                             [&completed](Bytes reply) {
+                                 ASSERT_FALSE(reply.empty());
+                                 ++completed;
+                             });
+            });
+        });
+    }
+    cluster.simulator().run_until(sim::seconds(15));
+    EXPECT_EQ(completed, 6);
+}
+
+// The fast-read path serves repeated reads without ordering them.
+TEST(Integration, TroxyFastReadsHitCache) {
+    bench::TroxyCluster cluster(troxy_params(3));
+    auto& client = cluster.add_client(0);
+
+    int reads_done = 0;
+    std::function<void()> read_next;  // outlives the callbacks below
+    read_next = [&]() {
+        client.send(EchoService::make_read(9, 32, 256), [&](Bytes reply) {
+            EXPECT_EQ(reply, EchoService::expected_read_reply(9, 1, 256));
+            if (++reads_done < 10) read_next();
+        });
+    };
+    client.start([&]() {
+        // Write once, then read the same key repeatedly. The first read
+        // is ordered (cache fill), the rest go through the fast path.
+        client.send(EchoService::make_write(9, 64), [&](Bytes) {
+            read_next();
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(15));
+
+    ASSERT_EQ(reads_done, 10);
+    const auto status = cluster.host(0).troxy().status();
+    EXPECT_GT(status.fast_read_hits, 0u) << "fast path never taken";
+    // Ordered requests: 1 write + 1 cache-filling read (plus possibly a
+    // few early misses); far fewer than the 11 total operations.
+    EXPECT_LT(status.ordered_requests, 6u);
+}
+
+// A write in between invalidates the cache: the next read must see the
+// new version (linearizability of the fast-read cache, §IV-B).
+TEST(Integration, TroxyFastReadSeesLatestWrite) {
+    bench::TroxyCluster cluster(troxy_params(4));
+    auto& client = cluster.add_client(0);
+
+    bool done = false;
+    client.start([&]() {
+        client.send(EchoService::make_write(2, 64), [&](Bytes) {
+            client.send(EchoService::make_read(2, 32, 512), [&](Bytes r1) {
+                EXPECT_EQ(r1, EchoService::expected_read_reply(2, 1, 512));
+                client.send(EchoService::make_read(2, 32, 512),
+                            [&](Bytes r2) {
+                    EXPECT_EQ(r2,
+                              EchoService::expected_read_reply(2, 1, 512));
+                    client.send(EchoService::make_write(2, 64), [&](Bytes) {
+                        client.send(
+                            EchoService::make_read(2, 32, 512),
+                            [&](Bytes r3) {
+                                // Must reflect version 2, not the cached 1.
+                                EXPECT_EQ(
+                                    r3,
+                                    EchoService::expected_read_reply(2, 2,
+                                                                     512));
+                                done = true;
+                            });
+                    });
+                });
+            });
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(15));
+    EXPECT_TRUE(done);
+}
+
+// Baseline cluster with the traditional client-side library.
+TEST(Integration, BaselineWriteAndVotedReply) {
+    bench::BaselineCluster::Params params;
+    params.base.seed = 11;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    bench::BaselineCluster cluster(params);
+    auto& client = cluster.add_client();
+
+    Bytes reply;
+    bool done = false;
+    client.start([&]() {
+        client.invoke(EchoService::make_write(1, 128), false, [&](Bytes r) {
+            reply = std::move(r);
+            client.invoke(EchoService::make_read(1, 32, 64), true,
+                          [&](Bytes r2) {
+                              EXPECT_EQ(r2,
+                                        EchoService::expected_read_reply(
+                                            1, 1, 64));
+                              done = true;
+                          });
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(10));
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(reply.empty());
+}
+
+// Baseline with the PBFT-like read optimization: conflict-free reads
+// complete without ordering.
+TEST(Integration, BaselineOptimisticReads) {
+    bench::BaselineCluster::Params params;
+    params.base.seed = 12;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.optimistic_reads = true;
+    bench::BaselineCluster cluster(params);
+    auto& client = cluster.add_client();
+
+    int reads = 0;
+    std::function<void()> next;
+    next = [&]() {
+        client.invoke(EchoService::make_read(4, 32, 128), true,
+                      [&](Bytes reply) {
+                          EXPECT_EQ(reply, EchoService::expected_read_reply(
+                                               4, 1, 128));
+                          if (++reads < 5) next();
+                      });
+    };
+    client.start([&]() {
+        client.invoke(EchoService::make_write(4, 64), false,
+                      [&](Bytes) { next(); });
+    });
+    cluster.simulator().run_until(sim::seconds(10));
+    EXPECT_EQ(reads, 5);
+    EXPECT_EQ(client.read_conflicts(), 0u);
+    EXPECT_EQ(client.optimistic_attempts(), 5u);
+    // The optimistic reads must not have been ordered.
+    EXPECT_EQ(cluster.host(0).replica().last_executed(), 1u);
+}
+
+// Prophecy cluster end to end over PBFT.
+TEST(Integration, ProphecyServesHttp) {
+    bench::ProphecyCluster::Params params;
+    params.base.seed = 13;
+    params.service = []() { return std::make_unique<http::PageService>(8); };
+    params.classifier = http::PageService::classifier();
+    bench::ProphecyCluster cluster(params);
+    auto& client = cluster.add_client();
+
+    int done = 0;
+    client.start([&]() {
+        client.send(http::PageService::make_get(3), [&](Bytes response) {
+            auto parsed = http::parse_response(response);
+            ASSERT_TRUE(parsed.has_value());
+            EXPECT_EQ(parsed->status, 200);
+            EXPECT_EQ(to_string(parsed->body),
+                      http::PageService::initial_content(3));
+            ++done;
+            // Second GET of the same page exercises the sketch fast path.
+            client.send(http::PageService::make_get(3), [&](Bytes r2) {
+                auto p2 = http::parse_response(r2);
+                ASSERT_TRUE(p2.has_value());
+                EXPECT_EQ(p2->status, 200);
+                ++done;
+            });
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(15));
+    EXPECT_EQ(done, 2);
+    EXPECT_GE(cluster.middlebox().stats().fast_hits +
+                  cluster.middlebox().stats().ordered,
+              2u);
+}
+
+// Standalone server floor.
+TEST(Integration, StandaloneHttpServer) {
+    bench::StandaloneCluster::Params params;
+    params.base.seed = 14;
+    params.service = []() { return std::make_unique<http::PageService>(4); };
+    bench::StandaloneCluster cluster(params);
+    auto& client = cluster.add_client();
+
+    bool done = false;
+    client.start([&]() {
+        client.send(http::PageService::make_post(1, to_bytes("<p>new</p>")),
+                    [&](Bytes response) {
+                        auto parsed = http::parse_response(response);
+                        ASSERT_TRUE(parsed.has_value());
+                        client.send(http::PageService::make_get(1),
+                                    [&](Bytes r2) {
+                                        auto p2 = http::parse_response(r2);
+                                        ASSERT_TRUE(p2.has_value());
+                                        EXPECT_EQ(to_string(p2->body),
+                                                  "<p>new</p>");
+                                        done = true;
+                                    });
+                    });
+    });
+    cluster.simulator().run_until(sim::seconds(5));
+    EXPECT_TRUE(done);
+}
+
+// KV service through Troxy: full application-level round trip.
+TEST(Integration, TroxyKvStore) {
+    bench::TroxyCluster::Params params;
+    params.base.seed = 15;
+    params.service = []() { return std::make_unique<KvService>(); };
+    params.classifier = [](ByteView request) {
+        return KvService().classify(request);
+    };
+    bench::TroxyCluster cluster(std::move(params));
+    auto& client = cluster.add_client();
+
+    std::string got;
+    bool done = false;
+    client.start([&]() {
+        client.send(KvService::make_put("user:7", "alice"), [&](Bytes) {
+            client.send(KvService::make_get("user:7"), [&](Bytes value) {
+                got = to_string(value);
+                done = true;
+            });
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(10));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(got, "alice");
+}
+
+// Sustained closed-loop load through the full Troxy stack — unlike the
+// benchmarks this runs the *real* cryptography end to end.
+TEST(Integration, TroxySustainedLoad) {
+    bench::TroxyCluster cluster(troxy_params(16));
+    bench::Recorder recorder(sim::milliseconds(200), sim::milliseconds(800));
+    Rng rng(99);
+    bench::Workload workload(
+        cluster.simulator(), recorder,
+        [](Rng& r) {
+            bench::GeneratedRequest req;
+            const bool read = r.next_below(100) < 80;
+            req.is_read = read;
+            req.payload = read ? EchoService::make_read(r.next_below(8), 64,
+                                                        256)
+                               : EchoService::make_write(r.next_below(8), 64);
+            return req;
+        },
+        5);
+
+    std::vector<troxy_core::LegacyClient*> clients;
+    for (int i = 0; i < 4; ++i) clients.push_back(&cluster.add_client());
+    for (auto* client : clients) workload.drive_legacy(*client, 4);
+
+    cluster.simulator().run_until(recorder.window_end() + sim::seconds(3));
+    EXPECT_GT(recorder.completed(), 500u);
+    EXPECT_GT(recorder.throughput_per_sec(), 100.0);
+}
+
+}  // namespace
+}  // namespace troxy

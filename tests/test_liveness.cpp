@@ -1,0 +1,193 @@
+// Liveness mechanisms: retransmission timers, fast-read timeouts, view
+// changes under every deployment — the paths that only run when
+// something already went wrong.
+#include <gtest/gtest.h>
+
+#include "apps/echo_service.hpp"
+#include "bench_support/cluster.hpp"
+
+namespace troxy {
+namespace {
+
+using apps::EchoService;
+
+// Baseline client: a muted leader never orders; the client's retransmit
+// broadcast reaches the followers, whose progress timers force a view
+// change, and the original invocation completes.
+TEST(Liveness, BaselineClientRetransmitTriggersViewChange) {
+    bench::BaselineCluster::Params params;
+    params.base.seed = 501;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.client_retransmit = sim::milliseconds(600);
+    bench::BaselineCluster cluster(params);
+
+    hybster::FaultProfile mute;
+    mute.mute_agreement = true;
+    cluster.host(0).replica().set_faults(mute);
+
+    auto& client = cluster.add_client();
+    bool done = false;
+    client.start([&]() {
+        client.invoke(EchoService::make_write(1, 64), false,
+                      [&](Bytes) { done = true; });
+    });
+    cluster.simulator().run_until(sim::seconds(30));
+    EXPECT_TRUE(done);
+    EXPECT_GT(cluster.host(1).replica().view(), 0u);
+}
+
+// Troxy vote timer: replicas that withhold replies past the vote timeout
+// trigger retransmission; when they recover, the request completes
+// without client involvement.
+TEST(Liveness, TroxyVoteRetransmitAfterRecovery) {
+    bench::TroxyCluster::Params params;
+    params.base.seed = 502;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    params.host.vote_timeout = sim::milliseconds(300);
+    bench::TroxyCluster cluster(std::move(params));
+
+    // Both other replicas drop replies: the vote cannot complete (local
+    // reply alone is f, not f+1).
+    hybster::FaultProfile drop;
+    drop.drop_replies = true;
+    cluster.host(1).replica().set_faults(drop);
+    cluster.host(2).replica().set_faults(drop);
+
+    auto& client = cluster.add_client(0);
+    bool done = false;
+    client.start([&]() {
+        client.send(EchoService::make_write(1, 64),
+                    [&](Bytes) { done = true; });
+    });
+    cluster.simulator().run_until(sim::seconds(2));
+    EXPECT_FALSE(done) << "vote must be stuck while replies are dropped";
+
+    // One replica recovers; the next retransmit re-delivers its reply
+    // (the replica resends the stored reply for the duplicate request).
+    cluster.host(1).replica().set_faults(hybster::FaultProfile{});
+    cluster.simulator().run_until(sim::seconds(10));
+    EXPECT_TRUE(done);
+}
+
+// Fast-read timeout: a crashed remote Troxy cannot stall a fast read —
+// the timeout falls back to ordering and the client still gets the
+// correct (fresh) value.
+TEST(Liveness, FastReadTimeoutFallsBackToOrdering) {
+    bench::TroxyCluster::Params params;
+    params.base.seed = 503;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    params.host.fast_read_timeout = sim::milliseconds(30);
+    bench::TroxyCluster cluster(std::move(params));
+    auto& client = cluster.add_client(0);
+
+    // Warm the cache, then crash replica 1 AND replica 2's cache path by
+    // crashing their hosts entirely — remote queries go unanswered, but
+    // ordering still works with... no: with 2 crashed replicas nothing
+    // works. Crash exactly one; the fast read times out only when the
+    // random pick hits the crashed one, so loop a few reads.
+    int phase = 0;
+    client.start([&]() {
+        client.send(EchoService::make_write(4, 48), [&](Bytes) {
+            client.send(EchoService::make_read(4, 32, 64),
+                        [&](Bytes) { phase = 1; });
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(5));
+    ASSERT_EQ(phase, 1);
+
+    hybster::FaultProfile crash;
+    crash.crashed = true;
+    cluster.host(2).set_faults(crash);
+
+    int correct = 0;
+    constexpr int kReads = 8;
+    std::function<void(int)> loop;
+    loop = [&](int remaining) {
+        if (remaining == 0) return;
+        client.send(EchoService::make_read(4, 32, 64),
+                    [&, remaining](Bytes reply) {
+                        if (reply ==
+                            EchoService::expected_read_reply(4, 1, 64)) {
+                            ++correct;
+                        }
+                        loop(remaining - 1);
+                    });
+    };
+    loop(kReads);
+    cluster.simulator().run_until(sim::seconds(30));
+    EXPECT_EQ(correct, kReads);
+
+    // At least one of those reads must have hit the crashed replica and
+    // resolved via timeout fallback.
+    std::uint64_t conflicts = 0;
+    conflicts += cluster.host(0).troxy().status().fast_read_conflicts;
+    EXPECT_GE(conflicts, 1u);
+}
+
+// PBFT behind Prophecy: leader crash mid-session, middlebox retransmits,
+// view change completes, the HTTP client notices nothing.
+TEST(Liveness, ProphecySurvivesPbftViewChange) {
+    bench::ProphecyCluster::Params params;
+    params.base.seed = 504;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    bench::ProphecyCluster cluster(params);
+    auto& client = cluster.add_client();
+
+    bool warm = false;
+    client.start([&]() {
+        client.send(EchoService::make_write(1, 64),
+                    [&](Bytes) { warm = true; });
+    });
+    cluster.simulator().run_until(sim::seconds(5));
+    ASSERT_TRUE(warm);
+
+    hybster::FaultProfile crash;
+    crash.crashed = true;
+    cluster.replica(0).set_faults(crash);  // PBFT view-0 leader
+
+    bool done = false;
+    client.start([&]() {});  // no-op; connection already up
+    client.send(EchoService::make_write(1, 64),
+                [&](Bytes) { done = true; });
+    cluster.simulator().run_until(sim::seconds(40));
+    EXPECT_TRUE(done);
+    EXPECT_GT(cluster.replica(1).view(), 0u);
+}
+
+// The progress timer must be quiet when there is nothing pending: an
+// idle cluster executes no view changes, ever.
+TEST(Liveness, IdleClusterNeverSuspectsAnyone) {
+    bench::TroxyCluster::Params params;
+    params.base.seed = 505;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    bench::TroxyCluster cluster(std::move(params));
+    auto& client = cluster.add_client();
+
+    bool done = false;
+    client.start([&]() {
+        client.send(EchoService::make_write(1, 64),
+                    [&](Bytes) { done = true; });
+    });
+    // A long quiet period after one request.
+    cluster.simulator().run_until(sim::seconds(120));
+    ASSERT_TRUE(done);
+    for (int r = 0; r < cluster.n(); ++r) {
+        EXPECT_EQ(cluster.host(r).replica().view(), 0u);
+        EXPECT_EQ(cluster.host(r).replica().view_changes(), 0u);
+    }
+}
+
+}  // namespace
+}  // namespace troxy

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include "net/client_framing.hpp"
+#include "net/envelope.hpp"
+#include "net/fabric.hpp"
+#include "net/mac_table.hpp"
+#include "net/outbox.hpp"
+#include "net/secure_channel.hpp"
+
+namespace troxy::net {
+namespace {
+
+const sim::CostProfile kNative = sim::CostProfile::native();
+
+// ------------------------------------------------------------------ fabric
+
+TEST(Fabric, DeliversToAttachedHandler) {
+    sim::Simulator sim;
+    sim::Network network(sim);
+    Fabric fabric(sim, network);
+
+    Bytes received;
+    sim::NodeId sender = 0;
+    fabric.attach(2, [&](sim::NodeId from, Bytes message) {
+        sender = from;
+        received = std::move(message);
+    });
+    fabric.send(1, 2, to_bytes("hello"));
+    sim.run();
+    EXPECT_EQ(sender, 1u);
+    EXPECT_EQ(received, to_bytes("hello"));
+}
+
+TEST(Fabric, DropsForDetachedEndpoint) {
+    sim::Simulator sim;
+    sim::Network network(sim);
+    Fabric fabric(sim, network);
+
+    int delivered = 0;
+    fabric.attach(2, [&](sim::NodeId, Bytes) { ++delivered; });
+    fabric.send(1, 2, to_bytes("a"));
+    fabric.detach(2);  // crash before delivery
+    sim.run();
+    EXPECT_EQ(delivered, 0);
+}
+
+// ---------------------------------------------------------------- envelope
+
+TEST(Envelope, WrapUnwrapRoundTrip) {
+    const Bytes wrapped = wrap(Channel::TroxyCache, to_bytes("payload"));
+    const auto unwrapped = unwrap(wrapped);
+    ASSERT_TRUE(unwrapped.has_value());
+    EXPECT_EQ(unwrapped->first, Channel::TroxyCache);
+    EXPECT_EQ(unwrapped->second, to_bytes("payload"));
+}
+
+TEST(Envelope, RejectsUnknownChannelAndEmpty) {
+    EXPECT_FALSE(unwrap(Bytes{}).has_value());
+    EXPECT_FALSE(unwrap(Bytes{0xee, 1, 2}).has_value());
+}
+
+TEST(ClientFraming, RoundTrip) {
+    const Bytes framed = frame_client(ClientFrame::Record, to_bytes("data"));
+    const auto unframed = unframe_client(framed);
+    ASSERT_TRUE(unframed.has_value());
+    EXPECT_EQ(unframed->first, ClientFrame::Record);
+    EXPECT_EQ(unframed->second, to_bytes("data"));
+    EXPECT_FALSE(unframe_client(Bytes{}).has_value());
+    EXPECT_FALSE(unframe_client(Bytes{9}).has_value());
+}
+
+// ---------------------------------------------------------- secure channel
+
+struct Channels {
+    SecureChannelClient client;
+    SecureChannelServer server;
+};
+
+Channels establish() {
+    const crypto::X25519Keypair identity =
+        crypto::x25519_keypair_from_seed(to_bytes("server-identity"));
+    Channels channels{
+        SecureChannelClient(identity.public_key, to_bytes("client-seed")),
+        SecureChannelServer(identity)};
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto_ops(kNative, meter);
+    auto server_hello = channels.server.accept(
+        crypto_ops, channels.client.client_hello(), to_bytes("server-seed"));
+    EXPECT_TRUE(server_hello.has_value());
+    EXPECT_TRUE(channels.client.finish(*server_hello));
+    return channels;
+}
+
+TEST(SecureChannel, HandshakeEstablishesBothSides) {
+    Channels channels = establish();
+    EXPECT_TRUE(channels.client.established());
+    EXPECT_TRUE(channels.server.established());
+}
+
+TEST(SecureChannel, BidirectionalRecords) {
+    Channels channels = establish();
+    const Bytes request = to_bytes("GET /page/1");
+    auto at_server = channels.server.unprotect(channels.client.protect(request));
+    ASSERT_EQ(at_server.size(), 1u);
+    EXPECT_EQ(at_server[0], request);
+
+    const Bytes reply = to_bytes("<html>page</html>");
+    auto at_client = channels.client.unprotect(channels.server.protect(reply));
+    ASSERT_EQ(at_client.size(), 1u);
+    EXPECT_EQ(at_client[0], reply);
+}
+
+TEST(SecureChannel, ManyRecordsInOrder) {
+    Channels channels = establish();
+    for (int i = 0; i < 50; ++i) {
+        const Bytes msg = to_bytes("message " + std::to_string(i));
+        auto out = channels.server.unprotect(channels.client.protect(msg));
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out[0], msg);
+    }
+}
+
+TEST(SecureChannel, ReplayRejected) {
+    Channels channels = establish();
+    const Bytes record = channels.client.protect(to_bytes("once"));
+    EXPECT_EQ(channels.server.unprotect(record).size(), 1u);
+    // "each endpoint will never accept the same chunk of encrypted data
+    // twice" (§III-D)
+    EXPECT_TRUE(channels.server.unprotect(record).empty());
+}
+
+TEST(SecureChannel, ReplayOfBufferedRecordRejected) {
+    Channels channels = establish();
+    const Bytes first = channels.client.protect(to_bytes("1"));
+    const Bytes second = channels.client.protect(to_bytes("2"));
+    // `second` arrives early: buffered, not deliverable yet.
+    EXPECT_TRUE(channels.server.unprotect(second).empty());
+    // Replaying it while buffered must not deliver anything either.
+    EXPECT_TRUE(channels.server.unprotect(second).empty());
+    // The gap closes: both deliver, in order.
+    const auto delivered = channels.server.unprotect(first);
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_EQ(delivered[0], to_bytes("1"));
+    EXPECT_EQ(delivered[1], to_bytes("2"));
+    // And replaying after delivery is still rejected.
+    EXPECT_TRUE(channels.server.unprotect(second).empty());
+    EXPECT_TRUE(channels.server.unprotect(first).empty());
+}
+
+TEST(SecureChannel, OutOfOrderRecordsReassembled) {
+    Channels channels = establish();
+    std::vector<Bytes> records;
+    for (int i = 0; i < 5; ++i) {
+        records.push_back(
+            channels.client.protect(to_bytes("m" + std::to_string(i))));
+    }
+    // Deliver in scrambled order; output must be the original order.
+    std::vector<Bytes> delivered;
+    for (const int index : {2, 0, 4, 1, 3}) {
+        for (Bytes& msg : channels.server.unprotect(
+                 records[static_cast<std::size_t>(index)])) {
+            delivered.push_back(std::move(msg));
+        }
+    }
+    ASSERT_EQ(delivered.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(delivered[static_cast<std::size_t>(i)],
+                  to_bytes("m" + std::to_string(i)));
+    }
+}
+
+TEST(SecureChannel, RecordsBeyondWindowDropped) {
+    Channels channels = establish();
+    // Generate a record far beyond the receive window.
+    Bytes far;
+    for (std::uint64_t i = 0;
+         i <= net::RecordProtection::kReceiveWindow; ++i) {
+        far = channels.client.protect(to_bytes("x"));
+    }
+    EXPECT_TRUE(channels.server.unprotect(far).empty());
+}
+
+TEST(SecureChannel, TamperedRecordRejected) {
+    Channels channels = establish();
+    Bytes record = channels.client.protect(to_bytes("sensitive"));
+    record[record.size() - 1] ^= 1;
+    EXPECT_TRUE(channels.server.unprotect(record).empty());
+}
+
+TEST(SecureChannel, WrongServerIdentityDetected) {
+    // The client pins one key; a man-in-the-middle with a different
+    // identity cannot complete the handshake.
+    const crypto::X25519Keypair real =
+        crypto::x25519_keypair_from_seed(to_bytes("real-server"));
+    const crypto::X25519Keypair mitm =
+        crypto::x25519_keypair_from_seed(to_bytes("mitm"));
+
+    SecureChannelClient client(real.public_key, to_bytes("seed"));
+    SecureChannelServer attacker(mitm);
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto_ops(kNative, meter);
+    auto hello = attacker.accept(crypto_ops, client.client_hello(),
+                                 to_bytes("attacker-seed"));
+    ASSERT_TRUE(hello.has_value());
+    EXPECT_FALSE(client.finish(*hello));
+    EXPECT_FALSE(client.established());
+}
+
+TEST(SecureChannel, MalformedHandshakeRejected) {
+    const crypto::X25519Keypair identity =
+        crypto::x25519_keypair_from_seed(to_bytes("id"));
+    SecureChannelServer server(identity);
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto_ops(kNative, meter);
+    EXPECT_FALSE(server.accept(crypto_ops, to_bytes("short"),
+                               to_bytes("seed")).has_value());
+
+    SecureChannelClient client(identity.public_key, to_bytes("seed"));
+    EXPECT_FALSE(client.finish(to_bytes("bogus")));
+}
+
+TEST(SecureChannel, SessionsDifferAcrossHandshakes) {
+    Channels a = establish();
+    // Second handshake with a different client seed yields different keys:
+    // a record from one session must not decrypt in the other.
+    const crypto::X25519Keypair identity =
+        crypto::x25519_keypair_from_seed(to_bytes("server-identity"));
+    SecureChannelClient client2(identity.public_key, to_bytes("other-seed"));
+    SecureChannelServer server2(identity);
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto_ops(kNative, meter);
+    auto hello = server2.accept(crypto_ops, client2.client_hello(),
+                                to_bytes("server-seed-2"));
+    ASSERT_TRUE(hello.has_value());
+    ASSERT_TRUE(client2.finish(*hello));
+
+    const Bytes record = client2.protect(to_bytes("cross"));
+    EXPECT_TRUE(a.server.unprotect(record).empty());
+}
+
+// --------------------------------------------------------------- MacTable
+
+TEST(MacTable, SignAndVerify) {
+    MacTable table = MacTable::for_group(to_bytes("master"), {1, 2, 3});
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto_ops(kNative, meter);
+
+    const Bytes message = to_bytes("prepare");
+    const crypto::HmacTag tag = table.sign(crypto_ops, 1, 2, message);
+    EXPECT_TRUE(table.verify(crypto_ops, 1, 2, message, tag));
+    EXPECT_FALSE(table.verify(crypto_ops, 1, 3, message, tag));  // other link
+    EXPECT_FALSE(table.verify(crypto_ops, 1, 2, to_bytes("forged"), tag));
+}
+
+TEST(MacTable, DirectionBinding) {
+    MacTable table = MacTable::for_group(to_bytes("master"), {1, 2});
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto_ops(kNative, meter);
+    const Bytes message = to_bytes("m");
+    const crypto::HmacTag tag = table.sign(crypto_ops, 1, 2, message);
+    // Same pair, opposite direction: the frame differs, so it must fail.
+    EXPECT_FALSE(table.verify(crypto_ops, 2, 1, message, tag));
+}
+
+TEST(MacTable, MissingKey) {
+    MacTable table;
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto_ops(kNative, meter);
+    EXPECT_FALSE(table.has_key(1, 2));
+    EXPECT_FALSE(table.verify(crypto_ops, 1, 2, to_bytes("m"),
+                              crypto::HmacTag{}));
+}
+
+// ----------------------------------------------------------------- outbox
+
+TEST(Outbox, FlushSendsAfterMeteredCost) {
+    sim::Simulator sim;
+    sim::Network network(sim);
+    sim::LinkSpec instant;
+    instant.latency = sim::LatencyModel::constant(0);
+    instant.bandwidth_bits_per_sec = 1e15;
+    network.set_default_link(instant);
+    Fabric fabric(sim, network);
+    sim::Node node(sim, 1, "n", 1);
+
+    sim::SimTime delivered_at = 0;
+    fabric.attach(2, [&](sim::NodeId, Bytes) { delivered_at = sim.now(); });
+
+    Outbox outbox(fabric, node);
+    outbox.send(2, to_bytes("x"));
+    enclave::CostMeter meter;
+    meter.add(sim::microseconds(500));
+    outbox.flush(meter);
+    sim.run();
+    EXPECT_GE(delivered_at, sim::microseconds(500));
+    EXPECT_EQ(meter.total(), 0u);  // flush consumed the meter
+}
+
+TEST(Outbox, DeferredCallbacksRunAtFlushTime) {
+    sim::Simulator sim;
+    sim::Network network(sim);
+    Fabric fabric(sim, network);
+    sim::Node node(sim, 1, "n", 1);
+
+    Outbox outbox(fabric, node);
+    sim::SimTime ran_at = 0;
+    outbox.defer([&] { ran_at = sim.now(); });
+    enclave::CostMeter meter;
+    meter.add(sim::microseconds(100));
+    outbox.flush(meter);
+    sim.run();
+    EXPECT_EQ(ran_at, sim::microseconds(100));
+}
+
+}  // namespace
+}  // namespace troxy::net

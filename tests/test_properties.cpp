@@ -1,0 +1,303 @@
+// Property-based tests: linearizability of random concurrent histories
+// through the fast-read cache, the write-invalidation quorum invariant,
+// and parameterized sweeps over payload sizes and fault thresholds.
+#include <gtest/gtest.h>
+
+#include "apps/echo_service.hpp"
+#include "bench_support/cluster.hpp"
+#include "common/serialize.hpp"
+
+namespace troxy {
+namespace {
+
+using apps::EchoService;
+
+bench::TroxyCluster::Params make_params(std::uint64_t seed, int f = 1) {
+    bench::TroxyCluster::Params params;
+    params.base.seed = seed;
+    params.base.f = f;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    params.host.fast_read_timeout = sim::milliseconds(20);
+    return params;
+}
+
+/// Extracts the version from an EchoService write acknowledgement.
+std::uint64_t ack_version(const Bytes& ack) {
+    Reader r(ack);
+    EXPECT_EQ(r.u8(), 1);
+    return r.u64();
+}
+
+/// Recovers the version a read reply corresponds to by comparison with
+/// the deterministic expected contents; -1 if it matches none.
+std::int64_t read_version(const Bytes& reply, std::uint64_t key,
+                          std::size_t size, std::uint64_t max_version) {
+    for (std::uint64_t v = 0; v <= max_version; ++v) {
+        if (reply == EchoService::expected_read_reply(key, v, size)) {
+            return static_cast<std::int64_t>(v);
+        }
+    }
+    return -1;
+}
+
+// ------------------------------------------------------- linearizability
+
+// Random concurrent history on a single register (key), multiple clients,
+// mixed fast reads and writes. EchoService's versioned register makes the
+// linearizability check exact:
+//   * every read must return a version between (a) the highest version
+//     whose write COMPLETED before the read was invoked, and (b) the
+//     number of writes INVOKED before the read completed;
+//   * write acks must hand out versions 1..W exactly once.
+struct HistoryChecker {
+    std::uint64_t completed_version = 0;  // highest acked write version
+    std::uint64_t invoked_writes = 0;
+    std::vector<std::uint64_t> acked_versions;
+    int violations = 0;
+    int reads_done = 0;
+    int writes_done = 0;
+};
+
+TEST(Linearizability, RandomSingleKeyHistory) {
+    bench::TroxyCluster cluster(make_params(101));
+    HistoryChecker checker;
+    Rng rng(777);
+
+    constexpr std::uint64_t kKey = 4;
+    constexpr std::size_t kReadSize = 96;
+    constexpr int kOpsPerClient = 40;
+
+    std::vector<troxy_core::LegacyClient*> clients;
+    for (int i = 0; i < 4; ++i) clients.push_back(&cluster.add_client());
+
+    for (auto* client : clients) {
+        client->start([&checker, &rng, client, &cluster]() {
+            auto issue = std::make_shared<std::function<void(int)>>();
+            *issue = [&checker, &rng, client, issue](int remaining) {
+                if (remaining == 0) return;
+                const bool is_write = rng.next_below(100) < 30;
+                if (is_write) {
+                    ++checker.invoked_writes;
+                    client->send(
+                        EchoService::make_write(kKey, 48),
+                        [&checker, issue, remaining](Bytes ack) {
+                            const std::uint64_t version = ack_version(ack);
+                            checker.acked_versions.push_back(version);
+                            checker.completed_version =
+                                std::max(checker.completed_version, version);
+                            ++checker.writes_done;
+                            (*issue)(remaining - 1);
+                        });
+                } else {
+                    const std::uint64_t floor = checker.completed_version;
+                    client->send(
+                        EchoService::make_read(kKey, 32, kReadSize),
+                        [&checker, issue, remaining, floor](Bytes reply) {
+                            const std::uint64_t ceiling =
+                                checker.invoked_writes;
+                            const std::int64_t version = read_version(
+                                reply, kKey, kReadSize, ceiling + 1);
+                            if (version < static_cast<std::int64_t>(floor) ||
+                                version >
+                                    static_cast<std::int64_t>(ceiling)) {
+                                ++checker.violations;
+                            }
+                            ++checker.reads_done;
+                            (*issue)(remaining - 1);
+                        });
+                }
+            };
+            (*issue)(kOpsPerClient);
+        });
+    }
+
+    cluster.simulator().run_until(sim::seconds(120));
+    EXPECT_EQ(checker.reads_done + checker.writes_done,
+              4 * kOpsPerClient);
+    EXPECT_EQ(checker.violations, 0);
+
+    // Write versions must be exactly 1..W, no duplicates or gaps.
+    std::sort(checker.acked_versions.begin(), checker.acked_versions.end());
+    for (std::size_t i = 0; i < checker.acked_versions.size(); ++i) {
+        EXPECT_EQ(checker.acked_versions[i], i + 1);
+    }
+}
+
+// --------------------------------------------- quorum-invalidation invariant
+
+// §IV-B: when a write's reply reaches any client, at least f+1 Troxies
+// must have invalidated the cached entry, so at most f stale caches
+// remain — fewer than the f+1 matching entries a fast read needs.
+TEST(QuorumInvariant, StaleCachesNeverReachReadQuorum) {
+    bench::TroxyCluster cluster(make_params(102));
+    auto& client = cluster.add_client(0);
+
+    constexpr std::uint64_t kKey = 9;
+    const std::string state_key = "k9";
+    const int f = cluster.config().f;
+
+    int checks = 0;
+    client.start([&]() {
+        auto cycle = std::make_shared<std::function<void(int)>>();
+        *cycle = [&, cycle](int remaining) {
+            if (remaining == 0) return;
+            // Read (fills caches), then write (must invalidate a quorum).
+            client.send(EchoService::make_read(kKey, 32, 64), [&, cycle,
+                                                               remaining](
+                                                                  Bytes) {
+                const Bytes before_digest = crypto::sha256_bytes(
+                    EchoService::make_read(kKey, 32, 64));
+                client.send(EchoService::make_write(kKey, 48), [&, cycle,
+                                                                remaining](
+                                                                   Bytes) {
+                    // The write reply is visible NOW: count caches still
+                    // holding any entry for the key.
+                    int stale = 0;
+                    for (int r = 0; r < cluster.n(); ++r) {
+                        if (cluster.host(r).troxy().debug_cache_entry(
+                                state_key) != nullptr) {
+                            ++stale;
+                        }
+                    }
+                    EXPECT_LE(stale, f) << "write visible while " << stale
+                                        << " caches hold the old entry";
+                    ++checks;
+                    (*cycle)(remaining - 1);
+                });
+            });
+        };
+        (*cycle)(10);
+    });
+
+    cluster.simulator().run_until(sim::seconds(60));
+    EXPECT_EQ(checks, 10);
+}
+
+// ------------------------------------------------------ parameterized sweeps
+
+class PayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PayloadSweep, WriteAndReadRoundTripAtSize) {
+    const std::size_t size = GetParam();
+    bench::TroxyCluster cluster(make_params(103 + size));
+    auto& client = cluster.add_client();
+
+    bool done = false;
+    client.start([&]() {
+        client.send(EchoService::make_write(1, size), [&](Bytes ack) {
+            EXPECT_EQ(ack.size(), 10u);
+            client.send(EchoService::make_read(1, 32, size),
+                        [&](Bytes reply) {
+                            EXPECT_EQ(reply,
+                                      EchoService::expected_read_reply(
+                                          1, 1, size));
+                            done = true;
+                        });
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(10));
+    EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPayloadSizes, PayloadSweep,
+                         ::testing::Values(10, 256, 1024, 4096, 8192,
+                                           16384));
+
+class FaultToleranceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultToleranceSweep, GroupSizeScalesWithF) {
+    const int f = GetParam();
+    bench::TroxyCluster cluster(make_params(200 + static_cast<std::uint64_t>(f), f));
+    EXPECT_EQ(cluster.n(), 2 * f + 1);
+
+    auto& client = cluster.add_client();
+    bool done = false;
+    client.start([&]() {
+        client.send(EchoService::make_write(1, 64), [&](Bytes) {
+            client.send(EchoService::make_read(1, 32, 64), [&](Bytes reply) {
+                EXPECT_EQ(reply,
+                          EchoService::expected_read_reply(1, 1, 64));
+                done = true;
+            });
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(10));
+    EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(FOneToThree, FaultToleranceSweep,
+                         ::testing::Values(1, 2, 3));
+
+// Fast reads keep working at every f: the quorum is f+1 matching caches
+// (local + f remote).
+class FastReadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastReadSweep, FastPathServesRepeatedReads) {
+    const int f = GetParam();
+    bench::TroxyCluster cluster(
+        make_params(300 + static_cast<std::uint64_t>(f), f));
+    auto& client = cluster.add_client(0);
+
+    int reads = 0;
+    client.start([&]() {
+        client.send(EchoService::make_write(2, 48), [&](Bytes) {
+            auto loop = std::make_shared<std::function<void()>>();
+            *loop = [&, loop]() {
+                client.send(EchoService::make_read(2, 32, 128),
+                            [&, loop](Bytes reply) {
+                                EXPECT_EQ(
+                                    reply,
+                                    EchoService::expected_read_reply(2, 1,
+                                                                     128));
+                                if (++reads < 12) (*loop)();
+                            });
+            };
+            (*loop)();
+        });
+    });
+    cluster.simulator().run_until(sim::seconds(30));
+    ASSERT_EQ(reads, 12);
+    EXPECT_GT(cluster.host(0).troxy().status().fast_read_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossF, FastReadSweep, ::testing::Values(1, 2));
+
+// Deterministic replay: identical seeds produce identical event counts
+// and results — the foundation of every experiment in bench/.
+TEST(Determinism, IdenticalSeedsIdenticalRuns) {
+    auto run_once = [](std::uint64_t seed) {
+        bench::TroxyCluster cluster(make_params(seed));
+        auto& client = cluster.add_client();
+        std::vector<Bytes> replies;
+        client.start([&]() {
+            auto loop = std::make_shared<std::function<void(int)>>();
+            *loop = [&, loop](int remaining) {
+                if (remaining == 0) return;
+                client.send(EchoService::make_write(1, 64),
+                            [&, loop, remaining](Bytes ack) {
+                                replies.push_back(std::move(ack));
+                                (*loop)(remaining - 1);
+                            });
+            };
+            (*loop)(5);
+        });
+        cluster.simulator().run_until(sim::seconds(10));
+        return std::make_pair(cluster.simulator().executed_events(),
+                              replies);
+    };
+
+    const auto first = run_once(42);
+    const auto second = run_once(42);
+    const auto different = run_once(43);
+    EXPECT_EQ(first.first, second.first);
+    EXPECT_EQ(first.second, second.second);
+    EXPECT_EQ(first.second.size(), 5u);
+    // A different seed still completes but takes a different event path.
+    EXPECT_EQ(different.second.size(), 5u);
+}
+
+}  // namespace
+}  // namespace troxy

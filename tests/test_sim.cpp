@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace troxy::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.after(30, [&] { order.push_back(3); });
+    sim.after(10, [&] { order.push_back(1); });
+    sim.after(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, TiesBreakFifo) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.after(5, [&] { order.push_back(1); });
+    sim.after(5, [&] { order.push_back(2); });
+    sim.after(5, [&] { order.push_back(3); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, HandlersCanScheduleMore) {
+    Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&]() {
+        if (++count < 5) sim.after(10, tick);
+    };
+    sim.after(10, tick);
+    sim.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+    Simulator sim;
+    int executed = 0;
+    sim.after(10, [&] { ++executed; });
+    sim.after(20, [&] { ++executed; });
+    sim.after(30, [&] { ++executed; });
+    sim.run_until(20);
+    EXPECT_EQ(executed, 2);
+    EXPECT_EQ(sim.now(), 20u);
+    EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Node, SingleCoreSerializesWork) {
+    Simulator sim;
+    Node node(sim, 1, "n", 1);
+    std::vector<SimTime> completions;
+    node.exec(100, [&] { completions.push_back(sim.now()); });
+    node.exec(100, [&] { completions.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(completions[0], 100u);
+    EXPECT_EQ(completions[1], 200u);  // queued behind the first
+}
+
+TEST(Node, MultiCoreRunsInParallel) {
+    Simulator sim;
+    Node node(sim, 1, "n", 2);
+    std::vector<SimTime> completions;
+    node.exec(100, [&] { completions.push_back(sim.now()); });
+    node.exec(100, [&] { completions.push_back(sim.now()); });
+    node.exec(100, [&] { completions.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(completions.size(), 3u);
+    EXPECT_EQ(completions[0], 100u);
+    EXPECT_EQ(completions[1], 100u);  // second core
+    EXPECT_EQ(completions[2], 200u);  // queued
+}
+
+TEST(Node, BusyTimeAccumulates) {
+    Simulator sim;
+    Node node(sim, 1, "n", 4);
+    node.exec(50, [] {});
+    node.charge(70);
+    sim.run();
+    EXPECT_EQ(node.busy_time(), 120u);
+}
+
+TEST(Network, DeliversAfterLatency) {
+    Simulator sim;
+    Network network(sim);
+    LinkSpec spec;
+    spec.latency = LatencyModel::constant(milliseconds(5));
+    spec.bandwidth_bits_per_sec = 1e12;  // effectively no serialization
+    network.set_default_link(spec);
+
+    SimTime delivered = 0;
+    network.send(1, 2, 10, [&] { delivered = sim.now(); });
+    sim.run();
+    EXPECT_GE(delivered, milliseconds(5));
+    EXPECT_LT(delivered, milliseconds(6));
+}
+
+TEST(Network, SerializationDelayScalesWithSize) {
+    Simulator sim;
+    Network network(sim);
+    LinkSpec spec;
+    spec.latency = LatencyModel::constant(0);
+    spec.bandwidth_bits_per_sec = 1e9;  // 1 Gbps
+    network.set_default_link(spec);
+
+    SimTime small = 0, large = 0;
+    network.send(1, 2, 100, [&] { small = sim.now(); });
+    network.send(3, 4, 1'000'000, [&] { large = sim.now(); });
+    sim.run();
+    // 1 MB at 1 Gbps ≈ 8 ms.
+    EXPECT_GT(large, milliseconds(7));
+    EXPECT_LT(small, milliseconds(1));
+}
+
+TEST(Network, FifoPerDirectedPair) {
+    Simulator sim(5);
+    Network network(sim);
+    LinkSpec spec;
+    // High jitter would reorder without the FIFO guarantee.
+    spec.latency = LatencyModel::normal(milliseconds(10), milliseconds(5),
+                                        milliseconds(1));
+    network.set_default_link(spec);
+
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+        network.send(1, 2, 10, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Network, WanLatencyDistribution) {
+    Simulator sim(17);
+    Network network(sim);
+    network.set_default_link(LinkSpec::wan());
+
+    std::vector<SimTime> deliveries;
+    // Use distinct sender nodes so FIFO does not couple the samples.
+    for (std::uint32_t i = 0; i < 400; ++i) {
+        network.send(100 + i, 2, 10,
+                     [&deliveries, &sim] { deliveries.push_back(sim.now()); });
+    }
+    sim.run();
+    double sum = 0;
+    for (const SimTime t : deliveries) sum += to_millis(t);
+    const double mean = sum / static_cast<double>(deliveries.size());
+    EXPECT_NEAR(mean, 100.0, 5.0);  // 100 ± 20 ms distribution
+}
+
+TEST(Network, SharedNicSerializesMachineTraffic) {
+    Simulator sim;
+    Network network(sim);
+    LinkSpec spec;
+    spec.latency = LatencyModel::constant(0);
+    network.set_default_link(spec);
+    // Both senders on one machine with 1 Gbps.
+    network.set_nic_group(1, 7, 1e9);
+    network.set_nic_group(2, 7, 1e9);
+
+    SimTime first = 0, second = 0;
+    network.send(1, 10, 1'000'000, [&] { first = sim.now(); });
+    network.send(2, 11, 1'000'000, [&] { second = sim.now(); });
+    sim.run();
+    // Each 1 MB transfer needs ~8 ms; sharing the NIC serializes them.
+    EXPECT_GT(second, milliseconds(15));
+}
+
+TEST(CostProfile, JavaSlowerThanNative) {
+    const CostProfile java = CostProfile::java();
+    const CostProfile native = CostProfile::native();
+    EXPECT_GT(java.mac(4096), native.mac(4096));
+    EXPECT_GT(java.aead(4096), native.aead(4096));
+    EXPECT_GT(java.hash(4096), native.hash(4096));
+    // The gap must widen with payload size (per-byte dominance).
+    const double small_ratio = static_cast<double>(java.mac(64)) /
+                               static_cast<double>(native.mac(64));
+    const double large_ratio = static_cast<double>(java.mac(8192)) /
+                               static_cast<double>(native.mac(8192));
+    EXPECT_GT(large_ratio, small_ratio * 0.9);
+}
+
+TEST(EnclaveCosts, SgxProfileHasTransitions) {
+    const EnclaveCosts sgx = EnclaveCosts::sgx_v1();
+    EXPECT_GT(sgx.ecall_transition_ns, 0.0);
+    EXPECT_GT(sgx.epc_limit_bytes, 0u);
+    const EnclaveCosts free = EnclaveCosts::free();
+    EXPECT_EQ(free.ecall_transition_ns, 0.0);
+}
+
+TEST(LatencyModel, ConstantAndNormal) {
+    Rng rng(3);
+    const LatencyModel constant = LatencyModel::constant(milliseconds(10));
+    EXPECT_EQ(constant.sample(rng), milliseconds(10));
+
+    const LatencyModel normal =
+        LatencyModel::normal(milliseconds(100), milliseconds(20),
+                             milliseconds(50));
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_GE(normal.sample(rng), milliseconds(50));  // floor holds
+    }
+}
+
+}  // namespace
+}  // namespace troxy::sim
