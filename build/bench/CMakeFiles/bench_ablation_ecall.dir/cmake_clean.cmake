@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ecall.dir/bench_ablation_ecall.cpp.o"
+  "CMakeFiles/bench_ablation_ecall.dir/bench_ablation_ecall.cpp.o.d"
+  "bench_ablation_ecall"
+  "bench_ablation_ecall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ecall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

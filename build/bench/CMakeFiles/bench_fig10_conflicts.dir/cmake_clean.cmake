@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_conflicts.dir/bench_fig10_conflicts.cpp.o"
+  "CMakeFiles/bench_fig10_conflicts.dir/bench_fig10_conflicts.cpp.o.d"
+  "bench_fig10_conflicts"
+  "bench_fig10_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

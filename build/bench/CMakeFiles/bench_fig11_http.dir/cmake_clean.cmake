@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_http.dir/bench_fig11_http.cpp.o"
+  "CMakeFiles/bench_fig11_http.dir/bench_fig11_http.cpp.o.d"
+  "bench_fig11_http"
+  "bench_fig11_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

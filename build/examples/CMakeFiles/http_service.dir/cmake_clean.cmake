@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_service.dir/http_service.cpp.o"
+  "CMakeFiles/http_service.dir/http_service.cpp.o.d"
+  "http_service"
+  "http_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_support/CMakeFiles/troxy_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/troxy_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/troxy_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/troxy/CMakeFiles/troxy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/troxy_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybster/CMakeFiles/troxy_hybster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/troxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/enclave/CMakeFiles/troxy_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/troxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/troxy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/troxy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/echo_service.cpp" "src/apps/CMakeFiles/troxy_apps.dir/echo_service.cpp.o" "gcc" "src/apps/CMakeFiles/troxy_apps.dir/echo_service.cpp.o.d"
+  "/root/repo/src/apps/kv_service.cpp" "src/apps/CMakeFiles/troxy_apps.dir/kv_service.cpp.o" "gcc" "src/apps/CMakeFiles/troxy_apps.dir/kv_service.cpp.o.d"
+  "/root/repo/src/apps/mail_service.cpp" "src/apps/CMakeFiles/troxy_apps.dir/mail_service.cpp.o" "gcc" "src/apps/CMakeFiles/troxy_apps.dir/mail_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/troxy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybster/CMakeFiles/troxy_hybster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/troxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/enclave/CMakeFiles/troxy_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/troxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/troxy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

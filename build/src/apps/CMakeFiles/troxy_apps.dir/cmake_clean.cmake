@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_apps.dir/echo_service.cpp.o"
+  "CMakeFiles/troxy_apps.dir/echo_service.cpp.o.d"
+  "CMakeFiles/troxy_apps.dir/kv_service.cpp.o"
+  "CMakeFiles/troxy_apps.dir/kv_service.cpp.o.d"
+  "CMakeFiles/troxy_apps.dir/mail_service.cpp.o"
+  "CMakeFiles/troxy_apps.dir/mail_service.cpp.o.d"
+  "libtroxy_apps.a"
+  "libtroxy_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

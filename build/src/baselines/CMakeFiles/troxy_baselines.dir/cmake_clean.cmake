@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_baselines.dir/baseline_host.cpp.o"
+  "CMakeFiles/troxy_baselines.dir/baseline_host.cpp.o.d"
+  "CMakeFiles/troxy_baselines.dir/pbft.cpp.o"
+  "CMakeFiles/troxy_baselines.dir/pbft.cpp.o.d"
+  "CMakeFiles/troxy_baselines.dir/prophecy.cpp.o"
+  "CMakeFiles/troxy_baselines.dir/prophecy.cpp.o.d"
+  "libtroxy_baselines.a"
+  "libtroxy_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtroxy_baselines.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_bench_support.dir/cluster.cpp.o"
+  "CMakeFiles/troxy_bench_support.dir/cluster.cpp.o.d"
+  "CMakeFiles/troxy_bench_support.dir/experiments.cpp.o"
+  "CMakeFiles/troxy_bench_support.dir/experiments.cpp.o.d"
+  "CMakeFiles/troxy_bench_support.dir/stats.cpp.o"
+  "CMakeFiles/troxy_bench_support.dir/stats.cpp.o.d"
+  "CMakeFiles/troxy_bench_support.dir/workload.cpp.o"
+  "CMakeFiles/troxy_bench_support.dir/workload.cpp.o.d"
+  "libtroxy_bench_support.a"
+  "libtroxy_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_common.dir/bytes.cpp.o"
+  "CMakeFiles/troxy_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/troxy_common.dir/log.cpp.o"
+  "CMakeFiles/troxy_common.dir/log.cpp.o.d"
+  "CMakeFiles/troxy_common.dir/rng.cpp.o"
+  "CMakeFiles/troxy_common.dir/rng.cpp.o.d"
+  "libtroxy_common.a"
+  "libtroxy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_crypto.dir/aead.cpp.o"
+  "CMakeFiles/troxy_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/troxy_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/troxy_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/troxy_crypto.dir/fastmode.cpp.o"
+  "CMakeFiles/troxy_crypto.dir/fastmode.cpp.o.d"
+  "CMakeFiles/troxy_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/troxy_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/troxy_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/troxy_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/troxy_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/troxy_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/troxy_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/troxy_crypto.dir/x25519.cpp.o.d"
+  "libtroxy_crypto.a"
+  "libtroxy_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

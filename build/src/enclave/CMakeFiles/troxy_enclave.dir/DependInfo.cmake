@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enclave/attestation.cpp" "src/enclave/CMakeFiles/troxy_enclave.dir/attestation.cpp.o" "gcc" "src/enclave/CMakeFiles/troxy_enclave.dir/attestation.cpp.o.d"
+  "/root/repo/src/enclave/gate.cpp" "src/enclave/CMakeFiles/troxy_enclave.dir/gate.cpp.o" "gcc" "src/enclave/CMakeFiles/troxy_enclave.dir/gate.cpp.o.d"
+  "/root/repo/src/enclave/meter.cpp" "src/enclave/CMakeFiles/troxy_enclave.dir/meter.cpp.o" "gcc" "src/enclave/CMakeFiles/troxy_enclave.dir/meter.cpp.o.d"
+  "/root/repo/src/enclave/sealed.cpp" "src/enclave/CMakeFiles/troxy_enclave.dir/sealed.cpp.o" "gcc" "src/enclave/CMakeFiles/troxy_enclave.dir/sealed.cpp.o.d"
+  "/root/repo/src/enclave/trinx.cpp" "src/enclave/CMakeFiles/troxy_enclave.dir/trinx.cpp.o" "gcc" "src/enclave/CMakeFiles/troxy_enclave.dir/trinx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/troxy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/troxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/troxy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

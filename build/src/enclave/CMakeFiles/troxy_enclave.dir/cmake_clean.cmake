@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_enclave.dir/attestation.cpp.o"
+  "CMakeFiles/troxy_enclave.dir/attestation.cpp.o.d"
+  "CMakeFiles/troxy_enclave.dir/gate.cpp.o"
+  "CMakeFiles/troxy_enclave.dir/gate.cpp.o.d"
+  "CMakeFiles/troxy_enclave.dir/meter.cpp.o"
+  "CMakeFiles/troxy_enclave.dir/meter.cpp.o.d"
+  "CMakeFiles/troxy_enclave.dir/sealed.cpp.o"
+  "CMakeFiles/troxy_enclave.dir/sealed.cpp.o.d"
+  "CMakeFiles/troxy_enclave.dir/trinx.cpp.o"
+  "CMakeFiles/troxy_enclave.dir/trinx.cpp.o.d"
+  "libtroxy_enclave.a"
+  "libtroxy_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

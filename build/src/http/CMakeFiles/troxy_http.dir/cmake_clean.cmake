@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_http.dir/http.cpp.o"
+  "CMakeFiles/troxy_http.dir/http.cpp.o.d"
+  "CMakeFiles/troxy_http.dir/page_service.cpp.o"
+  "CMakeFiles/troxy_http.dir/page_service.cpp.o.d"
+  "CMakeFiles/troxy_http.dir/standalone_server.cpp.o"
+  "CMakeFiles/troxy_http.dir/standalone_server.cpp.o.d"
+  "libtroxy_http.a"
+  "libtroxy_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_hybster.dir/client.cpp.o"
+  "CMakeFiles/troxy_hybster.dir/client.cpp.o.d"
+  "CMakeFiles/troxy_hybster.dir/messages.cpp.o"
+  "CMakeFiles/troxy_hybster.dir/messages.cpp.o.d"
+  "CMakeFiles/troxy_hybster.dir/replica.cpp.o"
+  "CMakeFiles/troxy_hybster.dir/replica.cpp.o.d"
+  "libtroxy_hybster.a"
+  "libtroxy_hybster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_hybster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_net.dir/fabric.cpp.o"
+  "CMakeFiles/troxy_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/troxy_net.dir/mac_table.cpp.o"
+  "CMakeFiles/troxy_net.dir/mac_table.cpp.o.d"
+  "CMakeFiles/troxy_net.dir/secure_channel.cpp.o"
+  "CMakeFiles/troxy_net.dir/secure_channel.cpp.o.d"
+  "libtroxy_net.a"
+  "libtroxy_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

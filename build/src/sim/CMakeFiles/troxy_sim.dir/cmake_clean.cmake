@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_sim.dir/cost.cpp.o"
+  "CMakeFiles/troxy_sim.dir/cost.cpp.o.d"
+  "CMakeFiles/troxy_sim.dir/network.cpp.o"
+  "CMakeFiles/troxy_sim.dir/network.cpp.o.d"
+  "CMakeFiles/troxy_sim.dir/node.cpp.o"
+  "CMakeFiles/troxy_sim.dir/node.cpp.o.d"
+  "CMakeFiles/troxy_sim.dir/simulator.cpp.o"
+  "CMakeFiles/troxy_sim.dir/simulator.cpp.o.d"
+  "libtroxy_sim.a"
+  "libtroxy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/troxy/cache.cpp" "src/troxy/CMakeFiles/troxy_core.dir/cache.cpp.o" "gcc" "src/troxy/CMakeFiles/troxy_core.dir/cache.cpp.o.d"
+  "/root/repo/src/troxy/cache_messages.cpp" "src/troxy/CMakeFiles/troxy_core.dir/cache_messages.cpp.o" "gcc" "src/troxy/CMakeFiles/troxy_core.dir/cache_messages.cpp.o.d"
+  "/root/repo/src/troxy/enclave.cpp" "src/troxy/CMakeFiles/troxy_core.dir/enclave.cpp.o" "gcc" "src/troxy/CMakeFiles/troxy_core.dir/enclave.cpp.o.d"
+  "/root/repo/src/troxy/host.cpp" "src/troxy/CMakeFiles/troxy_core.dir/host.cpp.o" "gcc" "src/troxy/CMakeFiles/troxy_core.dir/host.cpp.o.d"
+  "/root/repo/src/troxy/legacy_client.cpp" "src/troxy/CMakeFiles/troxy_core.dir/legacy_client.cpp.o" "gcc" "src/troxy/CMakeFiles/troxy_core.dir/legacy_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/troxy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/troxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/troxy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/enclave/CMakeFiles/troxy_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/troxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybster/CMakeFiles/troxy_hybster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

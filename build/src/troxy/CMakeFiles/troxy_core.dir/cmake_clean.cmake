@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troxy_core.dir/cache.cpp.o"
+  "CMakeFiles/troxy_core.dir/cache.cpp.o.d"
+  "CMakeFiles/troxy_core.dir/cache_messages.cpp.o"
+  "CMakeFiles/troxy_core.dir/cache_messages.cpp.o.d"
+  "CMakeFiles/troxy_core.dir/enclave.cpp.o"
+  "CMakeFiles/troxy_core.dir/enclave.cpp.o.d"
+  "CMakeFiles/troxy_core.dir/host.cpp.o"
+  "CMakeFiles/troxy_core.dir/host.cpp.o.d"
+  "CMakeFiles/troxy_core.dir/legacy_client.cpp.o"
+  "CMakeFiles/troxy_core.dir/legacy_client.cpp.o.d"
+  "libtroxy_core.a"
+  "libtroxy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troxy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

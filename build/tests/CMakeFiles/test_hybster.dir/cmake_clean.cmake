@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybster.dir/test_hybster.cpp.o"
+  "CMakeFiles/test_hybster.dir/test_hybster.cpp.o.d"
+  "test_hybster"
+  "test_hybster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_details.dir/test_protocol_details.cpp.o"
+  "CMakeFiles/test_protocol_details.dir/test_protocol_details.cpp.o.d"
+  "test_protocol_details"
+  "test_protocol_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

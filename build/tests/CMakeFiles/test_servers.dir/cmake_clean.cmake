@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_servers.dir/test_servers.cpp.o"
+  "CMakeFiles/test_servers.dir/test_servers.cpp.o.d"
+  "test_servers"
+  "test_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_troxy.dir/test_troxy.cpp.o"
+  "CMakeFiles/test_troxy.dir/test_troxy.cpp.o.d"
+  "test_troxy"
+  "test_troxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_troxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
