@@ -1,0 +1,234 @@
+#include "bench_support/chaos.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "apps/echo_service.hpp"
+#include "bench_support/cluster.hpp"
+#include "common/serialize.hpp"
+
+namespace troxy::bench {
+
+namespace {
+
+using apps::EchoService;
+
+/// Linearizability checking state for the echo service: a per-key
+/// low-water mark of versions the clients have collectively observed as
+/// committed. Any later reply must be at or above the mark that held when
+/// its request was issued — a write must install a strictly newer
+/// version, a read must return one at least as new.
+struct Checker {
+    std::map<std::uint64_t, std::uint64_t> committed;  // key → version
+    std::map<std::uint64_t, std::uint64_t> writes_issued;
+};
+
+struct PendingOp {
+    bool is_write = false;
+    std::uint64_t key = 0;
+    std::uint64_t floor = 0;  // committed[key] at invocation
+};
+
+struct ClientDriver {
+    troxy_core::LegacyClient* client = nullptr;
+    Rng rng{0};
+    int remaining = 0;
+    PendingOp pending;
+};
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosOptions& options) {
+    ChaosReport report;
+
+    TroxyCluster::Params params;
+    params.base.seed = options.seed;
+    params.base.checkpoint_interval = options.checkpoint_interval;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    // Fast recovery timeouts so crash/partition windows of a few seconds
+    // are survivable well inside the horizon.
+    params.host.vote_timeout = sim::milliseconds(300);
+    params.host.fast_read_timeout = sim::milliseconds(30);
+    params.client.connection_timeout = sim::milliseconds(500);
+    params.client.backoff_cap = sim::milliseconds(2000);
+
+    TroxyCluster cluster(params);
+
+    // Fault schedule: explicit plan, or a seeded random one.
+    sim::FaultPlan plan = options.plan;
+    if (plan.empty()) {
+        Rng plan_rng = Rng(options.seed).fork(0x63686173);
+        sim::FaultPlan::RandomOptions random;
+        random.start = options.fault_start;
+        random.heal_by = options.heal_by;
+        random.hosts = cluster.n();
+        random.max_concurrent_crashes = cluster.config().f;
+        random.nodes = cluster.config().replicas;
+        random.crash_events = options.crash_events;
+        random.partition_events = options.partition_events;
+        random.link_flap_events = options.link_flap_events;
+        random.loss_events = options.loss_events;
+        random.max_loss = options.max_loss;
+        plan = sim::FaultPlan::random(plan_rng, random);
+    }
+    report.plan_trace = plan.describe();
+    plan.schedule(
+        cluster.simulator(), cluster.network(),
+        [&cluster](int host) { cluster.crash_host(host); },
+        [&cluster](int host) { cluster.restart_host(host); });
+
+    // Closed-loop workload: each client keeps one request in flight.
+    Checker checker;
+    Rng workload_rng = Rng(options.seed).fork(0x776f726b);
+    std::vector<std::unique_ptr<ClientDriver>> drivers;
+    report.issued = static_cast<std::uint64_t>(options.clients) *
+                    static_cast<std::uint64_t>(options.requests_per_client);
+
+    std::function<void(ClientDriver*)> issue = [&](ClientDriver* driver) {
+        if (driver->remaining == 0) return;
+        --driver->remaining;
+
+        PendingOp op;
+        op.key = driver->rng.next_below(
+            static_cast<std::uint64_t>(std::max(options.keys, 1)));
+        op.is_write =
+            driver->rng.next_double() < options.write_fraction;
+        op.floor = checker.committed[op.key];
+        driver->pending = op;
+        if (op.is_write) ++checker.writes_issued[op.key];
+
+        Bytes request =
+            op.is_write ? EchoService::make_write(op.key, 64)
+                        : EchoService::make_read(op.key, 32,
+                                                 options.reply_size);
+        driver->client->send(std::move(request), [&, driver](Bytes reply) {
+            const PendingOp done = driver->pending;
+            ++report.completed;
+
+            if (done.is_write) {
+                // Ack: u8(1) || u64(version) || padding to 10 bytes.
+                bool valid = reply.size() == 10 && reply[0] == 1;
+                std::uint64_t version = 0;
+                if (valid) {
+                    Reader r(ByteView(reply.data() + 1, 8));
+                    version = r.u64();
+                    valid = version > done.floor;
+                }
+                if (!valid) {
+                    ++report.violations;
+                    report.errors.push_back(
+                        "write to key " + std::to_string(done.key) +
+                        " acked version " + std::to_string(version) +
+                        " but " + std::to_string(done.floor) +
+                        " was already committed at invocation");
+                } else {
+                    auto& low = checker.committed[done.key];
+                    low = std::max(low, version);
+                }
+            } else {
+                // A read must reflect some version between the committed
+                // floor at invocation and the newest version any
+                // re-execution could have installed (each issued write can
+                // run more than once under failover retries, hence the
+                // generous upper bound).
+                const std::uint64_t ceiling =
+                    done.floor + 2 * checker.writes_issued[done.key] + 64;
+                bool valid = false;
+                for (std::uint64_t v = done.floor; v <= ceiling; ++v) {
+                    if (reply == EchoService::expected_read_reply(
+                                     done.key, v, options.reply_size)) {
+                        valid = true;
+                        auto& low = checker.committed[done.key];
+                        low = std::max(low, v);
+                        break;
+                    }
+                }
+                if (!valid) {
+                    ++report.violations;
+                    report.errors.push_back(
+                        "read of key " + std::to_string(done.key) +
+                        " returned a stale or unknown version (floor " +
+                        std::to_string(done.floor) + ")");
+                }
+            }
+            const auto think = std::max<sim::Duration>(
+                static_cast<sim::Duration>(driver->rng.next_exponential(
+                    static_cast<double>(options.think_time))),
+                1);
+            cluster.simulator().after(think,
+                                      [&issue, driver]() { issue(driver); });
+        });
+    };
+
+    for (int c = 0; c < options.clients; ++c) {
+        auto driver = std::make_unique<ClientDriver>();
+        driver->rng = workload_rng.fork(static_cast<std::uint64_t>(c) + 1);
+        driver->remaining = options.requests_per_client;
+        driver->client = &cluster.add_client(c % cluster.n());
+        drivers.push_back(std::move(driver));
+    }
+    for (auto& driver : drivers) {
+        ClientDriver* raw = driver.get();
+        raw->client->start([&issue, raw]() { issue(raw); });
+    }
+
+    cluster.simulator().run_until(options.horizon);
+
+    // Convergence: after the drain window a quorum must agree on one
+    // service state at the highest executed sequence number.
+    hybster::SequenceNumber max_executed = 0;
+    for (int i = 0; i < cluster.n(); ++i) {
+        max_executed = std::max(max_executed,
+                                cluster.host(i).replica().last_executed());
+    }
+    int at_tip = 0;
+    Bytes tip_state;
+    bool tip_diverged = false;
+    for (int i = 0; i < cluster.n(); ++i) {
+        auto& replica = cluster.host(i).replica();
+        if (replica.last_executed() != max_executed) continue;
+        const Bytes state = replica.service().checkpoint();
+        if (at_tip == 0) {
+            tip_state = state;
+        } else if (state != tip_state) {
+            tip_diverged = true;
+        }
+        ++at_tip;
+    }
+    if (at_tip < cluster.config().quorum()) {
+        ++report.violations;
+        report.errors.push_back(
+            "only " + std::to_string(at_tip) +
+            " replicas reached sequence " + std::to_string(max_executed) +
+            " (quorum is " + std::to_string(cluster.config().quorum()) +
+            ")");
+    }
+    if (tip_diverged) {
+        ++report.violations;
+        report.errors.push_back(
+            "replicas at sequence " + std::to_string(max_executed) +
+            " disagree on the service state");
+    }
+
+    for (auto& driver : drivers) {
+        report.failovers += driver->client->failovers();
+    }
+    for (int i = 0; i < cluster.n(); ++i) {
+        auto& host = cluster.host(i);
+        report.view_changes =
+            std::max(report.view_changes, host.replica().view_changes());
+        report.state_transfers += host.replica().state_transfers();
+        report.restarts += host.restarts();
+    }
+    report.messages_sent = cluster.network().messages_sent();
+    report.bytes_sent = cluster.network().bytes_sent();
+    report.drops = cluster.network().drops();
+    return report;
+}
+
+}  // namespace troxy::bench

@@ -107,6 +107,8 @@ sim::Node& ClusterBase::make_client_node(const std::string& name) {
 // ----------------------------------------------------------- TroxyCluster
 
 TroxyCluster::TroxyCluster(Params params) : ClusterBase(params.base) {
+    service_factory_ = params.service;
+    client_options_ = params.client;
     config_.f = options_.f;
     config_.checkpoint_interval = options_.checkpoint_interval;
     const int n = 2 * options_.f + 1;
@@ -152,7 +154,7 @@ troxy_core::LegacyClient& TroxyCluster::add_client(int contact) {
 
     clients_.push_back(std::make_unique<troxy_core::LegacyClient>(
         fabric_, node, std::move(servers), std::move(keys), java_,
-        troxy_core::LegacyClient::Options{}));
+        client_options_));
     auto* client = clients_.back().get();
     fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
         auto unwrapped = net::unwrap(message);
@@ -160,6 +162,14 @@ troxy_core::LegacyClient& TroxyCluster::add_client(int contact) {
         client->on_message(from, unwrapped->second);
     });
     return *client;
+}
+
+void TroxyCluster::crash_host(int replica) {
+    hosts_.at(static_cast<std::size_t>(replica))->crash();
+}
+
+void TroxyCluster::restart_host(int replica) {
+    hosts_.at(static_cast<std::size_t>(replica))->restart(service_factory_());
 }
 
 // -------------------------------------------------------- BaselineCluster

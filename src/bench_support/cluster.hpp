@@ -93,6 +93,7 @@ class TroxyCluster : public ClusterBase {
         hybster::ServiceFactory service;
         troxy_core::Classifier classifier;
         troxy_core::TroxyReplicaHost::Options host;
+        troxy_core::LegacyClient::Options client;
         bool ctroxy = false;  // run the Troxy outside the enclave
     };
 
@@ -110,6 +111,12 @@ class TroxyCluster : public ClusterBase {
     /// round-robin when negative); failover list covers all replicas.
     troxy_core::LegacyClient& add_client(int contact = -1);
 
+    /// Whole-host crash/restart; restart hands the host a fresh service
+    /// instance from the cluster's factory, after which the replica
+    /// rejoins via checkpoint state transfer.
+    void crash_host(int replica);
+    void restart_host(int replica);
+
     [[nodiscard]] std::vector<troxy_core::LegacyClient*> clients() {
         std::vector<troxy_core::LegacyClient*> out;
         for (auto& c : clients_) out.push_back(c.get());
@@ -118,6 +125,8 @@ class TroxyCluster : public ClusterBase {
 
   private:
     hybster::Config config_;
+    hybster::ServiceFactory service_factory_;
+    troxy_core::LegacyClient::Options client_options_;
     std::vector<crypto::X25519Keypair> identities_;
     std::vector<std::unique_ptr<troxy_core::TroxyReplicaHost>> hosts_;
     std::vector<std::unique_ptr<troxy_core::LegacyClient>> clients_;

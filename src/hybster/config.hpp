@@ -28,6 +28,10 @@ struct Config {
     /// before suspecting the leader.
     sim::Duration view_change_timeout = sim::milliseconds(500);
 
+    /// Retry interval for checkpoint state transfer while a restarted or
+    /// lagging replica waits for f+1 matching snapshots.
+    sim::Duration state_transfer_retry = sim::milliseconds(250);
+
     [[nodiscard]] int n() const noexcept {
         return static_cast<int>(replicas.size());
     }

@@ -276,6 +276,71 @@ NewView NewView::decode(Reader& r) {
     return nv;
 }
 
+// ----------------------------------------------------------- StateRequest
+
+Bytes StateRequest::certified_view() const {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(MsgType::StateRequest));
+    w.u32(replica);
+    w.u64(have);
+    return std::move(w).take();
+}
+
+void StateRequest::encode(Writer& w) const {
+    w.u32(replica);
+    w.u64(have);
+    put_tag(w, cert);
+}
+
+StateRequest StateRequest::decode(Reader& r) {
+    StateRequest sr;
+    sr.replica = r.u32();
+    sr.have = r.u64();
+    sr.cert = get_tag(r);
+    return sr;
+}
+
+// ---------------------------------------------------------- StateResponse
+
+Bytes StateResponse::certified_view() const {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(MsgType::StateResponse));
+    w.u32(replica);
+    w.u64(view);
+    w.u64(view_start);
+    w.u64(last_stable);
+    put_digest(w, crypto::sha256(snapshot));
+    return std::move(w).take();
+}
+
+void StateResponse::encode(Writer& w) const {
+    w.u32(replica);
+    w.u64(view);
+    w.u64(view_start);
+    w.u64(last_stable);
+    w.bytes(snapshot);
+    w.u8(static_cast<std::uint8_t>(proof.size()));
+    for (const CheckpointMsg& vote : proof) vote.encode(w);
+    put_tag(w, cert);
+}
+
+StateResponse StateResponse::decode(Reader& r) {
+    StateResponse sr;
+    sr.replica = r.u32();
+    sr.view = r.u64();
+    sr.view_start = r.u64();
+    sr.last_stable = r.u64();
+    sr.snapshot = r.bytes();
+    const std::uint8_t count = r.u8();
+    if (count > 64) throw DecodeError("unreasonable proof count");
+    sr.proof.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) {
+        sr.proof.push_back(CheckpointMsg::decode(r));
+    }
+    sr.cert = get_tag(r);
+    return sr;
+}
+
 // -------------------------------------------------------------- top level
 
 namespace {
@@ -311,6 +376,14 @@ template <>
 MsgType type_of<NewView>() {
     return MsgType::NewView;
 }
+template <>
+MsgType type_of<StateRequest>() {
+    return MsgType::StateRequest;
+}
+template <>
+MsgType type_of<StateResponse>() {
+    return MsgType::StateResponse;
+}
 
 }  // namespace
 
@@ -339,6 +412,9 @@ std::optional<Message> decode_message(ByteView data) {
                 case MsgType::Checkpoint: return CheckpointMsg::decode(r);
                 case MsgType::ViewChange: return ViewChange::decode(r);
                 case MsgType::NewView: return NewView::decode(r);
+                case MsgType::StateRequest: return StateRequest::decode(r);
+                case MsgType::StateResponse:
+                    return StateResponse::decode(r);
             }
             throw DecodeError("unknown message type");
         }();

@@ -39,6 +39,8 @@ enum class MsgType : std::uint8_t {
     ViewChange = 5,
     NewView = 6,
     Checkpoint = 7,
+    StateRequest = 8,
+    StateResponse = 9,
 };
 
 /// Identifies a logical client request: (reply destination, number).
@@ -165,8 +167,48 @@ struct NewView {
     static NewView decode(Reader& r);
 };
 
+/// Asks peers for a state-transfer snapshot: sent by a replica that
+/// restarted empty (crash-recovery rejoin) or detected, via a stable
+/// checkpoint it cannot reach, that it fell behind the cluster.
+struct StateRequest {
+    std::uint32_t replica = 0;       // the requester
+    SequenceNumber have = 0;         // requester's latest stable checkpoint
+    Certificate cert{};
+
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static StateRequest decode(Reader& r);
+};
+
+/// Answer to a StateRequest: the responder's latest stable checkpoint
+/// snapshot plus its current view coordinates. The snapshot is
+/// self-certifying: `proof` carries the f+1 certified CheckpointMsgs
+/// that made it stable, so ONE response from any replica suffices — at
+/// least one vote in a valid proof comes from a correct replica, hence
+/// the digest is a real checkpoint of `last_stable`. This matters when
+/// only a single peer still holds the state (e.g. one replica restarts
+/// while another lags). Responses with last_stable == 0 carry no proof
+/// (nothing stable yet) and the requester falls back to f+1 matching
+/// responses before adopting the view coordinates.
+struct StateResponse {
+    std::uint32_t replica = 0;       // the responder
+    ViewNumber view = 0;
+    SequenceNumber view_start = 0;
+    SequenceNumber last_stable = 0;  // snapshot's sequence number
+    Bytes snapshot;                  // empty when last_stable == 0
+    std::vector<CheckpointMsg> proof;
+    Certificate cert{};
+
+    /// Certified bytes: all coordinates plus the snapshot *digest* (the
+    /// snapshot itself may be large; hashing it once is enough).
+    [[nodiscard]] Bytes certified_view() const;
+    void encode(Writer& w) const;
+    static StateResponse decode(Reader& r);
+};
+
 using Message = std::variant<Request, Prepare, Commit, Reply, CheckpointMsg,
-                             ViewChange, NewView>;
+                             ViewChange, NewView, StateRequest,
+                             StateResponse>;
 
 /// Serializes a message with its type tag.
 Bytes encode_message(const Message& message);

@@ -74,6 +74,16 @@ void Replica::on_message(sim::NodeId from, ByteView payload) {
         return;
     }
 
+    // A rejoining replica has no state it can safely act on: until the
+    // snapshot is installed, only state-transfer traffic is processed.
+    if (rejoining_) {
+        if (auto* response = std::get_if<StateResponse>(&*decoded)) {
+            handle_state_response(crypto, outbox, std::move(*response));
+        }
+        outbox.flush(meter);
+        return;
+    }
+
     std::visit(
         [&](auto&& msg) {
             using T = std::decay_t<decltype(msg)>;
@@ -84,11 +94,15 @@ void Replica::on_message(sim::NodeId from, ByteView payload) {
             } else if constexpr (std::is_same_v<T, Commit>) {
                 handle_commit(crypto, outbox, std::move(msg));
             } else if constexpr (std::is_same_v<T, CheckpointMsg>) {
-                handle_checkpoint(crypto, std::move(msg));
+                handle_checkpoint(crypto, outbox, std::move(msg));
             } else if constexpr (std::is_same_v<T, ViewChange>) {
                 handle_view_change(crypto, outbox, std::move(msg));
             } else if constexpr (std::is_same_v<T, NewView>) {
                 handle_new_view(crypto, outbox, std::move(msg));
+            } else if constexpr (std::is_same_v<T, StateRequest>) {
+                handle_state_request(crypto, outbox, std::move(msg));
+            } else if constexpr (std::is_same_v<T, StateResponse>) {
+                handle_state_response(crypto, outbox, std::move(msg));
             }
             // Reply messages are never addressed to a replica.
         },
@@ -99,7 +113,7 @@ void Replica::on_message(sim::NodeId from, ByteView payload) {
 }
 
 void Replica::submit(const Request& request) {
-    if (faults_.crashed) return;
+    if (faults_.crashed || rejoining_) return;
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
     net::Outbox outbox(fabric_, node_);
@@ -108,7 +122,7 @@ void Replica::submit(const Request& request) {
 }
 
 void Replica::execute_optimistic_read(const Request& request) {
-    if (faults_.crashed) return;
+    if (faults_.crashed || rejoining_) return;
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
     net::Outbox outbox(fabric_, node_);
@@ -373,15 +387,19 @@ void Replica::maybe_checkpoint(enclave::CostedCrypto& crypto,
     own_checkpoints_[seq] = std::move(snapshot);
 
     const Bytes digest_key(cp.state_digest.begin(), cp.state_digest.end());
-    checkpoint_votes_[seq][digest_key].insert(id_);
+    auto& votes = checkpoint_votes_[seq][digest_key];
+    votes.emplace(id_, cp);
 
     broadcast(outbox, Message(cp));
 
     // f+1 votes might already be present (we could be last to checkpoint).
-    const auto& votes = checkpoint_votes_[seq][digest_key];
     if (static_cast<int>(votes.size()) >= config_.quorum()) {
         if (seq > last_stable_) {
             last_stable_ = seq;
+            stable_proof_.clear();
+            for (const auto& [replica, vote] : votes) {
+                stable_proof_.push_back(vote);
+            }
             log_.erase(log_.begin(), log_.upper_bound(seq));
             checkpoint_votes_.erase(checkpoint_votes_.begin(),
                                     checkpoint_votes_.upper_bound(seq - 1));
@@ -394,6 +412,7 @@ void Replica::maybe_checkpoint(enclave::CostedCrypto& crypto,
 }
 
 void Replica::handle_checkpoint(enclave::CostedCrypto& crypto,
+                                net::Outbox& outbox,
                                 CheckpointMsg&& checkpoint) {
     if (checkpoint.seq <= last_stable_) return;
     if (checkpoint.replica >= static_cast<std::uint32_t>(config_.n())) {
@@ -405,27 +424,41 @@ void Replica::handle_checkpoint(enclave::CostedCrypto& crypto,
         return;
     }
 
+    const SequenceNumber seq = checkpoint.seq;
     const Bytes digest_key(checkpoint.state_digest.begin(),
                            checkpoint.state_digest.end());
-    auto& votes = checkpoint_votes_[checkpoint.seq][digest_key];
-    votes.insert(checkpoint.replica);
+    auto& votes = checkpoint_votes_[seq][digest_key];
+    votes.emplace(checkpoint.replica, std::move(checkpoint));
 
     // Stability requires f+1 matching checkpoints *including our own*
     // (we can only truncate state we have actually reached).
     if (static_cast<int>(votes.size()) >= config_.quorum() &&
-        votes.contains(id_) && checkpoint.seq > last_stable_) {
-        last_stable_ = checkpoint.seq;
-        log_.erase(log_.begin(), log_.upper_bound(checkpoint.seq));
-        checkpoint_votes_.erase(
-            checkpoint_votes_.begin(),
-            checkpoint_votes_.upper_bound(checkpoint.seq - 1));
+        votes.contains(id_) && seq > last_stable_) {
+        last_stable_ = seq;
+        stable_proof_.clear();
+        for (const auto& [replica, vote] : votes) {
+            stable_proof_.push_back(vote);
+        }
+        log_.erase(log_.begin(), log_.upper_bound(seq));
+        checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                                checkpoint_votes_.upper_bound(seq - 1));
+        return;
+    }
+
+    // Lag detection: f+1 *others* vouch for a checkpoint beyond what we
+    // have executed. The quorum has garbage-collected that prefix, so we
+    // can no longer catch up through ordinary commits — fetch a snapshot.
+    if (static_cast<int>(votes.size()) >= config_.quorum() &&
+        !votes.contains(id_) && seq > last_executed_) {
+        begin_state_transfer(crypto, outbox);
     }
 }
 
 void Replica::arm_progress_timer() {
-    // Pending work exists if the log holds unexecuted entries or a client
-    // request was forwarded; one timer at a time is enough.
-    if (timer_armed_ || faults_.crashed) return;
+    // Pending work exists if the log holds unexecuted entries, a client
+    // request was forwarded, or a view change is in flight; one timer at a
+    // time is enough.
+    if (timer_armed_ || faults_.crashed || rejoining_) return;
     timer_armed_ = true;
     const SequenceNumber executed_at_arm = last_executed_;
     const ViewNumber view_at_arm = view_;
@@ -437,19 +470,23 @@ void Replica::arm_progress_timer() {
                                                             generation]() {
         if (generation != timer_generation_) return;
         timer_armed_ = false;
-        if (faults_.crashed) return;
+        if (faults_.crashed || rejoining_) return;
         if (view_ != view_at_arm) return;
 
         const bool pending =
-            !forwarded_.empty() ||
+            in_view_change_ || !forwarded_.empty() ||
             std::any_of(log_.begin(), log_.end(), [](const auto& kv) {
                 return !kv.second.executed;
             });
         if (!pending) return;
 
         if (last_executed_ == executed_at_arm) {
-            // No progress for a full timeout: suspect the leader.
-            start_view_change(view_ + 1);
+            // No progress for a full timeout: suspect the leader. If a
+            // view change is already pending, the view change itself has
+            // stalled (the prospective leader may have crashed as well) —
+            // escalate past the highest view we already proposed.
+            start_view_change(
+                std::max(view_, highest_view_change_sent_) + 1);
         } else {
             arm_progress_timer();
         }
@@ -479,6 +516,9 @@ void Replica::start_view_change(ViewNumber new_view) {
     broadcast(outbox, Message(vc));
     maybe_assemble_new_view(crypto, outbox, new_view);
     outbox.flush(meter);
+    // Keep a timer running: if this view change stalls (lost messages,
+    // crashed prospective leader), the timer escalates to the next view.
+    arm_progress_timer();
 }
 
 void Replica::handle_view_change(enclave::CostedCrypto& crypto,
@@ -566,6 +606,10 @@ void Replica::maybe_assemble_new_view(enclave::CostedCrypto& crypto,
 
         auto& entry = log_[seq];
         entry.prepare = fresh;
+        // Slots we already executed before the view change must not look
+        // pending — try_execute() starts above last_executed_ and would
+        // never clear them, leaving the progress timer firing forever.
+        if (seq <= last_executed_) entry.executed = true;
         ++next_seq_;
     }
 
@@ -573,6 +617,12 @@ void Replica::maybe_assemble_new_view(enclave::CostedCrypto& crypto,
     broadcast(outbox, Message(nv));
     try_execute(crypto, outbox);
     reissue_forwarded(crypto, outbox);
+    // The view can start above what we executed when the quorum stabilized
+    // (and garbage-collected) a checkpoint we never reached; ordinary
+    // commits can no longer fill that gap — fetch a snapshot.
+    if (view_start_ > last_executed_ + 1) {
+        begin_state_transfer(crypto, outbox);
+    }
     arm_progress_timer();
 }
 
@@ -630,8 +680,255 @@ void Replica::handle_new_view(enclave::CostedCrypto& crypto,
     for (Prepare& p : new_view.reproposed) {
         handle_prepare(crypto, outbox, std::move(p));
     }
+    // Reproposed slots we already executed before the view change must not
+    // look pending — try_execute() starts above last_executed_ and would
+    // never clear them, leaving the progress timer firing forever.
+    for (auto& [seq, entry] : log_) {
+        if (seq <= last_executed_) entry.executed = true;
+    }
     reissue_forwarded(crypto, outbox);
+    // Sequence gap below the new view's start: the quorum stabilized a
+    // checkpoint we never reached (e.g. we were partitioned through it)
+    // and garbage-collected the prefix, so commits can no longer fill the
+    // hole — fetch a snapshot.
+    if (view_start_ > last_executed_ + 1) {
+        begin_state_transfer(crypto, outbox);
+    }
     arm_progress_timer();
+}
+
+// ---------------------------------------------------------- state transfer
+
+void Replica::restart(ServicePtr fresh_service) {
+    TROXY_ASSERT(fresh_service != nullptr, "restart needs a fresh service");
+    service_ = std::move(fresh_service);
+    faults_ = FaultProfile{};
+
+    view_ = 0;
+    view_start_ = 1;
+    next_seq_ = 1;
+    last_executed_ = 0;
+    last_stable_ = 0;
+    log_.clear();
+    clients_.clear();
+    checkpoint_votes_.clear();
+    own_checkpoints_.clear();
+    forwarded_.clear();
+    view_changes_rx_.clear();
+    stable_proof_.clear();
+    highest_view_change_sent_ = 0;
+    in_view_change_ = false;
+    timer_armed_ = false;
+    ++timer_generation_;  // invalidate timers armed before the crash
+    ++state_timer_generation_;
+    state_responses_.clear();
+    awaiting_state_ = false;
+
+    begin_rejoin();
+}
+
+void Replica::begin_rejoin() {
+    rejoining_ = true;
+    awaiting_state_ = true;
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+    request_state_transfer(crypto, outbox);
+    outbox.flush(meter);
+    arm_state_transfer_timer();
+}
+
+void Replica::request_state_transfer(enclave::CostedCrypto& crypto,
+                                     net::Outbox& outbox) {
+    StateRequest request;
+    request.replica = id_;
+    request.have = last_stable_;
+    request.cert =
+        trinx_->certify_independent(crypto, request.certified_view());
+    broadcast(outbox, Message(request));
+}
+
+void Replica::begin_state_transfer(enclave::CostedCrypto& crypto,
+                                   net::Outbox& outbox) {
+    if (awaiting_state_) return;  // a transfer is already in flight
+    awaiting_state_ = true;
+    request_state_transfer(crypto, outbox);
+    arm_state_transfer_timer();
+}
+
+void Replica::arm_state_transfer_timer() {
+    const std::uint64_t generation = ++state_timer_generation_;
+    fabric_.simulator().after(config_.state_transfer_retry, [this,
+                                                             generation]() {
+        if (generation != state_timer_generation_) return;
+        if (faults_.crashed) return;
+        if (!rejoining_ && !awaiting_state_) return;
+
+        enclave::CostMeter meter;
+        enclave::CostedCrypto crypto(profile_, meter);
+        net::Outbox outbox(fabric_, node_);
+        request_state_transfer(crypto, outbox);
+        outbox.flush(meter);
+        arm_state_transfer_timer();
+    });
+}
+
+void Replica::handle_state_request(enclave::CostedCrypto& crypto,
+                                   net::Outbox& outbox,
+                                   StateRequest&& request) {
+    if (request.replica >= static_cast<std::uint32_t>(config_.n())) return;
+    if (request.replica == id_) return;
+    if (!trinx_->verify_independent(crypto, request.replica,
+                                    request.certified_view(),
+                                    request.cert)) {
+        return;
+    }
+
+    StateResponse response;
+    response.replica = id_;
+    response.view = view_;
+    response.view_start = view_start_;
+    response.last_stable = last_stable_;
+    if (last_stable_ > 0) {
+        const auto it = own_checkpoints_.find(last_stable_);
+        // Our snapshot and its stability proof should always exist for the
+        // current stable checkpoint; if either is missing, stay silent
+        // rather than answer with state we cannot prove.
+        if (it == own_checkpoints_.end()) return;
+        if (static_cast<int>(stable_proof_.size()) < config_.quorum()) {
+            return;
+        }
+        response.snapshot = it->second;
+        response.proof = stable_proof_;
+    }
+    response.cert =
+        trinx_->certify_independent(crypto, response.certified_view());
+    send_to(outbox, request.replica, Message(response));
+}
+
+void Replica::handle_state_response(enclave::CostedCrypto& crypto,
+                                    net::Outbox& outbox,
+                                    StateResponse&& response) {
+    if (!rejoining_ && !awaiting_state_) return;
+    if (response.replica >= static_cast<std::uint32_t>(config_.n())) return;
+    if (response.replica == id_) return;
+    if (response.last_stable > 0 && response.snapshot.empty()) return;
+    if (!trinx_->verify_independent(crypto, response.replica,
+                                    response.certified_view(),
+                                    response.cert)) {
+        return;
+    }
+    // A live-but-lagging replica only accepts snapshots that move it
+    // forward; a rejoiner (nothing executed) also accepts "no checkpoint
+    // yet" responses — the forced view change then reproposes the full
+    // log, which is the catch-up path for restarts before checkpoint one.
+    if (!rejoining_ && response.last_stable <= last_executed_) return;
+
+    const crypto::Sha256Digest snapshot_digest =
+        crypto.hash(response.snapshot);
+
+    if (response.last_stable > 0) {
+        // Self-certifying snapshot: f+1 distinct certified checkpoint
+        // votes for (last_stable, digest) prove the snapshot is a real
+        // checkpoint — at least one vote comes from a correct replica. A
+        // single proven response is therefore enough to adopt, which is
+        // essential when only one peer still holds the state (e.g. one
+        // replica restarts while another lags behind the checkpoint).
+        std::set<std::uint32_t> proof_voters;
+        for (const CheckpointMsg& vote : response.proof) {
+            if (vote.seq != response.last_stable) continue;
+            if (vote.replica >= static_cast<std::uint32_t>(config_.n())) {
+                continue;
+            }
+            if (!digests_equal(vote.state_digest, snapshot_digest)) {
+                continue;
+            }
+            if (!trinx_->verify_independent(crypto, vote.replica,
+                                            vote.certified_view(),
+                                            vote.cert)) {
+                continue;
+            }
+            proof_voters.insert(vote.replica);
+        }
+        if (static_cast<int>(proof_voters.size()) < config_.quorum()) {
+            return;
+        }
+        adopt_state(crypto, outbox, response);
+        return;
+    }
+
+    // No checkpoint anywhere yet: there is no proof to carry, so the bare
+    // view coordinates are only adopted once f+1 responders agree on the
+    // full tuple — a single Byzantine responder can neither roll the
+    // requester back nor teleport it into a fictional view.
+    if (response.view < view_) return;
+    const auto key = std::make_tuple(
+        response.view, response.view_start, response.last_stable,
+        Bytes(snapshot_digest.begin(), snapshot_digest.end()));
+    auto& [voters, sample] = state_responses_[key];
+    if (voters.empty()) sample = response;
+    voters.insert(response.replica);
+
+    if (static_cast<int>(voters.size()) >= config_.quorum()) {
+        const StateResponse adopted = sample;
+        adopt_state(crypto, outbox, adopted);
+    }
+}
+
+void Replica::adopt_state(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                          const StateResponse& response) {
+    ++state_transfers_;
+    const bool was_rejoining = rejoining_;
+    // A live replica that merely lagged keeps its own view coordinates
+    // when they are already ahead of the responder's (a proven snapshot is
+    // valid regardless of the view it was reported from).
+    const bool same_view =
+        response.view == view_ && response.view_start == view_start_;
+    rejoining_ = false;
+    awaiting_state_ = false;
+    state_responses_.clear();
+    ++state_timer_generation_;  // cancel the retry timer
+
+    if (response.view >= view_) {
+        view_ = response.view;
+        view_start_ = response.view_start;
+    }
+    last_stable_ = std::max(last_stable_, response.last_stable);
+    last_executed_ = std::max(last_executed_, response.last_stable);
+    next_seq_ = std::max(next_seq_, response.last_stable + 1);
+    log_.erase(log_.begin(), log_.upper_bound(response.last_stable));
+    if (response.last_stable > 0) {
+        service_->restore(response.snapshot);
+        own_checkpoints_[response.last_stable] = response.snapshot;
+        stable_proof_ = response.proof;
+        checkpoint_votes_.erase(
+            checkpoint_votes_.begin(),
+            checkpoint_votes_.upper_bound(response.last_stable - 1));
+    }
+    // Match highest_view_change_sent_ to the adopted view so the forced
+    // view change below is not suppressed by a pre-crash value.
+    highest_view_change_sent_ =
+        std::max(highest_view_change_sent_, view_);
+    in_view_change_ = false;
+
+    if (!was_rejoining && same_view) {
+        // We fell behind inside the view we are already in (typically a
+        // NewView whose start was above our execution point): the log tail
+        // above the checkpoint is still valid and our counters for this
+        // view are in sync, so simply resume executing.
+        try_execute(crypto, outbox);
+        arm_progress_timer();
+        return;
+    }
+
+    // The snapshot restores the service, but our ordering counters are
+    // still desynchronized from the quorum (restarted, or the quorum moved
+    // views while we waited). A view change fixes both wholesale: the
+    // fresh view gives everyone new counter ids starting from a common
+    // view_start, and the new leader reproposes the certified log tail
+    // above the checkpoint, which is exactly the suffix we still miss.
+    start_view_change(view_ + 1);
 }
 
 }  // namespace troxy::hybster

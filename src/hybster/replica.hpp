@@ -28,6 +28,8 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <tuple>
+#include <utility>
 
 #include "enclave/trinx.hpp"
 #include "hybster/config.hpp"
@@ -86,6 +88,22 @@ class Replica {
     /// baseline read optimization.
     void execute_optimistic_read(const Request& request);
 
+    /// Crash-recovery entry point: resets every piece of volatile state in
+    /// place (the object must outlive a restart because scheduled timers
+    /// capture `this`), installs a fresh service instance and starts the
+    /// rejoin protocol via begin_rejoin(). The trusted subsystem (TrinX
+    /// counters) is *not* reset — trusted state survives a crash of the
+    /// untrusted part by design.
+    void restart(ServicePtr fresh_service);
+
+    /// Starts checkpoint state transfer: broadcast a StateRequest and,
+    /// until f+1 peers agree on a snapshot, process nothing but
+    /// StateResponses. After restoring, the replica forces a view change —
+    /// a fresh view restarts everyone's ordering counters from a common
+    /// origin and makes the new leader repropose the log tail above the
+    /// checkpoint, which is how the rejoiner catches up to the quorum.
+    void begin_rejoin();
+
     void set_faults(const FaultProfile& faults) noexcept { faults_ = faults; }
 
     [[nodiscard]] ViewNumber view() const noexcept { return view_; }
@@ -100,6 +118,10 @@ class Replica {
     }
     [[nodiscard]] std::uint64_t view_changes() const noexcept {
         return view_changes_;
+    }
+    [[nodiscard]] bool rejoining() const noexcept { return rejoining_; }
+    [[nodiscard]] std::uint64_t state_transfers() const noexcept {
+        return state_transfers_;
     }
     [[nodiscard]] const Config& config() const noexcept { return config_; }
     [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
@@ -119,12 +141,25 @@ class Replica {
                         Prepare&& prepare);
     void handle_commit(enclave::CostedCrypto& crypto, net::Outbox& outbox,
                        Commit&& commit);
-    void handle_checkpoint(enclave::CostedCrypto& crypto,
+    void handle_checkpoint(enclave::CostedCrypto& crypto, net::Outbox& outbox,
                            CheckpointMsg&& checkpoint);
     void handle_view_change(enclave::CostedCrypto& crypto,
                             net::Outbox& outbox, ViewChange&& view_change);
     void handle_new_view(enclave::CostedCrypto& crypto, net::Outbox& outbox,
                          NewView&& new_view);
+
+    // --- state transfer (crash-recovery rejoin + lag catch-up) ---
+    void handle_state_request(enclave::CostedCrypto& crypto,
+                              net::Outbox& outbox, StateRequest&& request);
+    void handle_state_response(enclave::CostedCrypto& crypto,
+                               net::Outbox& outbox, StateResponse&& response);
+    void request_state_transfer(enclave::CostedCrypto& crypto,
+                                net::Outbox& outbox);
+    void begin_state_transfer(enclave::CostedCrypto& crypto,
+                              net::Outbox& outbox);
+    void adopt_state(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                     const StateResponse& response);
+    void arm_state_transfer_timer();
 
     // --- ordering ---
     void order_request(enclave::CostedCrypto& crypto, net::Outbox& outbox,
@@ -176,11 +211,16 @@ class Replica {
     };
     std::map<sim::NodeId, ClientRecord> clients_;
 
-    // Checkpoint collection: seq → digest → replicas vouching.
+    // Checkpoint collection: seq → digest → certified vote per replica.
+    // Full messages are kept (not just ids) so the f+1 votes behind the
+    // stable checkpoint can be handed out as a state-transfer proof.
     std::map<SequenceNumber,
-             std::map<Bytes, std::set<std::uint32_t>>>
+             std::map<Bytes, std::map<std::uint32_t, CheckpointMsg>>>
         checkpoint_votes_;
     std::map<SequenceNumber, Bytes> own_checkpoints_;  // seq → snapshot
+    /// The f+1 certified votes that made last_stable_ stable; attached to
+    /// StateResponses so one response suffices to prove the snapshot.
+    std::vector<CheckpointMsg> stable_proof_;
 
     // Requests forwarded to the leader but not yet executed locally; a
     // non-empty set keeps the progress timer armed so an unresponsive
@@ -196,6 +236,22 @@ class Replica {
     std::uint64_t view_changes_ = 0;
     std::uint64_t timer_generation_ = 0;
     bool timer_armed_ = false;
+
+    // State transfer. `rejoining_` gates everything but StateResponses
+    // (post-restart the replica has no state to safely act on);
+    // `awaiting_state_` alone marks a *live* replica that fell behind a
+    // stable checkpoint and keeps participating while it waits.
+    // A response carrying a checkpoint proof is adopted on its own;
+    // proofless responses (last_stable == 0) are collected per coordinate
+    // tuple (view, view_start, last_stable, snapshot digest) until f+1
+    // responders match.
+    bool rejoining_ = false;
+    bool awaiting_state_ = false;
+    std::uint64_t state_transfers_ = 0;
+    std::uint64_t state_timer_generation_ = 0;
+    std::map<std::tuple<ViewNumber, SequenceNumber, SequenceNumber, Bytes>,
+             std::pair<std::set<std::uint32_t>, StateResponse>>
+        state_responses_;
 };
 
 }  // namespace troxy::hybster

@@ -44,7 +44,9 @@ LinkSpec LinkSpec::wan() noexcept {
 }
 
 Network::Network(Simulator& simulator)
-    : sim_(simulator), rng_(simulator.rng().fork(0x6e657477)) {}
+    : sim_(simulator),
+      rng_(simulator.rng().fork(0x6e657477)),
+      fault_rng_(simulator.rng().fork(0x6661756c)) {}
 
 void Network::set_default_link(const LinkSpec& spec) { default_spec_ = spec; }
 
@@ -69,8 +71,98 @@ void Network::set_nic_group(NodeId node, int group,
     nic_groups_[group].bandwidth_bits_per_sec = bandwidth_bits_per_sec;
 }
 
+// ------------------------------------------------------- fault injection
+
+void Network::set_loss(NodeId from, NodeId to, double probability) {
+    if (probability <= 0.0) {
+        loss_.erase({from, to});
+    } else {
+        loss_[{from, to}] = std::min(probability, 1.0);
+    }
+}
+
+void Network::set_loss_bidirectional(NodeId a, NodeId b, double probability) {
+    set_loss(a, b, probability);
+    set_loss(b, a, probability);
+}
+
+void Network::fail_link(NodeId from, NodeId to) { ++links_down_[{from, to}]; }
+
+void Network::heal_link(NodeId from, NodeId to) {
+    const auto it = links_down_.find({from, to});
+    if (it == links_down_.end()) return;
+    if (--it->second <= 0) links_down_.erase(it);
+}
+
+void Network::fail_link_bidirectional(NodeId a, NodeId b) {
+    fail_link(a, b);
+    fail_link(b, a);
+}
+
+void Network::heal_link_bidirectional(NodeId a, NodeId b) {
+    heal_link(a, b);
+    heal_link(b, a);
+}
+
+void Network::partition(const std::string& name,
+                        std::vector<std::vector<NodeId>> groups) {
+    std::map<NodeId, int> assignment;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (const NodeId node : groups[g]) {
+            assignment[node] = static_cast<int>(g);
+        }
+    }
+    partitions_[name] = std::move(assignment);
+}
+
+void Network::heal_partition(const std::string& name) {
+    partitions_.erase(name);
+}
+
+bool Network::reachable(NodeId from, NodeId to) const {
+    if (from != to && links_down_.contains({from, to})) return false;
+    for (const auto& [name, assignment] : partitions_) {
+        const auto a = assignment.find(from);
+        const auto b = assignment.find(to);
+        if (a != assignment.end() && b != assignment.end() &&
+            a->second != b->second) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool Network::fault_drops(NodeId from, NodeId to, std::size_t bytes) {
+    if (from != to && links_down_.contains({from, to})) {
+        ++drops_.by_link_down;
+        drops_.bytes += bytes;
+        return true;
+    }
+    if (!reachable(from, to)) {
+        ++drops_.by_partition;
+        drops_.bytes += bytes;
+        return true;
+    }
+    const auto loss = loss_.find({from, to});
+    if (loss != loss_.end() &&
+        fault_rng_.next_double() < loss->second) {
+        ++drops_.by_loss;
+        drops_.bytes += bytes;
+        return true;
+    }
+    return false;
+}
+
 void Network::send(NodeId from, NodeId to, std::size_t bytes,
                    std::function<void()> deliver) {
+    // The sender always pays for the send; counting happens before the
+    // fault check so replayed traces agree on messages_sent() regardless
+    // of where a message dies.
+    ++messages_sent_;
+    bytes_sent_ += bytes;
+
+    if (fault_drops(from, to, bytes)) return;
+
     const LinkSpec& spec = spec_for(from, to);
 
     // Wire framing overhead (Ethernet + IP + TCP headers, amortized).
@@ -105,9 +197,6 @@ void Network::send(NodeId from, NodeId to, std::size_t bytes,
     SimTime& last = last_delivery_[{from, to}];
     arrival = std::max(arrival, last + 1);
     last = arrival;
-
-    ++messages_sent_;
-    bytes_sent_ += bytes;
 
     if (to_group != nic_assignment_.end()) {
         // Receive-side bandwidth must be booked in true *arrival* order —

@@ -4,14 +4,22 @@
 // term (serialization delay), matching the paper's setup: a 1 Gbps LAN and
 // a WAN emulated by adding 100 ± 20 ms normally-distributed delay on the
 // client NICs (§VI-A, §VI-C). Delivery per directed pair is FIFO, like a
-// TCP connection; messages are never lost unless a fault injector drops
-// them explicitly at the endpoint.
+// TCP connection.
+//
+// Fault injection happens at the network level: per-directed-pair
+// probabilistic loss, explicit link-down state (flapping), and named
+// partitions (node-set splits). All stochastic decisions draw from a
+// dedicated RNG stream forked from the simulator's seed, so a fault
+// schedule replays bit-identically. Drops are counted per cause so tests
+// can assert on exact replay traces.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sim/node.hpp"
@@ -44,12 +52,25 @@ struct LinkSpec {
     /// LAN link inside the cluster: ~0.1 ms RTT/2, 1 Gbps.
     static LinkSpec lan() noexcept;
 
-    /// Paper's emulated WAN client link: 100 ± 20 ms (per direction the
-    /// emulation adds the delay once on the client NIC; we attribute it to
-    /// the client→server direction and keep the reverse at LAN latency
-    /// plus the same distribution halved is *not* what the paper does —
-    /// the delay applies to the NIC, so both directions see it).
+    /// Paper's emulated WAN client link. The testbed adds 100 ± 20 ms of
+    /// normally-distributed delay with `tc netem` on the client NIC
+    /// (§VI-C); a NIC-level delay affects every packet through that NIC,
+    /// so *both* directions of a client↔server link see the full
+    /// distribution. We therefore sample 100 ± 20 ms independently per
+    /// direction (floored at 10 ms).
     static LinkSpec wan() noexcept;
+};
+
+/// Message-drop statistics, broken down by injected cause.
+struct DropCounters {
+    std::uint64_t by_loss = 0;       // probabilistic per-link loss
+    std::uint64_t by_link_down = 0;  // explicit link failure
+    std::uint64_t by_partition = 0;  // named partition separation
+    std::uint64_t bytes = 0;         // payload bytes across all causes
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        return by_loss + by_link_down + by_partition;
+    }
 };
 
 class Network {
@@ -72,8 +93,36 @@ class Network {
     void set_nic_group(NodeId node, int group,
                        double bandwidth_bits_per_sec);
 
+    // ---------------------------------------------------- fault injection
+
+    /// Independent per-message drop probability on the directed pair
+    /// (0 disables). Sampling is deterministic per seed.
+    void set_loss(NodeId from, NodeId to, double probability);
+
+    /// Symmetric convenience: same loss rate in both directions.
+    void set_loss_bidirectional(NodeId a, NodeId b, double probability);
+
+    /// Takes the directed link down: every message on it is dropped until
+    /// heal_link(). Modelling a cable pull / switch-port failure.
+    void fail_link(NodeId from, NodeId to);
+    void heal_link(NodeId from, NodeId to);
+    void fail_link_bidirectional(NodeId a, NodeId b);
+    void heal_link_bidirectional(NodeId a, NodeId b);
+
+    /// Installs a named partition: nodes listed in different groups cannot
+    /// exchange messages; nodes absent from every group are unaffected.
+    /// Multiple partitions may be active; a message passes only if no
+    /// active partition separates its endpoints.
+    void partition(const std::string& name,
+                   std::vector<std::vector<NodeId>> groups);
+    void heal_partition(const std::string& name);
+
+    /// True if an active fault (loss excluded) would block this pair.
+    [[nodiscard]] bool reachable(NodeId from, NodeId to) const;
+
     /// Schedules `deliver` on the destination after latency plus
-    /// serialization delay for `bytes`. FIFO per directed pair.
+    /// serialization delay for `bytes`. FIFO per directed pair. Messages
+    /// blocked or lost by an injected fault are counted and discarded.
     void send(NodeId from, NodeId to, std::size_t bytes,
               std::function<void()> deliver);
 
@@ -82,6 +131,9 @@ class Network {
     }
     [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
         return bytes_sent_;
+    }
+    [[nodiscard]] const DropCounters& drops() const noexcept {
+        return drops_;
     }
 
   private:
@@ -92,16 +144,24 @@ class Network {
     };
 
     [[nodiscard]] const LinkSpec& spec_for(NodeId from, NodeId to) const;
+    [[nodiscard]] bool fault_drops(NodeId from, NodeId to,
+                                   std::size_t bytes);
 
     Simulator& sim_;
     Rng rng_;
+    Rng fault_rng_;  // separate stream: enabling loss must not perturb
+                     // the latency-jitter sequence of unaffected links
     LinkSpec default_spec_;
     std::map<std::pair<NodeId, NodeId>, LinkSpec> links_;
     std::map<std::pair<NodeId, NodeId>, SimTime> last_delivery_;
     std::map<NodeId, int> nic_assignment_;
     std::map<int, NicGroup> nic_groups_;
+    std::map<std::pair<NodeId, NodeId>, double> loss_;
+    std::map<std::pair<NodeId, NodeId>, int> links_down_;  // down-count
+    std::map<std::string, std::map<NodeId, int>> partitions_;  // node→group
     std::uint64_t messages_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;
+    DropCounters drops_;
 };
 
 }  // namespace troxy::sim

@@ -67,6 +67,29 @@ TroxyReplicaHost::TroxyReplicaHost(
     }
 }
 
+void TroxyReplicaHost::crash() {
+    hybster::FaultProfile profile;
+    profile.crashed = true;
+    faults_ = profile;
+    replica_->set_faults(profile);
+    // Volatile host bookkeeping dies with the process; pending timer
+    // callbacks find their ids gone and become no-ops.
+    votes_in_flight_.clear();
+    fast_reads_in_flight_.clear();
+}
+
+void TroxyReplicaHost::restart(hybster::ServicePtr fresh_service) {
+    faults_ = hybster::FaultProfile{};
+    ++restarts_;
+    troxy_->restart();
+    if (!tcs_free_.empty()) {
+        std::fill(tcs_free_.begin(), tcs_free_.end(), 0);
+    }
+    // Clears the replica's fault profile, resets its volatile state and
+    // kicks off the rejoin protocol.
+    replica_->restart(std::move(fresh_service));
+}
+
 void TroxyReplicaHost::attach() {
     fabric_.attach(node_.id(), [this](sim::NodeId from, Bytes message) {
         on_message(from, std::move(message));

@@ -53,6 +53,24 @@ class TroxyReplicaHost {
         return faults_;
     }
 
+    /// Whole-host crash: the machine stops processing and loses all
+    /// volatile state. Incoming traffic and pending timers are dropped;
+    /// only restart() brings it back.
+    void crash();
+
+    /// Whole-host restart after a crash(): the enclave loses its volatile
+    /// state (cache, connections, votes — §IV-B), the replica restarts
+    /// empty with a fresh service instance and rejoins via checkpoint
+    /// state transfer. Trusted monotonic state (TrinX counters, the
+    /// Troxy's request numbering) survives, as rollback protection
+    /// requires.
+    void restart(hybster::ServicePtr fresh_service);
+
+    [[nodiscard]] bool crashed() const noexcept { return faults_.crashed; }
+    [[nodiscard]] std::uint64_t restarts() const noexcept {
+        return restarts_;
+    }
+
   private:
     void on_message(sim::NodeId from, Bytes message);
     void apply(enclave::CostMeter& meter, TroxyActions&& actions);
@@ -72,6 +90,7 @@ class TroxyReplicaHost {
     // Timer bookkeeping (untrusted, liveness only).
     std::set<std::uint64_t> votes_in_flight_;
     std::set<std::uint64_t> fast_reads_in_flight_;
+    std::uint64_t restarts_ = 0;
 
     // Enclave thread (TCS) slots: ecall work serializes once all slots
     // are busy, modelling the enclave's fixed concurrency budget.

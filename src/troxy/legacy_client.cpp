@@ -1,5 +1,7 @@
 #include "troxy/legacy_client.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/serialize.hpp"
 #include "net/client_framing.hpp"
@@ -17,7 +19,8 @@ LegacyClient::LegacyClient(net::Fabric& fabric, sim::Node& node,
       servers_(std::move(servers)),
       pinned_keys_(std::move(pinned_keys)),
       profile_(profile),
-      options_(options) {
+      options_(options),
+      backoff_rng_(fabric.simulator().rng().fork(0x626b6f66ULL ^ node.id())) {
     TROXY_ASSERT(!servers_.empty(), "client needs at least one server");
     TROXY_ASSERT(servers_.size() == pinned_keys_.size(),
                  "one pinned key per server");
@@ -50,6 +53,7 @@ void LegacyClient::connect() {
 
 void LegacyClient::failover() {
     ++failovers_;
+    ++consecutive_failovers_;
     server_index_ = (server_index_ + 1) % servers_.size();
 
     // The channel died with its server; in-flight requests will be
@@ -69,13 +73,29 @@ void LegacyClient::failover() {
 
 void LegacyClient::arm_watchdog() {
     const std::uint64_t generation = ++watchdog_generation_;
-    fabric_.simulator().after(options_.connection_timeout, [this,
-                                                            generation]() {
+
+    // Capped exponential backoff with seeded jitter: the watchdog period
+    // grows with every failover that did not yield a reply.
+    double period = static_cast<double>(options_.connection_timeout);
+    for (std::uint64_t i = 0; i < consecutive_failovers_; ++i) {
+        period *= options_.backoff_multiplier;
+        if (period >= static_cast<double>(options_.backoff_cap)) break;
+    }
+    period = std::min(period, static_cast<double>(options_.backoff_cap));
+    if (options_.backoff_jitter > 0.0) {
+        period *= 1.0 + (backoff_rng_.next_double() * 2.0 - 1.0) *
+                            options_.backoff_jitter;
+    }
+    const auto delay = std::max<sim::Duration>(
+        static_cast<sim::Duration>(period), 1);
+    current_backoff_ = delay;
+
+    fabric_.simulator().after(delay, [this, generation, delay]() {
         if (generation != watchdog_generation_) return;
         const sim::SimTime idle_since = last_activity_;
         const bool waiting = !outstanding_.empty() || !connected();
-        if (waiting && fabric_.simulator().now() - idle_since >=
-                           options_.connection_timeout) {
+        if (waiting &&
+            fabric_.simulator().now() - idle_since >= delay) {
             failover();
             return;
         }
@@ -135,6 +155,7 @@ void LegacyClient::on_message(sim::NodeId from, ByteView payload) {
             crypto.charge(profile_.aead(frame->second.size()));
             auto replies = channel_->unprotect(frame->second);
             if (replies.empty()) break;  // buffered, replayed or tampered
+            consecutive_failovers_ = 0;  // the cluster answered: reset
 
             std::vector<std::pair<ReplyCallback, Bytes>> completions;
             for (Bytes& reply : replies) {

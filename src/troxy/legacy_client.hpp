@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "crypto/x25519.hpp"
 #include "enclave/meter.hpp"
 #include "net/fabric.hpp"
@@ -27,6 +28,17 @@ class LegacyClient {
         /// Time without any reply before the client reconnects to the
         /// next server (location-service failover).
         sim::Duration connection_timeout = sim::milliseconds(3000);
+        /// Capped exponential backoff for repeated failovers: each
+        /// consecutive failover multiplies the watchdog period by this
+        /// factor until backoff_cap. A client facing a dead or
+        /// partitioned cluster cycles its address list progressively
+        /// slower instead of hammering every server at the base rate.
+        double backoff_multiplier = 2.0;
+        sim::Duration backoff_cap = sim::milliseconds(12000);
+        /// Relative jitter (±fraction) applied to each backoff period
+        /// from the client's seeded stream, desynchronizing clients that
+        /// failed over together.
+        double backoff_jitter = 0.2;
     };
 
     using ReplyCallback = std::function<void(Bytes app_reply)>;
@@ -55,6 +67,14 @@ class LegacyClient {
     }
     [[nodiscard]] std::uint64_t failovers() const noexcept {
         return failovers_;
+    }
+    /// Failovers since the last successful reply (the backoff exponent).
+    [[nodiscard]] std::uint64_t consecutive_failovers() const noexcept {
+        return consecutive_failovers_;
+    }
+    /// The watchdog period currently in force (after backoff and jitter).
+    [[nodiscard]] sim::Duration current_backoff() const noexcept {
+        return current_backoff_;
     }
     [[nodiscard]] std::size_t outstanding() const noexcept {
         return outstanding_.size();
@@ -85,6 +105,9 @@ class LegacyClient {
     };
     std::deque<Outstanding> outstanding_;  // FIFO: replies match in order
     std::uint64_t failovers_ = 0;
+    std::uint64_t consecutive_failovers_ = 0;
+    sim::Duration current_backoff_ = 0;
+    Rng backoff_rng_;
     std::uint64_t handshake_counter_ = 0;
     std::uint64_t watchdog_generation_ = 0;
     sim::SimTime last_activity_ = 0;

@@ -172,6 +172,45 @@ TEST(Faults, LeaderCrashViewChangeRecovers) {
     EXPECT_GT(cluster.host(1).replica().view(), 0u);
 }
 
+// View change under compound faults: the leader host crashes while a
+// stream of writes is in flight AND the link between the two surviving
+// replicas is lossy. Retransmissions must push the view change through
+// the lossy link, after which every outstanding and subsequent request
+// completes on the new leader.
+TEST(Faults, LeaderCrashMidStreamWithLossyLink) {
+    bench::TroxyCluster::Params params = params_with_seed(78);
+    params.base.checkpoint_interval = 8;
+    params.client.connection_timeout = sim::milliseconds(500);
+    bench::TroxyCluster cluster(std::move(params));
+    auto& client = cluster.add_client(1);
+
+    // 30% loss both ways between the survivors (replica 1 on node 2,
+    // replica 2 on node 3) for the whole run.
+    cluster.network().set_loss_bidirectional(
+        cluster.config().node_of(1), cluster.config().node_of(2), 0.3);
+
+    int done = 0;
+    std::function<void(int)> write_loop = [&](int remaining) {
+        if (remaining == 0) return;
+        client.send(EchoService::make_write(9, 64), [&, remaining](Bytes) {
+            ++done;
+            // Crash the leader mid-stream: five writes are done, the
+            // rest have to survive the view change.
+            if (done == 5) cluster.crash_host(0);
+            write_loop(remaining - 1);
+        });
+    };
+    client.start([&]() { write_loop(20); });
+
+    cluster.simulator().run_until(sim::seconds(60));
+    EXPECT_EQ(done, 20);
+    EXPECT_GT(cluster.host(1).replica().view(), 0u);
+    EXPECT_GT(cluster.network().drops().by_loss, 0u);
+    // The survivors converged on one state.
+    EXPECT_EQ(cluster.host(1).replica().service().checkpoint(),
+              cluster.host(2).replica().service().checkpoint());
+}
+
 // Bypassing the Troxy (§VI-B): raw bytes injected by a malicious replica
 // towards the client are rejected by the secure channel — the client
 // ignores them and its session continues to work.

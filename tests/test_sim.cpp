@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/cost.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
@@ -171,6 +172,107 @@ TEST(Network, SharedNicSerializesMachineTraffic) {
     sim.run();
     // Each 1 MB transfer needs ~8 ms; sharing the NIC serializes them.
     EXPECT_GT(second, milliseconds(15));
+}
+
+TEST(Network, LossDropsProbabilisticallyAndCounts) {
+    Simulator sim(9);
+    Network network(sim);
+    LinkSpec spec;
+    spec.latency = LatencyModel::constant(0);
+    network.set_default_link(spec);
+
+    network.set_loss_bidirectional(1, 2, 1.0);
+    int delivered = 0;
+    for (int i = 0; i < 10; ++i) {
+        network.send(1, 2, 100, [&] { ++delivered; });
+    }
+    sim.run();
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(network.drops().by_loss, 10u);
+    EXPECT_EQ(network.drops().bytes, 1000u);
+    // Sends are counted even when the fault layer drops them, so replay
+    // traces line up regardless of where a message dies.
+    EXPECT_EQ(network.messages_sent(), 10u);
+
+    network.set_loss_bidirectional(1, 2, 0.0);  // clears the window
+    network.send(1, 2, 100, [&] { ++delivered; });
+    sim.run();
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(Network, LinkDownDropsUntilHealed) {
+    Simulator sim;
+    Network network(sim);
+    LinkSpec spec;
+    spec.latency = LatencyModel::constant(0);
+    network.set_default_link(spec);
+
+    network.fail_link_bidirectional(1, 2);
+    EXPECT_FALSE(network.reachable(1, 2));
+    EXPECT_FALSE(network.reachable(2, 1));
+    EXPECT_TRUE(network.reachable(1, 3));
+
+    int delivered = 0;
+    network.send(1, 2, 50, [&] { ++delivered; });
+    network.send(2, 1, 50, [&] { ++delivered; });
+    sim.run();
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(network.drops().by_link_down, 2u);
+
+    network.heal_link_bidirectional(1, 2);
+    EXPECT_TRUE(network.reachable(1, 2));
+    network.send(1, 2, 50, [&] { ++delivered; });
+    sim.run();
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(Network, PartitionCutsAcrossGroupsOnly) {
+    Simulator sim;
+    Network network(sim);
+    LinkSpec spec;
+    spec.latency = LatencyModel::constant(0);
+    network.set_default_link(spec);
+
+    network.partition("split", {{1, 2}, {3}});
+    EXPECT_TRUE(network.reachable(1, 2));    // same group
+    EXPECT_FALSE(network.reachable(1, 3));   // across groups
+    EXPECT_FALSE(network.reachable(3, 2));
+    EXPECT_TRUE(network.reachable(1, 100));  // unlisted nodes unaffected
+    EXPECT_TRUE(network.reachable(100, 3));
+
+    int delivered = 0;
+    network.send(1, 3, 10, [&] { ++delivered; });
+    network.send(1, 2, 10, [&] { ++delivered; });
+    sim.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(network.drops().by_partition, 1u);
+
+    network.heal_partition("split");
+    EXPECT_TRUE(network.reachable(1, 3));
+    network.send(1, 3, 10, [&] { ++delivered; });
+    sim.run();
+    EXPECT_EQ(delivered, 2);
+}
+
+TEST(FaultPlan, RandomPlanIsSeedDeterministic) {
+    FaultPlan::RandomOptions options;
+    options.start = seconds(1);
+    options.heal_by = seconds(8);
+    options.hosts = 3;
+    options.nodes = {1, 2, 3};
+
+    Rng a(77), b(77), c(78);
+    const FaultPlan plan_a = FaultPlan::random(a, options);
+    const FaultPlan plan_b = FaultPlan::random(b, options);
+    const FaultPlan plan_c = FaultPlan::random(c, options);
+    EXPECT_EQ(plan_a.describe(), plan_b.describe());
+    EXPECT_NE(plan_a.describe(), plan_c.describe());
+
+    // Every fault is healed by heal_by: crashes restarted, partitions and
+    // links healed, loss windows cleared.
+    for (const FaultEvent& event : plan_a.events()) {
+        EXPECT_LE(event.at, seconds(8)) << event.describe();
+    }
 }
 
 TEST(CostProfile, JavaSlowerThanNative) {
