@@ -51,6 +51,10 @@ struct ChaosOptions {
     // Cluster. A small checkpoint interval makes state transfer exercised
     // by short runs.
     hybster::SequenceNumber checkpoint_interval = 8;
+    /// Ordering batch knobs (see hybster::Config). Defaults keep chaos
+    /// runs on the unbatched flow; batching scenarios opt in.
+    std::size_t batch_size_max = 1;
+    sim::Duration batch_delay = 0;
 
     // Fault schedule: faults are injected inside [fault_start, heal_by];
     // the run ends at `horizon`, leaving time to recover and drain.

@@ -111,6 +111,8 @@ TroxyCluster::TroxyCluster(Params params) : ClusterBase(params.base) {
     client_options_ = params.client;
     config_.f = options_.f;
     config_.checkpoint_interval = options_.checkpoint_interval;
+    config_.batch_size_max = options_.batch_size_max;
+    config_.batch_delay = options_.batch_delay;
     const int n = 2 * options_.f + 1;
     for (int i = 0; i < n; ++i) {
         config_.replicas.push_back(
@@ -180,6 +182,8 @@ BaselineCluster::BaselineCluster(Params params)
       client_retransmit_(params.client_retransmit) {
     config_.f = options_.f;
     config_.checkpoint_interval = options_.checkpoint_interval;
+    config_.batch_size_max = options_.batch_size_max;
+    config_.batch_delay = options_.batch_delay;
     const int n = 2 * options_.f + 1;
     for (int i = 0; i < n; ++i) {
         config_.replicas.push_back(

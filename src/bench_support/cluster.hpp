@@ -35,6 +35,11 @@ struct ClusterOptions {
     double replica_machine_bandwidth = 4e9;  // four 1 Gbps NICs
     std::uint64_t seed = 1;
     hybster::SequenceNumber checkpoint_interval = 512;
+    /// Leader batching knobs, forwarded into hybster::Config: requests
+    /// per Prepare (1 = unbatched) and max hold time before an
+    /// incomplete batch is cut.
+    std::size_t batch_size_max = 1;
+    sim::Duration batch_delay = 0;
     /// Standard deviation added to intra-cluster link latency. The
     /// deterministic simulator lacks the execution-time variance of a
     /// real testbed (JVM GC pauses, interrupt coalescing, switch

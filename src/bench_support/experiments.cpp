@@ -60,6 +60,8 @@ ClusterOptions base_options(const MicroParams& params) {
     options.seed = params.seed;
     options.wan_clients = params.wan;
     options.lan_jitter = params.lan_jitter;
+    options.batch_size_max = params.batch_size_max;
+    options.batch_delay = params.batch_delay;
     return options;
 }
 

@@ -49,6 +49,10 @@ struct MicroParams {
     bool adaptive_monitor = true;            // total-order fallback switch
     double monitor_threshold = 0.5;          // miss rate that disables fast reads
     sim::EnclaveCosts enclave_costs = sim::EnclaveCosts::sgx_v1();
+    /// Ordering batch knobs (see hybster::Config): requests per Prepare
+    /// and max hold time before an incomplete batch is cut.
+    std::size_t batch_size_max = 1;
+    sim::Duration batch_delay = 0;
 };
 
 struct MicroResult {

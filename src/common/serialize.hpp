@@ -48,6 +48,10 @@ class Writer {
     /// Appends bytes without a length prefix (fixed-size fields like MACs).
     void raw(ByteView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
 
+    /// Pre-reserves capacity for `n` further bytes. Hot-path encoders call
+    /// this once up front so a message serializes with one allocation.
+    void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
     [[nodiscard]] const Bytes& data() const& noexcept { return buf_; }
     [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
     [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }

@@ -21,8 +21,23 @@ struct Config {
     /// Node ids of the replicas, index == replica id.
     std::vector<sim::NodeId> replicas;
 
-    /// Ordered requests per checkpoint.
+    /// Ordered requests per checkpoint. Counted in *requests* (batch
+    /// members), not sequence numbers, so batching does not stretch the
+    /// distance between checkpoints; with batch_size_max = 1 the two
+    /// notions coincide.
     SequenceNumber checkpoint_interval = 128;
+
+    /// Maximum requests the leader orders under one Prepare/Commit round
+    /// (one trusted-counter certification per batch). 1 = unbatched: the
+    /// pre-batching message flow, request for request.
+    std::size_t batch_size_max = 1;
+
+    /// How long the leader holds an incomplete batch before cutting it
+    /// (the max-delay bound: an idle system keeps single-request latency).
+    /// 0 = cut immediately after every enqueue, i.e. batching disabled
+    /// regardless of batch_size_max. Must stay well below
+    /// view_change_timeout or followers will suspect a batching leader.
+    sim::Duration batch_delay = 0;
 
     /// How long a non-leader waits for an ordered request it knows about
     /// before suspecting the leader.
@@ -61,6 +76,9 @@ struct Config {
         TROXY_ASSERT(n() == 2 * f + 1,
                      "hybrid fault model requires exactly 2f+1 replicas");
         TROXY_ASSERT(checkpoint_interval > 0, "checkpoint interval > 0");
+        TROXY_ASSERT(batch_size_max >= 1, "batch size must be at least 1");
+        TROXY_ASSERT(batch_delay < view_change_timeout,
+                     "batch delay must stay below the view-change timeout");
     }
 };
 

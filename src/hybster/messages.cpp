@@ -28,6 +28,7 @@ crypto::Sha256Digest get_digest(Reader& r) {
 
 Bytes Request::signed_view() const {
     Writer w;
+    w.reserve(17 + payload.size());
     w.u32(id.client);
     w.u64(id.number);
     w.u8(flags);
@@ -36,6 +37,7 @@ Bytes Request::signed_view() const {
 }
 
 void Request::encode(Writer& w) const {
+    w.reserve(18 + payload.size() + auth.size() * sizeof(Certificate));
     w.u32(id.client);
     w.u64(id.number);
     w.u8(flags);
@@ -56,20 +58,76 @@ Request Request::decode(Reader& r) {
     return req;
 }
 
-crypto::Sha256Digest Request::digest() const {
-    return crypto::sha256(signed_view());
+const crypto::Sha256Digest& Request::digest() const {
+    if (!digest_cache_) digest_cache_ = crypto::sha256(signed_view());
+    return *digest_cache_;
+}
+
+const crypto::Sha256Digest& Request::digest_with(
+    enclave::CostedCrypto& crypto) const {
+    if (!digest_cache_) digest_cache_ = crypto.hash(signed_view());
+    return *digest_cache_;
+}
+
+// ------------------------------------------------------------------ Batch
+
+const crypto::Sha256Digest& Batch::digest() const {
+    if (digest_cache_) return *digest_cache_;
+    if (requests.size() == 1) {
+        digest_cache_ = requests.front().digest();
+        return *digest_cache_;
+    }
+    Writer w;
+    w.reserve(requests.size() * crypto::kSha256DigestSize);
+    for (const Request& request : requests) w.raw(request.digest());
+    digest_cache_ = crypto::sha256(w.data());
+    return *digest_cache_;
+}
+
+const crypto::Sha256Digest& Batch::digest_with(
+    enclave::CostedCrypto& crypto) const {
+    if (digest_cache_) return *digest_cache_;
+    for (const Request& request : requests) (void)request.digest_with(crypto);
+    if (requests.size() == 1) {
+        digest_cache_ = requests.front().digest();
+        return *digest_cache_;
+    }
+    Writer w;
+    w.reserve(requests.size() * crypto::kSha256DigestSize);
+    for (const Request& request : requests) w.raw(request.digest());
+    digest_cache_ = crypto.hash(w.data());
+    return *digest_cache_;
+}
+
+void Batch::encode(Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(requests.size()));
+    for (const Request& request : requests) request.encode(w);
+}
+
+Batch Batch::decode(Reader& r) {
+    Batch b;
+    const std::uint32_t count = r.u32();
+    if (count > 1u << 16) throw DecodeError("unreasonable batch size");
+    b.requests.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        b.requests.push_back(Request::decode(r));
+    }
+    return b;
 }
 
 // ---------------------------------------------------------------- Prepare
 
 Bytes Prepare::certified_view() const {
+    // The counter certifies the batch *digest*, not the serialized batch:
+    // the digest binds every member, and certification cost stays constant
+    // in the batch size. Callers charge the digest via digest_with() before
+    // certifying; here the memoized value is free.
     Writer w;
+    w.reserve(20 + crypto::kSha256DigestSize);
     w.u64(view);
     w.u64(seq);
     w.u32(replica);
-    Writer req;
-    request.encode(req);
-    w.bytes(req.data());
+    put_digest(w, batch.digest());
     return std::move(w).take();
 }
 
@@ -78,7 +136,7 @@ void Prepare::encode(Writer& w) const {
     w.u64(seq);
     w.u32(replica);
     w.u64(counter_value);
-    request.encode(w);
+    batch.encode(w);
     put_tag(w, cert);
 }
 
@@ -88,7 +146,7 @@ Prepare Prepare::decode(Reader& r) {
     p.seq = r.u64();
     p.replica = r.u32();
     p.counter_value = r.u64();
-    p.request = Request::decode(r);
+    p.batch = Batch::decode(r);
     p.cert = get_tag(r);
     return p;
 }
@@ -97,10 +155,11 @@ Prepare Prepare::decode(Reader& r) {
 
 Bytes Commit::certified_view() const {
     Writer w;
+    w.reserve(20 + crypto::kSha256DigestSize);
     w.u64(view);
     w.u64(seq);
     w.u32(replica);
-    put_digest(w, request_digest);
+    put_digest(w, batch_digest);
     return std::move(w).take();
 }
 
@@ -109,7 +168,7 @@ void Commit::encode(Writer& w) const {
     w.u64(seq);
     w.u32(replica);
     w.u64(counter_value);
-    put_digest(w, request_digest);
+    put_digest(w, batch_digest);
     put_tag(w, cert);
 }
 
@@ -119,7 +178,7 @@ Commit Commit::decode(Reader& r) {
     c.seq = r.u64();
     c.replica = r.u32();
     c.counter_value = r.u64();
-    c.request_digest = get_digest(r);
+    c.batch_digest = get_digest(r);
     c.cert = get_tag(r);
     return c;
 }
@@ -128,6 +187,7 @@ Commit Commit::decode(Reader& r) {
 
 Bytes Reply::certified_view() const {
     Writer w;
+    w.reserve(37 + crypto::kSha256DigestSize + result.size());
     w.u8(static_cast<std::uint8_t>(kind));
     w.u64(view);
     w.u64(seq);
@@ -314,6 +374,7 @@ Bytes StateResponse::certified_view() const {
 }
 
 void StateResponse::encode(Writer& w) const {
+    w.reserve(33 + snapshot.size() + proof.size() * sizeof(CheckpointMsg));
     w.u32(replica);
     w.u64(view);
     w.u64(view_start);

@@ -23,6 +23,7 @@
 #include "common/bytes.hpp"
 #include "common/serialize.hpp"
 #include "crypto/sha256.hpp"
+#include "enclave/meter.hpp"
 #include "enclave/trinx.hpp"
 #include "hybster/config.hpp"
 
@@ -77,8 +78,48 @@ struct Request {
     void encode(Writer& w) const;
     static Request decode(Reader& r);
 
-    /// Digest identifying this request in commits/replies.
-    [[nodiscard]] crypto::Sha256Digest digest() const;
+    /// Digest identifying this request in commits/replies. Memoized: the
+    /// first call hashes signed_view(), later calls return the cached
+    /// digest, so a request must not be mutated after its digest is taken.
+    [[nodiscard]] const crypto::Sha256Digest& digest() const;
+
+    /// Like digest(), but charges the hash cost to `crypto` — once: a
+    /// cache hit costs nothing. All metered protocol paths use this so
+    /// each request is hashed (and billed) exactly once per replica.
+    [[nodiscard]] const crypto::Sha256Digest& digest_with(
+        enclave::CostedCrypto& crypto) const;
+
+  private:
+    mutable std::optional<crypto::Sha256Digest> digest_cache_;
+};
+
+/// An ordered group of client requests proposed under one sequence number.
+/// The whole batch is certified by a single trusted-counter certification
+/// and identified by one digest, amortizing the per-slot protocol cost
+/// across its members (a single-request batch reproduces the unbatched
+/// message flow and digest byte-for-byte).
+struct Batch {
+    std::vector<Request> requests;
+
+    [[nodiscard]] std::size_t size() const noexcept { return requests.size(); }
+    [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
+
+    /// Digest ordering the batch: for one member, the member's own request
+    /// digest (keeps batch=1 identical to the pre-batching wire contract);
+    /// for k > 1 members, SHA-256 over the k concatenated member digests.
+    /// Memoized like Request::digest().
+    [[nodiscard]] const crypto::Sha256Digest& digest() const;
+
+    /// Charged variant: bills each member hash plus the combining hash to
+    /// `crypto` exactly once across all calls.
+    [[nodiscard]] const crypto::Sha256Digest& digest_with(
+        enclave::CostedCrypto& crypto) const;
+
+    void encode(Writer& w) const;
+    static Batch decode(Reader& r);
+
+  private:
+    mutable std::optional<crypto::Sha256Digest> digest_cache_;
 };
 
 struct Prepare {
@@ -86,7 +127,7 @@ struct Prepare {
     SequenceNumber seq = 0;
     std::uint32_t replica = 0;  // the leader
     CounterValue counter_value = 0;
-    Request request;
+    Batch batch;
     Certificate cert{};
 
     [[nodiscard]] Bytes certified_view() const;
@@ -99,7 +140,7 @@ struct Commit {
     SequenceNumber seq = 0;
     std::uint32_t replica = 0;
     CounterValue counter_value = 0;
-    crypto::Sha256Digest request_digest{};
+    crypto::Sha256Digest batch_digest{};
     Certificate cert{};
 
     [[nodiscard]] Bytes certified_view() const;

@@ -121,6 +121,17 @@ void Replica::submit(const Request& request) {
     outbox.flush(meter);
 }
 
+void Replica::submit_all(std::vector<Request> requests) {
+    if (faults_.crashed || rejoining_ || requests.empty()) return;
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+    for (Request& request : requests) {
+        handle_request(crypto, outbox, std::move(request));
+    }
+    outbox.flush(meter);
+}
+
 void Replica::execute_optimistic_read(const Request& request) {
     if (faults_.crashed || rejoining_) return;
     enclave::CostMeter meter;
@@ -155,7 +166,7 @@ void Replica::execute_optimistic_read(const Request& request) {
         reply.view = view_;
         reply.seq = last_executed_;
         reply.request_id = request.id;
-        reply.request_digest = exec_crypto.hash(request.signed_view());
+        reply.request_digest = request.digest_with(exec_crypto);
         reply.result = std::move(result);
         reply.replica = id_;
 
@@ -200,24 +211,54 @@ void Replica::handle_request(enclave::CostedCrypto& crypto,
 
     if (in_view_change_) return;  // ordering paused
 
-    order_request(crypto, outbox, request);
+    enqueue_for_batch(crypto, outbox, request);
 }
 
-void Replica::order_request(enclave::CostedCrypto& crypto,
-                            net::Outbox& outbox, const Request& request) {
-    // Suppress re-ordering of a request already in the log.
+bool Replica::request_in_flight(const RequestId& id) const {
+    for (const Request& pending : pending_batch_) {
+        if (pending.id == id) return true;
+    }
     for (const auto& [seq, entry] : log_) {
-        if (entry.prepare && entry.prepare->request.id == request.id &&
-            !entry.executed) {
-            return;  // in flight
+        if (!entry.prepare || entry.executed) continue;
+        for (const Request& member : entry.prepare->batch.requests) {
+            if (member.id == id) return true;
         }
     }
+    return false;
+}
+
+void Replica::enqueue_for_batch(enclave::CostedCrypto& crypto,
+                                net::Outbox& outbox, const Request& request) {
+    // Suppress re-ordering of a request already in flight (pending batch
+    // or unexecuted log entry).
+    if (request_in_flight(request.id)) return;
+
+    pending_batch_.push_back(request);
+    if (pending_batch_.size() >= config_.batch_size_max ||
+        config_.batch_delay == 0) {
+        cut_batch(crypto, outbox);
+    } else {
+        arm_batch_timer();
+        // A pending batch is pending work: keep the progress timer armed
+        // so a leader that loses its batch timer is still suspected.
+        arm_progress_timer();
+    }
+}
+
+void Replica::cut_batch(enclave::CostedCrypto& crypto, net::Outbox& outbox) {
+    if (pending_batch_.empty()) return;
+    ++batch_timer_generation_;  // cancel any armed delay timer
+    batch_timer_armed_ = false;
 
     Prepare prepare;
     prepare.view = view_;
     prepare.seq = next_seq_++;
     prepare.replica = id_;
-    prepare.request = request;
+    prepare.batch.requests = std::move(pending_batch_);
+    pending_batch_.clear();
+    // Member digests and the batch digest are computed (and charged) once
+    // here; followers and the execution path reuse the cached values.
+    (void)prepare.batch.digest_with(crypto);
 
     const auto certified = trinx_->certify_continuing(
         crypto, prepare_counter_id(), prepare.certified_view());
@@ -227,13 +268,45 @@ void Replica::order_request(enclave::CostedCrypto& crypto,
                  "leader counter out of sync with sequence numbers");
 
     auto& entry = log_[prepare.seq];
-    entry.prepare = prepare;
+    entry.prepare = std::move(prepare);
 
     if (!faults_.mute_agreement) {
-        broadcast(outbox, Message(prepare));
+        broadcast(outbox, Message(*entry.prepare));
     }
     arm_progress_timer();
     try_execute(crypto, outbox);
+}
+
+void Replica::arm_batch_timer() {
+    if (batch_timer_armed_ || faults_.crashed || rejoining_) return;
+    batch_timer_armed_ = true;
+    const std::uint64_t generation = ++batch_timer_generation_;
+
+    fabric_.simulator().after(config_.batch_delay, [this, generation]() {
+        if (generation != batch_timer_generation_) return;
+        batch_timer_armed_ = false;
+        if (faults_.crashed || rejoining_ || in_view_change_) return;
+        if (!is_leader()) return;  // lost leadership while the batch waited
+
+        enclave::CostMeter meter;
+        enclave::CostedCrypto crypto(profile_, meter);
+        net::Outbox outbox(fabric_, node_);
+        cut_batch(crypto, outbox);
+        outbox.flush(meter);
+    });
+}
+
+void Replica::stash_pending_batch() {
+    ++batch_timer_generation_;  // cancel any armed delay timer
+    batch_timer_armed_ = false;
+    // Fold the uncut batch back into the forwarded set: after the view
+    // change these requests are re-proposed by the new leader (us or a
+    // peer) via reissue_forwarded(), exactly like requests that died with
+    // the old leader.
+    for (Request& request : pending_batch_) {
+        forwarded_.emplace(request.id, std::move(request));
+    }
+    pending_batch_.clear();
 }
 
 void Replica::handle_prepare(enclave::CostedCrypto& crypto,
@@ -243,30 +316,39 @@ void Replica::handle_prepare(enclave::CostedCrypto& crypto,
     if (prepare.seq <= last_stable_) return;  // garbage-collected slot
     if (prepare.counter_value != expected_counter(prepare.seq)) return;
 
+    if (prepare.batch.empty()) return;  // a batch orders at least one request
+
+    // Member digests are computed and charged once here; the certificate
+    // check, the COMMIT below and the execution path all reuse the
+    // memoized values.
+    const crypto::Sha256Digest batch_digest =
+        prepare.batch.digest_with(crypto);
     if (!trinx_->verify_continuing(crypto, prepare.replica,
                                    prepare_counter_id(),
                                    prepare.counter_value,
                                    prepare.certified_view(), prepare.cert)) {
         return;
     }
-    // Validate the embedded client request as well: a Byzantine leader
-    // must not be able to inject unauthenticated requests.
-    if (!(prepare.request.flags & kFlagNoop) &&
-        (!hooks_.verify_request ||
-         !hooks_.verify_request(crypto, prepare.request))) {
-        return;
+    // Validate every embedded client request as well: a Byzantine leader
+    // must not be able to inject unauthenticated requests into a batch.
+    for (const Request& member : prepare.batch.requests) {
+        if (member.flags & kFlagNoop) continue;
+        if (!hooks_.verify_request ||
+            !hooks_.verify_request(crypto, member)) {
+            return;
+        }
     }
 
     auto& entry = log_[prepare.seq];
     if (entry.prepare) return;  // duplicate
-    entry.prepare = prepare;
 
-    // Certify and broadcast our COMMIT.
+    // Certify and broadcast our COMMIT over the batch digest.
     Commit commit;
     commit.view = view_;
     commit.seq = prepare.seq;
     commit.replica = id_;
-    commit.request_digest = crypto.hash(prepare.request.signed_view());
+    commit.batch_digest = batch_digest;
+    entry.prepare = std::move(prepare);
     const auto certified = trinx_->certify_continuing(
         crypto, commit_counter_id(), commit.certified_view());
     commit.counter_value = certified.value;
@@ -300,14 +382,15 @@ void Replica::handle_commit(enclave::CostedCrypto& crypto,
 
 bool Replica::committed(const LogEntry& entry) const {
     if (!entry.prepare) return false;
-    const crypto::Sha256Digest digest =
-        crypto::sha256(entry.prepare->request.signed_view());
+    // Memoized: warm whenever the prepare was installed by cut_batch() or
+    // handle_prepare(), so this costs nothing on the hot path.
+    const crypto::Sha256Digest& digest = entry.prepare->batch.digest();
     // Vouchers: the leader via its PREPARE plus every replica with a
     // matching certified COMMIT (our own included once we created it).
     int vouchers = 1;
     for (const auto& [replica, commit] : entry.commits) {
         if (replica == entry.prepare->replica) continue;
-        if (digests_equal(commit.request_digest, digest)) ++vouchers;
+        if (digests_equal(commit.batch_digest, digest)) ++vouchers;
     }
     return vouchers >= config_.quorum();
 }
@@ -330,10 +413,14 @@ void Replica::execute_entry(enclave::CostedCrypto& crypto,
                             LogEntry& entry) {
     entry.executed = true;
     last_executed_ = seq;
-    const Request& request = entry.prepare->request;
-    forwarded_.erase(request.id);
 
-    if (!(request.flags & kFlagNoop)) {
+    // Execute the batch member by member, in batch order; every member
+    // gets its own REPLY (all carrying the batch's sequence number).
+    for (const Request& request : entry.prepare->batch.requests) {
+        forwarded_.erase(request.id);
+        ++executed_since_checkpoint_;
+        if (request.flags & kFlagNoop) continue;
+
         crypto.charge(service_->execution_cost(request.payload));
         Bytes result = service_->execute(request.payload);
 
@@ -342,7 +429,7 @@ void Replica::execute_entry(enclave::CostedCrypto& crypto,
         reply.view = view_;
         reply.seq = seq;
         reply.request_id = request.id;
-        reply.request_digest = crypto.hash(request.signed_view());
+        reply.request_digest = request.digest_with(crypto);
         reply.result = std::move(result);
         reply.replica = id_;
 
@@ -372,10 +459,13 @@ void Replica::execute_entry(enclave::CostedCrypto& crypto,
 
 void Replica::maybe_checkpoint(enclave::CostedCrypto& crypto,
                                net::Outbox& outbox) {
-    if (last_executed_ == 0 ||
-        last_executed_ % config_.checkpoint_interval != 0) {
-        return;
-    }
+    // The interval counts executed requests (batch members), so a batch
+    // never delays nor splits a checkpoint: when the threshold is crossed
+    // mid-batch the checkpoint lands at the batch's sequence number, after
+    // the whole batch executed. All replicas execute identical batches in
+    // identical order, so they checkpoint at identical sequence numbers.
+    if (executed_since_checkpoint_ < config_.checkpoint_interval) return;
+    executed_since_checkpoint_ = 0;
     const SequenceNumber seq = last_executed_;
     Bytes snapshot = service_->checkpoint();
     CheckpointMsg cp;
@@ -475,6 +565,7 @@ void Replica::arm_progress_timer() {
 
         const bool pending =
             in_view_change_ || !forwarded_.empty() ||
+            !pending_batch_.empty() ||
             std::any_of(log_.begin(), log_.end(), [](const auto& kv) {
                 return !kv.second.executed;
             });
@@ -498,6 +589,9 @@ void Replica::start_view_change(ViewNumber new_view) {
     highest_view_change_sent_ = new_view;
     in_view_change_ = true;
     ++view_changes_;
+    // An uncut batch must survive the view change: fold it back into the
+    // forwarded set so it is re-proposed once the new view starts.
+    stash_pending_batch();
 
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
@@ -594,10 +688,13 @@ void Replica::maybe_assemble_new_view(enclave::CostedCrypto& crypto,
         fresh.replica = id_;
         const auto found = union_prepared.find(seq);
         if (found != union_prepared.end()) {
-            fresh.request = found->second.request;
+            fresh.batch = found->second.batch;  // whole batch, as prepared
         } else {
-            fresh.request.flags = kFlagNoop;  // fill the counter gap
+            Request noop;
+            noop.flags = kFlagNoop;  // fill the counter gap
+            fresh.batch.requests.push_back(std::move(noop));
         }
+        (void)fresh.batch.digest_with(crypto);
         const auto certified = trinx_->certify_continuing(
             crypto, prepare_counter_id(), fresh.certified_view());
         fresh.counter_value = certified.value;
@@ -634,14 +731,18 @@ void Replica::reissue_forwarded(enclave::CostedCrypto& crypto,
     for (const auto& [id, request] : pending) {
         bool in_log = false;
         for (const auto& [seq, entry] : log_) {
-            if (entry.prepare && entry.prepare->request.id == id) {
-                in_log = true;
-                break;
+            if (!entry.prepare) continue;
+            for (const Request& member : entry.prepare->batch.requests) {
+                if (member.id == id) {
+                    in_log = true;
+                    break;
+                }
             }
+            if (in_log) break;
         }
         if (in_log) continue;
         if (is_leader()) {
-            order_request(crypto, outbox, request);
+            enqueue_for_batch(crypto, outbox, request);
         } else {
             send_to(outbox, config_.leader_of(view_), Message(request));
         }
@@ -668,6 +769,11 @@ void Replica::handle_new_view(enclave::CostedCrypto& crypto,
         voters.insert(vc.replica);
     }
     if (static_cast<int>(voters.size()) < config_.quorum()) return;
+
+    // A deposed leader may still hold an uncut batch (the view changed
+    // under it without it ever suspecting anyone): those requests go back
+    // into the forwarded set and are re-issued below.
+    stash_pending_batch();
 
     view_ = new_view.view;
     view_start_ = new_view.start_seq;
@@ -723,6 +829,10 @@ void Replica::restart(ServicePtr fresh_service) {
     ++state_timer_generation_;
     state_responses_.clear();
     awaiting_state_ = false;
+    pending_batch_.clear();
+    batch_timer_armed_ = false;
+    ++batch_timer_generation_;  // invalidate batch timers from before
+    executed_since_checkpoint_ = 0;
 
     begin_rejoin();
 }
@@ -895,7 +1005,12 @@ void Replica::adopt_state(enclave::CostedCrypto& crypto, net::Outbox& outbox,
         view_start_ = response.view_start;
     }
     last_stable_ = std::max(last_stable_, response.last_stable);
-    last_executed_ = std::max(last_executed_, response.last_stable);
+    if (response.last_stable > last_executed_) {
+        last_executed_ = response.last_stable;
+        // The snapshot is the state right after the checkpoint that reset
+        // the peers' request counters, so ours resets too.
+        executed_since_checkpoint_ = 0;
+    }
     next_seq_ = std::max(next_seq_, response.last_stable + 1);
     log_.erase(log_.begin(), log_.upper_bound(response.last_stable));
     if (response.last_stable > 0) {

@@ -2,21 +2,28 @@
 //
 // Leader-based ordering with trusted-counter certificates (TrinX):
 //
-//   REQUEST → leader assigns the next sequence number and broadcasts a
-//   PREPARE certified with its per-view ordering counter; every follower
-//   validates the counter continuity (value = seq - view_start + 1),
-//   certifies a COMMIT with its own counter and broadcasts it. An entry is
-//   committed once f+1 distinct replicas (the leader's PREPARE counts as
-//   its COMMIT) vouch for the same request digest — sufficient in the
-//   hybrid fault model because certified messages cannot equivocate.
-//   Committed entries execute in sequence order; each replica emits a
-//   REPLY through the host's deliver_reply hook (which in a Troxy
-//   deployment authenticates it inside the trusted subsystem and keeps
-//   the fast-read cache coherent, §IV-A).
+//   REQUEST → the leader accumulates requests into a Batch (cut when it
+//   reaches config.batch_size_max or after config.batch_delay, whichever
+//   comes first), assigns the batch the next sequence number and
+//   broadcasts ONE PREPARE certified with its per-view ordering counter;
+//   every follower validates the counter continuity (value = seq -
+//   view_start + 1), verifies each member request, certifies a COMMIT
+//   with its own counter and broadcasts it. An entry is committed once
+//   f+1 distinct replicas (the leader's PREPARE counts as its COMMIT)
+//   vouch for the same batch digest — sufficient in the hybrid fault
+//   model because certified messages cannot equivocate. Committed entries
+//   execute in sequence order, member by member; each replica emits one
+//   REPLY per member through the host's deliver_reply hook (which in a
+//   Troxy deployment authenticates it inside the trusted subsystem and
+//   keeps the fast-read cache coherent, §IV-A). Batching amortizes the
+//   trusted-counter certification — the dominant ordered-path cost —
+//   across the batch; batch_size_max = 1 reproduces the unbatched flow.
 //
-// Checkpoints every `checkpoint_interval` sequences garbage-collect the
-// log; view changes replace an unresponsive leader using certified
-// VIEW-CHANGE/NEW-VIEW messages carrying the prepared-request history.
+// Checkpoints every `checkpoint_interval` executed *requests* (batch
+// members) garbage-collect the log; view changes replace an unresponsive
+// leader using certified VIEW-CHANGE/NEW-VIEW messages carrying the
+// prepared-batch history (an uncut pending batch is folded back into the
+// forwarded set and re-proposed in the new view).
 //
 // The replica itself is *untrusted* code — it may be subjected to fault
 // injection (crash, reply dropping/corruption) — while every certificate
@@ -82,6 +89,11 @@ class Replica {
     /// Local submission from a co-located component (the Troxy): orders
     /// the request if leader, otherwise forwards it to the leader.
     void submit(const Request& request);
+
+    /// Batched local submission: handles several pending client requests
+    /// in one metered step (one dispatch, one outbox flush), letting a
+    /// batching leader cut them into a single Prepare.
+    void submit_all(std::vector<Request> requests);
 
     /// Handles an optimistic (non-ordered) read: executes against the
     /// current state and replies immediately. Used by the PBFT-like
@@ -161,9 +173,13 @@ class Replica {
                      const StateResponse& response);
     void arm_state_transfer_timer();
 
-    // --- ordering ---
-    void order_request(enclave::CostedCrypto& crypto, net::Outbox& outbox,
-                       const Request& request);
+    // --- ordering (leader batching) ---
+    void enqueue_for_batch(enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                           const Request& request);
+    void cut_batch(enclave::CostedCrypto& crypto, net::Outbox& outbox);
+    void arm_batch_timer();
+    void stash_pending_batch();
+    [[nodiscard]] bool request_in_flight(const RequestId& id) const;
     void try_execute(enclave::CostedCrypto& crypto, net::Outbox& outbox);
     void execute_entry(enclave::CostedCrypto& crypto, net::Outbox& outbox,
                        SequenceNumber seq, LogEntry& entry);
@@ -202,6 +218,21 @@ class Replica {
     SequenceNumber last_executed_ = 0;
     SequenceNumber last_stable_ = 0;
     std::map<SequenceNumber, LogEntry> log_;
+
+    // Leader batching: verified requests waiting for the current batch to
+    // be cut. Non-empty only on the leader between an enqueue and the
+    // size/delay-triggered cut; drained back into forwarded_ when a view
+    // change interrupts an uncut batch.
+    std::vector<Request> pending_batch_;
+    std::uint64_t batch_timer_generation_ = 0;
+    bool batch_timer_armed_ = false;
+
+    // Requests executed since the last checkpoint cut. The checkpoint
+    // interval counts requests (batch members), not sequence numbers, so
+    // batching does not stretch the log span between checkpoints; all
+    // replicas execute identical batches in identical order, hence they
+    // trigger checkpoints at identical sequence numbers.
+    std::uint64_t executed_since_checkpoint_ = 0;
 
     // Duplicate suppression + retransmit support: last reply per client.
     struct ClientRecord {

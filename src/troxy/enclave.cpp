@@ -174,8 +174,10 @@ TroxyActions TroxyEnclave::order_request(enclave::CostedCrypto& crypto,
     request.payload.assign(app_request.begin(), app_request.end());
     // Decrypting the client request and creating the authenticated BFT
     // request happen atomically inside this ecall (§III-C task 2). The
-    // request is hashed once; certificate and voter matching reuse it.
-    const crypto::Sha256Digest digest = crypto.hash(request.signed_view());
+    // request is hashed once (memoized on the Request, so the co-located
+    // replica's ordering path reuses it); certificate and voter matching
+    // reuse it too.
+    const crypto::Sha256Digest digest = request.digest_with(crypto);
     request.auth.push_back(
         trinx_->certify_independent_digest(crypto, digest));
 

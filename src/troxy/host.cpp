@@ -182,10 +182,14 @@ void TroxyReplicaHost::apply(enclave::CostMeter& meter,
     for (auto& [to, bytes] : actions.sends) {
         outbox.send(to, std::move(bytes));
     }
-    for (auto& request : actions.to_order) {
+    if (!actions.to_order.empty()) {
         // The replica's processing happens after the Troxy's metered work.
-        outbox.defer([this, request = std::move(request)]() {
-            replica_->submit(request);
+        // One ecall can surface several client requests (e.g. pipelined
+        // records in one segment); hand them over in a single batched
+        // submission (one metered step, one outbox flush) so a batching
+        // leader can cut them into one Prepare without per-request waits.
+        outbox.defer([this, batch = std::move(actions.to_order)]() mutable {
+            replica_->submit_all(std::move(batch));
         });
     }
     outbox.flush(meter, tcs_done);

@@ -76,8 +76,14 @@ TEST(Messages, PrepareRoundTrip) {
     prepare.seq = 17;
     prepare.replica = 0;
     prepare.counter_value = 5;
-    prepare.request.id = {9, 1};
-    prepare.request.payload = to_bytes("req");
+    Request member;
+    member.id = {9, 1};
+    member.payload = to_bytes("req");
+    prepare.batch.requests.push_back(member);
+    Request second;
+    second.id = {9, 2};
+    second.payload = to_bytes("req2");
+    prepare.batch.requests.push_back(second);
     prepare.cert.fill(0x22);
 
     const auto decoded = decode_message(encode_message(Message(prepare)));
@@ -87,7 +93,39 @@ TEST(Messages, PrepareRoundTrip) {
     EXPECT_EQ(out->view, 3u);
     EXPECT_EQ(out->seq, 17u);
     EXPECT_EQ(out->counter_value, 5u);
-    EXPECT_EQ(out->request.payload, to_bytes("req"));
+    ASSERT_EQ(out->batch.size(), 2u);
+    EXPECT_EQ(out->batch.requests[0].payload, to_bytes("req"));
+    EXPECT_EQ(out->batch.requests[1].payload, to_bytes("req2"));
+    EXPECT_EQ(out->batch.digest(), prepare.batch.digest());
+}
+
+TEST(Messages, BatchDigestRules) {
+    // One member: the batch digest is the member's request digest, so a
+    // single-request batch is wire- and digest-compatible with the
+    // pre-batching protocol.
+    Batch single;
+    Request r1;
+    r1.id = {1, 1};
+    r1.payload = to_bytes("a");
+    single.requests.push_back(r1);
+    EXPECT_EQ(single.digest(), r1.digest());
+
+    // Several members: SHA-256 over the concatenated member digests.
+    // (Built fresh — a batch must not be mutated once its digest is
+    // memoized.)
+    Batch pair;
+    Request r2;
+    r2.id = {1, 2};
+    r2.payload = to_bytes("b");
+    pair.requests.push_back(r1);
+    pair.requests.push_back(r2);
+    Bytes concat_digests;
+    for (const auto& r : pair.requests) {
+        concat_digests.insert(concat_digests.end(), r.digest().begin(),
+                              r.digest().end());
+    }
+    EXPECT_EQ(pair.digest(), crypto::sha256(concat_digests));
+    EXPECT_NE(pair.digest(), single.digest());
 }
 
 TEST(Messages, CommitReplyCheckpointRoundTrip) {
@@ -96,10 +134,10 @@ TEST(Messages, CommitReplyCheckpointRoundTrip) {
     commit.seq = 2;
     commit.replica = 2;
     commit.counter_value = 2;
-    commit.request_digest = crypto::sha256(to_bytes("r"));
+    commit.batch_digest = crypto::sha256(to_bytes("r"));
     auto c = decode_message(encode_message(Message(commit)));
     ASSERT_TRUE(c && std::holds_alternative<Commit>(*c));
-    EXPECT_EQ(std::get<Commit>(*c).request_digest, commit.request_digest);
+    EXPECT_EQ(std::get<Commit>(*c).batch_digest, commit.batch_digest);
 
     Reply reply;
     reply.kind = Reply::Kind::Optimistic;
@@ -128,7 +166,9 @@ TEST(Messages, ViewChangeNewViewRoundTrip) {
     Prepare prepared;
     prepared.view = 1;
     prepared.seq = 65;
-    prepared.request.payload = to_bytes("pending");
+    Request pending;
+    pending.payload = to_bytes("pending");
+    prepared.batch.requests.push_back(std::move(pending));
     vc.prepared.push_back(prepared);
 
     auto v = decode_message(encode_message(Message(vc)));
@@ -180,10 +220,13 @@ struct BareGroup {
     std::vector<Reply> delivered;  // replies that reached "the client"
     sim::CostProfile profile = sim::CostProfile::java();
 
-    explicit BareGroup(int f = 1) {
+    explicit BareGroup(int f = 1, std::size_t batch_size_max = 1,
+                       sim::Duration batch_delay = 0) {
         config.f = f;
         config.checkpoint_interval = 8;
         config.view_change_timeout = sim::milliseconds(200);
+        config.batch_size_max = batch_size_max;
+        config.batch_delay = batch_delay;
         const int n = 2 * f + 1;
         for (int i = 0; i < n; ++i) {
             config.replicas.push_back(static_cast<sim::NodeId>(i + 1));
@@ -353,6 +396,110 @@ TEST(Replica, MutedLeaderTriggersViewChange) {
 
     EXPECT_GT(group.replicas[1]->view(), 0u);
     EXPECT_EQ(group.replicas[1]->last_executed(), 1u);
+}
+
+// ---------------------------------------------------------------- batching
+
+TEST(Replica, BatchCutAtSizeBoundary) {
+    // Batch fills to batch_size_max long before the delay expires: the
+    // size boundary cuts it. Four requests end up in ONE log entry.
+    BareGroup group(1, /*batch_size_max=*/4,
+                    /*batch_delay=*/sim::milliseconds(50));
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+        group.replicas[0]->submit(
+            group.make_request(i, apps::EchoService::make_write(i, 32)));
+    }
+    // Well before the 50 ms delay boundary the batch must already have
+    // executed everywhere — proof the size boundary (not the timer) cut.
+    group.sim.run_until(sim::milliseconds(40));
+    for (const auto& replica : group.replicas) {
+        EXPECT_EQ(replica->last_executed(), 1u);  // one batch = one seq
+    }
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+        EXPECT_EQ(group.replies_for(i), 3) << "request " << i;
+    }
+}
+
+TEST(Replica, BatchCutAtDelayBoundary) {
+    // Batch never fills: the delay timer cuts it. Before the boundary
+    // nothing is ordered; after it, all members execute under one seq.
+    BareGroup group(1, /*batch_size_max=*/16,
+                    /*batch_delay=*/sim::milliseconds(50));
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+        group.replicas[0]->submit(
+            group.make_request(i, apps::EchoService::make_write(i, 32)));
+    }
+    group.sim.run_until(sim::milliseconds(40));
+    EXPECT_EQ(group.replicas[0]->last_executed(), 0u);  // still pending
+
+    group.sim.run_until(sim::milliseconds(500));
+    for (const auto& replica : group.replicas) {
+        EXPECT_EQ(replica->last_executed(), 1u);
+    }
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+        EXPECT_EQ(group.replies_for(i), 3) << "request " << i;
+    }
+}
+
+TEST(Replica, CheckpointLandsMidBatch) {
+    // Interval 8 with batches of 5: the threshold is crossed by the
+    // middle of the second batch, so the checkpoint lands at that batch's
+    // sequence number (2) — after the whole batch executed, never inside.
+    BareGroup group(1, /*batch_size_max=*/5,
+                    /*batch_delay=*/sim::milliseconds(50));
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        group.replicas[0]->submit(
+            group.make_request(i, apps::EchoService::make_write(1, 32)));
+    }
+    group.sim.run_until(sim::seconds(3));
+    for (const auto& replica : group.replicas) {
+        EXPECT_EQ(replica->last_executed(), 2u);  // two batches of five
+        EXPECT_EQ(replica->last_stable(), 2u);    // checkpoint at seq 2
+    }
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        EXPECT_EQ(group.replies_for(i), 3) << "request " << i;
+    }
+}
+
+TEST(Replica, ViewChangeRescuesPendingBatch) {
+    // A request forwarded through a follower sits in the leader's *uncut*
+    // batch when the leader dies. The follower's progress timer fires a
+    // view change and the new leader re-proposes the forwarded request.
+    BareGroup group(1, /*batch_size_max=*/16,
+                    /*batch_delay=*/sim::milliseconds(100));
+    group.replicas[1]->submit(
+        group.make_request(1, apps::EchoService::make_write(1, 32)));
+    // Let the forward reach the leader's pending batch, then crash the
+    // leader before the 100 ms delay boundary cuts it.
+    group.sim.run_until(sim::milliseconds(20));
+    ASSERT_EQ(group.replicas[0]->last_executed(), 0u);
+    FaultProfile crash;
+    crash.crashed = true;
+    group.replicas[0]->set_faults(crash);
+
+    group.sim.run_until(sim::seconds(5));
+    EXPECT_GT(group.replicas[1]->view(), 0u);
+    EXPECT_EQ(group.replicas[1]->last_executed(), 1u);
+    EXPECT_EQ(group.replicas[2]->last_executed(), 1u);
+    EXPECT_GE(group.replies_for(1), 2);
+}
+
+TEST(Replica, BatchedExecutionMatchesUnbatchedState) {
+    // The same request sequence produces byte-identical service state
+    // whether ordered one-by-one or in batches of four.
+    auto run = [](std::size_t batch_size, sim::Duration delay) {
+        BareGroup group(1, batch_size, delay);
+        for (std::uint64_t i = 1; i <= 10; ++i) {
+            group.replicas[0]->submit(group.make_request(
+                i, apps::EchoService::make_write(i % 3, 64)));
+        }
+        group.sim.run_until(sim::seconds(3));
+        EXPECT_EQ(group.replies_for(10), 3);
+        return group.replicas[0]->service().checkpoint();
+    };
+    const Bytes unbatched = run(1, 0);
+    const Bytes batched = run(4, sim::milliseconds(10));
+    EXPECT_EQ(unbatched, batched);
 }
 
 TEST(Replica, FiveReplicaGroupToleratesTwoFaults) {
