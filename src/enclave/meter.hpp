@@ -37,7 +37,12 @@ class CostMeter {
 /// The profile decides how expensive each operation is (Java vs native).
 class CostedCrypto {
   public:
-    CostedCrypto(const sim::CostProfile& profile, CostMeter& meter) noexcept
+    // The profile is copied, not referenced: CostedCrypto objects are
+    // frequently constructed with a temporary (CostProfile::java()), and a
+    // stored reference would dangle once the full expression ends. The
+    // profile is a small POD, so the copy is negligible next to any single
+    // metered operation.
+    CostedCrypto(sim::CostProfile profile, CostMeter& meter) noexcept
         : profile_(profile), meter_(meter) {}
 
     crypto::Sha256Digest hash(ByteView data) {
@@ -79,7 +84,7 @@ class CostedCrypto {
     [[nodiscard]] CostMeter& meter() noexcept { return meter_; }
 
   private:
-    const sim::CostProfile& profile_;
+    sim::CostProfile profile_;
     CostMeter& meter_;
 };
 

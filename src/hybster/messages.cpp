@@ -122,11 +122,20 @@ Bytes Prepare::certified_view() const {
     // the digest binds every member, and certification cost stays constant
     // in the batch size. Callers charge the digest via digest_with() before
     // certifying; here the memoized value is free.
+    //
+    // The member count is certified alongside the digest. Without it, one
+    // certificate could cover two structurally different batches: a
+    // single-member batch digests to the raw request digest, and a request
+    // whose signed bytes were ground to equal the concatenated member
+    // digests of a k-member batch would share its combining hash. Binding
+    // (count, digest) makes those certified views distinct, so a Byzantine
+    // leader cannot equivocate between them under one counter value.
     Writer w;
-    w.reserve(20 + crypto::kSha256DigestSize);
+    w.reserve(24 + crypto::kSha256DigestSize);
     w.u64(view);
     w.u64(seq);
     w.u32(replica);
+    w.u32(static_cast<std::uint32_t>(batch.size()));
     put_digest(w, batch.digest());
     return std::move(w).take();
 }
@@ -154,11 +163,14 @@ Prepare Prepare::decode(Reader& r) {
 // ----------------------------------------------------------------- Commit
 
 Bytes Commit::certified_view() const {
+    // (batch_size, batch_digest) pins the batch structure — mirror of
+    // Prepare::certified_view(), see the rationale there.
     Writer w;
-    w.reserve(20 + crypto::kSha256DigestSize);
+    w.reserve(24 + crypto::kSha256DigestSize);
     w.u64(view);
     w.u64(seq);
     w.u32(replica);
+    w.u32(batch_size);
     put_digest(w, batch_digest);
     return std::move(w).take();
 }
@@ -168,6 +180,7 @@ void Commit::encode(Writer& w) const {
     w.u64(seq);
     w.u32(replica);
     w.u64(counter_value);
+    w.u32(batch_size);
     put_digest(w, batch_digest);
     put_tag(w, cert);
 }
@@ -178,6 +191,7 @@ Commit Commit::decode(Reader& r) {
     c.seq = r.u64();
     c.replica = r.u32();
     c.counter_value = r.u64();
+    c.batch_size = r.u32();
     c.batch_digest = get_digest(r);
     c.cert = get_tag(r);
     return c;

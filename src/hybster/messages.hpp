@@ -52,6 +52,21 @@ struct RequestId {
     auto operator<=>(const RequestId&) const = default;
 };
 
+/// Hash for unordered containers keyed by RequestId.
+struct RequestIdHash {
+    std::size_t operator()(const RequestId& id) const noexcept {
+        // splitmix64-style finalizer over both fields.
+        std::uint64_t x =
+            (static_cast<std::uint64_t>(id.client) << 32) ^ id.number;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+    }
+};
+
 struct Request {
     RequestId id;
     /// Bit 0: read-only; bit 1: client asks for optimistic (non-ordered)
@@ -107,6 +122,10 @@ struct Batch {
     /// Digest ordering the batch: for one member, the member's own request
     /// digest (keeps batch=1 identical to the pre-batching wire contract);
     /// for k > 1 members, SHA-256 over the k concatenated member digests.
+    /// The digest alone does NOT bind the member count (a crafted request
+    /// whose signed bytes equal a concatenation of digests would collide),
+    /// so every certified view pairs it with the count — see Prepare/
+    /// Commit::certified_view() and Replica::committed().
     /// Memoized like Request::digest().
     [[nodiscard]] const crypto::Sha256Digest& digest() const;
 
@@ -140,6 +159,11 @@ struct Commit {
     SequenceNumber seq = 0;
     std::uint32_t replica = 0;
     CounterValue counter_value = 0;
+    /// Member count of the batch being committed. Certified alongside the
+    /// digest: the (count, digest) pair pins the batch *structure*, so a
+    /// certificate over a k-member batch can never double as one over a
+    /// single request whose bytes collide with the combining-hash input.
+    std::uint32_t batch_size = 0;
     crypto::Sha256Digest batch_digest{};
     Certificate cert{};
 

@@ -215,16 +215,20 @@ void Replica::handle_request(enclave::CostedCrypto& crypto,
 }
 
 bool Replica::request_in_flight(const RequestId& id) const {
+    return in_flight_.contains(id);
+}
+
+void Replica::rebuild_in_flight() {
+    in_flight_.clear();
     for (const Request& pending : pending_batch_) {
-        if (pending.id == id) return true;
+        in_flight_.insert(pending.id);
     }
     for (const auto& [seq, entry] : log_) {
         if (!entry.prepare || entry.executed) continue;
         for (const Request& member : entry.prepare->batch.requests) {
-            if (member.id == id) return true;
+            in_flight_.insert(member.id);
         }
     }
-    return false;
 }
 
 void Replica::enqueue_for_batch(enclave::CostedCrypto& crypto,
@@ -234,6 +238,7 @@ void Replica::enqueue_for_batch(enclave::CostedCrypto& crypto,
     if (request_in_flight(request.id)) return;
 
     pending_batch_.push_back(request);
+    in_flight_.insert(request.id);
     if (pending_batch_.size() >= config_.batch_size_max ||
         config_.batch_delay == 0) {
         cut_batch(crypto, outbox);
@@ -304,6 +309,7 @@ void Replica::stash_pending_batch() {
     // peer) via reissue_forwarded(), exactly like requests that died with
     // the old leader.
     for (Request& request : pending_batch_) {
+        in_flight_.erase(request.id);
         forwarded_.emplace(request.id, std::move(request));
     }
     pending_batch_.clear();
@@ -342,13 +348,18 @@ void Replica::handle_prepare(enclave::CostedCrypto& crypto,
     auto& entry = log_[prepare.seq];
     if (entry.prepare) return;  // duplicate
 
-    // Certify and broadcast our COMMIT over the batch digest.
+    // Certify and broadcast our COMMIT over the batch structure
+    // (member count + digest, same pair the PREPARE certified).
     Commit commit;
     commit.view = view_;
     commit.seq = prepare.seq;
     commit.replica = id_;
+    commit.batch_size = static_cast<std::uint32_t>(prepare.batch.size());
     commit.batch_digest = batch_digest;
     entry.prepare = std::move(prepare);
+    for (const Request& member : entry.prepare->batch.requests) {
+        in_flight_.insert(member.id);
+    }
     const auto certified = trinx_->certify_continuing(
         crypto, commit_counter_id(), commit.certified_view());
     commit.counter_value = certified.value;
@@ -368,6 +379,7 @@ void Replica::handle_commit(enclave::CostedCrypto& crypto,
     if (commit.seq <= last_stable_) return;
     if (commit.replica >= static_cast<std::uint32_t>(config_.n())) return;
     if (commit.counter_value != expected_counter(commit.seq)) return;
+    if (commit.batch_size == 0) return;  // a batch has at least one member
 
     if (!trinx_->verify_continuing(crypto, commit.replica,
                                    commit_counter_id(), commit.counter_value,
@@ -385,12 +397,19 @@ bool Replica::committed(const LogEntry& entry) const {
     // Memoized: warm whenever the prepare was installed by cut_batch() or
     // handle_prepare(), so this costs nothing on the hot path.
     const crypto::Sha256Digest& digest = entry.prepare->batch.digest();
+    const auto batch_size =
+        static_cast<std::uint32_t>(entry.prepare->batch.size());
     // Vouchers: the leader via its PREPARE plus every replica with a
     // matching certified COMMIT (our own included once we created it).
+    // A match requires the full certified batch structure — member count
+    // AND digest — mirroring what the trusted counter certified.
     int vouchers = 1;
     for (const auto& [replica, commit] : entry.commits) {
         if (replica == entry.prepare->replica) continue;
-        if (digests_equal(commit.batch_digest, digest)) ++vouchers;
+        if (commit.batch_size == batch_size &&
+            digests_equal(commit.batch_digest, digest)) {
+            ++vouchers;
+        }
     }
     return vouchers >= config_.quorum();
 }
@@ -418,6 +437,7 @@ void Replica::execute_entry(enclave::CostedCrypto& crypto,
     // gets its own REPLY (all carrying the batch's sequence number).
     for (const Request& request : entry.prepare->batch.requests) {
         forwarded_.erase(request.id);
+        in_flight_.erase(request.id);
         ++executed_since_checkpoint_;
         if (request.flags & kFlagNoop) continue;
 
@@ -709,6 +729,7 @@ void Replica::maybe_assemble_new_view(enclave::CostedCrypto& crypto,
         if (seq <= last_executed_) entry.executed = true;
         ++next_seq_;
     }
+    rebuild_in_flight();  // the log was replaced wholesale above
 
     nv.cert = trinx_->certify_independent(crypto, nv.certified_view());
     broadcast(outbox, Message(nv));
@@ -792,6 +813,7 @@ void Replica::handle_new_view(enclave::CostedCrypto& crypto,
     for (auto& [seq, entry] : log_) {
         if (seq <= last_executed_) entry.executed = true;
     }
+    rebuild_in_flight();  // the log was replaced wholesale above
     reissue_forwarded(crypto, outbox);
     // Sequence gap below the new view's start: the quorum stabilized a
     // checkpoint we never reached (e.g. we were partitioned through it)
@@ -830,6 +852,7 @@ void Replica::restart(ServicePtr fresh_service) {
     state_responses_.clear();
     awaiting_state_ = false;
     pending_batch_.clear();
+    in_flight_.clear();
     batch_timer_armed_ = false;
     ++batch_timer_generation_;  // invalidate batch timers from before
     executed_since_checkpoint_ = 0;
@@ -1013,6 +1036,7 @@ void Replica::adopt_state(enclave::CostedCrypto& crypto, net::Outbox& outbox,
     }
     next_seq_ = std::max(next_seq_, response.last_stable + 1);
     log_.erase(log_.begin(), log_.upper_bound(response.last_stable));
+    rebuild_in_flight();  // possibly unexecuted entries were dropped
     if (response.last_stable > 0) {
         service_->restore(response.snapshot);
         own_checkpoints_[response.last_stable] = response.snapshot;

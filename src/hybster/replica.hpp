@@ -36,6 +36,7 @@
 #include <optional>
 #include <set>
 #include <tuple>
+#include <unordered_set>
 #include <utility>
 
 #include "enclave/trinx.hpp"
@@ -180,6 +181,7 @@ class Replica {
     void arm_batch_timer();
     void stash_pending_batch();
     [[nodiscard]] bool request_in_flight(const RequestId& id) const;
+    void rebuild_in_flight();
     void try_execute(enclave::CostedCrypto& crypto, net::Outbox& outbox);
     void execute_entry(enclave::CostedCrypto& crypto, net::Outbox& outbox,
                        SequenceNumber seq, LogEntry& entry);
@@ -226,6 +228,14 @@ class Replica {
     std::vector<Request> pending_batch_;
     std::uint64_t batch_timer_generation_ = 0;
     bool batch_timer_armed_ = false;
+
+    // Index over pending_batch_ plus the members of every unexecuted
+    // prepared log entry: the duplicate-suppression check on the leader's
+    // submission hot path must not scan the log (O(log span × batch size)
+    // per request at large batches). Updated at enqueue, prepare install
+    // and execute; rebuilt wholesale on the rare paths that replace the
+    // log (view change, state transfer, restart).
+    std::unordered_set<RequestId, RequestIdHash> in_flight_;
 
     // Requests executed since the last checkpoint cut. The checkpoint
     // interval counts requests (batch members), not sequence numbers, so

@@ -38,6 +38,16 @@ TEST(Config, LargerGroups) {
     EXPECT_EQ(config.quorum(), 3);
 }
 
+TEST(Config, BatchSizeWireLimit) {
+    // The config ceiling must agree with Batch::decode's wire limit: a
+    // leader allowed to cut bigger batches would stall the group.
+    Config config;
+    config.f = 1;
+    config.replicas = {10, 11, 12};
+    config.batch_size_max = 1u << 16;  // largest batch followers accept
+    config.validate();
+}
+
 // --------------------------------------------------------------- messages
 
 TEST(Messages, RequestRoundTrip) {
@@ -128,15 +138,58 @@ TEST(Messages, BatchDigestRules) {
     EXPECT_NE(pair.digest(), single.digest());
 }
 
+TEST(Messages, CertifiedViewsBindBatchStructure) {
+    // The batch digest alone cannot tell a k-member batch from a single
+    // crafted request whose signed bytes equal the concatenated member
+    // digests, so the trusted counter must certify the member count next
+    // to the digest. Certified views that differ only in batch size must
+    // therefore differ as byte strings, for PREPAREs and COMMITs alike.
+    Request r1;
+    r1.id = {1, 1};
+    r1.payload = to_bytes("a");
+    Request r2;
+    r2.id = {1, 2};
+    r2.payload = to_bytes("b");
+
+    Prepare one;
+    one.view = 4;
+    one.seq = 9;
+    one.replica = 0;
+    one.batch.requests.push_back(r1);
+    Prepare two = one;
+    two.batch.requests.push_back(r2);
+    const Bytes view_one = one.certified_view();
+    const Bytes view_two = two.certified_view();
+    EXPECT_NE(view_one, view_two);
+    // The count is part of the certified bytes even when digests were
+    // (hypothetically) equal: strip the digest suffix and compare.
+    const auto prefix = [](const Bytes& b) {
+        return Bytes(b.begin(), b.end() - crypto::kSha256DigestSize);
+    };
+    EXPECT_NE(prefix(view_one), prefix(view_two));
+
+    Commit ca;
+    ca.view = 4;
+    ca.seq = 9;
+    ca.replica = 1;
+    ca.batch_size = 1;
+    ca.batch_digest = crypto::sha256(to_bytes("same"));
+    Commit cb = ca;
+    cb.batch_size = 2;
+    EXPECT_NE(ca.certified_view(), cb.certified_view());
+}
+
 TEST(Messages, CommitReplyCheckpointRoundTrip) {
     Commit commit;
     commit.view = 1;
     commit.seq = 2;
     commit.replica = 2;
     commit.counter_value = 2;
+    commit.batch_size = 3;
     commit.batch_digest = crypto::sha256(to_bytes("r"));
     auto c = decode_message(encode_message(Message(commit)));
     ASSERT_TRUE(c && std::holds_alternative<Commit>(*c));
+    EXPECT_EQ(std::get<Commit>(*c).batch_size, 3u);
     EXPECT_EQ(std::get<Commit>(*c).batch_digest, commit.batch_digest);
 
     Reply reply;

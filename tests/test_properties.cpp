@@ -76,8 +76,14 @@ TEST(Linearizability, RandomSingleKeyHistory) {
     for (auto* client : clients) {
         client->start([&checker, &rng, client, &cluster]() {
             auto issue = std::make_shared<std::function<void(int)>>();
-            *issue = [&checker, &rng, client, issue](int remaining) {
+            // The stored function captures itself weakly (a strong
+            // self-capture is a shared_ptr cycle, i.e. a leak); the async
+            // callbacks below keep the chain alive with strong copies.
+            *issue = [&checker, &rng, client,
+                      weak = std::weak_ptr(issue)](int remaining) {
                 if (remaining == 0) return;
+                const auto issue = weak.lock();
+                if (!issue) return;
                 const bool is_write = rng.next_below(100) < 30;
                 if (is_write) {
                     ++checker.invoked_writes;
@@ -142,8 +148,10 @@ TEST(QuorumInvariant, StaleCachesNeverReachReadQuorum) {
     int checks = 0;
     client.start([&]() {
         auto cycle = std::make_shared<std::function<void(int)>>();
-        *cycle = [&, cycle](int remaining) {
+        *cycle = [&, weak = std::weak_ptr(cycle)](int remaining) {
             if (remaining == 0) return;
+            const auto cycle = weak.lock();  // see the weak-capture note above
+            if (!cycle) return;
             // Read (fills caches), then write (must invalidate a quorum).
             client.send(EchoService::make_read(kKey, 32, 64), [&, cycle,
                                                                remaining](
@@ -245,7 +253,9 @@ TEST_P(FastReadSweep, FastPathServesRepeatedReads) {
     client.start([&]() {
         client.send(EchoService::make_write(2, 48), [&](Bytes) {
             auto loop = std::make_shared<std::function<void()>>();
-            *loop = [&, loop]() {
+            *loop = [&, weak = std::weak_ptr(loop)]() {
+                const auto loop = weak.lock();  // weak-capture, no cycle
+                if (!loop) return;
                 client.send(EchoService::make_read(2, 32, 128),
                             [&, loop](Bytes reply) {
                                 EXPECT_EQ(
@@ -274,8 +284,10 @@ TEST(Determinism, IdenticalSeedsIdenticalRuns) {
         std::vector<Bytes> replies;
         client.start([&]() {
             auto loop = std::make_shared<std::function<void(int)>>();
-            *loop = [&, loop](int remaining) {
+            *loop = [&, weak = std::weak_ptr(loop)](int remaining) {
                 if (remaining == 0) return;
+                const auto loop = weak.lock();  // weak-capture, no cycle
+                if (!loop) return;
                 client.send(EchoService::make_write(1, 64),
                             [&, loop, remaining](Bytes ack) {
                                 replies.push_back(std::move(ack));
