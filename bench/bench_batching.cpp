@@ -255,6 +255,35 @@ int main(int argc, char** argv) {
         print_table("system " + system_name(system), rows);
     }
 
+    // Troxy systems with the batched voter and wire coalescing riding
+    // along: the voter batch matches the ordering batch, so the reply
+    // path (ecall transitions, certificate MAC bases, wire records) is
+    // amortized at the same granularity as the ordering pipeline. See
+    // bench_voting for the full voter x ordering cross sweep.
+    for (const SystemKind system :
+         smoke ? std::vector<SystemKind>{}
+               : std::vector<SystemKind>{SystemKind::CTroxy,
+                                         SystemKind::ETroxy}) {
+        std::vector<Row> rows;
+        double base_throughput = 0.0;
+        for (const std::size_t batch : batches) {
+            MicroParams params;
+            params.read_workload = false;
+            params.request_size = 256;
+            params.clients = clients > 0 ? clients : 128;
+            params.pipeline = pipeline > 0 ? pipeline : 8;
+            params.batch_size_max = batch;
+            params.batch_delay = delay_for(batch);
+            params.voter_batch_max = batch;
+            params.coalesce_wire = batch > 1;
+            params.coalesce_client_sends = batch > 1;
+            emit(system_name(system) + "+vote", batch,
+                 run_micro(system, params).row, rows, base_throughput);
+        }
+        print_table("system " + system_name(system) + " + batched voter",
+                    rows);
+    }
+
     std::FILE* json = std::fopen(out_path.c_str(), "w");
     if (json == nullptr) {
         std::fprintf(stderr, "cannot open %s for writing\n",

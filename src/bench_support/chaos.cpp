@@ -48,6 +48,9 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     params.base.checkpoint_interval = options.checkpoint_interval;
     params.base.batch_size_max = options.batch_size_max;
     params.base.batch_delay = options.batch_delay;
+    params.base.coalesce_wire = options.coalesce_wire;
+    params.host.voter_batch_max = options.voter_batch_max;
+    params.host.coalesce_wire = options.coalesce_wire;
     params.service = []() { return std::make_unique<EchoService>(); };
     params.classifier = [](ByteView request) {
         return EchoService().classify(request);

@@ -55,6 +55,11 @@ struct ChaosOptions {
     /// runs on the unbatched flow; batching scenarios opt in.
     std::size_t batch_size_max = 1;
     sim::Duration batch_delay = 0;
+    /// Voter batching and wire coalescing (TroxyReplicaHost::Options /
+    /// ClusterOptions::coalesce_wire); defaults reproduce the per-reply
+    /// ecall, per-message record flow.
+    std::size_t voter_batch_max = 1;
+    bool coalesce_wire = false;
 
     // Fault schedule: faults are injected inside [fault_start, heal_by];
     // the run ends at `horizon`, leaving time to recover and drain.

@@ -113,6 +113,8 @@ TroxyCluster::TroxyCluster(Params params) : ClusterBase(params.base) {
     config_.checkpoint_interval = options_.checkpoint_interval;
     config_.batch_size_max = options_.batch_size_max;
     config_.batch_delay = options_.batch_delay;
+    config_.coalesce_wire = options_.coalesce_wire;
+    config_.adaptive_batching = options_.adaptive_batching;
     const int n = 2 * options_.f + 1;
     for (int i = 0; i < n; ++i) {
         config_.replicas.push_back(
@@ -158,9 +160,23 @@ troxy_core::LegacyClient& TroxyCluster::add_client(int contact) {
         fabric_, node, std::move(servers), std::move(keys), java_,
         client_options_));
     auto* client = clients_.back().get();
+    // A coalescing host may ship several client frames as one Bundle;
+    // the client-side dispatch unpacks them like a socket read loop.
     fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
         auto unwrapped = net::unwrap(message);
-        if (!unwrapped || unwrapped->first != net::Channel::Client) return;
+        if (!unwrapped) return;
+        if (unwrapped->first == net::Channel::Bundle) {
+            auto inner = net::unbundle(unwrapped->second);
+            if (!inner) return;
+            for (const Bytes& m : *inner) {
+                auto u = net::unwrap(m);
+                if (u && u->first == net::Channel::Client) {
+                    client->on_message(from, u->second);
+                }
+            }
+            return;
+        }
+        if (unwrapped->first != net::Channel::Client) return;
         client->on_message(from, unwrapped->second);
     });
     return *client;

@@ -40,6 +40,12 @@ struct ClusterOptions {
     /// incomplete batch is cut.
     std::size_t batch_size_max = 1;
     sim::Duration batch_delay = 0;
+    /// Coalesce replica flush bursts into one Bundle frame per
+    /// destination (hybster::Config::coalesce_wire).
+    bool coalesce_wire = false;
+    /// Load-adaptive effective batch boundary on the leader
+    /// (hybster::Config::adaptive_batching).
+    bool adaptive_batching = false;
     /// Standard deviation added to intra-cluster link latency. The
     /// deterministic simulator lacks the execution-time variance of a
     /// real testbed (JVM GC pauses, interrupt coalescing, switch

@@ -62,6 +62,8 @@ ClusterOptions base_options(const MicroParams& params) {
     options.lan_jitter = params.lan_jitter;
     options.batch_size_max = params.batch_size_max;
     options.batch_delay = params.batch_delay;
+    options.coalesce_wire = params.coalesce_wire;
+    options.adaptive_batching = params.adaptive_batching;
     return options;
 }
 
@@ -119,6 +121,11 @@ MicroResult run_troxy(SystemKind kind, const MicroParams& params) {
     cluster_params.host.troxy.monitor.miss_threshold =
         params.monitor_threshold;
     cluster_params.host.troxy.enclave_costs = params.enclave_costs;
+    cluster_params.host.voter_batch_max = params.voter_batch_max;
+    cluster_params.host.voter_batch_delay = params.voter_batch_delay;
+    cluster_params.host.coalesce_wire = params.coalesce_wire;
+    cluster_params.host.adaptive_voting = params.adaptive_voting;
+    cluster_params.client.coalesce_sends = params.coalesce_client_sends;
     // Remote cache queries cross the replica LAN, but under heavy load
     // their processing queues behind the enclave's thread budget; the
     // timeout is a liveness backstop, not a performance path, so it is
@@ -155,7 +162,12 @@ MicroResult run_troxy(SystemKind kind, const MicroParams& params) {
         result.fast_read_conflicts += status.fast_read_conflicts;
         result.ordered_requests += status.ordered_requests;
         result.mode_switches += status.mode_switches;
+        result.enclave_transitions += status.enclave_transitions;
+        result.reply_batches += status.reply_batches;
+        result.batched_replies += status.batched_replies;
     }
+    result.wire_messages = cluster.network().messages_sent();
+    result.wire_bytes = cluster.network().bytes_sent();
     return result;
 }
 

@@ -53,6 +53,20 @@ struct MicroParams {
     /// and max hold time before an incomplete batch is cut.
     std::size_t batch_size_max = 1;
     sim::Duration batch_delay = 0;
+    /// Voter batch knobs (TroxyReplicaHost::Options): replies per
+    /// handle_replies ecall (1 = per-reply handle_reply, the seed flow)
+    /// and max hold time before a partial batch enters the enclave.
+    std::size_t voter_batch_max = 1;
+    sim::Duration voter_batch_delay = sim::microseconds(100);
+    /// Coalesce replica flush bursts into one Bundle frame / one AEAD
+    /// record per destination.
+    bool coalesce_wire = false;
+    /// Clients seal same-instant send bursts into one channel record.
+    bool coalesce_client_sends = false;
+    /// EWMA-of-queue-depth controllers on the leader batch boundary and
+    /// the voter flush boundary.
+    bool adaptive_batching = false;
+    bool adaptive_voting = false;
 };
 
 struct MicroResult {
@@ -66,6 +80,14 @@ struct MicroResult {
     // Baseline read-optimization counters.
     std::uint64_t optimistic_attempts = 0;
     std::uint64_t read_conflicts = 0;
+    // Hot-path cost counters (Troxy systems only): total enclave ecall
+    // transitions, the voter's batched-ecall split, and the simulated
+    // wire totals (records after coalescing).
+    std::uint64_t enclave_transitions = 0;
+    std::uint64_t reply_batches = 0;
+    std::uint64_t batched_replies = 0;
+    std::uint64_t wire_messages = 0;
+    std::uint64_t wire_bytes = 0;
 
     /// Fraction of read attempts that ended in a *conflict*: for BL,
     /// optimistic reads whose replies disagreed and had to be re-ordered;

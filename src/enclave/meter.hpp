@@ -60,6 +60,16 @@ class CostedCrypto {
         return crypto::hmac_verify(key, data, tag);
     }
 
+    /// MAC verification inside a per-source batch: the first item from a
+    /// source pays the full MAC cost, later items ride the running MAC
+    /// (per-byte only) — the real verification still runs per item.
+    bool mac_verify_batched(ByteView key, ByteView data, ByteView tag,
+                            bool first_from_source) {
+        meter_.add(first_from_source ? profile_.mac(data.size())
+                                     : profile_.mac_continue(data.size()));
+        return crypto::hmac_verify(key, data, tag);
+    }
+
     Bytes seal(const crypto::ChaChaKey& key, const crypto::ChaChaNonce& nonce,
                ByteView aad, ByteView plaintext) {
         meter_.add(profile_.aead(plaintext.size()));

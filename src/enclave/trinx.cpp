@@ -66,6 +66,17 @@ bool TrinX::verify_independent(CostedCrypto& crypto, std::uint32_t replica_id,
     return crypto.mac_verify(group_key_, input, cert);
 }
 
+bool TrinX::verify_independent_batched(CostedCrypto& crypto,
+                                       std::uint32_t replica_id,
+                                       ByteView message,
+                                       const Certificate& cert,
+                                       bool first_from_source) const {
+    const Bytes input =
+        independent_input(replica_id, crypto.hash(message));
+    return crypto.mac_verify_batched(group_key_, input, cert,
+                                     first_from_source);
+}
+
 CounterValue TrinX::current(CounterId counter) const noexcept {
     const auto it = counters_.find(counter);
     return it == counters_.end() ? 0 : it->second;

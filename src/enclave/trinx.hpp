@@ -64,6 +64,15 @@ class TrinX {
                                           ByteView message,
                                           const Certificate& cert) const;
 
+    /// Batched variant: verifying many certificates from the same source
+    /// in one enclave transition keeps a running MAC per source, so only
+    /// the first item pays the fixed MAC setup cost (the per-message hash
+    /// is still charged in full). Semantically identical to
+    /// verify_independent — the real HMAC check runs per item.
+    [[nodiscard]] bool verify_independent_batched(
+        CostedCrypto& crypto, std::uint32_t replica_id, ByteView message,
+        const Certificate& cert, bool first_from_source) const;
+
     [[nodiscard]] CounterValue current(CounterId counter) const noexcept;
 
     [[nodiscard]] std::uint32_t replica_id() const noexcept {

@@ -39,6 +39,17 @@ struct Config {
     /// view_change_timeout or followers will suspect a batching leader.
     sim::Duration batch_delay = 0;
 
+    /// Coalesce each handler's outgoing burst into one Bundle frame per
+    /// destination (one wire record instead of N). Off by default so the
+    /// unbatched message flow stays byte-identical to the seed.
+    bool coalesce_wire = false;
+
+    /// Let an EWMA of the leader's enqueue-time queue depth shrink the
+    /// effective batch boundary below batch_size_max under light load, so
+    /// an idle system keeps single-request latency while a loaded one
+    /// still cuts full batches.
+    bool adaptive_batching = false;
+
     /// How long a non-leader waits for an ordered request it knows about
     /// before suspecting the leader.
     sim::Duration view_change_timeout = sim::milliseconds(500);

@@ -65,7 +65,7 @@ void Replica::on_message(sim::NodeId from, ByteView payload) {
 
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
-    net::Outbox outbox(fabric_, node_);
+    net::Outbox outbox = make_outbox();
     crypto.charge_dispatch();
 
     auto decoded = decode_message(payload);
@@ -116,7 +116,7 @@ void Replica::submit(const Request& request) {
     if (faults_.crashed || rejoining_) return;
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
-    net::Outbox outbox(fabric_, node_);
+    net::Outbox outbox = make_outbox();
     handle_request(crypto, outbox, Request(request));
     outbox.flush(meter);
 }
@@ -125,7 +125,7 @@ void Replica::submit_all(std::vector<Request> requests) {
     if (faults_.crashed || rejoining_ || requests.empty()) return;
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
-    net::Outbox outbox(fabric_, node_);
+    net::Outbox outbox = make_outbox();
     for (Request& request : requests) {
         handle_request(crypto, outbox, std::move(request));
     }
@@ -136,7 +136,7 @@ void Replica::execute_optimistic_read(const Request& request) {
     if (faults_.crashed || rejoining_) return;
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
-    net::Outbox outbox(fabric_, node_);
+    net::Outbox outbox = make_outbox();
 
     if (!hooks_.verify_request ||
         !hooks_.verify_request(crypto, request)) {
@@ -156,7 +156,7 @@ void Replica::execute_optimistic_read(const Request& request) {
     outbox.defer([this, request]() {
         enclave::CostMeter exec_meter;
         enclave::CostedCrypto exec_crypto(profile_, exec_meter);
-        net::Outbox exec_outbox(fabric_, node_);
+        net::Outbox exec_outbox = make_outbox();
 
         exec_meter.add(service_->execution_cost(request.payload));
         Bytes result = service_->execute(request.payload);
@@ -239,8 +239,16 @@ void Replica::enqueue_for_batch(enclave::CostedCrypto& crypto,
 
     pending_batch_.push_back(request);
     in_flight_.insert(request.id);
-    if (pending_batch_.size() >= config_.batch_size_max ||
-        config_.batch_delay == 0) {
+    // The adaptive controller watches the queue depth at enqueue time and
+    // shrinks the cut boundary under light load: an idle system observes
+    // depth 1 and cuts immediately (single-request latency), a saturated
+    // one sees deep queues and opens up to the configured maximum.
+    std::size_t boundary = config_.batch_size_max;
+    if (config_.adaptive_batching) {
+        batch_controller_.observe(pending_batch_.size());
+        boundary = batch_controller_.effective(config_.batch_size_max);
+    }
+    if (pending_batch_.size() >= boundary || config_.batch_delay == 0) {
         cut_batch(crypto, outbox);
     } else {
         arm_batch_timer();
@@ -295,7 +303,7 @@ void Replica::arm_batch_timer() {
 
         enclave::CostMeter meter;
         enclave::CostedCrypto crypto(profile_, meter);
-        net::Outbox outbox(fabric_, node_);
+        net::Outbox outbox = make_outbox();
         cut_batch(crypto, outbox);
         outbox.flush(meter);
     });
@@ -615,7 +623,7 @@ void Replica::start_view_change(ViewNumber new_view) {
 
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
-    net::Outbox outbox(fabric_, node_);
+    net::Outbox outbox = make_outbox();
 
     ViewChange vc;
     vc.new_view = new_view;
@@ -866,7 +874,7 @@ void Replica::begin_rejoin() {
 
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
-    net::Outbox outbox(fabric_, node_);
+    net::Outbox outbox = make_outbox();
     request_state_transfer(crypto, outbox);
     outbox.flush(meter);
     arm_state_transfer_timer();
@@ -900,7 +908,7 @@ void Replica::arm_state_transfer_timer() {
 
         enclave::CostMeter meter;
         enclave::CostedCrypto crypto(profile_, meter);
-        net::Outbox outbox(fabric_, node_);
+        net::Outbox outbox = make_outbox();
         request_state_transfer(crypto, outbox);
         outbox.flush(meter);
         arm_state_transfer_timer();

@@ -40,6 +40,7 @@
 #include <utility>
 
 #include "enclave/trinx.hpp"
+#include "hybster/adaptive.hpp"
 #include "hybster/config.hpp"
 #include "hybster/messages.hpp"
 #include "hybster/service.hpp"
@@ -197,6 +198,11 @@ class Replica {
     void arm_progress_timer();
 
     // --- plumbing ---
+    /// Builds the per-handler send buffer; coalesces destination bursts
+    /// into Bundle frames when the config enables wire coalescing.
+    [[nodiscard]] net::Outbox make_outbox() {
+        return net::Outbox(fabric_, node_, config_.coalesce_wire);
+    }
     void broadcast(net::Outbox& outbox, const Message& message);
     void send_to(net::Outbox& outbox, std::uint32_t replica,
                  const Message& message);
@@ -228,6 +234,9 @@ class Replica {
     std::vector<Request> pending_batch_;
     std::uint64_t batch_timer_generation_ = 0;
     bool batch_timer_armed_ = false;
+    /// Load tracker for config_.adaptive_batching: shrinks the effective
+    /// cut boundary under light load (idle = single-request latency).
+    AdaptiveBatchController batch_controller_;
 
     // Index over pending_batch_ plus the members of every unexecuted
     // prepared log entry: the duplicate-suppression check on the leader's

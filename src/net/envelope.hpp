@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/serialize.hpp"
@@ -22,10 +23,12 @@ enum class Channel : std::uint8_t {
     Client = 3,      // legacy client ↔ server secure-channel records
     TroxyCache = 4,  // Troxy ↔ Troxy fast-read queries/responses
     Middlebox = 5,   // Prophecy middlebox ↔ replica traffic
+    Bundle = 6,      // several wrapped messages coalesced into one frame
 };
 
 inline Bytes wrap(Channel channel, ByteView payload) {
     Writer w;
+    w.reserve(1 + payload.size());
     w.u8(static_cast<std::uint8_t>(channel));
     w.raw(payload);
     return std::move(w).take();
@@ -41,12 +44,47 @@ inline std::optional<std::pair<Channel, Bytes>> unwrap(ByteView message) {
         case Channel::Client:
         case Channel::TroxyCache:
         case Channel::Middlebox:
+        case Channel::Bundle:
             break;
         default:
             return std::nullopt;
     }
     return std::make_pair(channel,
                           Bytes(message.begin() + 1, message.end()));
+}
+
+/// Coalesces several already-wrapped messages into one Bundle frame:
+/// Bundle ‖ u16 count ‖ (u32 len ‖ wrapped message)*. The receiving host
+/// unbundles and dispatches each inner message as if it had arrived alone,
+/// so one wire transmission carries a whole pipeline burst.
+inline Bytes make_bundle(const std::vector<Bytes>& wrapped) {
+    std::size_t total = 1 + 2;
+    for (const Bytes& m : wrapped) total += 4 + m.size();
+    Writer w;
+    w.reserve(total);
+    w.u8(static_cast<std::uint8_t>(Channel::Bundle));
+    w.u16(static_cast<std::uint16_t>(wrapped.size()));
+    for (const Bytes& m : wrapped) w.bytes(m);
+    return std::move(w).take();
+}
+
+/// Splits a Bundle payload (the bytes after the channel byte) back into
+/// the coalesced messages; nullopt on malformed framing.
+inline std::optional<std::vector<Bytes>> unbundle(ByteView payload) {
+    try {
+        Reader r(payload);
+        const std::uint16_t count = r.u16();
+        if (count == 0) return std::nullopt;
+        std::vector<Bytes> messages;
+        messages.reserve(count);
+        for (std::uint16_t i = 0; i < count; ++i) {
+            messages.push_back(r.bytes());
+        }
+        r.expect_done();
+        return messages;
+    } catch (const DecodeError&) {
+        return std::nullopt;
+    }
 }
 
 }  // namespace troxy::net

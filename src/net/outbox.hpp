@@ -5,13 +5,21 @@
 // into an Outbox while a CostMeter accumulates their cost; flush()
 // schedules the actual transmissions after the metered time on the node's
 // earliest-free core.
+//
+// With coalescing enabled, flush() groups the queued messages by
+// destination and ships each group as ONE Bundle frame — one wire record
+// per destination burst. The per-record cost is charged once per emitted
+// record (per burst), not per queued message, so the meter matches the
+// one-record-per-burst wire behaviour.
 #pragma once
 
+#include <map>
 #include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "enclave/meter.hpp"
+#include "net/envelope.hpp"
 #include "net/fabric.hpp"
 #include "sim/node.hpp"
 
@@ -19,7 +27,12 @@ namespace troxy::net {
 
 class Outbox {
   public:
-    Outbox(Fabric& fabric, sim::Node& node) : fabric_(fabric), node_(node) {}
+    Outbox(Fabric& fabric, sim::Node& node, bool coalesce = false,
+           sim::Duration record_cost = 0)
+        : fabric_(fabric),
+          node_(node),
+          coalesce_(coalesce),
+          record_cost_(record_cost) {}
 
     /// Queues `message` for `to`; transmitted at flush time.
     void send(sim::NodeId to, Bytes message) {
@@ -45,6 +58,10 @@ class Outbox {
         pending_.clear();
         auto callbacks = std::move(deferred_);
         deferred_.clear();
+        if (coalesce_) sends = coalesce_bursts(std::move(sends));
+        // One per-record charge per emitted wire record: after coalescing
+        // a destination burst costs one record, not one per queued message.
+        meter.add(record_cost_ * static_cast<sim::Duration>(sends.size()));
         const sim::NodeId from = node_.id();
         // NB: the Outbox itself is usually stack-allocated and gone by the
         // time this event fires — capture the long-lived Fabric, not this.
@@ -69,8 +86,36 @@ class Outbox {
     [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
 
   private:
+    /// Groups consecutive-by-destination queued messages into Bundle
+    /// frames. Order within a destination is preserved (stable grouping);
+    /// a destination with a single message keeps its original frame so
+    /// batch-1 traffic is byte-identical to the uncoalesced path.
+    static std::vector<std::pair<sim::NodeId, Bytes>> coalesce_bursts(
+        std::vector<std::pair<sim::NodeId, Bytes>> sends) {
+        std::map<sim::NodeId, std::vector<Bytes>> groups;
+        std::vector<sim::NodeId> order;
+        for (auto& [to, message] : sends) {
+            auto [it, inserted] = groups.try_emplace(to);
+            if (inserted) order.push_back(to);
+            it->second.push_back(std::move(message));
+        }
+        std::vector<std::pair<sim::NodeId, Bytes>> out;
+        out.reserve(order.size());
+        for (const sim::NodeId to : order) {
+            auto& burst = groups[to];
+            if (burst.size() == 1) {
+                out.emplace_back(to, std::move(burst.front()));
+            } else {
+                out.emplace_back(to, make_bundle(burst));
+            }
+        }
+        return out;
+    }
+
     Fabric& fabric_;
     sim::Node& node_;
+    bool coalesce_ = false;
+    sim::Duration record_cost_ = 0;
     std::vector<std::pair<sim::NodeId, Bytes>> pending_;
     std::vector<std::function<void()>> deferred_;
 };

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/assert.hpp"
 #include "common/serialize.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
@@ -47,13 +48,32 @@ RecordProtection::RecordProtection(const crypto::ChaChaKey& key,
     : key_(key), iv_(iv) {}
 
 Bytes RecordProtection::protect(ByteView plaintext) {
+    return protect_many({plaintext});
+}
+
+Bytes RecordProtection::protect_many(const std::vector<ByteView>& messages) {
+    TROXY_ASSERT(!messages.empty() &&
+                     messages.size() <= kMaxMessagesPerRecord,
+                 "record burst must hold 1..65535 messages");
     const std::uint64_t seq = send_seq_++;
     Writer aad;
     aad.u64(seq);
     const crypto::ChaChaNonce nonce = crypto::make_record_nonce(iv_, seq);
+
+    // The burst is framed *inside* the sealed plaintext (count ‖
+    // length-prefixed messages), so the AEAD tag covers the count and a
+    // receiver can never be tricked into splitting a record differently.
+    std::size_t total = 2;
+    for (const ByteView m : messages) total += 4 + m.size();
+    Writer inner;
+    inner.reserve(total);
+    inner.u16(static_cast<std::uint16_t>(messages.size()));
+    for (const ByteView m : messages) inner.bytes(m);
+
     Writer record;
+    record.reserve(8 + 4 + total + 16);
     record.u64(seq);
-    record.bytes(crypto::aead_seal(key_, nonce, aad.data(), plaintext));
+    record.bytes(crypto::aead_seal(key_, nonce, aad.data(), inner.data()));
     return std::move(record).take();
 }
 
@@ -66,7 +86,8 @@ std::vector<Bytes> RecordProtection::unprotect(ByteView record) {
         r.expect_done();
 
         // Replay and window checks: a sequence number is accepted at most
-        // once, and only within the receive window.
+        // once, and only within the receive window. A coalesced record is
+        // one unit here — replaying it re-delivers none of its messages.
         if (seq < next_deliver_) return deliverable;                // replay
         if (seq >= next_deliver_ + kReceiveWindow) return deliverable;
         if (received_.contains(seq)) return deliverable;            // replay
@@ -77,14 +98,24 @@ std::vector<Bytes> RecordProtection::unprotect(ByteView record) {
         auto plaintext = crypto::aead_open(key_, nonce, aad.data(), sealed);
         if (!plaintext) return deliverable;  // tampered
 
+        Reader inner(*plaintext);
+        const std::uint16_t count = inner.u16();
+        if (count == 0) return deliverable;  // malformed burst
+        std::vector<Bytes> messages;
+        messages.reserve(count);
+        for (std::uint16_t i = 0; i < count; ++i) {
+            messages.push_back(inner.bytes());
+        }
+        inner.expect_done();
+
         received_.insert(seq);
-        reorder_buffer_.emplace(seq, std::move(*plaintext));
+        reorder_buffer_.emplace(seq, std::move(messages));
 
         // Release everything that is now consecutive.
         for (auto it = reorder_buffer_.find(next_deliver_);
              it != reorder_buffer_.end() && it->first == next_deliver_;
              it = reorder_buffer_.find(next_deliver_)) {
-            deliverable.push_back(std::move(it->second));
+            for (Bytes& m : it->second) deliverable.push_back(std::move(m));
             reorder_buffer_.erase(it);
             received_.erase(next_deliver_);
             ++next_deliver_;
@@ -142,6 +173,11 @@ Bytes SecureChannelClient::protect(ByteView plaintext) {
     return send_.protect(plaintext);
 }
 
+Bytes SecureChannelClient::protect_many(
+    const std::vector<ByteView>& messages) {
+    return send_.protect_many(messages);
+}
+
 std::vector<Bytes> SecureChannelClient::unprotect(ByteView record) {
     return recv_.unprotect(record);
 }
@@ -188,6 +224,11 @@ std::optional<Bytes> SecureChannelServer::accept(
 
 Bytes SecureChannelServer::protect(ByteView plaintext) {
     return send_.protect(plaintext);
+}
+
+Bytes SecureChannelServer::protect_many(
+    const std::vector<ByteView>& messages) {
+    return send_.protect_many(messages);
 }
 
 std::vector<Bytes> SecureChannelServer::unprotect(ByteView record) {

@@ -24,6 +24,14 @@
 // before delivery (TCP-under-TLS stream semantics), so the application
 // above always observes an in-order byte-message stream even though the
 // simulated multi-core endpoints may emit records slightly out of order.
+//
+// One record can carry several application messages: a pipeline burst is
+// sealed once (protect_many), paying one AEAD pass and one wire record
+// for the whole burst. The message count lives *inside* the sealed
+// plaintext, so it is covered by the AEAD tag; replay suppression and
+// reassembly operate on whole records exactly as for single-message ones
+// — a replayed coalesced record is rejected as one unit and can never
+// re-deliver any of its messages.
 #pragma once
 
 #include <cstdint>
@@ -46,18 +54,25 @@ class RecordProtection {
     /// record may arrive before it is dropped.
     static constexpr std::uint64_t kReceiveWindow = 4096;
 
+    /// Messages one record may coalesce (u16 count on the wire).
+    static constexpr std::size_t kMaxMessagesPerRecord = 65535;
+
     RecordProtection() = default;
     RecordProtection(const crypto::ChaChaKey& key,
                      const crypto::ChaChaNonce& iv) noexcept;
 
-    /// Seals plaintext into a record (header ‖ ciphertext ‖ tag).
+    /// Seals one message into a record (header ‖ ciphertext ‖ tag).
     Bytes protect(ByteView plaintext);
+
+    /// Seals a burst of messages into ONE record: one sequence number,
+    /// one AEAD pass, one wire transmission for the whole burst.
+    Bytes protect_many(const std::vector<ByteView>& messages);
 
     /// Opens a record and returns every message that is now deliverable
     /// in sequence order (possibly none if this record only filled a
-    /// buffer slot, possibly several if it closed a gap). Tampered,
-    /// replayed, truncated or out-of-window records yield nothing and
-    /// poison no state.
+    /// buffer slot, possibly several if it closed a gap or carried a
+    /// coalesced burst). Tampered, replayed, truncated or out-of-window
+    /// records yield nothing and poison no state.
     std::vector<Bytes> unprotect(ByteView record);
 
     [[nodiscard]] std::uint64_t send_sequence() const noexcept {
@@ -69,7 +84,8 @@ class RecordProtection {
     crypto::ChaChaNonce iv_{};
     std::uint64_t send_seq_ = 0;
     std::uint64_t next_deliver_ = 0;
-    std::map<std::uint64_t, Bytes> reorder_buffer_;
+    /// seq → the record's messages (one or a coalesced burst).
+    std::map<std::uint64_t, std::vector<Bytes>> reorder_buffer_;
     std::set<std::uint64_t> received_;  // ≥ next_deliver_, replay guard
 };
 
@@ -101,6 +117,9 @@ class SecureChannelClient {
     /// Encrypts application data client→server.
     Bytes protect(ByteView plaintext);
 
+    /// Seals a pipeline burst into one record (one AEAD, one wire record).
+    Bytes protect_many(const std::vector<ByteView>& messages);
+
     /// Decrypts server→client records; returns the messages now
     /// deliverable in order.
     std::vector<Bytes> unprotect(ByteView record);
@@ -131,6 +150,7 @@ class SecureChannelServer {
     [[nodiscard]] bool established() const noexcept { return established_; }
 
     Bytes protect(ByteView plaintext);
+    Bytes protect_many(const std::vector<ByteView>& messages);
     std::vector<Bytes> unprotect(ByteView record);
 
   private:

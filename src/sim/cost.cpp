@@ -22,6 +22,10 @@ Duration CostProfile::mac(std::size_t bytes) const noexcept {
                        mac_per_byte_ns * static_cast<double>(bytes));
 }
 
+Duration CostProfile::mac_continue(std::size_t bytes) const noexcept {
+    return as_duration(mac_per_byte_ns * static_cast<double>(bytes));
+}
+
 Duration CostProfile::aead(std::size_t bytes) const noexcept {
     return as_duration(aead_base_ns +
                        aead_per_byte_ns * static_cast<double>(bytes));

@@ -46,6 +46,10 @@ struct CostProfile {
     [[nodiscard]] Duration dispatch() const noexcept;
     [[nodiscard]] Duration hash(std::size_t bytes) const noexcept;
     [[nodiscard]] Duration mac(std::size_t bytes) const noexcept;
+    /// Continuation of a running MAC over a batch from one source: the
+    /// fixed setup (key schedule, object churn — mac_base_ns) was paid by
+    /// the batch's first item, later items only stream bytes.
+    [[nodiscard]] Duration mac_continue(std::size_t bytes) const noexcept;
     [[nodiscard]] Duration aead(std::size_t bytes) const noexcept;
     [[nodiscard]] Duration dh() const noexcept;
     [[nodiscard]] Duration copy(std::size_t bytes) const noexcept;

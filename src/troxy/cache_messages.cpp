@@ -24,6 +24,7 @@ enclave::Certificate get_cert(Reader& r) {
 
 Bytes CacheQuery::certified_view() const {
     Writer w;
+    w.reserve(4 + 8 + 4 + state_key.size() + crypto::kSha256DigestSize);
     w.u32(requester);
     w.u64(query_id);
     w.str(state_key);
@@ -32,6 +33,8 @@ Bytes CacheQuery::certified_view() const {
 }
 
 void CacheQuery::encode(Writer& w) const {
+    w.reserve(4 + 8 + 4 + state_key.size() + crypto::kSha256DigestSize +
+              sizeof(enclave::Certificate));
     w.u32(requester);
     w.u64(query_id);
     w.str(state_key);
@@ -51,6 +54,7 @@ CacheQuery CacheQuery::decode(Reader& r) {
 
 Bytes CacheResponse::certified_view() const {
     Writer w;
+    w.reserve(4 + 4 + 8 + 1 + 2 * crypto::kSha256DigestSize);
     w.u32(responder);
     w.u32(responder_replica);
     w.u64(query_id);
@@ -61,6 +65,8 @@ Bytes CacheResponse::certified_view() const {
 }
 
 void CacheResponse::encode(Writer& w) const {
+    w.reserve(4 + 4 + 8 + 1 + 2 * crypto::kSha256DigestSize +
+              sizeof(enclave::Certificate));
     w.u32(responder);
     w.u32(responder_replica);
     w.u64(query_id);

@@ -205,41 +205,78 @@ TroxyActions TroxyEnclave::handle_reply(enclave::CostMeter& meter,
     gate_.ecall(meter, "handle_reply", reply.result.size() + 96, 0);
     enclave::CostedCrypto crypto(profile_, meter);
     TroxyActions actions;
+    ingest_reply(crypto, actions, std::move(reply), /*first_from_source=*/true,
+                 /*release_plan=*/nullptr);
+    return actions;
+}
 
+TroxyActions TroxyEnclave::handle_replies(enclave::CostMeter& meter,
+                                          std::vector<hybster::Reply> replies) {
+    std::size_t in_bytes = 0;
+    for (const hybster::Reply& reply : replies) {
+        in_bytes += reply.result.size() + 96;
+    }
+    gate_.ecall(meter, "handle_replies", in_bytes, 0);
+    enclave::CostedCrypto crypto(profile_, meter);
+    TroxyActions actions;
+
+    ++stats_.reply_batches;
+    stats_.batched_replies += replies.size();
+
+    // Per-source running MAC: a source replica's first reply in the batch
+    // pays the full MAC setup, its later replies only stream bytes.
+    std::set<std::uint32_t> sources_seen;
+    ReleasePlan plan;
+    for (hybster::Reply& reply : replies) {
+        const bool first = sources_seen.insert(reply.replica).second;
+        ingest_reply(crypto, actions, std::move(reply), first, &plan);
+    }
+    flush_releases(crypto, actions, plan);
+    return actions;
+}
+
+void TroxyEnclave::ingest_reply(enclave::CostedCrypto& crypto,
+                                TroxyActions& actions, hybster::Reply&& reply,
+                                bool first_from_source,
+                                ReleasePlan* release_plan) {
     const auto it = pending_votes_.find(reply.request_id.number);
-    if (it == pending_votes_.end()) return actions;  // done or unknown
-    if (reply.request_id.client != host_node_) return actions;
+    if (it == pending_votes_.end()) return;  // done or unknown
+    if (reply.request_id.client != host_node_) return;
     PendingVote& pending = it->second;
 
     if (reply.replica >= static_cast<std::uint32_t>(config_.n())) {
-        return actions;
+        return;
     }
 
     // §IV-A change (1): only count replies authenticated by the sending
     // replica's Troxy — this is what forces every replica to route write
     // replies through its trusted subsystem and thus invalidate its cache.
-    if (!trinx_->verify_independent(crypto, reply.replica,
-                                    reply.certified_view(), reply.cert)) {
+    // A bad certificate rejects only this reply; the rest of a batch is
+    // unaffected (each reply is verified individually even when the MAC
+    // cost is amortized).
+    if (!trinx_->verify_independent_batched(crypto, reply.replica,
+                                            reply.certified_view(), reply.cert,
+                                            first_from_source)) {
         ++stats_.rejected_replies;
-        return actions;
+        return;
     }
     // §IV-A change (2): the reply embeds the request digest, so the voter
     // matches result *and* request identity.
     if (!constant_time_equal(reply.request_digest, pending.request_digest)) {
         ++stats_.rejected_replies;
-        return actions;
+        return;
     }
 
     Bytes key = vote_key(reply.request_digest, reply.result);
     const auto previous = pending.votes.find(reply.replica);
     if (previous != pending.votes.end()) {
-        if (previous->second == key) return actions;
+        if (previous->second == key) return;
         --pending.tally[previous->second];
     }
     pending.votes[reply.replica] = key;
     const int count = ++pending.tally[key];
 
-    if (count < config_.quorum()) return actions;
+    if (count < config_.quorum()) return;
 
     // Vote complete: the result is correct. Maintain the cache with
     // knowledge the contact Troxy now *provably* has.
@@ -248,7 +285,7 @@ TroxyActions TroxyEnclave::handle_reply(enclave::CostMeter& meter,
         entry.request_digest = crypto.hash(pending.request.payload);
         entry.result = reply.result;
         entry.result_digest = crypto.hash(entry.result);
-        gate_.touch(meter, entry.result.size());
+        gate_.touch(crypto.meter(), entry.result.size());
         cache_.put(pending.state_key, std::move(entry));
     } else {
         cache_.invalidate(pending.state_key);
@@ -266,8 +303,57 @@ TroxyActions TroxyEnclave::handle_reply(enclave::CostMeter& meter,
     pending_votes_.erase(it);
     actions.completed_votes.push_back(reply.request_id.number);
 
-    release_reply(crypto, actions, client, conn_slot, std::move(result));
-    return actions;
+    if (release_plan != nullptr) {
+        collect_releases(client, conn_slot, std::move(result), *release_plan);
+    } else {
+        release_reply(crypto, actions, client, conn_slot, std::move(result));
+    }
+}
+
+void TroxyEnclave::collect_releases(sim::NodeId client,
+                                    std::uint64_t conn_slot, Bytes app_reply,
+                                    ReleasePlan& plan) {
+    const auto conn = connections_.find(client);
+    if (conn == connections_.end()) return;  // client went away
+    Connection& connection = conn->second;
+
+    connection.ready.emplace(conn_slot, std::move(app_reply));
+
+    // Same strict per-connection release order as release_reply, but the
+    // plaintexts accumulate for one coalesced seal at end of transition.
+    std::vector<Bytes>& out = plan[client];
+    while (true) {
+        const auto next = connection.ready.find(connection.next_release);
+        if (next == connection.ready.end()) break;
+        out.push_back(std::move(next->second));
+        connection.ready.erase(next);
+        ++connection.next_release;
+    }
+}
+
+void TroxyEnclave::flush_releases(enclave::CostedCrypto& crypto,
+                                  TroxyActions& actions, ReleasePlan& plan) {
+    for (auto& [client, plaintexts] : plan) {
+        if (plaintexts.empty()) continue;
+        const auto conn = connections_.find(client);
+        if (conn == connections_.end()) continue;
+
+        std::size_t total = 0;
+        std::vector<ByteView> views;
+        views.reserve(plaintexts.size());
+        for (const Bytes& p : plaintexts) {
+            total += p.size();
+            views.emplace_back(p);
+        }
+        // ONE AEAD pass over the whole burst for this connection: the
+        // per-record base cost is paid once instead of once per reply.
+        crypto.charge(profile_.aead(total));
+        Bytes record = conn->second.channel.protect_many(views);
+        actions.sends.emplace_back(
+            client,
+            net::wrap(net::Channel::Client,
+                      net::frame_client(net::ClientFrame::Record, record)));
+    }
 }
 
 void TroxyEnclave::release_reply(enclave::CostedCrypto& crypto,

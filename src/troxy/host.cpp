@@ -76,6 +76,11 @@ void TroxyReplicaHost::crash() {
     // callbacks find their ids gone and become no-ops.
     votes_in_flight_.clear();
     fast_reads_in_flight_.clear();
+    // Buffered replies die with the untrusted process; the vote timers'
+    // retransmit path (re-armed post-restart) covers the gap.
+    reply_buffer_.clear();
+    ++voter_flush_generation_;
+    voter_timer_armed_ = false;
 }
 
 void TroxyReplicaHost::restart(hybster::ServicePtr fresh_service) {
@@ -111,14 +116,42 @@ void TroxyReplicaHost::on_message(sim::NodeId from, Bytes message) {
             if (!decoded) return;
             if (auto* reply = std::get_if<hybster::Reply>(&*decoded)) {
                 if (reply->request_id.client == node_.id()) {
-                    enclave::CostMeter meter;
-                    apply(meter,
-                          troxy_->handle_reply(meter, std::move(*reply)));
+                    enqueue_reply(std::move(*reply));
                     return;
                 }
                 return;  // misrouted reply
             }
             replica_->on_message(from, payload);
+            return;
+        }
+        case net::Channel::Bundle: {
+            // A coalesced flush burst from a peer: unpack and dispatch
+            // each inner message. Replies for the local voter are
+            // collected so the whole burst enters the enclave through ONE
+            // handle_replies transition (when voter batching is on).
+            auto inner = net::unbundle(payload);
+            if (!inner) return;
+            std::vector<hybster::Reply> replies;
+            for (Bytes& message : *inner) {
+                auto unwrapped_inner = net::unwrap(message);
+                if (!unwrapped_inner) continue;
+                if (unwrapped_inner->first == net::Channel::Hybster) {
+                    auto decoded =
+                        hybster::decode_message(unwrapped_inner->second);
+                    if (!decoded) continue;
+                    if (auto* reply =
+                            std::get_if<hybster::Reply>(&*decoded)) {
+                        if (reply->request_id.client == node_.id()) {
+                            replies.push_back(std::move(*reply));
+                        }
+                        continue;
+                    }
+                    replica_->on_message(from, unwrapped_inner->second);
+                    continue;
+                }
+                on_message(from, std::move(message));
+            }
+            ingest_replies(std::move(replies));
             return;
         }
         case net::Channel::Client: {
@@ -157,6 +190,74 @@ void TroxyReplicaHost::on_message(sim::NodeId from, Bytes message) {
     }
 }
 
+void TroxyReplicaHost::enqueue_reply(hybster::Reply&& reply) {
+    if (options_.voter_batch_max <= 1) {
+        // Unbatched voter: one ecall transition per reply, exactly the
+        // pre-batching flow.
+        enclave::CostMeter meter;
+        apply(meter, troxy_->handle_reply(meter, std::move(reply)));
+        return;
+    }
+    reply_buffer_.push_back(std::move(reply));
+    std::size_t boundary = options_.voter_batch_max;
+    if (options_.adaptive_voting) {
+        voter_controller_.observe(reply_buffer_.size());
+        boundary = voter_controller_.effective(options_.voter_batch_max);
+    }
+    if (reply_buffer_.size() >= boundary) {
+        flush_reply_buffer();
+    } else {
+        arm_voter_flush_timer();
+    }
+}
+
+void TroxyReplicaHost::ingest_replies(std::vector<hybster::Reply> replies) {
+    if (replies.empty()) return;
+    if (options_.voter_batch_max <= 1) {
+        for (hybster::Reply& reply : replies) {
+            enqueue_reply(std::move(reply));
+        }
+        return;
+    }
+    for (hybster::Reply& reply : replies) {
+        reply_buffer_.push_back(std::move(reply));
+        if (options_.adaptive_voting) {
+            voter_controller_.observe(reply_buffer_.size());
+        }
+        if (reply_buffer_.size() >= options_.voter_batch_max) {
+            flush_reply_buffer();
+        }
+    }
+    // The arrival burst is complete — flush the remainder now instead of
+    // waiting for the delay timer (no added latency for bundled bursts).
+    flush_reply_buffer();
+}
+
+void TroxyReplicaHost::flush_reply_buffer() {
+    if (reply_buffer_.empty()) return;
+    ++voter_flush_generation_;  // cancel any armed delay timer
+    voter_timer_armed_ = false;
+    std::vector<hybster::Reply> batch = std::move(reply_buffer_);
+    reply_buffer_.clear();
+    enclave::CostMeter meter;
+    apply(meter, troxy_->handle_replies(meter, std::move(batch)));
+}
+
+void TroxyReplicaHost::arm_voter_flush_timer() {
+    if (voter_timer_armed_) return;
+    voter_timer_armed_ = true;
+    const std::uint64_t generation = voter_flush_generation_;
+    fabric_.simulator().after(options_.voter_batch_delay,
+                              [this, generation]() {
+                                  if (faults_.crashed) return;
+                                  if (generation != voter_flush_generation_) {
+                                      return;
+                                  }
+                                  voter_timer_armed_ = false;
+                                  flush_reply_buffer();
+                              });
+}
+
 void TroxyReplicaHost::apply(enclave::CostMeter& meter,
                              TroxyActions&& actions) {
     // Enclave concurrency: the ecall's work occupies one TCS slot for its
@@ -178,7 +279,7 @@ void TroxyReplicaHost::apply(enclave::CostMeter& meter,
         fast_reads_in_flight_.erase(id);
     }
 
-    net::Outbox outbox(fabric_, node_);
+    net::Outbox outbox(fabric_, node_, options_.coalesce_wire);
     for (auto& [to, bytes] : actions.sends) {
         outbox.send(to, std::move(bytes));
     }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 
+#include "hybster/adaptive.hpp"
 #include "hybster/replica.hpp"
 #include "troxy/enclave.hpp"
 
@@ -25,6 +26,18 @@ class TroxyReplicaHost {
         sim::Duration vote_timeout = sim::milliseconds(2000);
         /// Remote-cache-query timeout before falling back to ordering.
         sim::Duration fast_read_timeout = sim::milliseconds(50);
+        /// Voter batching: maximum replies ingested by one handle_replies
+        /// ecall. 1 = one ecall per reply, the pre-batching behaviour.
+        std::size_t voter_batch_max = 1;
+        /// How long the host holds an incomplete reply batch before
+        /// flushing it into the enclave (bounds added vote latency).
+        sim::Duration voter_batch_delay = sim::microseconds(100);
+        /// Coalesce this host's outgoing flush bursts into one Bundle
+        /// frame per destination (one wire record per burst).
+        bool coalesce_wire = false;
+        /// Let an EWMA of the observed reply queue depth shrink the voter
+        /// flush boundary under light load (idle keeps per-reply latency).
+        bool adaptive_voting = false;
     };
 
     TroxyReplicaHost(net::Fabric& fabric, sim::Node& node,
@@ -77,6 +90,17 @@ class TroxyReplicaHost {
     void arm_vote_timer(std::uint64_t number);
     void arm_fast_read_timer(std::uint64_t query_id);
 
+    // --- voter batching (untrusted buffering; the enclave re-verifies
+    // every reply, so the host holding or reordering them is harmless) ---
+    /// Routes one reply into the voter: straight into a handle_reply
+    /// ecall at voter_batch_max <= 1, else into the reply buffer.
+    void enqueue_reply(hybster::Reply&& reply);
+    /// Routes a complete arrival burst (e.g. an unbundled wire record);
+    /// flushes at the end so a bundled burst costs one ecall.
+    void ingest_replies(std::vector<hybster::Reply> replies);
+    void flush_reply_buffer();
+    void arm_voter_flush_timer();
+
     net::Fabric& fabric_;
     sim::Node& node_;
     hybster::Config config_;
@@ -91,6 +115,13 @@ class TroxyReplicaHost {
     std::set<std::uint64_t> votes_in_flight_;
     std::set<std::uint64_t> fast_reads_in_flight_;
     std::uint64_t restarts_ = 0;
+
+    // Voter batching state (cleared on crash — buffered replies die with
+    // the untrusted process; the senders' retransmit path covers them).
+    std::vector<hybster::Reply> reply_buffer_;
+    std::uint64_t voter_flush_generation_ = 0;
+    bool voter_timer_armed_ = false;
+    hybster::AdaptiveBatchController voter_controller_;
 
     // Enclave thread (TCS) slots: ecall work serializes once all slots
     // are busy, modelling the enclave's fixed concurrency budget.

@@ -41,6 +41,9 @@ void LegacyClient::connect() {
     seed.u64(++handshake_counter_);
     channel_.emplace(pinned_keys_[server_index_], seed.data());
     crypto.charge_dh();
+    // Any coalescing buffer belonged to the dead channel; the requests
+    // live on in outstanding_ and are re-sent after the handshake.
+    send_buffer_.clear();
 
     outbox.send(servers_[server_index_],
                 net::wrap(net::Channel::Client,
@@ -107,6 +110,17 @@ void LegacyClient::send(Bytes app_request, ReplyCallback callback) {
     outstanding_.push_back(Outstanding{app_request, std::move(callback)});
     if (!connected()) return;  // flushed after handshake completes
 
+    if (options_.coalesce_sends) {
+        // Buffer the burst; one end-of-instant flush seals everything
+        // issued in this simulation step into a single record.
+        send_buffer_.push_back(std::move(app_request));
+        if (!send_flush_armed_) {
+            send_flush_armed_ = true;
+            fabric_.simulator().after(0, [this]() { flush_sends(); });
+        }
+        return;
+    }
+
     enclave::CostMeter meter;
     enclave::CostedCrypto crypto(profile_, meter);
     net::Outbox outbox(fabric_, node_);
@@ -115,6 +129,39 @@ void LegacyClient::send(Bytes app_request, ReplyCallback callback) {
                 net::wrap(net::Channel::Client,
                           net::frame_client(net::ClientFrame::Record,
                                             channel_->protect(app_request))));
+    outbox.flush(meter);
+}
+
+void LegacyClient::flush_sends() {
+    send_flush_armed_ = false;
+    if (send_buffer_.empty()) return;
+    if (!connected()) {
+        // Reconnect in progress: outstanding_ owns the retransmissions.
+        send_buffer_.clear();
+        return;
+    }
+
+    std::vector<Bytes> burst = std::move(send_buffer_);
+    send_buffer_.clear();
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+
+    std::size_t total = 0;
+    std::vector<ByteView> views;
+    views.reserve(burst.size());
+    for (const Bytes& request : burst) {
+        total += request.size();
+        views.emplace_back(request);
+    }
+    // One AEAD pass and one wire record for the whole burst.
+    crypto.charge(profile_.aead(total));
+    outbox.send(
+        servers_[server_index_],
+        net::wrap(net::Channel::Client,
+                  net::frame_client(net::ClientFrame::Record,
+                                    channel_->protect_many(views))));
     outbox.flush(meter);
 }
 

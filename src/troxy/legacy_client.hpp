@@ -39,6 +39,11 @@ class LegacyClient {
         /// from the client's seeded stream, desynchronizing clients that
         /// failed over together.
         double backoff_jitter = 0.2;
+        /// Coalesce a burst of send() calls issued in the same instant
+        /// into ONE secure-channel record (one AEAD pass, one wire
+        /// transmission). Off by default: each request keeps its own
+        /// record, the pre-coalescing behaviour.
+        bool coalesce_sends = false;
     };
 
     using ReplyCallback = std::function<void(Bytes app_reply)>;
@@ -87,6 +92,8 @@ class LegacyClient {
     void connect();
     void failover();
     void arm_watchdog();
+    /// Seals the buffered send burst into one coalesced record.
+    void flush_sends();
 
     net::Fabric& fabric_;
     sim::Node& node_;
@@ -104,6 +111,11 @@ class LegacyClient {
         ReplyCallback callback;
     };
     std::deque<Outstanding> outstanding_;  // FIFO: replies match in order
+    /// Requests awaiting the end-of-instant coalesced flush
+    /// (options_.coalesce_sends only; cleared on reconnect — the
+    /// outstanding_ queue owns retransmission).
+    std::vector<Bytes> send_buffer_;
+    bool send_flush_armed_ = false;
     std::uint64_t failovers_ = 0;
     std::uint64_t consecutive_failovers_ = 0;
     sim::Duration current_backoff_ = 0;

@@ -2,8 +2,14 @@
 // miss-rate monitor, cache wire messages, and enclave-level behaviour.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "apps/echo_service.hpp"
 #include "bench_support/cluster.hpp"
+#include "enclave/trinx.hpp"
+#include "net/client_framing.hpp"
+#include "net/envelope.hpp"
+#include "net/secure_channel.hpp"
 #include "troxy/cache.hpp"
 #include "troxy/cache_messages.hpp"
 #include "troxy/enclave.hpp"
@@ -297,6 +303,183 @@ TEST(TroxyEnclave, StatusReportsProgress) {
     EXPECT_EQ(status.ordered_requests, 5u);
     EXPECT_EQ(status.completed_votes, 5u);
     EXPECT_EQ(status.rejected_replies, 0u);
+}
+
+// ---------------------------------------------------------- batched voting
+
+namespace {
+
+/// Direct enclave rig: one Troxy enclave (replica 0) with a connected
+/// legacy-client channel, plus standalone TrinX instances for the peer
+/// replicas so tests can forge authenticated replies.
+struct VotingRig {
+    static constexpr sim::NodeId kHostNode = 1;
+    static constexpr sim::NodeId kClientNode = 1000;
+
+    hybster::Config config;
+    sim::CostProfile profile = sim::CostProfile::native();
+    std::shared_ptr<enclave::TrinX> local_trinx;
+    std::vector<std::unique_ptr<enclave::TrinX>> peer_trinx;
+    crypto::X25519Keypair identity =
+        crypto::x25519_keypair_from_seed(to_bytes("voting-rig-server"));
+    std::unique_ptr<TroxyEnclave> enclave;
+    std::optional<net::SecureChannelClient> channel;
+    enclave::CostMeter meter;
+
+    VotingRig() {
+        config.f = 1;
+        for (int i = 0; i < 3; ++i) {
+            config.replicas.push_back(static_cast<sim::NodeId>(i + 1));
+        }
+        const Bytes group_key = to_bytes("voting-rig-group-key");
+        local_trinx = std::make_shared<enclave::TrinX>(0, group_key);
+        for (std::uint32_t r = 1; r < 3; ++r) {
+            peer_trinx.push_back(
+                std::make_unique<enclave::TrinX>(r, group_key));
+        }
+        enclave = std::make_unique<TroxyEnclave>(
+            kHostNode, 0, config, local_trinx, identity,
+            [](ByteView request) {
+                return apps::EchoService().classify(request);
+            },
+            profile, TroxyOptions{}, /*seed=*/7);
+
+        channel.emplace(identity.public_key, to_bytes("client-seed"));
+        auto actions = enclave->accept_connection(meter, kClientNode,
+                                                  channel->client_hello());
+        const auto hello = unframe(actions);
+        EXPECT_TRUE(channel->finish(hello));
+    }
+
+    /// Extracts the client-frame payload of the single queued send.
+    Bytes unframe(const TroxyActions& actions) {
+        EXPECT_EQ(actions.sends.size(), 1u);
+        const auto unwrapped = net::unwrap(actions.sends[0].second);
+        EXPECT_TRUE(unwrapped.has_value());
+        EXPECT_EQ(unwrapped->first, net::Channel::Client);
+        const auto frame = net::unframe_client(unwrapped->second);
+        EXPECT_TRUE(frame.has_value());
+        return frame->second;
+    }
+
+    /// Sends one write through the channel; returns the ordered request.
+    hybster::Request order_write(std::uint64_t key) {
+        auto actions = enclave->handle_request(
+            meter, kClientNode,
+            channel->protect(apps::EchoService::make_write(key, 16)));
+        EXPECT_EQ(actions.to_order.size(), 1u);
+        return std::move(actions.to_order[0]);
+    }
+
+    /// Forges replica `r`'s authenticated reply for `request`.
+    hybster::Reply make_reply(std::uint32_t r,
+                              const hybster::Request& request) {
+        enclave::CostedCrypto crypto_ops(profile, meter);
+        hybster::Reply reply;
+        reply.request_id = request.id;
+        reply.request_digest = request.digest_with(crypto_ops);
+        reply.result = to_bytes("ack-" + std::to_string(request.id.number));
+        reply.replica = r;
+        enclave::TrinX& signer =
+            r == 0 ? *local_trinx : *peer_trinx[r - 1];
+        reply.cert =
+            signer.certify_independent(crypto_ops, reply.certified_view());
+        return reply;
+    }
+};
+
+}  // namespace
+
+TEST(TroxyEnclave, BatchedVotingOneTransitionPerBurst) {
+    VotingRig rig;
+    std::vector<hybster::Request> ordered;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        ordered.push_back(rig.order_write(key));
+    }
+
+    // Eight replies (two sources x four requests) enter in ONE batch.
+    std::vector<hybster::Reply> batch;
+    for (const std::uint32_t r : {0u, 1u}) {
+        for (const hybster::Request& request : ordered) {
+            batch.push_back(rig.make_reply(r, request));
+        }
+    }
+    const std::uint64_t before = rig.enclave->gate().transitions();
+    auto actions = rig.enclave->handle_replies(rig.meter, std::move(batch));
+    EXPECT_EQ(rig.enclave->gate().transitions(), before + 1);
+
+    const auto status = rig.enclave->status();
+    EXPECT_EQ(status.completed_votes, 4u);
+    EXPECT_EQ(status.rejected_replies, 0u);
+    EXPECT_EQ(status.reply_batches, 1u);
+    EXPECT_EQ(status.batched_replies, 8u);
+    EXPECT_EQ(actions.completed_votes.size(), 4u);
+
+    // All four client replies left the enclave as ONE coalesced record,
+    // and the channel delivers them in request order.
+    const Bytes record = rig.unframe(actions);
+    const auto replies = rig.channel->unprotect(record);
+    ASSERT_EQ(replies.size(), 4u);
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+        EXPECT_EQ(replies[i],
+                  to_bytes("ack-" + std::to_string(ordered[i].id.number)));
+    }
+}
+
+TEST(TroxyEnclave, BatchOfOneMatchesPerReplyEcall) {
+    // A voter batch of one must be byte- and count-identical to the
+    // unbatched handle_reply flow: one transition, one single-message
+    // record the client channel decodes the same way.
+    VotingRig rig;
+    const hybster::Request request = rig.order_write(1);
+
+    std::vector<hybster::Reply> batch;
+    batch.push_back(rig.make_reply(0, request));
+    auto first = rig.enclave->handle_replies(rig.meter, std::move(batch));
+    EXPECT_TRUE(first.sends.empty());  // quorum not yet reached
+
+    const std::uint64_t before = rig.enclave->gate().transitions();
+    auto second =
+        rig.enclave->handle_reply(rig.meter, rig.make_reply(1, request));
+    EXPECT_EQ(rig.enclave->gate().transitions(), before + 1);
+    const auto replies = rig.channel->unprotect(rig.unframe(second));
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0], to_bytes("ack-" +
+                                   std::to_string(request.id.number)));
+}
+
+TEST(TroxyEnclave, ByzantineReplyDoesNotPoisonBatch) {
+    VotingRig rig;
+    std::vector<hybster::Request> ordered;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        ordered.push_back(rig.order_write(key));
+    }
+
+    // Replica 1's reply for the FIRST request carries a corrupted
+    // certificate; every other reply in the batch is honest. Replica 2
+    // covers the gap for that request.
+    std::vector<hybster::Reply> batch;
+    for (const hybster::Request& request : ordered) {
+        batch.push_back(rig.make_reply(0, request));
+    }
+    for (const hybster::Request& request : ordered) {
+        hybster::Reply reply = rig.make_reply(1, request);
+        if (request.id.number == ordered[0].id.number) {
+            reply.cert[0] ^= 1;
+        }
+        batch.push_back(std::move(reply));
+    }
+    batch.push_back(rig.make_reply(2, ordered[0]));
+
+    auto actions = rig.enclave->handle_replies(rig.meter, std::move(batch));
+    const auto status = rig.enclave->status();
+    // The bad certificate rejected exactly one reply and nothing else:
+    // all four votes still completed within the same transition.
+    EXPECT_EQ(status.rejected_replies, 1u);
+    EXPECT_EQ(status.completed_votes, 4u);
+    EXPECT_EQ(actions.completed_votes.size(), 4u);
+    const auto replies = rig.channel->unprotect(rig.unframe(actions));
+    EXPECT_EQ(replies.size(), 4u);
 }
 
 }  // namespace
