@@ -68,5 +68,46 @@ int main() {
         print_table("batched voter (calibrated transition cost)",
                     vote_rows);
     }
+
+    // The same lever on the read path: a fast read costs ~3 transitions
+    // (handle_request, the remote handle_cache_query, the contact's
+    // handle_cache_response). Read-path batching collapses these to
+    // per-burst — the transition count drops from per-request to
+    // per-burst while throughput rises.
+    {
+        std::vector<Row> read_rows;
+        for (const std::size_t read_batch :
+             {std::size_t{1}, std::size_t{16}}) {
+            MicroParams swept = params;
+            swept.read_workload = true;
+            swept.reply_size = 1024;
+            swept.fastread_batch_max = read_batch;
+            swept.voter_batch_max = read_batch;
+            swept.batch_reply_auth = read_batch > 1;
+            swept.coalesce_wire = read_batch > 1;
+            swept.coalesce_client_sends = read_batch > 1;
+            MicroResult result = run_micro(SystemKind::ETroxy, swept);
+            result.row.label =
+                "etroxy, read batch " + std::to_string(read_batch);
+            const double per_request =
+                result.row.throughput > 0.0
+                    ? static_cast<double>(result.enclave_transitions) /
+                          (result.fast_read_hits + result.ordered_requests +
+                           1.0)
+                    : 0.0;
+            std::printf(
+                "  [%s] %llu ecall transitions (%.2f per served request; "
+                "%llu query batches / %llu batched queries)\n",
+                result.row.label.c_str(),
+                static_cast<unsigned long long>(result.enclave_transitions),
+                per_request,
+                static_cast<unsigned long long>(result.cache_query_batches),
+                static_cast<unsigned long long>(
+                    result.batched_cache_queries));
+            read_rows.push_back(result.row);
+        }
+        print_table("batched fast reads (calibrated transition cost)",
+                    read_rows);
+    }
     return 0;
 }

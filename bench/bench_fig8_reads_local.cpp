@@ -38,6 +38,20 @@ int main() {
             results.push_back(run_micro(system, params));
             rows.push_back(results.back().row);
         }
+        {
+            // Batched read pipeline: cache-query bursts, batched response
+            // application, batched reply certification, coalesced records.
+            MicroParams batched = params;
+            batched.fastread_batch_max = 16;
+            batched.voter_batch_max = 16;
+            batched.batch_reply_auth = true;
+            batched.coalesce_wire = true;
+            batched.coalesce_client_sends = true;
+            MicroResult result = run_micro(SystemKind::ETroxy, batched);
+            result.row.label = "etroxy r=16";
+            results.push_back(std::move(result));
+            rows.push_back(results.back().row);
+        }
         print_table("reply size " + std::to_string(reply) + " B", rows);
         const MicroResult& troxy_result = results.back();
         std::printf("  troxy fast reads: %llu hits, %llu ordered, "

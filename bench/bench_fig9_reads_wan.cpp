@@ -38,6 +38,19 @@ int main() {
              {SystemKind::Baseline, SystemKind::ETroxy}) {
             rows.push_back(run_micro(system, params).row);
         }
+        {
+            // Batched read pipeline on top of the WAN win: server-side
+            // ecall amortization is orthogonal to the downlink savings.
+            MicroParams batched = params;
+            batched.fastread_batch_max = 16;
+            batched.voter_batch_max = 16;
+            batched.batch_reply_auth = true;
+            batched.coalesce_wire = true;
+            batched.coalesce_client_sends = true;
+            MicroResult result = run_micro(SystemKind::ETroxy, batched);
+            result.row.label = "etroxy r=16";
+            rows.push_back(result.row);
+        }
         print_table("reply size " + std::to_string(reply) + " B (WAN)",
                     rows);
     }

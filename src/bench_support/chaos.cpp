@@ -51,6 +51,8 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     params.base.coalesce_wire = options.coalesce_wire;
     params.host.voter_batch_max = options.voter_batch_max;
     params.host.coalesce_wire = options.coalesce_wire;
+    params.host.fastread_batch_max = options.fastread_batch_max;
+    params.host.batch_reply_auth = options.batch_reply_auth;
     params.service = []() { return std::make_unique<EchoService>(); };
     params.classifier = [](ByteView request) {
         return EchoService().classify(request);

@@ -60,6 +60,11 @@ struct ChaosOptions {
     /// ecall, per-message record flow.
     std::size_t voter_batch_max = 1;
     bool coalesce_wire = false;
+    /// Fast-read query batching and batched reply certification
+    /// (TroxyReplicaHost::Options); defaults keep the per-query,
+    /// per-reply ecall flow.
+    std::size_t fastread_batch_max = 1;
+    bool batch_reply_auth = false;
 
     // Fault schedule: faults are injected inside [fault_start, heal_by];
     // the run ends at `horizon`, leaving time to recover and drain.

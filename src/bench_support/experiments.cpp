@@ -125,6 +125,10 @@ MicroResult run_troxy(SystemKind kind, const MicroParams& params) {
     cluster_params.host.voter_batch_delay = params.voter_batch_delay;
     cluster_params.host.coalesce_wire = params.coalesce_wire;
     cluster_params.host.adaptive_voting = params.adaptive_voting;
+    cluster_params.host.batch_reply_auth = params.batch_reply_auth;
+    cluster_params.host.fastread_batch_max = params.fastread_batch_max;
+    cluster_params.host.fastread_batch_delay = params.fastread_batch_delay;
+    cluster_params.host.adaptive_fastread = params.adaptive_fastread;
     cluster_params.client.coalesce_sends = params.coalesce_client_sends;
     // Remote cache queries cross the replica LAN, but under heavy load
     // their processing queues behind the enclave's thread budget; the
@@ -156,7 +160,8 @@ MicroResult run_troxy(SystemKind kind, const MicroParams& params) {
     result.row.p50_ms = recorder.percentile_latency_ms(50);
     result.row.p99_ms = recorder.percentile_latency_ms(99);
     for (int r = 0; r < cluster.n(); ++r) {
-        const auto status = cluster.host(r).troxy().status();
+        const auto host_status = cluster.host(r).status();
+        const auto& status = host_status.troxy;
         result.fast_read_hits += status.fast_read_hits;
         result.fast_read_misses += status.fast_read_misses;
         result.fast_read_conflicts += status.fast_read_conflicts;
@@ -165,6 +170,16 @@ MicroResult run_troxy(SystemKind kind, const MicroParams& params) {
         result.enclave_transitions += status.enclave_transitions;
         result.reply_batches += status.reply_batches;
         result.batched_replies += status.batched_replies;
+        result.reply_auth_batches += status.reply_auth_batches;
+        result.batch_authenticated_replies +=
+            status.batch_authenticated_replies;
+        result.cache_query_batches += status.cache_query_batches;
+        result.batched_cache_queries += status.batched_cache_queries;
+        result.cache_response_batches += status.cache_response_batches;
+        result.batched_cache_responses += status.batched_cache_responses;
+        result.voter_ewma_x100 += host_status.voter_ewma_x100;
+        result.fastread_ewma_x100 += host_status.fastread_ewma_x100;
+        result.batch_ewma_x100 += host_status.batch_ewma_x100;
     }
     result.wire_messages = cluster.network().messages_sent();
     result.wire_bytes = cluster.network().bytes_sent();

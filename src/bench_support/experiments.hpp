@@ -63,10 +63,19 @@ struct MicroParams {
     bool coalesce_wire = false;
     /// Clients seal same-instant send bursts into one channel record.
     bool coalesce_client_sends = false;
-    /// EWMA-of-queue-depth controllers on the leader batch boundary and
-    /// the voter flush boundary.
+    /// Served-load EWMA controllers on the leader batch boundary and the
+    /// voter flush boundary.
     bool adaptive_batching = false;
     bool adaptive_voting = false;
+    /// Certify a whole executed batch's replies in one
+    /// authenticate_replies ecall (1 transition per executed batch).
+    bool batch_reply_auth = false;
+    /// Fast-read batch knobs (TroxyReplicaHost::Options): buffered cache
+    /// queries per CacheQueryBatch burst (1 = one wire message and one
+    /// remote ecall per query, the seed flow) and max hold time.
+    std::size_t fastread_batch_max = 1;
+    sim::Duration fastread_batch_delay = sim::microseconds(100);
+    bool adaptive_fastread = false;
 };
 
 struct MicroResult {
@@ -86,8 +95,19 @@ struct MicroResult {
     std::uint64_t enclave_transitions = 0;
     std::uint64_t reply_batches = 0;
     std::uint64_t batched_replies = 0;
+    std::uint64_t reply_auth_batches = 0;
+    std::uint64_t batch_authenticated_replies = 0;
+    std::uint64_t cache_query_batches = 0;
+    std::uint64_t batched_cache_queries = 0;
+    std::uint64_t cache_response_batches = 0;
+    std::uint64_t batched_cache_responses = 0;
     std::uint64_t wire_messages = 0;
     std::uint64_t wire_bytes = 0;
+    // Smoothed served-load estimates of the adaptive controllers (summed
+    // over replicas, ×100); zero when the matching controller is off.
+    std::uint64_t voter_ewma_x100 = 0;
+    std::uint64_t fastread_ewma_x100 = 0;
+    std::uint64_t batch_ewma_x100 = 0;
 
     /// Fraction of read attempts that ended in a *conflict*: for BL,
     /// optimistic reads whose replies disagreed and had to be re-ordered;

@@ -55,6 +55,16 @@ class CostedCrypto {
         return crypto::hmac_sha256(key, data);
     }
 
+    /// MAC creation inside a batch: the first item pays the full MAC cost,
+    /// later items ride the running MAC (per-byte only) — the real HMAC is
+    /// still computed per item.
+    crypto::HmacTag mac_batched(ByteView key, ByteView data,
+                                bool first_from_source) {
+        meter_.add(first_from_source ? profile_.mac(data.size())
+                                     : profile_.mac_continue(data.size()));
+        return crypto::hmac_sha256(key, data);
+    }
+
     bool mac_verify(ByteView key, ByteView data, ByteView tag) {
         meter_.add(profile_.mac(data.size()));
         return crypto::hmac_verify(key, data, tag);

@@ -49,6 +49,14 @@ Certificate TrinX::certify_independent_digest(
     return crypto.mac(group_key_, independent_input(replica_id_, digest));
 }
 
+Certificate TrinX::certify_independent_batched(CostedCrypto& crypto,
+                                               ByteView message,
+                                               bool first_in_batch) const {
+    const Bytes input =
+        independent_input(replica_id_, crypto.hash(message));
+    return crypto.mac_batched(group_key_, input, first_in_batch);
+}
+
 bool TrinX::verify_continuing(CostedCrypto& crypto, std::uint32_t replica_id,
                               CounterId counter, CounterValue value,
                               ByteView message,

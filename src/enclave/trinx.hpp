@@ -51,6 +51,15 @@ class TrinX {
     Certificate certify_independent_digest(
         CostedCrypto& crypto, const crypto::Sha256Digest& digest) const;
 
+    /// Batched variant: certifying many messages in one enclave transition
+    /// keeps a running MAC, so only the first item pays the fixed MAC setup
+    /// cost (the per-message hash is still charged in full). With
+    /// `first_in_batch` true this is cost- and byte-identical to
+    /// certify_independent.
+    Certificate certify_independent_batched(CostedCrypto& crypto,
+                                            ByteView message,
+                                            bool first_in_batch) const;
+
     /// Verifies a certificate allegedly created by `replica_id`'s trusted
     /// subsystem for (counter, value, message).
     [[nodiscard]] bool verify_continuing(CostedCrypto& crypto,

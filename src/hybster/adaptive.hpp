@@ -5,45 +5,72 @@
 // for company (or for the batch-delay timer). Following the spirit of the
 // paper's adaptive fast-read switch (§IV-B) — observe recent behaviour,
 // adjust the mechanism — this controller tracks an exponentially weighted
-// moving average of the queue depth seen at enqueue time and lets the
-// effective batch boundary grow only as far as the load actually warrants.
-// An idle system observes depth ≈ 1, the EWMA stays ≈ 1, and every request
-// is cut into its own batch immediately: single-request latency exactly as
-// with batching disabled. Under a closed-loop burst the observed depth
-// approaches the offered concurrency and the boundary opens up to the
-// configured maximum within a few tens of observations.
+// moving average of the *served load*: how many items each recent
+// delay-sized window actually delivered. The effective batch boundary
+// grows only as far as the observed service rate warrants.
+//
+// Feeding the controller from served work rather than instantaneous queue
+// depth matters for ramp-up: a boundary of 1 keeps the queue at depth 1
+// no matter how fast items arrive (every enqueue flushes immediately), so
+// a depth-fed EWMA could never observe rising load. The served count per
+// window, by contrast, directly measures the arrival rate — an idle
+// system serves ≈ 1 item per window and keeps single-request latency,
+// while a saturated one serves tens per window and opens the boundary to
+// the configured maximum within a few windows.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
 
 namespace troxy::hybster {
 
 class AdaptiveBatchController {
   public:
-    /// `alpha_percent` is the EWMA weight of a new observation in percent
-    /// (integer arithmetic keeps the simulation deterministic across
-    /// platforms — no floating point drift).
+    /// `alpha_percent` is the EWMA weight of a new window sample in
+    /// percent (integer arithmetic keeps the simulation deterministic
+    /// across platforms — no floating point drift).
     explicit AdaptiveBatchController(unsigned alpha_percent = 20) noexcept
         : alpha_percent_(alpha_percent) {}
 
-    /// Records the queue depth observed when a request was enqueued
-    /// (including the request itself, so depth >= 1).
-    void observe(std::size_t depth) noexcept {
-        // Fixed-point EWMA, scaled by 100 to keep two digits of fraction.
-        const std::uint64_t sample = static_cast<std::uint64_t>(depth) * 100;
-        if (ewma_x100_ == 0) {
-            ewma_x100_ = sample;
-        } else {
-            ewma_x100_ = (ewma_x100_ * (100 - alpha_percent_) +
-                          sample * alpha_percent_) /
-                         100;
+    /// Records `count` items served (flushed/cut) at simulated time `now`.
+    /// `window` is the caller's batch-delay bound: counts folding into one
+    /// EWMA sample accumulate per window of that length, so the smoothed
+    /// value estimates "items per delay period" — exactly the batch size
+    /// the load can fill before the flush timer would fire. A zero window
+    /// treats every call as its own sample (each served batch size feeds
+    /// the EWMA directly).
+    void record_served(std::size_t count, sim::SimTime now,
+                       sim::Duration window) noexcept {
+        if (window == 0) {
+            fold(static_cast<std::uint64_t>(count) * 100);
+            return;
         }
+        if (!window_open_) {
+            window_open_ = true;
+            window_start_ = now;
+        }
+        // Close every fully elapsed window first; a long idle gap folds a
+        // bounded number of empty windows (the EWMA has decayed to ~zero
+        // by then anyway) and re-anchors at `now`.
+        int folded = 0;
+        while (now >= window_start_ + window) {
+            fold(served_in_window_ * 100);
+            served_in_window_ = 0;
+            window_start_ += window;
+            if (++folded >= kMaxGapWindows) {
+                window_start_ = now;
+                break;
+            }
+        }
+        served_in_window_ += static_cast<std::uint64_t>(count);
     }
 
-    /// The batch boundary to use right now: the smoothed depth rounded up,
-    /// clamped to [1, configured_max]. Rounding up lets the boundary track
-    /// rising load one step ahead of the average.
+    /// The batch boundary to use right now: the smoothed served-per-window
+    /// count rounded up, clamped to [1, configured_max]. Rounding up lets
+    /// the boundary track rising load one step ahead of the average.
     [[nodiscard]] std::size_t effective(std::size_t configured_max) const
         noexcept {
         const std::size_t target =
@@ -51,13 +78,30 @@ class AdaptiveBatchController {
         return std::clamp<std::size_t>(target, 1, configured_max);
     }
 
+    /// The smoothed served-per-window estimate, scaled by 100 (two digits
+    /// of fraction). Exposed so benches can record what the controller saw.
     [[nodiscard]] std::uint64_t ewma_x100() const noexcept {
         return ewma_x100_;
     }
 
   private:
+    static constexpr int kMaxGapWindows = 32;
+
+    void fold(std::uint64_t sample_x100) noexcept {
+        if (ewma_x100_ == 0) {
+            ewma_x100_ = sample_x100;
+        } else {
+            ewma_x100_ = (ewma_x100_ * (100 - alpha_percent_) +
+                          sample_x100 * alpha_percent_) /
+                         100;
+        }
+    }
+
     unsigned alpha_percent_;
     std::uint64_t ewma_x100_ = 0;
+    bool window_open_ = false;
+    sim::SimTime window_start_ = 0;
+    std::uint64_t served_in_window_ = 0;
 };
 
 }  // namespace troxy::hybster

@@ -239,13 +239,12 @@ void Replica::enqueue_for_batch(enclave::CostedCrypto& crypto,
 
     pending_batch_.push_back(request);
     in_flight_.insert(request.id);
-    // The adaptive controller watches the queue depth at enqueue time and
-    // shrinks the cut boundary under light load: an idle system observes
-    // depth 1 and cuts immediately (single-request latency), a saturated
-    // one sees deep queues and opens up to the configured maximum.
+    // The adaptive controller tracks served load (requests per delay
+    // window, fed at cut time) and shrinks the cut boundary under light
+    // load: an idle system cuts immediately (single-request latency), a
+    // saturated one opens up to the configured maximum.
     std::size_t boundary = config_.batch_size_max;
     if (config_.adaptive_batching) {
-        batch_controller_.observe(pending_batch_.size());
         boundary = batch_controller_.effective(config_.batch_size_max);
     }
     if (pending_batch_.size() >= boundary || config_.batch_delay == 0) {
@@ -269,6 +268,11 @@ void Replica::cut_batch(enclave::CostedCrypto& crypto, net::Outbox& outbox) {
     prepare.replica = id_;
     prepare.batch.requests = std::move(pending_batch_);
     pending_batch_.clear();
+    if (config_.adaptive_batching) {
+        batch_controller_.record_served(prepare.batch.requests.size(),
+                                        fabric_.simulator().now(),
+                                        config_.batch_delay);
+    }
     // Member digests and the batch digest are computed (and charged) once
     // here; followers and the execution path reuse the cached values.
     (void)prepare.batch.digest_with(crypto);
@@ -443,6 +447,10 @@ void Replica::execute_entry(enclave::CostedCrypto& crypto,
 
     // Execute the batch member by member, in batch order; every member
     // gets its own REPLY (all carrying the batch's sequence number).
+    // With the batched hook the replies accumulate and are delivered in
+    // one call after the loop — a Troxy host certifies the whole executed
+    // batch in a single enclave transition.
+    std::vector<Hooks::ExecutedReply> executed;
     for (const Request& request : entry.prepare->batch.requests) {
         forwarded_.erase(request.id);
         in_flight_.erase(request.id);
@@ -466,7 +474,8 @@ void Replica::execute_entry(enclave::CostedCrypto& crypto,
         record.last_request = request;
         record.last_reply = reply;
 
-        if (!faults_.drop_replies && hooks_.deliver_reply) {
+        if (!faults_.drop_replies &&
+            (hooks_.deliver_replies || hooks_.deliver_reply)) {
             if (faults_.corrupt_replies && !reply.result.empty()) {
                 // Corruption happens in the untrusted part *after* the
                 // trusted subsystem authenticated the reply — the hook
@@ -477,8 +486,17 @@ void Replica::execute_entry(enclave::CostedCrypto& crypto,
                 // still required.
                 reply.result[0] ^= 0xff;
             }
-            hooks_.deliver_reply(crypto, outbox, request, std::move(reply));
+            if (hooks_.deliver_replies) {
+                executed.push_back(
+                    Hooks::ExecutedReply{&request, std::move(reply)});
+            } else {
+                hooks_.deliver_reply(crypto, outbox, request,
+                                     std::move(reply));
+            }
         }
+    }
+    if (!executed.empty()) {
+        hooks_.deliver_replies(crypto, outbox, std::move(executed));
     }
 
     maybe_checkpoint(crypto, outbox);

@@ -75,6 +75,20 @@ class Replica {
         std::function<void(enclave::CostedCrypto&, net::Outbox&,
                            const Request&, Reply)>
             deliver_reply;
+
+        /// One executed batch member awaiting delivery. The request
+        /// pointer stays valid for the duration of the hook call.
+        struct ExecutedReply {
+            const Request* request = nullptr;
+            Reply reply;
+        };
+        /// Batched variant: when set, an executed batch's replies are
+        /// delivered in ONE call (a Troxy host certifies them all in a
+        /// single enclave transition). Retransmissions and optimistic
+        /// reads still go through deliver_reply.
+        std::function<void(enclave::CostedCrypto&, net::Outbox&,
+                           std::vector<ExecutedReply>&&)>
+            deliver_replies;
     };
 
     Replica(net::Fabric& fabric, sim::Node& node, Config config,
@@ -140,6 +154,11 @@ class Replica {
     [[nodiscard]] const Config& config() const noexcept { return config_; }
     [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
     [[nodiscard]] Service& service() noexcept { return *service_; }
+    /// Smoothed served-load estimate of the leader's batch controller
+    /// (requests per batch-delay window, ×100). For benches/Status.
+    [[nodiscard]] std::uint64_t batch_ewma_x100() const noexcept {
+        return batch_controller_.ewma_x100();
+    }
 
   private:
     struct LogEntry {

@@ -88,14 +88,51 @@ CacheResponse CacheResponse::decode(Reader& r) {
     return resp;
 }
 
+void CacheQueryBatch::encode(Writer& w) const {
+    w.u16(static_cast<std::uint16_t>(queries.size()));
+    for (const CacheQuery& q : queries) q.encode(w);
+}
+
+CacheQueryBatch CacheQueryBatch::decode(Reader& r) {
+    CacheQueryBatch batch;
+    const std::uint16_t count = r.u16();
+    batch.queries.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+        batch.queries.push_back(CacheQuery::decode(r));
+    }
+    return batch;
+}
+
+void CacheResponseBatch::encode(Writer& w) const {
+    w.reserve(2 + responses.size() * CacheResponse::wire_size());
+    w.u16(static_cast<std::uint16_t>(responses.size()));
+    for (const CacheResponse& resp : responses) resp.encode(w);
+}
+
+CacheResponseBatch CacheResponseBatch::decode(Reader& r) {
+    CacheResponseBatch batch;
+    const std::uint16_t count = r.u16();
+    batch.responses.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+        batch.responses.push_back(CacheResponse::decode(r));
+    }
+    return batch;
+}
+
 Bytes encode_cache_message(const CacheMessage& message) {
     Writer w;
     if (const auto* query = std::get_if<CacheQuery>(&message)) {
         w.u8(1);
         query->encode(w);
-    } else {
+    } else if (const auto* response = std::get_if<CacheResponse>(&message)) {
         w.u8(2);
-        std::get<CacheResponse>(message).encode(w);
+        response->encode(w);
+    } else if (const auto* queries = std::get_if<CacheQueryBatch>(&message)) {
+        w.u8(3);
+        queries->encode(w);
+    } else {
+        w.u8(4);
+        std::get<CacheResponseBatch>(message).encode(w);
     }
     return std::move(w).take();
 }
@@ -107,6 +144,8 @@ std::optional<CacheMessage> decode_cache_message(ByteView data) {
         CacheMessage out = [&]() -> CacheMessage {
             if (tag == 1) return CacheQuery::decode(r);
             if (tag == 2) return CacheResponse::decode(r);
+            if (tag == 3) return CacheQueryBatch::decode(r);
+            if (tag == 4) return CacheResponseBatch::decode(r);
             throw DecodeError("unknown cache message tag");
         }();
         r.expect_done();

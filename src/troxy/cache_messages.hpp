@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/serialize.hpp"
@@ -31,6 +32,12 @@ struct CacheQuery {
     [[nodiscard]] Bytes certified_view() const;
     void encode(Writer& w) const;
     static CacheQuery decode(Reader& r);
+
+    /// Exact encoded size, used to charge the real ecall copy-in cost.
+    [[nodiscard]] std::size_t wire_size() const noexcept {
+        return 4 + 8 + 4 + state_key.size() + crypto::kSha256DigestSize +
+               sizeof(enclave::Certificate);
+    }
 };
 
 struct CacheResponse {
@@ -45,9 +52,35 @@ struct CacheResponse {
     [[nodiscard]] Bytes certified_view() const;
     void encode(Writer& w) const;
     static CacheResponse decode(Reader& r);
+
+    /// Exact encoded size, used to charge the real ecall copy-in cost.
+    [[nodiscard]] static constexpr std::size_t wire_size() noexcept {
+        return 4 + 4 + 8 + 1 + 2 * crypto::kSha256DigestSize +
+               sizeof(enclave::Certificate);
+    }
 };
 
-using CacheMessage = std::variant<CacheQuery, CacheResponse>;
+/// A burst of queries from one contact Troxy, answered by the remote in a
+/// single enclave transition. Count framing is u16, matching the secure
+/// channel's record limit.
+struct CacheQueryBatch {
+    std::vector<CacheQuery> queries;
+
+    void encode(Writer& w) const;
+    static CacheQueryBatch decode(Reader& r);
+};
+
+/// The remote's answers for a whole query burst, applied at the contact in
+/// a single enclave transition.
+struct CacheResponseBatch {
+    std::vector<CacheResponse> responses;
+
+    void encode(Writer& w) const;
+    static CacheResponseBatch decode(Reader& r);
+};
+
+using CacheMessage = std::variant<CacheQuery, CacheResponse, CacheQueryBatch,
+                                  CacheResponseBatch>;
 
 Bytes encode_cache_message(const CacheMessage& message);
 std::optional<CacheMessage> decode_cache_message(ByteView data);

@@ -147,6 +147,9 @@ TroxyActions TroxyEnclave::handle_request(enclave::CostMeter& meter,
 
 void TroxyEnclave::merge_actions(TroxyActions& into, TroxyActions&& from) {
     for (auto& send : from.sends) into.sends.push_back(std::move(send));
+    for (auto& query : from.cache_queries) {
+        into.cache_queries.push_back(std::move(query));
+    }
     for (auto& request : from.to_order) {
         into.to_order.push_back(std::move(request));
     }
@@ -382,16 +385,11 @@ void TroxyEnclave::release_reply(enclave::CostedCrypto& crypto,
 
 // ------------------------------------------------- reply authentication
 
-enclave::Certificate TroxyEnclave::authenticate_reply(
-    enclave::CostMeter& meter, const hybster::Request& request,
-    const hybster::Reply& reply) {
-    gate_.ecall(meter, "authenticate_reply",
-                request.payload.size() + reply.result.size() + 128,
-                sizeof(enclave::Certificate));
-    enclave::CostedCrypto crypto(profile_, meter);
-
+enclave::Certificate TroxyEnclave::certify_executed_reply(
+    enclave::CostedCrypto& crypto, const hybster::Request& request,
+    const hybster::Reply& reply, bool first_in_batch) {
     const hybster::RequestInfo info = classifier_(request.payload);
-    gate_.touch(meter, reply.result.size());
+    gate_.touch(crypto.meter(), reply.result.size());
 
     // Invalidate *before* the certificate exists: without the certificate
     // the reply cannot influence any voter, so no client can observe the
@@ -406,7 +404,45 @@ enclave::Certificate TroxyEnclave::authenticate_reply(
         cache_.put(info.state_key, std::move(entry));
     }
 
-    return trinx_->certify_independent(crypto, reply.certified_view());
+    return trinx_->certify_independent_batched(crypto, reply.certified_view(),
+                                               first_in_batch);
+}
+
+enclave::Certificate TroxyEnclave::authenticate_reply(
+    enclave::CostMeter& meter, const hybster::Request& request,
+    const hybster::Reply& reply) {
+    gate_.ecall(meter, "authenticate_reply",
+                request.payload.size() + reply.result.size() + 128,
+                sizeof(enclave::Certificate));
+    enclave::CostedCrypto crypto(profile_, meter);
+    return certify_executed_reply(crypto, request, reply,
+                                  /*first_in_batch=*/true);
+}
+
+std::vector<enclave::Certificate> TroxyEnclave::authenticate_replies(
+    enclave::CostMeter& meter, const std::vector<ReplyAuth>& batch) {
+    std::size_t in_bytes = 0;
+    for (const ReplyAuth& item : batch) {
+        in_bytes +=
+            item.request->payload.size() + item.reply->result.size() + 128;
+    }
+    gate_.ecall(meter, "authenticate_replies", in_bytes,
+                batch.size() * sizeof(enclave::Certificate));
+    enclave::CostedCrypto crypto(profile_, meter);
+
+    ++stats_.reply_auth_batches;
+    stats_.batch_authenticated_replies += batch.size();
+
+    // All certificates come from this Troxy's own trusted subsystem, so
+    // the whole batch shares one running MAC: only the first reply pays
+    // the MAC setup.
+    std::vector<enclave::Certificate> certs;
+    certs.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        certs.push_back(certify_executed_reply(crypto, *batch[i].request,
+                                               *batch[i].reply, i == 0));
+    }
+    return certs;
 }
 
 // -------------------------------------------------------------- fast read
@@ -447,31 +483,28 @@ void TroxyEnclave::start_fast_read(enclave::CostedCrypto& crypto,
     query.request_digest = entry.request_digest;
     query.cert = trinx_->certify_independent(crypto, query.certified_view());
 
-    const Bytes wire = net::wrap(net::Channel::TroxyCache,
-                                 encode_cache_message(CacheMessage(query)));
+    // Surfaced structured, not encoded: the untrusted host may buffer
+    // concurrent queries to the same remote and ship them as one
+    // CacheQueryBatch (the certificate already binds the content).
     for (const std::uint32_t r : fast.awaiting) {
-        actions.sends.emplace_back(config_.node_of(r), wire);
+        actions.cache_queries.emplace_back(config_.node_of(r), query);
     }
 
     fast_reads_.emplace(query_id, std::move(fast));
     actions.arm_fast_read_timers.push_back(query_id);
 }
 
-TroxyActions TroxyEnclave::handle_cache_query(enclave::CostMeter& meter,
-                                              const CacheQuery& query) {
-    gate_.ecall(meter, "handle_cache_query",
-                query.state_key.size() + 128, 128);
-    enclave::CostedCrypto crypto(profile_, meter);
-    TroxyActions actions;
-
+std::optional<CacheResponse> TroxyEnclave::answer_cache_query(
+    enclave::CostedCrypto& crypto, const CacheQuery& query,
+    bool first_from_source) {
     const int requester = config_.replica_of(query.requester);
     if (requester < 0 || requester == static_cast<int>(replica_id_)) {
-        return actions;
+        return std::nullopt;
     }
-    if (!trinx_->verify_independent(crypto,
-                                    static_cast<std::uint32_t>(requester),
-                                    query.certified_view(), query.cert)) {
-        return actions;
+    if (!trinx_->verify_independent_batched(
+            crypto, static_cast<std::uint32_t>(requester),
+            query.certified_view(), query.cert, first_from_source)) {
+        return std::nullopt;
     }
 
     CacheResponse response;
@@ -480,7 +513,7 @@ TroxyActions TroxyEnclave::handle_cache_query(enclave::CostMeter& meter,
     response.query_id = query.query_id;
 
     const CacheEntry* entry = cache_.get(query.state_key);
-    gate_.touch(meter, entry ? entry->result.size() : 0);
+    gate_.touch(crypto.meter(), entry ? entry->result.size() : 0);
     if (entry != nullptr) {
         response.has_entry = true;
         response.request_digest = entry->request_digest;
@@ -490,34 +523,86 @@ TroxyActions TroxyEnclave::handle_cache_query(enclave::CostMeter& meter,
     }
     response.cert =
         trinx_->certify_independent(crypto, response.certified_view());
+    return response;
+}
+
+TroxyActions TroxyEnclave::handle_cache_query(enclave::CostMeter& meter,
+                                              const CacheQuery& query) {
+    gate_.ecall(meter, "handle_cache_query", query.wire_size(),
+                CacheResponse::wire_size());
+    enclave::CostedCrypto crypto(profile_, meter);
+    TroxyActions actions;
+
+    auto response =
+        answer_cache_query(crypto, query, /*first_from_source=*/true);
+    if (!response) return actions;
 
     actions.sends.emplace_back(
         query.requester,
         net::wrap(net::Channel::TroxyCache,
-                  encode_cache_message(CacheMessage(response))));
+                  encode_cache_message(CacheMessage(*response))));
     return actions;
 }
 
-TroxyActions TroxyEnclave::handle_cache_response(
-    enclave::CostMeter& meter, const CacheResponse& response) {
-    gate_.ecall(meter, "handle_cache_response", 160, 0);
+TroxyActions TroxyEnclave::handle_cache_queries(
+    enclave::CostMeter& meter, const std::vector<CacheQuery>& queries) {
+    std::size_t in_bytes = 2;
+    for (const CacheQuery& query : queries) in_bytes += query.wire_size();
+    gate_.ecall(meter, "handle_cache_queries", in_bytes,
+                2 + queries.size() * CacheResponse::wire_size());
     enclave::CostedCrypto crypto(profile_, meter);
     TroxyActions actions;
 
+    ++stats_.cache_query_batches;
+    stats_.batched_cache_queries += queries.size();
+
+    // Per-source running MAC over the requester certificates; every query
+    // is still verified individually (a bad one drops only itself).
+    // Answers to the same requester leave as one CacheResponseBatch.
+    std::set<std::uint32_t> sources_seen;
+    std::map<sim::NodeId, std::vector<CacheResponse>> per_requester;
+    for (const CacheQuery& query : queries) {
+        const int requester = config_.replica_of(query.requester);
+        const bool first =
+            requester < 0 ||
+            sources_seen.insert(static_cast<std::uint32_t>(requester)).second;
+        auto response = answer_cache_query(crypto, query, first);
+        if (response) {
+            per_requester[query.requester].push_back(std::move(*response));
+        }
+    }
+    for (auto& [requester, responses] : per_requester) {
+        const CacheMessage message =
+            responses.size() == 1
+                ? CacheMessage(std::move(responses.front()))
+                : CacheMessage(CacheResponseBatch{std::move(responses)});
+        actions.sends.emplace_back(
+            requester, net::wrap(net::Channel::TroxyCache,
+                                 encode_cache_message(message)));
+    }
+    return actions;
+}
+
+void TroxyEnclave::ingest_cache_response(enclave::CostedCrypto& crypto,
+                                         TroxyActions& actions,
+                                         const CacheResponse& response,
+                                         bool first_from_source,
+                                         ReleasePlan* release_plan) {
     const auto it = fast_reads_.find(response.query_id);
-    if (it == fast_reads_.end()) return actions;
+    if (it == fast_reads_.end()) return;
     PendingFastRead& fast = it->second;
 
     const int responder = config_.replica_of(response.responder);
     if (responder < 0 ||
         response.responder_replica != static_cast<std::uint32_t>(responder) ||
         !fast.awaiting.contains(response.responder_replica)) {
-        return actions;
+        return;
     }
-    if (!trinx_->verify_independent(crypto, response.responder_replica,
-                                    response.certified_view(),
-                                    response.cert)) {
-        return actions;
+    if (!trinx_->verify_independent_batched(crypto, response.responder_replica,
+                                            response.certified_view(),
+                                            response.cert,
+                                            first_from_source)) {
+        return;
     }
 
     const bool matches =
@@ -533,11 +618,11 @@ TroxyActions TroxyEnclave::handle_cache_response(
         ++stats_.fast_read_conflicts;
         monitor_.record(true);
         fast_read_fallback(crypto, actions, response.query_id);
-        return actions;
+        return;
     }
 
     fast.awaiting.erase(response.responder_replica);
-    if (!fast.awaiting.empty()) return actions;
+    if (!fast.awaiting.empty()) return;
 
     // All f remote caches matched the local one: the fast read succeeds.
     ++stats_.fast_read_hits;
@@ -547,7 +632,46 @@ TroxyActions TroxyEnclave::handle_cache_response(
     Bytes result = std::move(fast.local.result);
     fast_reads_.erase(it);
     actions.completed_fast_reads.push_back(response.query_id);
-    release_reply(crypto, actions, client, conn_slot, std::move(result));
+    if (release_plan != nullptr) {
+        collect_releases(client, conn_slot, std::move(result), *release_plan);
+    } else {
+        release_reply(crypto, actions, client, conn_slot, std::move(result));
+    }
+}
+
+TroxyActions TroxyEnclave::handle_cache_response(
+    enclave::CostMeter& meter, const CacheResponse& response) {
+    gate_.ecall(meter, "handle_cache_response", CacheResponse::wire_size(), 0);
+    enclave::CostedCrypto crypto(profile_, meter);
+    TroxyActions actions;
+    ingest_cache_response(crypto, actions, response,
+                          /*first_from_source=*/true,
+                          /*release_plan=*/nullptr);
+    return actions;
+}
+
+TroxyActions TroxyEnclave::handle_cache_responses(
+    enclave::CostMeter& meter, const std::vector<CacheResponse>& responses) {
+    gate_.ecall(meter, "handle_cache_responses",
+                2 + responses.size() * CacheResponse::wire_size(), 0);
+    enclave::CostedCrypto crypto(profile_, meter);
+    TroxyActions actions;
+
+    ++stats_.cache_response_batches;
+    stats_.batched_cache_responses += responses.size();
+
+    // Per-source running MAC over the responder certificates; a Byzantine
+    // response in the burst rejects (or falls back) only its own query.
+    // All client replies completed by this burst seal into one coalesced
+    // record per connection.
+    std::set<std::uint32_t> sources_seen;
+    ReleasePlan plan;
+    for (const CacheResponse& response : responses) {
+        const bool first =
+            sources_seen.insert(response.responder_replica).second;
+        ingest_cache_response(crypto, actions, response, first, &plan);
+    }
+    flush_releases(crypto, actions, plan);
     return actions;
 }
 

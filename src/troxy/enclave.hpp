@@ -10,12 +10,15 @@
 // alter without detection.
 //
 // Ecall inventory (the paper's implementation keeps the interface at 16
-// entry points; ours needs 10):
+// entry points; ours needs 13):
 //   accept_connection, close_connection, handle_request, handle_reply,
-//   handle_replies, authenticate_reply, handle_cache_query,
-//   handle_cache_response, fast_read_timeout, retransmit.
-// handle_replies is the batched voter entry point: one enclave transition
-// votes a whole burst of replies, amortizing the transition cost and the
+//   handle_replies, authenticate_reply, authenticate_replies,
+//   handle_cache_query, handle_cache_queries, handle_cache_response,
+//   handle_cache_responses, fast_read_timeout, retransmit.
+// The plural entry points are the batched hot paths: one enclave
+// transition votes a whole burst of replies, certifies a whole executed
+// batch, answers a whole cache-query burst, or applies a whole
+// cache-response burst — amortizing the transition cost and the
 // per-source MAC setup across the batch (§V: transitions dominate the
 // enclave hot path).
 // Key provisioning happens at enclave construction through the
@@ -65,6 +68,12 @@ struct TroxyOptions {
 /// listed wire messages and/or hand a BFT request to the local replica.
 struct TroxyActions {
     std::vector<std::pair<sim::NodeId, Bytes>> sends;
+    /// Fast-read cache queries surfaced in structured form so the
+    /// untrusted host can buffer concurrent queries per destination and
+    /// ship a burst as one CacheQueryBatch (it only forwards — the
+    /// certificate inside each query was created in the enclave, so the
+    /// host can delay or drop but not alter).
+    std::vector<std::pair<sim::NodeId, CacheQuery>> cache_queries;
     /// BFT requests to hand to the local replica for ordering (one ecall
     /// can surface several client requests when a record closes a gap).
     std::vector<hybster::Request> to_order;
@@ -129,15 +138,45 @@ class TroxyEnclave {
                                             const hybster::Request& request,
                                             const hybster::Reply& reply);
 
+    /// Batched reply authentication: certifies a whole executed batch's
+    /// replies in ONE enclave transition. The certificates share a running
+    /// MAC (only the first reply pays the MAC setup); cache maintenance is
+    /// identical to authenticate_reply, per reply. A batch of one is cost-
+    /// and byte-identical to authenticate_reply.
+    struct ReplyAuth {
+        const hybster::Request* request = nullptr;
+        const hybster::Reply* reply = nullptr;
+    };
+    std::vector<enclave::Certificate> authenticate_replies(
+        enclave::CostMeter& meter, const std::vector<ReplyAuth>& batch);
+
     /// Remote side of the fast read (get_remote_cache_entry, Fig. 4).
     TroxyActions handle_cache_query(enclave::CostMeter& meter,
                                     const CacheQuery& query);
+
+    /// Remote side, batched: answers a whole query burst in ONE enclave
+    /// transition. Requester certificates share a running MAC per source
+    /// replica; each query is still verified individually, so a bad query
+    /// drops only itself. Responses going back to the same requester are
+    /// grouped into one CacheResponseBatch.
+    TroxyActions handle_cache_queries(enclave::CostMeter& meter,
+                                      const std::vector<CacheQuery>& queries);
 
     /// Voting side: validates one remote cache response; on f matches the
     /// fast read succeeds, on any mismatch the request falls back to
     /// ordering.
     TroxyActions handle_cache_response(enclave::CostMeter& meter,
                                        const CacheResponse& response);
+
+    /// Voting side, batched: applies a whole response burst in ONE
+    /// enclave transition. Responder certificates share a running MAC per
+    /// source replica, each response is verified individually (one
+    /// Byzantine response rejects — and falls back — only its own query),
+    /// and all client replies released to one connection are sealed into
+    /// one coalesced secure-channel record.
+    TroxyActions handle_cache_responses(
+        enclave::CostMeter& meter,
+        const std::vector<CacheResponse>& responses);
 
     /// Fast-read liveness: an unresponsive remote Troxy must not stall
     /// the client; the read falls back to ordering.
@@ -160,6 +199,12 @@ class TroxyEnclave {
         std::uint64_t rejected_replies = 0;
         std::uint64_t reply_batches = 0;   // handle_replies invocations
         std::uint64_t batched_replies = 0; // replies ingested via batches
+        std::uint64_t reply_auth_batches = 0;   // authenticate_replies calls
+        std::uint64_t batch_authenticated_replies = 0;
+        std::uint64_t cache_query_batches = 0;  // handle_cache_queries calls
+        std::uint64_t batched_cache_queries = 0;
+        std::uint64_t cache_response_batches = 0;
+        std::uint64_t batched_cache_responses = 0;
         double miss_rate = 0.0;
         bool fast_path_enabled = true;
         std::uint64_t mode_switches = 0;
@@ -244,6 +289,26 @@ class TroxyEnclave {
     void ingest_reply(enclave::CostedCrypto& crypto, TroxyActions& actions,
                       hybster::Reply&& reply, bool first_from_source,
                       ReleasePlan* release_plan);
+    /// Shared cache-maintenance + certification core of the two
+    /// authenticate_reply* ecalls.
+    enclave::Certificate certify_executed_reply(enclave::CostedCrypto& crypto,
+                                                const hybster::Request& request,
+                                                const hybster::Reply& reply,
+                                                bool first_in_batch);
+    /// Shared remote-side core: verifies the requester certificate and
+    /// builds the response; nullopt when the query must be dropped.
+    std::optional<CacheResponse> answer_cache_query(
+        enclave::CostedCrypto& crypto, const CacheQuery& query,
+        bool first_from_source);
+    /// Shared voting-side core: validates one remote response, completes
+    /// or falls back its fast read. Releases go out immediately
+    /// (release_plan == nullptr, the unbatched path) or into the plan for
+    /// one coalesced record per connection.
+    void ingest_cache_response(enclave::CostedCrypto& crypto,
+                               TroxyActions& actions,
+                               const CacheResponse& response,
+                               bool first_from_source,
+                               ReleasePlan* release_plan);
     void collect_releases(sim::NodeId client, std::uint64_t conn_slot,
                           Bytes app_reply, ReleasePlan& plan);
     void flush_releases(enclave::CostedCrypto& crypto, TroxyActions& actions,

@@ -52,6 +52,32 @@ TroxyReplicaHost::TroxyReplicaHost(
                     net::wrap(net::Channel::Hybster,
                               encode_message(hybster::Message(reply))));
     };
+    if (options.batch_reply_auth) {
+        // A whole executed batch's replies enter the enclave through ONE
+        // authenticate_replies transition; retransmissions and optimistic
+        // reads keep the per-reply hook above.
+        hooks.deliver_replies =
+            [this](enclave::CostedCrypto& crypto, net::Outbox& outbox,
+                   std::vector<hybster::Replica::Hooks::ExecutedReply>&&
+                       batch) {
+                std::vector<TroxyEnclave::ReplyAuth> items;
+                items.reserve(batch.size());
+                for (const auto& member : batch) {
+                    items.push_back(TroxyEnclave::ReplyAuth{member.request,
+                                                            &member.reply});
+                }
+                const std::vector<enclave::Certificate> certs =
+                    troxy_->authenticate_replies(crypto.meter(), items);
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    batch[i].reply.cert = certs[i];
+                    outbox.send(
+                        batch[i].request->id.client,
+                        net::wrap(net::Channel::Hybster,
+                                  encode_message(
+                                      hybster::Message(batch[i].reply))));
+                }
+            };
+    }
 
     replica_ = std::make_unique<hybster::Replica>(
         fabric, node, config, replica_id, std::move(service),
@@ -81,6 +107,13 @@ void TroxyReplicaHost::crash() {
     reply_buffer_.clear();
     ++voter_flush_generation_;
     voter_timer_armed_ = false;
+    // Buffered cache queries die too; the enclave's fast-read timeout
+    // would have fallen the reads back, but the enclave state is wiped on
+    // restart anyway.
+    fastread_buffer_.clear();
+    fastread_buffered_ = 0;
+    ++fastread_flush_generation_;
+    fastread_timer_armed_ = false;
 }
 
 void TroxyReplicaHost::restart(hybster::ServicePtr fresh_service) {
@@ -178,10 +211,23 @@ void TroxyReplicaHost::on_message(sim::NodeId from, Bytes message) {
             enclave::CostMeter meter;
             if (auto* query = std::get_if<CacheQuery>(&*decoded)) {
                 apply(meter, troxy_->handle_cache_query(meter, *query));
-            } else {
+            } else if (auto* response =
+                           std::get_if<CacheResponse>(&*decoded)) {
                 apply(meter,
-                      troxy_->handle_cache_response(
-                          meter, std::get<CacheResponse>(*decoded)));
+                      troxy_->handle_cache_response(meter, *response));
+            } else if (auto* queries =
+                           std::get_if<CacheQueryBatch>(&*decoded)) {
+                // A whole query burst from a contact Troxy: answered in
+                // ONE handle_cache_queries transition.
+                apply(meter, troxy_->handle_cache_queries(meter,
+                                                          queries->queries));
+            } else {
+                // A whole response burst from a remote: applied in ONE
+                // handle_cache_responses transition.
+                apply(meter,
+                      troxy_->handle_cache_responses(
+                          meter,
+                          std::get<CacheResponseBatch>(*decoded).responses));
             }
             return;
         }
@@ -199,9 +245,11 @@ void TroxyReplicaHost::enqueue_reply(hybster::Reply&& reply) {
         return;
     }
     reply_buffer_.push_back(std::move(reply));
+    // The adaptive boundary follows the *served* load (replies per delay
+    // window, fed back at flush time): an idle voter flushes every reply
+    // immediately, a busy one opens up to the configured maximum.
     std::size_t boundary = options_.voter_batch_max;
     if (options_.adaptive_voting) {
-        voter_controller_.observe(reply_buffer_.size());
         boundary = voter_controller_.effective(options_.voter_batch_max);
     }
     if (reply_buffer_.size() >= boundary) {
@@ -221,9 +269,6 @@ void TroxyReplicaHost::ingest_replies(std::vector<hybster::Reply> replies) {
     }
     for (hybster::Reply& reply : replies) {
         reply_buffer_.push_back(std::move(reply));
-        if (options_.adaptive_voting) {
-            voter_controller_.observe(reply_buffer_.size());
-        }
         if (reply_buffer_.size() >= options_.voter_batch_max) {
             flush_reply_buffer();
         }
@@ -239,6 +284,8 @@ void TroxyReplicaHost::flush_reply_buffer() {
     voter_timer_armed_ = false;
     std::vector<hybster::Reply> batch = std::move(reply_buffer_);
     reply_buffer_.clear();
+    voter_controller_.record_served(batch.size(), fabric_.simulator().now(),
+                                    options_.voter_batch_delay);
     enclave::CostMeter meter;
     apply(meter, troxy_->handle_replies(meter, std::move(batch)));
 }
@@ -283,6 +330,9 @@ void TroxyReplicaHost::apply(enclave::CostMeter& meter,
     for (auto& [to, bytes] : actions.sends) {
         outbox.send(to, std::move(bytes));
     }
+    if (!actions.cache_queries.empty()) {
+        route_cache_queries(outbox, std::move(actions.cache_queries));
+    }
     if (!actions.to_order.empty()) {
         // The replica's processing happens after the Troxy's metered work.
         // One ecall can surface several client requests (e.g. pipelined
@@ -303,6 +353,83 @@ void TroxyReplicaHost::apply(enclave::CostMeter& meter,
         fast_reads_in_flight_.insert(id);
         arm_fast_read_timer(id);
     }
+}
+
+void TroxyReplicaHost::route_cache_queries(
+    net::Outbox& outbox,
+    std::vector<std::pair<sim::NodeId, CacheQuery>>&& queries) {
+    if (options_.fastread_batch_max <= 1) {
+        // Unbatched fast reads: each query goes out as its own wire
+        // message immediately, exactly the pre-batching flow.
+        for (auto& [to, query] : queries) {
+            outbox.send(to,
+                        net::wrap(net::Channel::TroxyCache,
+                                  encode_cache_message(
+                                      CacheMessage(std::move(query)))));
+        }
+        return;
+    }
+    for (auto& [to, query] : queries) {
+        fastread_buffer_[to].push_back(std::move(query));
+        ++fastread_buffered_;
+    }
+    std::size_t boundary = options_.fastread_batch_max;
+    if (options_.adaptive_fastread) {
+        boundary = fastread_controller_.effective(options_.fastread_batch_max);
+    }
+    if (fastread_buffered_ >= boundary) {
+        flush_fastread_buffer(outbox);
+    } else {
+        arm_fastread_flush_timer();
+    }
+}
+
+void TroxyReplicaHost::flush_fastread_buffer(net::Outbox& outbox) {
+    if (fastread_buffered_ == 0) return;
+    ++fastread_flush_generation_;  // cancel any armed delay timer
+    fastread_timer_armed_ = false;
+    fastread_controller_.record_served(fastread_buffered_,
+                                       fabric_.simulator().now(),
+                                       options_.fastread_batch_delay);
+    for (auto& [to, queries] : fastread_buffer_) {
+        if (queries.empty()) continue;
+        // A lone query keeps the single-message wire form (byte parity
+        // with the unbatched flow); a burst ships as one CacheQueryBatch
+        // and will be answered in one remote transition.
+        const CacheMessage message =
+            queries.size() == 1
+                ? CacheMessage(std::move(queries.front()))
+                : CacheMessage(CacheQueryBatch{std::move(queries)});
+        outbox.send(to, net::wrap(net::Channel::TroxyCache,
+                                  encode_cache_message(message)));
+    }
+    fastread_buffer_.clear();
+    fastread_buffered_ = 0;
+}
+
+void TroxyReplicaHost::arm_fastread_flush_timer() {
+    if (fastread_timer_armed_) return;
+    fastread_timer_armed_ = true;
+    const std::uint64_t generation = fastread_flush_generation_;
+    fabric_.simulator().after(
+        options_.fastread_batch_delay, [this, generation]() {
+            if (faults_.crashed) return;
+            if (generation != fastread_flush_generation_) return;
+            fastread_timer_armed_ = false;
+            enclave::CostMeter meter;
+            net::Outbox outbox(fabric_, node_, options_.coalesce_wire);
+            flush_fastread_buffer(outbox);
+            outbox.flush(meter);
+        });
+}
+
+TroxyReplicaHost::Status TroxyReplicaHost::status() const {
+    Status s;
+    s.troxy = troxy_->status();
+    s.voter_ewma_x100 = voter_controller_.ewma_x100();
+    s.fastread_ewma_x100 = fastread_controller_.ewma_x100();
+    s.batch_ewma_x100 = replica_->batch_ewma_x100();
+    return s;
 }
 
 void TroxyReplicaHost::arm_vote_timer(std::uint64_t number) {

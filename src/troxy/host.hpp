@@ -9,6 +9,7 @@
 // everything security-relevant already happened inside the enclave.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 
@@ -35,9 +36,24 @@ class TroxyReplicaHost {
         /// Coalesce this host's outgoing flush bursts into one Bundle
         /// frame per destination (one wire record per burst).
         bool coalesce_wire = false;
-        /// Let an EWMA of the observed reply queue depth shrink the voter
-        /// flush boundary under light load (idle keeps per-reply latency).
+        /// Let an EWMA of the served reply load (replies per delay window)
+        /// shrink the voter flush boundary under light load (idle keeps
+        /// per-reply latency).
         bool adaptive_voting = false;
+        /// Certify a whole executed batch's replies in one
+        /// authenticate_replies ecall instead of one transition per reply.
+        bool batch_reply_auth = false;
+        /// Fast-read batching: maximum buffered cache queries before the
+        /// host ships them as CacheQueryBatch bursts (one per remote).
+        /// 1 = one wire message and one remote ecall per query, the
+        /// pre-batching behaviour.
+        std::size_t fastread_batch_max = 1;
+        /// How long the host holds an incomplete query burst before
+        /// flushing (bounds added fast-read latency).
+        sim::Duration fastread_batch_delay = sim::microseconds(100);
+        /// Let an EWMA of the served query load shrink the fast-read
+        /// flush boundary under light load.
+        bool adaptive_fastread = false;
     };
 
     TroxyReplicaHost(net::Fabric& fabric, sim::Node& node,
@@ -84,6 +100,17 @@ class TroxyReplicaHost {
         return restarts_;
     }
 
+    /// Enclave counters plus the host-side adaptive controllers' smoothed
+    /// load estimates (served items per delay window, ×100) — what the
+    /// benches record to show the controllers tracking offered load.
+    struct Status {
+        TroxyEnclave::Status troxy;
+        std::uint64_t voter_ewma_x100 = 0;
+        std::uint64_t fastread_ewma_x100 = 0;
+        std::uint64_t batch_ewma_x100 = 0;  // leader's ordering controller
+    };
+    [[nodiscard]] Status status() const;
+
   private:
     void on_message(sim::NodeId from, Bytes message);
     void apply(enclave::CostMeter& meter, TroxyActions&& actions);
@@ -100,6 +127,19 @@ class TroxyReplicaHost {
     void ingest_replies(std::vector<hybster::Reply> replies);
     void flush_reply_buffer();
     void arm_voter_flush_timer();
+
+    // --- fast-read query batching (untrusted buffering; each query
+    // carries an enclave-made certificate, so the host can delay or batch
+    // but not alter them) ---
+    /// Routes the structured queries an ecall surfaced: straight onto the
+    /// wire at fastread_batch_max <= 1, else into the per-remote buffer.
+    void route_cache_queries(
+        net::Outbox& outbox,
+        std::vector<std::pair<sim::NodeId, CacheQuery>>&& queries);
+    /// Ships every buffered burst: one CacheQueryBatch per remote (a
+    /// lone query goes out in the seed's single-message form).
+    void flush_fastread_buffer(net::Outbox& outbox);
+    void arm_fastread_flush_timer();
 
     net::Fabric& fabric_;
     sim::Node& node_;
@@ -122,6 +162,15 @@ class TroxyReplicaHost {
     std::uint64_t voter_flush_generation_ = 0;
     bool voter_timer_armed_ = false;
     hybster::AdaptiveBatchController voter_controller_;
+
+    // Fast-read query batching state (cleared on crash — buffered queries
+    // die with the untrusted process; the fast-read timeout at the enclave
+    // falls the reads back to ordering).
+    std::map<sim::NodeId, std::vector<CacheQuery>> fastread_buffer_;
+    std::size_t fastread_buffered_ = 0;
+    std::uint64_t fastread_flush_generation_ = 0;
+    bool fastread_timer_armed_ = false;
+    hybster::AdaptiveBatchController fastread_controller_;
 
     // Enclave thread (TCS) slots: ecall work serializes once all slots
     // are busy, modelling the enclave's fixed concurrency budget.

@@ -92,6 +92,31 @@ TEST(FastReadCache, EpcAccountingTracksUsage) {
     EXPECT_EQ(gate.allocated_bytes(), 0u);
 }
 
+TEST(FastReadCache, FootprintShrinksOnSmallerOverwrite) {
+    // Overwriting an entry with a smaller result must return the size
+    // difference to the EPC accounting, not leak the old footprint.
+    auto gate = make_gate();
+    FastReadCache cache(gate, 1 << 20);
+    cache.put("k", entry_of("r", std::string(1000, 'a')));
+    const std::size_t big = cache.bytes_used();
+    EXPECT_EQ(gate.allocated_bytes(), big);
+    cache.put("k", entry_of("r", std::string(10, 'b')));
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_LT(cache.bytes_used(), big);
+    EXPECT_EQ(gate.allocated_bytes(), cache.bytes_used());
+}
+
+TEST(FastReadCache, FootprintMatchesGateAfterEviction) {
+    auto gate = make_gate();
+    FastReadCache cache(gate, 1250);  // fits roughly two entries
+    cache.put("a", entry_of("ra", std::string(400, 'x')));
+    cache.put("b", entry_of("rb", std::string(400, 'y')));
+    cache.put("c", entry_of("rc", std::string(400, 'z')));  // evicts "a"
+    EXPECT_EQ(cache.get("a"), nullptr);
+    EXPECT_LE(cache.bytes_used(), 1250u);
+    EXPECT_EQ(gate.allocated_bytes(), cache.bytes_used());
+}
+
 // ----------------------------------------------------------------- monitor
 
 TEST(MissRateMonitor, StartsInFastMode) {
@@ -480,6 +505,302 @@ TEST(TroxyEnclave, ByzantineReplyDoesNotPoisonBatch) {
     EXPECT_EQ(actions.completed_votes.size(), 4u);
     const auto replies = rig.channel->unprotect(rig.unframe(actions));
     EXPECT_EQ(replies.size(), 4u);
+}
+
+// ------------------------------------------------------ batched fast reads
+
+namespace {
+
+/// Two full enclaves — the contact (replica 0) with a connected legacy
+/// client channel and one remote (replica 1) — wired back-to-back so
+/// tests can drive the whole fast-read protocol without a simulator.
+/// f = 1 over two replicas, so every fast read awaits exactly the one
+/// remote and the query routing is deterministic.
+struct FastReadRig {
+    static constexpr sim::NodeId kContactNode = 1;
+    static constexpr sim::NodeId kRemoteNode = 2;
+    static constexpr sim::NodeId kClientNode = 1000;
+
+    hybster::Config config;
+    sim::CostProfile profile = sim::CostProfile::native();
+    std::shared_ptr<enclave::TrinX> contact_trinx;
+    std::shared_ptr<enclave::TrinX> remote_trinx;
+    crypto::X25519Keypair identity =
+        crypto::x25519_keypair_from_seed(to_bytes("fastread-rig-server"));
+    std::unique_ptr<TroxyEnclave> contact;
+    std::unique_ptr<TroxyEnclave> remote;
+    std::optional<net::SecureChannelClient> channel;
+    enclave::CostMeter meter;
+    std::uint64_t next_number = 1;
+
+    FastReadRig() {
+        config.f = 1;
+        config.replicas = {kContactNode, kRemoteNode};
+        const Bytes group_key = to_bytes("fastread-rig-group-key");
+        contact_trinx = std::make_shared<enclave::TrinX>(0, group_key);
+        remote_trinx = std::make_shared<enclave::TrinX>(1, group_key);
+        const Classifier classifier = [](ByteView request) {
+            return apps::EchoService().classify(request);
+        };
+        contact = std::make_unique<TroxyEnclave>(
+            kContactNode, 0, config, contact_trinx, identity, classifier,
+            profile, TroxyOptions{}, /*seed=*/11);
+        remote = std::make_unique<TroxyEnclave>(
+            kRemoteNode, 1, config, remote_trinx,
+            crypto::x25519_keypair_from_seed(to_bytes("fastread-rig-remote")),
+            classifier, profile, TroxyOptions{}, /*seed=*/12);
+
+        channel.emplace(identity.public_key, to_bytes("client-seed"));
+        auto actions = contact->accept_connection(meter, kClientNode,
+                                                  channel->client_hello());
+        EXPECT_TRUE(channel->finish(unframe(actions)));
+    }
+
+    /// The ordered read request whose execution fills the caches.
+    hybster::Request ordered_read(std::uint64_t key) {
+        hybster::Request request;
+        request.id.client = kContactNode;
+        request.id.number = next_number++;
+        request.flags |= hybster::Request::kFlagRead;
+        request.payload = apps::EchoService::make_read(key, 32, 64);
+        return request;
+    }
+
+    hybster::Reply executed(const hybster::Request& request,
+                            std::string_view result, std::uint32_t replica) {
+        hybster::Reply reply;
+        reply.kind = hybster::Reply::Kind::Ordered;
+        reply.request_id = request.id;
+        reply.result = to_bytes(result);
+        reply.replica = replica;
+        return reply;
+    }
+
+    /// Executes the ordered read for `key` on both enclaves so both
+    /// caches hold `result` — the state the real system reaches after the
+    /// first ordered miss for a key.
+    void warm(std::uint64_t key, std::string_view result) {
+        const hybster::Request request = ordered_read(key);
+        contact->authenticate_reply(meter, request,
+                                    executed(request, result, 0));
+        remote->authenticate_reply(meter, request,
+                                   executed(request, result, 1));
+    }
+
+    /// Sends a read through the client channel; the warm cache makes the
+    /// contact start a fast read and surface one query for the remote.
+    CacheQuery start_read(std::uint64_t key) {
+        auto actions = contact->handle_request(
+            meter, kClientNode,
+            channel->protect(apps::EchoService::make_read(key, 32, 64)));
+        EXPECT_EQ(actions.cache_queries.size(), 1u);
+        EXPECT_EQ(actions.cache_queries[0].first, kRemoteNode);
+        return std::move(actions.cache_queries[0].second);
+    }
+
+    /// Extracts the client-frame payload of the single queued send.
+    Bytes unframe(const TroxyActions& actions) {
+        EXPECT_EQ(actions.sends.size(), 1u);
+        const auto unwrapped = net::unwrap(actions.sends[0].second);
+        EXPECT_TRUE(unwrapped.has_value());
+        EXPECT_EQ(unwrapped->first, net::Channel::Client);
+        const auto frame = net::unframe_client(unwrapped->second);
+        EXPECT_TRUE(frame.has_value());
+        return frame->second;
+    }
+
+    /// Decodes a queued send as a TroxyCache-channel message.
+    CacheMessage decode_cache_send(
+        const std::pair<sim::NodeId, Bytes>& send) {
+        const auto unwrapped = net::unwrap(send.second);
+        EXPECT_TRUE(unwrapped.has_value());
+        EXPECT_EQ(unwrapped->first, net::Channel::TroxyCache);
+        auto message = decode_cache_message(unwrapped->second);
+        EXPECT_TRUE(message.has_value());
+        return std::move(*message);
+    }
+};
+
+}  // namespace
+
+TEST(TroxyEnclave, BatchedFastReadOneTransitionPerStage) {
+    FastReadRig rig;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        rig.warm(key, "value-" + std::to_string(key));
+    }
+    std::vector<CacheQuery> queries;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        queries.push_back(rig.start_read(key));
+    }
+
+    // Remote side: the whole burst is answered in ONE transition and the
+    // four responses return as ONE CacheResponseBatch.
+    const std::uint64_t remote_before = rig.remote->gate().transitions();
+    auto remote_actions =
+        rig.remote->handle_cache_queries(rig.meter, queries);
+    EXPECT_EQ(rig.remote->gate().transitions(), remote_before + 1);
+    ASSERT_EQ(remote_actions.sends.size(), 1u);
+    EXPECT_EQ(remote_actions.sends[0].first, FastReadRig::kContactNode);
+    auto message = rig.decode_cache_send(remote_actions.sends[0]);
+    auto* batch = std::get_if<CacheResponseBatch>(&message);
+    ASSERT_NE(batch, nullptr);
+    ASSERT_EQ(batch->responses.size(), 4u);
+    EXPECT_EQ(rig.remote->status().cache_query_batches, 1u);
+    EXPECT_EQ(rig.remote->status().batched_cache_queries, 4u);
+
+    // Contact side: the burst applies in ONE transition; all four fast
+    // reads complete and release as ONE coalesced client record.
+    const std::uint64_t contact_before = rig.contact->gate().transitions();
+    auto contact_actions =
+        rig.contact->handle_cache_responses(rig.meter, batch->responses);
+    EXPECT_EQ(rig.contact->gate().transitions(), contact_before + 1);
+    const auto status = rig.contact->status();
+    EXPECT_EQ(status.fast_read_hits, 4u);
+    EXPECT_EQ(status.fast_read_conflicts, 0u);
+    EXPECT_EQ(status.cache_response_batches, 1u);
+    EXPECT_EQ(status.batched_cache_responses, 4u);
+    const auto replies =
+        rig.channel->unprotect(rig.unframe(contact_actions));
+    ASSERT_EQ(replies.size(), 4u);
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+        EXPECT_EQ(replies[i], to_bytes("value-" + std::to_string(i)));
+    }
+}
+
+TEST(TroxyEnclave, CacheBatchOfOneMatchesSinglePath) {
+    // The batched entry points with a one-element burst must produce
+    // byte-identical output to the single-message ecalls, so the host's
+    // flush-of-one (which emits the plain wire form and dispatches the
+    // single ecall) and a degenerate batch are interchangeable.
+    FastReadRig single;
+    FastReadRig batched;
+    single.warm(1, "v1");
+    batched.warm(1, "v1");
+    const CacheQuery squery = single.start_read(1);
+    const CacheQuery bquery = batched.start_read(1);
+
+    // Remote side: a burst of one answers as a plain CacheResponse — the
+    // same bytes the single ecall emits — in one transition either way.
+    auto sresp = single.remote->handle_cache_query(single.meter, squery);
+    auto bresp =
+        batched.remote->handle_cache_queries(batched.meter, {bquery});
+    ASSERT_EQ(sresp.sends.size(), 1u);
+    ASSERT_EQ(bresp.sends.size(), 1u);
+    EXPECT_EQ(sresp.sends[0], bresp.sends[0]);
+    EXPECT_EQ(single.remote->gate().transitions(),
+              batched.remote->gate().transitions());
+    auto smessage = single.decode_cache_send(sresp.sends[0]);
+    const auto* response = std::get_if<CacheResponse>(&smessage);
+    ASSERT_NE(response, nullptr);
+
+    // Contact side: applying the burst of one releases the same sealed
+    // client record as the single-response ecall.
+    auto sdone =
+        single.contact->handle_cache_response(single.meter, *response);
+    auto bdone =
+        batched.contact->handle_cache_responses(batched.meter, {*response});
+    ASSERT_EQ(sdone.sends.size(), 1u);
+    ASSERT_EQ(bdone.sends.size(), 1u);
+    EXPECT_EQ(sdone.sends[0], bdone.sends[0]);
+    EXPECT_EQ(single.contact->status().fast_read_hits, 1u);
+    EXPECT_EQ(batched.contact->status().fast_read_hits, 1u);
+}
+
+TEST(TroxyEnclave, AuthenticateRepliesOneTransitionSameCertificates) {
+    FastReadRig rig;
+    std::vector<hybster::Request> requests;
+    std::vector<hybster::Reply> replies;
+    std::vector<TroxyEnclave::ReplyAuth> batch;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        requests.push_back(rig.ordered_read(key));
+        replies.push_back(rig.executed(requests.back(),
+                                       "r" + std::to_string(key), 0));
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        batch.push_back(TroxyEnclave::ReplyAuth{&requests[i], &replies[i]});
+    }
+
+    const std::uint64_t before = rig.contact->gate().transitions();
+    const auto certs =
+        rig.contact->authenticate_replies(rig.meter, batch);
+    EXPECT_EQ(rig.contact->gate().transitions(), before + 1);
+    ASSERT_EQ(certs.size(), 4u);
+    EXPECT_EQ(rig.contact->status().reply_auth_batches, 1u);
+    EXPECT_EQ(rig.contact->status().batch_authenticated_replies, 4u);
+    // The batch certified the ordered reads, so the cache is warm now.
+    EXPECT_EQ(rig.contact->status().cache_entries, 4u);
+
+    // Every certificate in the batch verifies exactly like one produced
+    // by the per-reply ecall (the running MAC changes cost, not bytes).
+    enclave::CostedCrypto crypto(rig.profile, rig.meter);
+    for (std::size_t i = 0; i < certs.size(); ++i) {
+        EXPECT_TRUE(rig.remote_trinx->verify_independent(
+            crypto, 0, replies[i].certified_view(), certs[i]));
+    }
+}
+
+TEST(TroxyEnclave, AuthenticateBatchOfOneMatchesSinglePath) {
+    // Cost parity, not just byte parity: a one-element batch charges the
+    // exact same marshalled bytes and crypto work as authenticate_reply.
+    FastReadRig single;
+    FastReadRig batched;
+    const hybster::Request srequest = single.ordered_read(5);
+    const hybster::Request brequest = batched.ordered_read(5);
+    const hybster::Reply sreply = single.executed(srequest, "r5", 0);
+    const hybster::Reply breply = batched.executed(brequest, "r5", 0);
+
+    enclave::CostMeter m_single;
+    enclave::CostMeter m_batched;
+    const auto cert =
+        single.contact->authenticate_reply(m_single, srequest, sreply);
+    const auto certs = batched.contact->authenticate_replies(
+        m_batched, {TroxyEnclave::ReplyAuth{&brequest, &breply}});
+    ASSERT_EQ(certs.size(), 1u);
+    EXPECT_EQ(certs[0], cert);
+    EXPECT_EQ(m_single.total(), m_batched.total());
+    EXPECT_EQ(single.contact->gate().transitions(),
+              batched.contact->gate().transitions());
+}
+
+TEST(TroxyEnclave, ByzantineCacheResponseFallsBackOnlyItself) {
+    FastReadRig rig;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        rig.warm(key, "value-" + std::to_string(key));
+    }
+    // The remote's cache for the LAST key diverges (a stale or lying
+    // replica): its correctly-certified response carries a mismatching
+    // result digest. Last so the three earlier reads sit below the
+    // conflicted connection slot and can release in order.
+    {
+        const hybster::Request request = rig.ordered_read(3);
+        rig.remote->authenticate_reply(rig.meter, request,
+                                       rig.executed(request, "stale", 1));
+    }
+
+    std::vector<CacheQuery> queries;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        queries.push_back(rig.start_read(key));
+    }
+    auto remote_actions =
+        rig.remote->handle_cache_queries(rig.meter, queries);
+    auto message = rig.decode_cache_send(remote_actions.sends[0]);
+    auto* batch = std::get_if<CacheResponseBatch>(&message);
+    ASSERT_NE(batch, nullptr);
+
+    auto actions =
+        rig.contact->handle_cache_responses(rig.meter, batch->responses);
+    const auto status = rig.contact->status();
+    // The mismatch conflicted exactly one fast read — the other three in
+    // the same burst completed within the same transition.
+    EXPECT_EQ(status.fast_read_conflicts, 1u);
+    EXPECT_EQ(status.fast_read_hits, 3u);
+    ASSERT_EQ(actions.to_order.size(), 1u);
+    EXPECT_TRUE(actions.to_order[0].is_read());
+    const auto replies = rig.channel->unprotect(rig.unframe(actions));
+    ASSERT_EQ(replies.size(), 3u);
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+        EXPECT_EQ(replies[i], to_bytes("value-" + std::to_string(i)));
+    }
 }
 
 }  // namespace
