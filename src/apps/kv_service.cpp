@@ -15,16 +15,25 @@ hybster::RequestInfo KvService::classify(ByteView request) const {
         const auto op = static_cast<Op>(r.u8());
         const std::string key = r.str();
         info.is_read = (op == Op::Get || op == Op::Scan);
-        // SCAN touches a whole prefix partition; a PUT/DELETE under that
-        // prefix must invalidate it, so scans are keyed by their prefix
-        // and mutations conservatively invalidate both the exact key and
-        // cannot match prefix entries (distinct state keys → scans simply
-        // miss after the partition changed). We keep scans uncached by
-        // giving them a per-request key shared by identical scans.
+        // SCAN touches a whole prefix partition, keyed "scan:<prefix>".
+        // A PUT/DELETE under that prefix changes the partition's
+        // contents, so a mutation's write set is its exact key plus
+        // every scan partition covering it — "scan:<p>" for each prefix
+        // p of the key, including the empty prefix (a full scan). That
+        // closure is what keeps cached scans coherent: the enclave
+        // invalidates (and gates fast reads on) every key in the set.
+        // It stays out of execution-conflict classes — two mutations
+        // under a common prefix still commute at the exact-key level.
         if (op == Op::Scan) {
             info.state_key = "scan:" + key;
         } else {
             info.state_key = "kv:" + key;
+            if (op == Op::Put || op == Op::Delete) {
+                info.extra_keys.reserve(key.size() + 1);
+                for (std::size_t len = 0; len <= key.size(); ++len) {
+                    info.extra_keys.push_back("scan:" + key.substr(0, len));
+                }
+            }
         }
     } catch (const DecodeError&) {
         info.is_read = true;

@@ -45,7 +45,16 @@ hybster::RequestInfo MailService::classify(ByteView request) const {
     const Parsed parsed = parse_line(request);
     hybster::RequestInfo info;
     info.is_read = parsed.verb == "LIST" || parsed.verb == "FETCH";
+    // Every operation touches its mailbox partition — that is the cache
+    // key for LIST/FETCH replies and the conflict class for execution,
+    // so disjoint mailboxes run on parallel lanes. An EXPUNGE names the
+    // exact message it removes; the per-message key in its write set
+    // records the finer-grained mutation for invalidation consumers.
     info.state_key = "mail:" + parsed.mailbox;
+    if (parsed.verb == "EXPUNGE") {
+        info.extra_keys.push_back("mail:" + parsed.mailbox +
+                                  ":msg:" + parsed.rest);
+    }
     return info;
 }
 

@@ -53,6 +53,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     params.host.coalesce_wire = options.coalesce_wire;
     params.host.fastread_batch_max = options.fastread_batch_max;
     params.host.batch_reply_auth = options.batch_reply_auth;
+    params.base.execution_lanes = options.execution_lanes;
     params.service = []() { return std::make_unique<EchoService>(); };
     params.classifier = [](ByteView request) {
         return EchoService().classify(request);

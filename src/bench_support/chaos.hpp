@@ -65,6 +65,9 @@ struct ChaosOptions {
     /// per-reply ecall flow.
     std::size_t fastread_batch_max = 1;
     bool batch_reply_auth = false;
+    /// Modeled execution lanes per replica (hybster::Config); the default
+    /// keeps chaos runs on the serial execution flow.
+    std::size_t execution_lanes = 1;
 
     // Fault schedule: faults are injected inside [fault_start, heal_by];
     // the run ends at `horizon`, leaving time to recover and drain.

@@ -115,6 +115,7 @@ TroxyCluster::TroxyCluster(Params params) : ClusterBase(params.base) {
     config_.batch_delay = options_.batch_delay;
     config_.coalesce_wire = options_.coalesce_wire;
     config_.adaptive_batching = options_.adaptive_batching;
+    config_.execution_lanes = options_.execution_lanes;
     const int n = 2 * options_.f + 1;
     for (int i = 0; i < n; ++i) {
         config_.replicas.push_back(
@@ -200,6 +201,7 @@ BaselineCluster::BaselineCluster(Params params)
     config_.checkpoint_interval = options_.checkpoint_interval;
     config_.batch_size_max = options_.batch_size_max;
     config_.batch_delay = options_.batch_delay;
+    config_.execution_lanes = options_.execution_lanes;
     const int n = 2 * options_.f + 1;
     for (int i = 0; i < n; ++i) {
         config_.replicas.push_back(

@@ -46,6 +46,9 @@ struct ClusterOptions {
     /// Load-adaptive effective batch boundary on the leader
     /// (hybster::Config::adaptive_batching).
     bool adaptive_batching = false;
+    /// Modeled execution lanes per replica
+    /// (hybster::Config::execution_lanes); 1 = serial execution.
+    std::size_t execution_lanes = 1;
     /// Standard deviation added to intra-cluster link latency. The
     /// deterministic simulator lacks the execution-time variance of a
     /// real testbed (JVM GC pauses, interrupt coalescing, switch

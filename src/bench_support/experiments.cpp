@@ -64,6 +64,7 @@ ClusterOptions base_options(const MicroParams& params) {
     options.batch_delay = params.batch_delay;
     options.coalesce_wire = params.coalesce_wire;
     options.adaptive_batching = params.adaptive_batching;
+    options.execution_lanes = params.execution_lanes;
     return options;
 }
 
@@ -129,6 +130,8 @@ MicroResult run_troxy(SystemKind kind, const MicroParams& params) {
     cluster_params.host.fastread_batch_max = params.fastread_batch_max;
     cluster_params.host.fastread_batch_delay = params.fastread_batch_delay;
     cluster_params.host.adaptive_fastread = params.adaptive_fastread;
+    cluster_params.host.fastread_latency_target =
+        params.fastread_latency_target;
     cluster_params.client.coalesce_sends = params.coalesce_client_sends;
     // Remote cache queries cross the replica LAN, but under heavy load
     // their processing queues behind the enclave's thread budget; the
@@ -180,6 +183,19 @@ MicroResult run_troxy(SystemKind kind, const MicroParams& params) {
         result.voter_ewma_x100 += host_status.voter_ewma_x100;
         result.fastread_ewma_x100 += host_status.fastread_ewma_x100;
         result.batch_ewma_x100 += host_status.batch_ewma_x100;
+        result.exec_scheduled_batches += host_status.exec.scheduled_batches;
+        result.exec_scheduled_requests +=
+            host_status.exec.scheduled_requests;
+        result.exec_conflict_stalls += host_status.exec.conflict_stalls;
+        result.exec_lanes_used_sum += host_status.exec.lanes_used_sum;
+        result.exec_serial_ns +=
+            static_cast<std::uint64_t>(host_status.exec.serial_cost);
+        result.exec_charged_ns +=
+            static_cast<std::uint64_t>(host_status.exec.charged_cost);
+        result.cache_invalidations += status.cache_invalidations;
+        result.invalidations_saved += status.invalidations_saved;
+        result.fallback_prebatches += status.fallback_prebatches;
+        result.prebatched_fallbacks += status.prebatched_fallbacks;
     }
     result.wire_messages = cluster.network().messages_sent();
     result.wire_bytes = cluster.network().bytes_sent();

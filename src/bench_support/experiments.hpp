@@ -76,6 +76,12 @@ struct MicroParams {
     std::size_t fastread_batch_max = 1;
     sim::Duration fastread_batch_delay = sim::microseconds(100);
     bool adaptive_fastread = false;
+    /// Hold the fast-read flush delay only while the served-load EWMA
+    /// predicts the batch will fill (batch-1 latency at low load).
+    bool fastread_latency_target = false;
+    /// Modeled execution lanes per replica (hybster::Config);
+    /// 1 = serial execution, the seed flow.
+    std::size_t execution_lanes = 1;
 };
 
 struct MicroResult {
@@ -108,6 +114,18 @@ struct MicroResult {
     std::uint64_t voter_ewma_x100 = 0;
     std::uint64_t fastread_ewma_x100 = 0;
     std::uint64_t batch_ewma_x100 = 0;
+    // Execution-lane counters (summed over replicas; zero with one lane).
+    std::uint64_t exec_scheduled_batches = 0;
+    std::uint64_t exec_scheduled_requests = 0;
+    std::uint64_t exec_conflict_stalls = 0;
+    std::uint64_t exec_lanes_used_sum = 0;
+    std::uint64_t exec_serial_ns = 0;   // serial cost of scheduled batches
+    std::uint64_t exec_charged_ns = 0;  // makespan actually charged
+    // Enclave batch-invalidation split and fallback pre-batching.
+    std::uint64_t cache_invalidations = 0;
+    std::uint64_t invalidations_saved = 0;
+    std::uint64_t fallback_prebatches = 0;
+    std::uint64_t prebatched_fallbacks = 0;
 
     /// Fraction of read attempts that ended in a *conflict*: for BL,
     /// optimistic reads whose replies disagreed and had to be re-ordered;

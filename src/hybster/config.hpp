@@ -44,6 +44,14 @@ struct Config {
     /// unbatched message flow stays byte-identical to the seed.
     bool coalesce_wire = false;
 
+    /// Modeled execution lanes per replica (state-machine parallelism).
+    /// A committed batch is partitioned into conflict classes by the
+    /// service's touched-key sets; disjoint classes run on parallel
+    /// lanes and the batch's charged CPU time is the makespan of a
+    /// greedy schedule instead of the serial sum. 1 = today's serial
+    /// execution, cost- and wire-identical.
+    std::size_t execution_lanes = 1;
+
     /// Let an EWMA of the leader's enqueue-time queue depth shrink the
     /// effective batch boundary below batch_size_max under light load, so
     /// an idle system keeps single-request latency while a loaded one
@@ -94,6 +102,8 @@ struct Config {
                      "batch size must not exceed the wire limit (65536)");
         TROXY_ASSERT(batch_delay < view_change_timeout,
                      "batch delay must stay below the view-change timeout");
+        TROXY_ASSERT(execution_lanes >= 1,
+                     "at least one execution lane is required");
     }
 };
 

@@ -1,0 +1,57 @@
+// Conflict-aware execution planning for a committed batch.
+//
+// The service's classify() exposes the state partition a request
+// touches (§IV-A uses the same information to keep the fast-read cache
+// coherent). plan_execution() partitions a batch's members into
+// conflict classes — members sharing a RequestInfo::state_key — and
+// greedily assigns whole classes to N modeled execution lanes. Members
+// of one class keep their batch order on one lane; disjoint classes run
+// in parallel, so the batch's modeled CPU time is the makespan of the
+// schedule instead of the serial sum. (RequestInfo::extra_keys are the
+// write-set closure for cache invalidation and do not create execution
+// conflicts; see exec_schedule.cpp.)
+//
+// The plan is a pure function of the batch contents, the service's
+// deterministic classify()/execution_cost(), and the lane count, so all
+// correct replicas with the same configuration compute identical plans.
+// Execution itself still calls Service::execute() in strict batch order
+// regardless of the lane count — the lanes only change *time*, never
+// results — which keeps replies and checkpoints byte-identical across
+// lane counts. With lanes = 1 the makespan equals the serial sum.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hybster/messages.hpp"
+#include "hybster/service.hpp"
+#include "sim/time.hpp"
+
+namespace troxy::hybster {
+
+struct ExecPlan {
+    /// Serial sum of all member execution costs (what one lane charges).
+    sim::Duration serial{0};
+    /// Modeled cost of the batch under the greedy lane schedule.
+    sim::Duration makespan{0};
+    /// Distinct conflict classes among the scheduled (non-noop) members.
+    std::size_t conflict_classes = 0;
+    /// Lanes that received at least one member.
+    std::size_t lanes_used = 0;
+    /// Members that had to queue behind an earlier same-class member
+    /// instead of starting on a free lane.
+    std::size_t conflict_stalls = 0;
+    /// Conflict class per member, indexed like batch.requests; classes
+    /// are numbered by first appearance. kNoClass for noop members.
+    std::vector<std::size_t> class_of;
+
+    static constexpr std::size_t kNoClass = static_cast<std::size_t>(-1);
+};
+
+/// Plans the execution of `batch` on `lanes` modeled lanes. Deterministic
+/// given (batch contents, service, lanes).
+[[nodiscard]] ExecPlan plan_execution(const Batch& batch,
+                                      const Service& service,
+                                      std::size_t lanes);
+
+}  // namespace troxy::hybster

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "hybster/exec_schedule.hpp"
 
 namespace troxy::hybster {
 
@@ -132,6 +133,26 @@ void Replica::submit_all(std::vector<Request> requests) {
     outbox.flush(meter);
 }
 
+void Replica::submit_prebatched(std::vector<Request> requests) {
+    if (faults_.crashed || rejoining_ || requests.empty()) return;
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox = make_outbox();
+    ++exec_stats_.prebatched_submits;
+    prebatching_ = true;
+    for (Request& request : requests) {
+        handle_request(crypto, outbox, std::move(request));
+    }
+    prebatching_ = false;
+    // Cut whatever the burst accumulated as one batch, regardless of the
+    // adaptive boundary or the delay timer: the burst already waited
+    // once (for its cache responses) and arrives pre-formed.
+    if (is_leader() && !in_view_change_ && !pending_batch_.empty()) {
+        cut_batch(crypto, outbox);
+    }
+    outbox.flush(meter);
+}
+
 void Replica::execute_optimistic_read(const Request& request) {
     if (faults_.crashed || rejoining_) return;
     enclave::CostMeter meter;
@@ -239,6 +260,14 @@ void Replica::enqueue_for_batch(enclave::CostedCrypto& crypto,
 
     pending_batch_.push_back(request);
     in_flight_.insert(request.id);
+    if (prebatching_) {
+        // A pre-formed burst accumulates into one batch; only the wire
+        // maximum forces a split. submit_prebatched cuts the remainder.
+        if (pending_batch_.size() >= config_.batch_size_max) {
+            cut_batch(crypto, outbox);
+        }
+        return;
+    }
     // The adaptive controller tracks served load (requests per delay
     // window, fed at cut time) and shrinks the cut boundary under light
     // load: an idle system cuts immediately (single-request latency), a
@@ -261,6 +290,7 @@ void Replica::cut_batch(enclave::CostedCrypto& crypto, net::Outbox& outbox) {
     if (pending_batch_.empty()) return;
     ++batch_timer_generation_;  // cancel any armed delay timer
     batch_timer_armed_ = false;
+    ++exec_stats_.batches_cut;
 
     Prepare prepare;
     prepare.view = view_;
@@ -450,6 +480,29 @@ void Replica::execute_entry(enclave::CostedCrypto& crypto,
     // With the batched hook the replies accumulate and are delivered in
     // one call after the loop — a Troxy host certifies the whole executed
     // batch in a single enclave transition.
+    //
+    // Conflict-aware lanes: with execution_lanes > 1 the batch's CPU
+    // time is the makespan of the greedy conflict-class schedule,
+    // charged once up front instead of member by member. The execute()
+    // calls below still run in strict batch order at every lane count —
+    // the plan is a pure function of the batch contents, and lanes only
+    // change *time*, never results — so replies and checkpoints stay
+    // byte-identical across lane counts. One lane keeps the per-member
+    // charge: the exact serial seed flow.
+    const bool lane_scheduled = config_.execution_lanes > 1;
+    if (lane_scheduled) {
+        const ExecPlan plan = plan_execution(entry.prepare->batch,
+                                             *service_,
+                                             config_.execution_lanes);
+        crypto.charge(plan.makespan);
+        ++exec_stats_.scheduled_batches;
+        exec_stats_.scheduled_requests +=
+            plan.conflict_classes + plan.conflict_stalls;
+        exec_stats_.conflict_stalls += plan.conflict_stalls;
+        exec_stats_.lanes_used_sum += plan.lanes_used;
+        exec_stats_.serial_cost += plan.serial;
+        exec_stats_.charged_cost += plan.makespan;
+    }
     std::vector<Hooks::ExecutedReply> executed;
     for (const Request& request : entry.prepare->batch.requests) {
         forwarded_.erase(request.id);
@@ -457,7 +510,9 @@ void Replica::execute_entry(enclave::CostedCrypto& crypto,
         ++executed_since_checkpoint_;
         if (request.flags & kFlagNoop) continue;
 
-        crypto.charge(service_->execution_cost(request.payload));
+        if (!lane_scheduled) {
+            crypto.charge(service_->execution_cost(request.payload));
+        }
         Bytes result = service_->execute(request.payload);
 
         Reply reply;

@@ -111,6 +111,15 @@ class Replica {
     /// batching leader cut them into a single Prepare.
     void submit_all(std::vector<Request> requests);
 
+    /// Pre-formed batch submission: a burst that should enter the
+    /// ordering pipeline as ONE batch (e.g. the Troxy's conflicted
+    /// fast-read fallbacks). On the leader the whole burst is cut into a
+    /// single Prepare (split only at batch_size_max); on a follower the
+    /// burst is forwarded in one metered step and rides one coalesced
+    /// wire record. All of handle_request's verification, retransmission
+    /// and dedup logic still applies per member.
+    void submit_prebatched(std::vector<Request> requests);
+
     /// Handles an optimistic (non-ordered) read: executes against the
     /// current state and replies immediately. Used by the PBFT-like
     /// baseline read optimization.
@@ -158,6 +167,31 @@ class Replica {
     /// (requests per batch-delay window, ×100). For benches/Status.
     [[nodiscard]] std::uint64_t batch_ewma_x100() const noexcept {
         return batch_controller_.ewma_x100();
+    }
+
+    /// Cumulative execution-stage accounting (conflict-aware lanes).
+    struct ExecStats {
+        /// Committed batches run through the lane scheduler (only
+        /// counted with execution_lanes > 1; one lane keeps the serial
+        /// per-member charge).
+        std::uint64_t scheduled_batches = 0;
+        /// Members of those batches (noops excluded).
+        std::uint64_t scheduled_requests = 0;
+        /// Members that queued behind an earlier same-class member.
+        std::uint64_t conflict_stalls = 0;
+        /// Sum over batches of lanes carrying work (avg = /batches).
+        std::uint64_t lanes_used_sum = 0;
+        /// What the scheduled batches would have cost serially.
+        sim::Duration serial_cost{0};
+        /// Makespan actually charged for them.
+        sim::Duration charged_cost{0};
+        /// Leader: batches cut into Prepares (any lane count).
+        std::uint64_t batches_cut = 0;
+        /// Pre-formed bursts accepted via submit_prebatched().
+        std::uint64_t prebatched_submits = 0;
+    };
+    [[nodiscard]] const ExecStats& exec_stats() const noexcept {
+        return exec_stats_;
     }
 
   private:
@@ -264,6 +298,14 @@ class Replica {
     // and execute; rebuilt wholesale on the rare paths that replace the
     // log (view change, state transfer, restart).
     std::unordered_set<RequestId, RequestIdHash> in_flight_;
+
+    // True while submit_prebatched() feeds a pre-formed burst through
+    // handle_request: enqueue_for_batch accumulates without cutting (up
+    // to batch_size_max) or arming the delay timer; the remainder is cut
+    // as one batch when the burst ends.
+    bool prebatching_ = false;
+
+    ExecStats exec_stats_;
 
     // Requests executed since the last checkpoint cut. The checkpoint
     // interval counts requests (batch members), not sequence numbers, so

@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "sim/cost.hpp"
@@ -24,6 +25,22 @@ struct RequestInfo {
     /// Identifier of the state partition the request touches; the
     /// fast-read cache is keyed and invalidated by this.
     std::string state_key;
+    /// Write-set closure beyond state_key: additional cache partitions a
+    /// mutation invalidates (and that gate fast reads keyed on them) —
+    /// e.g. a KV mutation also touches every scan prefix covering its
+    /// key. These are *invalidation* targets only; execution-conflict
+    /// classes are formed on state_key alone (two writes under a common
+    /// scan prefix still commute at the exact-key level).
+    std::vector<std::string> extra_keys;
+
+    /// state_key followed by extra_keys (the full touched-key set).
+    [[nodiscard]] std::vector<std::string> all_keys() const {
+        std::vector<std::string> keys;
+        keys.reserve(1 + extra_keys.size());
+        keys.push_back(state_key);
+        keys.insert(keys.end(), extra_keys.begin(), extra_keys.end());
+        return keys;
+    }
 };
 
 class Service {

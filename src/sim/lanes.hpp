@@ -1,0 +1,95 @@
+// Modeled multi-core execution lanes.
+//
+// A replica node charges CPU work through a single CostMeter, which the
+// simulator treats as one serial core. LaneSchedule models N parallel
+// execution lanes *within* one charge: work items are placed on lanes by
+// greedy list scheduling (each item goes to the earliest-free lane,
+// lowest index on ties) and the whole schedule costs its makespan — the
+// finish time of the busiest lane — instead of the serial sum. Items
+// that must stay ordered relative to each other (a conflict class) are
+// pinned to one lane by assigning the class once and appending every
+// member of the class to that lane.
+//
+// With lanes = 1 every item lands on lane 0 and makespan() equals the
+// serial sum exactly, so the single-lane schedule is cost-identical to
+// charging each item individually.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/time.hpp"
+
+namespace troxy::sim {
+
+class LaneSchedule {
+  public:
+    explicit LaneSchedule(std::size_t lanes)
+        : busy_until_(lanes == 0 ? 1 : lanes, Duration{0}) {}
+
+    /// Number of lanes in the schedule.
+    [[nodiscard]] std::size_t lanes() const noexcept {
+        return busy_until_.size();
+    }
+
+    /// Places one work item on the earliest-free lane (lowest index on
+    /// ties) and returns the lane it landed on.
+    std::size_t add(Duration cost) {
+        const std::size_t lane = earliest_free_lane();
+        busy_until_[lane] += cost;
+        serial_ += cost;
+        ++items_;
+        return lane;
+    }
+
+    /// Appends one work item to a specific lane (used to keep a conflict
+    /// class in order on the lane its first member was assigned to).
+    void add_to_lane(std::size_t lane, Duration cost) {
+        TROXY_ASSERT(lane < busy_until_.size(), "lane index out of range");
+        busy_until_[lane] += cost;
+        serial_ += cost;
+        ++items_;
+    }
+
+    /// Lane the greedy policy would pick next (earliest-free, lowest
+    /// index on ties). Deterministic given the add history.
+    [[nodiscard]] std::size_t earliest_free_lane() const {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < busy_until_.size(); ++i) {
+            if (busy_until_[i] < busy_until_[best]) best = i;
+        }
+        return best;
+    }
+
+    /// Finish time of the busiest lane: what the schedule costs on an
+    /// N-lane node. Equals serial_sum() when lanes() == 1.
+    [[nodiscard]] Duration makespan() const {
+        Duration max{0};
+        for (const Duration d : busy_until_) max = std::max(max, d);
+        return max;
+    }
+
+    /// Sum of all item costs: what the same work costs serially.
+    [[nodiscard]] Duration serial_sum() const noexcept { return serial_; }
+
+    /// Number of lanes that received at least one item.
+    [[nodiscard]] std::size_t lanes_used() const {
+        std::size_t used = 0;
+        for (const Duration d : busy_until_) {
+            if (d > Duration{0}) ++used;
+        }
+        return used;
+    }
+
+    /// Items placed so far.
+    [[nodiscard]] std::size_t items() const noexcept { return items_; }
+
+  private:
+    std::vector<Duration> busy_until_;
+    Duration serial_{0};
+    std::size_t items_ = 0;
+};
+
+}  // namespace troxy::sim

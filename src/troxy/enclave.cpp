@@ -113,7 +113,7 @@ TroxyActions TroxyEnclave::handle_request(enclave::CostMeter& meter,
 
         bool handled = false;
         if (info.is_read && options_.fast_reads &&
-            !pending_write_keys_.contains(info.state_key)) {
+            !has_pending_write(info)) {
             if (monitor_.fast_path_enabled()) {
                 const CacheEntry* entry = cache_.get(info.state_key);
                 gate_.touch(meter, entry ? entry->result.size() : 0);
@@ -153,6 +153,9 @@ void TroxyEnclave::merge_actions(TroxyActions& into, TroxyActions&& from) {
     for (auto& request : from.to_order) {
         into.to_order.push_back(std::move(request));
     }
+    for (auto& request : from.to_order_batch) {
+        into.to_order_batch.push_back(std::move(request));
+    }
     for (auto t : from.arm_vote_timers) into.arm_vote_timers.push_back(t);
     for (auto t : from.arm_fast_read_timers) {
         into.arm_fast_read_timers.push_back(t);
@@ -188,10 +191,19 @@ TroxyActions TroxyEnclave::order_request(enclave::CostedCrypto& crypto,
     pending.client = client;
     pending.conn_slot = conn_slot;
     pending.state_key = info.state_key;
+    pending.extra_keys = info.extra_keys;
     pending.is_read = info.is_read;
     pending.request_digest = digest;
     pending.request = request;
-    if (!info.is_read) ++pending_write_keys_[info.state_key];
+    if (!info.is_read) {
+        // Register the whole write set: a fast read on any key the write
+        // touches (exact key or a covering scan partition) must be
+        // conservatively ordered while the write is in flight.
+        ++pending_write_keys_[info.state_key];
+        for (const std::string& key : info.extra_keys) {
+            ++pending_write_keys_[key];
+        }
+    }
     pending_votes_.emplace(request.id.number, std::move(pending));
 
     ++stats_.ordered_requests;
@@ -208,8 +220,9 @@ TroxyActions TroxyEnclave::handle_reply(enclave::CostMeter& meter,
     gate_.ecall(meter, "handle_reply", reply.result.size() + 96, 0);
     enclave::CostedCrypto crypto(profile_, meter);
     TroxyActions actions;
+    std::set<std::string> invalidated;
     ingest_reply(crypto, actions, std::move(reply), /*first_from_source=*/true,
-                 /*release_plan=*/nullptr);
+                 /*release_plan=*/nullptr, &invalidated);
     return actions;
 }
 
@@ -228,11 +241,15 @@ TroxyActions TroxyEnclave::handle_replies(enclave::CostMeter& meter,
 
     // Per-source running MAC: a source replica's first reply in the batch
     // pays the full MAC setup, its later replies only stream bytes.
+    // Completed writes share one per-transition invalidation set, so a
+    // burst completing many writes under one key drops it once.
     std::set<std::uint32_t> sources_seen;
+    std::set<std::string> invalidated;
     ReleasePlan plan;
     for (hybster::Reply& reply : replies) {
         const bool first = sources_seen.insert(reply.replica).second;
-        ingest_reply(crypto, actions, std::move(reply), first, &plan);
+        ingest_reply(crypto, actions, std::move(reply), first, &plan,
+                     &invalidated);
     }
     flush_releases(crypto, actions, plan);
     return actions;
@@ -241,7 +258,8 @@ TroxyActions TroxyEnclave::handle_replies(enclave::CostMeter& meter,
 void TroxyEnclave::ingest_reply(enclave::CostedCrypto& crypto,
                                 TroxyActions& actions, hybster::Reply&& reply,
                                 bool first_from_source,
-                                ReleasePlan* release_plan) {
+                                ReleasePlan* release_plan,
+                                std::set<std::string>* invalidated) {
     const auto it = pending_votes_.find(reply.request_id.number);
     if (it == pending_votes_.end()) return;  // done or unknown
     if (reply.request_id.client != host_node_) return;
@@ -290,12 +308,20 @@ void TroxyEnclave::ingest_reply(enclave::CostedCrypto& crypto,
         entry.result_digest = crypto.hash(entry.result);
         gate_.touch(crypto.meter(), entry.result.size());
         cache_.put(pending.state_key, std::move(entry));
+        // A fresh entry re-arms the key: a later write completing in the
+        // SAME transition must invalidate it again, dedup or not.
+        if (invalidated != nullptr) invalidated->erase(pending.state_key);
     } else {
-        cache_.invalidate(pending.state_key);
-        const auto in_flight = pending_write_keys_.find(pending.state_key);
-        if (in_flight != pending_write_keys_.end() &&
-            --in_flight->second == 0) {
-            pending_write_keys_.erase(in_flight);
+        invalidate_write_set(pending.state_key, pending.extra_keys,
+                             invalidated);
+        for (std::size_t k = 0; k <= pending.extra_keys.size(); ++k) {
+            const std::string& key =
+                k == 0 ? pending.state_key : pending.extra_keys[k - 1];
+            const auto in_flight = pending_write_keys_.find(key);
+            if (in_flight != pending_write_keys_.end() &&
+                --in_flight->second == 0) {
+                pending_write_keys_.erase(in_flight);
+            }
         }
     }
     ++stats_.completed_votes;
@@ -387,25 +413,54 @@ void TroxyEnclave::release_reply(enclave::CostedCrypto& crypto,
 
 enclave::Certificate TroxyEnclave::certify_executed_reply(
     enclave::CostedCrypto& crypto, const hybster::Request& request,
-    const hybster::Reply& reply, bool first_in_batch) {
+    const hybster::Reply& reply, bool first_in_batch,
+    std::set<std::string>* invalidated) {
     const hybster::RequestInfo info = classifier_(request.payload);
     gate_.touch(crypto.meter(), reply.result.size());
 
     // Invalidate *before* the certificate exists: without the certificate
     // the reply cannot influence any voter, so no client can observe the
     // write while any quorum cache still holds the overwritten entry.
+    // Within one batched transition each distinct key drops once (the
+    // per-transition set dedups repeat writers).
     if (!info.is_read) {
-        cache_.invalidate(info.state_key);
+        invalidate_write_set(info.state_key, info.extra_keys, invalidated);
     } else if (reply.kind == hybster::Reply::Kind::Ordered) {
         CacheEntry entry;
         entry.request_digest = crypto.hash(request.payload);
         entry.result = reply.result;
         entry.result_digest = crypto.hash(entry.result);
         cache_.put(info.state_key, std::move(entry));
+        // Re-arm the key: a later write in the same batch must
+        // invalidate this fresh entry again.
+        if (invalidated != nullptr) invalidated->erase(info.state_key);
     }
 
     return trinx_->certify_independent_batched(crypto, reply.certified_view(),
                                                first_in_batch);
+}
+
+void TroxyEnclave::invalidate_write_set(
+    const std::string& state_key, const std::vector<std::string>& extra_keys,
+    std::set<std::string>* invalidated) {
+    for (std::size_t k = 0; k <= extra_keys.size(); ++k) {
+        const std::string& key = k == 0 ? state_key : extra_keys[k - 1];
+        if (invalidated != nullptr && !invalidated->insert(key).second) {
+            ++stats_.invalidations_saved;
+            continue;
+        }
+        cache_.invalidate(key);
+        ++stats_.cache_invalidations;
+    }
+}
+
+bool TroxyEnclave::has_pending_write(
+    const hybster::RequestInfo& info) const {
+    if (pending_write_keys_.contains(info.state_key)) return true;
+    for (const std::string& key : info.extra_keys) {
+        if (pending_write_keys_.contains(key)) return true;
+    }
+    return false;
 }
 
 enclave::Certificate TroxyEnclave::authenticate_reply(
@@ -415,8 +470,9 @@ enclave::Certificate TroxyEnclave::authenticate_reply(
                 request.payload.size() + reply.result.size() + 128,
                 sizeof(enclave::Certificate));
     enclave::CostedCrypto crypto(profile_, meter);
+    std::set<std::string> invalidated;
     return certify_executed_reply(crypto, request, reply,
-                                  /*first_in_batch=*/true);
+                                  /*first_in_batch=*/true, &invalidated);
 }
 
 std::vector<enclave::Certificate> TroxyEnclave::authenticate_replies(
@@ -436,11 +492,15 @@ std::vector<enclave::Certificate> TroxyEnclave::authenticate_replies(
     // All certificates come from this Troxy's own trusted subsystem, so
     // the whole batch shares one running MAC: only the first reply pays
     // the MAC setup.
+    // One invalidation set for the whole executed batch: a write burst
+    // under few distinct keys drops each key once instead of per reply.
+    std::set<std::string> invalidated;
     std::vector<enclave::Certificate> certs;
     certs.reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
         certs.push_back(certify_executed_reply(crypto, *batch[i].request,
-                                               *batch[i].reply, i == 0));
+                                               *batch[i].reply, i == 0,
+                                               &invalidated));
     }
     return certs;
 }
@@ -672,6 +732,17 @@ TroxyActions TroxyEnclave::handle_cache_responses(
         ingest_cache_response(crypto, actions, response, first, &plan);
     }
     flush_releases(crypto, actions, plan);
+    // A conflicted burst falls back together: two or more fallbacks from
+    // one transition enter the ordering pipeline as ONE pre-formed batch
+    // (one Prepare/Commit round) instead of request by request. A single
+    // fallback keeps the to_order path, byte-identical to the unbatched
+    // handle_cache_response flow.
+    if (actions.to_order.size() > 1) {
+        ++stats_.fallback_prebatches;
+        stats_.prebatched_fallbacks += actions.to_order.size();
+        actions.to_order_batch = std::move(actions.to_order);
+        actions.to_order.clear();
+    }
     return actions;
 }
 
@@ -751,6 +822,9 @@ void TroxyEnclave::restart() {
     connections_.clear();
     pending_votes_.clear();
     fast_reads_.clear();
+    // The votes backing these in-flight markers are gone; a leaked entry
+    // would gate fast reads on its key forever.
+    pending_write_keys_.clear();
 }
 
 }  // namespace troxy::troxy_core

@@ -77,6 +77,11 @@ struct TroxyActions {
     /// BFT requests to hand to the local replica for ordering (one ecall
     /// can surface several client requests when a record closes a gap).
     std::vector<hybster::Request> to_order;
+    /// Like to_order, but the burst should enter the ordering pipeline
+    /// as ONE pre-formed batch (conflicted fast-read fallbacks surfaced
+    /// together by one cache-response transition): the host hands it to
+    /// Replica::submit_prebatched instead of submit_all.
+    std::vector<hybster::Request> to_order_batch;
     /// Ordered-request numbers that now need a retransmit/vote timer.
     std::vector<std::uint64_t> arm_vote_timers;
     /// Fast-read query ids that now need a timeout timer.
@@ -205,6 +210,13 @@ class TroxyEnclave {
         std::uint64_t batched_cache_queries = 0;
         std::uint64_t cache_response_batches = 0;
         std::uint64_t batched_cache_responses = 0;
+        std::uint64_t cache_invalidations = 0;   // keys actually dropped
+        /// Repeat invalidations skipped because an earlier write in the
+        /// same batched transition already dropped the key.
+        std::uint64_t invalidations_saved = 0;
+        /// Fallback bursts surfaced as one pre-formed ordering batch.
+        std::uint64_t fallback_prebatches = 0;
+        std::uint64_t prebatched_fallbacks = 0;  // members of those bursts
         double miss_rate = 0.0;
         bool fast_path_enabled = true;
         std::uint64_t mode_switches = 0;
@@ -248,6 +260,9 @@ class TroxyEnclave {
         sim::NodeId client = 0;
         std::uint64_t conn_slot = 0;
         std::string state_key;
+        /// Write-set closure beyond state_key (RequestInfo::extra_keys);
+        /// registered in pending_write_keys_ and invalidated on quorum.
+        std::vector<std::string> extra_keys;
         bool is_read = false;
         crypto::Sha256Digest request_digest{};
         hybster::Request request;  // kept for retransmission
@@ -288,13 +303,29 @@ class TroxyEnclave {
     /// the plan for one coalesced record per connection.
     void ingest_reply(enclave::CostedCrypto& crypto, TroxyActions& actions,
                       hybster::Reply&& reply, bool first_from_source,
-                      ReleasePlan* release_plan);
+                      ReleasePlan* release_plan,
+                      std::set<std::string>* invalidated);
     /// Shared cache-maintenance + certification core of the two
-    /// authenticate_reply* ecalls.
+    /// authenticate_reply* ecalls. `invalidated` carries the
+    /// per-transition dedup set (see invalidate_write_set).
     enclave::Certificate certify_executed_reply(enclave::CostedCrypto& crypto,
                                                 const hybster::Request& request,
                                                 const hybster::Reply& reply,
-                                                bool first_in_batch);
+                                                bool first_in_batch,
+                                                std::set<std::string>* invalidated);
+    /// Drops a completed write's whole key set (state_key + extra_keys)
+    /// from the fast-read cache. Within one batched transition each
+    /// distinct key is dropped once: `invalidated` (when non-null)
+    /// remembers the keys this transition already invalidated, and a
+    /// cache_.put between two writes erases its key from the set again
+    /// so the second write re-invalidates.
+    void invalidate_write_set(const std::string& state_key,
+                              const std::vector<std::string>& extra_keys,
+                              std::set<std::string>* invalidated);
+    /// True when any key the (read) request touches has an own write
+    /// still in flight.
+    [[nodiscard]] bool has_pending_write(
+        const hybster::RequestInfo& info) const;
     /// Shared remote-side core: verifies the requester certificate and
     /// builds the response; nullopt when the query must be dropped.
     std::optional<CacheResponse> answer_cache_query(

@@ -343,6 +343,14 @@ void TroxyReplicaHost::apply(enclave::CostMeter& meter,
             replica_->submit_all(std::move(batch));
         });
     }
+    if (!actions.to_order_batch.empty()) {
+        // A conflicted fast-read burst enters the ordering pipeline as
+        // ONE pre-formed batch (cut into a single Prepare on the leader).
+        outbox.defer(
+            [this, batch = std::move(actions.to_order_batch)]() mutable {
+                replica_->submit_prebatched(std::move(batch));
+            });
+    }
     outbox.flush(meter, tcs_done);
 
     for (const std::uint64_t number : actions.arm_vote_timers) {
@@ -378,6 +386,16 @@ void TroxyReplicaHost::route_cache_queries(
         boundary = fastread_controller_.effective(options_.fastread_batch_max);
     }
     if (fastread_buffered_ >= boundary) {
+        flush_fastread_buffer(outbox);
+    } else if (options_.fastread_latency_target &&
+               fastread_buffered_ * 100 +
+                       fastread_controller_.ewma_x100() <
+                   boundary * 100) {
+        // Latency target: the served-load EWMA (queries per delay
+        // window) predicts this burst will NOT reach the boundary within
+        // the hold, so waiting only adds latency — flush now. An idle
+        // system keeps batch-1 latency; a loaded one (EWMA ≥ boundary)
+        // still holds for full batches.
         flush_fastread_buffer(outbox);
     } else {
         arm_fastread_flush_timer();
@@ -429,6 +447,7 @@ TroxyReplicaHost::Status TroxyReplicaHost::status() const {
     s.voter_ewma_x100 = voter_controller_.ewma_x100();
     s.fastread_ewma_x100 = fastread_controller_.ewma_x100();
     s.batch_ewma_x100 = replica_->batch_ewma_x100();
+    s.exec = replica_->exec_stats();
     return s;
 }
 

@@ -54,6 +54,11 @@ class TroxyReplicaHost {
         /// Let an EWMA of the served query load shrink the fast-read
         /// flush boundary under light load.
         bool adaptive_fastread = false;
+        /// Latency-target hold: keep fastread_batch_delay only while the
+        /// served-load EWMA predicts the buffered burst will fill to the
+        /// flush boundary within the delay; otherwise flush immediately,
+        /// recovering batch-1 latency at low load.
+        bool fastread_latency_target = false;
     };
 
     TroxyReplicaHost(net::Fabric& fabric, sim::Node& node,
@@ -108,6 +113,8 @@ class TroxyReplicaHost {
         std::uint64_t voter_ewma_x100 = 0;
         std::uint64_t fastread_ewma_x100 = 0;
         std::uint64_t batch_ewma_x100 = 0;  // leader's ordering controller
+        /// Replica execution-lane occupancy / conflict-stall counters.
+        hybster::Replica::ExecStats exec;
     };
     [[nodiscard]] Status status() const;
 

@@ -117,6 +117,27 @@ TEST(KvService, ClassifyAndStateKeys) {
     EXPECT_EQ(scan.state_key, "scan:x");
 }
 
+TEST(KvService, MutationWriteSetCoversScanPartitions) {
+    // A put/delete's write set is its exact key plus every covering scan
+    // partition (each prefix of the key, including the empty prefix =
+    // full scan) — that closure keeps cached scans coherent. Reads carry
+    // no extra keys, so they never gate or invalidate anything extra.
+    KvService service;
+    const auto put = service.classify(KvService::make_put("ab", "v"));
+    EXPECT_EQ(put.extra_keys, (std::vector<std::string>{
+                                  "scan:", "scan:a", "scan:ab"}));
+    EXPECT_EQ(put.all_keys(), (std::vector<std::string>{
+                                  "kv:ab", "scan:", "scan:a", "scan:ab"}));
+
+    const auto del = service.classify(KvService::make_delete("ab"));
+    EXPECT_EQ(del.extra_keys, put.extra_keys);
+
+    EXPECT_TRUE(service.classify(KvService::make_get("ab")).extra_keys
+                    .empty());
+    EXPECT_TRUE(service.classify(KvService::make_scan("ab")).extra_keys
+                    .empty());
+}
+
 TEST(KvService, CheckpointRestore) {
     KvService a;
     a.execute(KvService::make_put("k1", "v1"));

@@ -145,6 +145,41 @@ TEST(Chaos, BatchedSameSeedReplaysIdentically) {
     EXPECT_NE(a.messages_sent, c.messages_sent);
 }
 
+// Parallel execution lanes under fire: with execution_lanes > 1 the
+// replicas charge conflict-aware makespans instead of serial sums for
+// every committed batch — through crashes, partitions and view changes
+// the linearizability checker and the wire counters must behave exactly
+// like a (slower) serial run, because lanes change modeled time only.
+TEST(Chaos, ExecutionLanesStayLinearizableAndDeterministic) {
+    for (const std::uint64_t seed : {7u, 11u}) {
+        bench::ChaosOptions options;
+        options.seed = seed;
+        options.batch_size_max = 8;
+        options.batch_delay = sim::milliseconds(5);
+        options.execution_lanes = 4;
+        options.think_time = sim::milliseconds(20);
+        const bench::ChaosReport report = bench::run_chaos(options);
+        EXPECT_TRUE(report.ok())
+            << "seed " << seed << ": " << report_summary(report);
+    }
+
+    // Same-seed replay stays bit-identical with lanes on.
+    bench::ChaosOptions options;
+    options.seed = 3;
+    options.batch_size_max = 8;
+    options.batch_delay = sim::milliseconds(5);
+    options.execution_lanes = 4;
+    options.think_time = sim::milliseconds(20);
+    const bench::ChaosReport a = bench::run_chaos(options);
+    const bench::ChaosReport b = bench::run_chaos(options);
+    EXPECT_TRUE(a.ok()) << report_summary(a);
+    EXPECT_EQ(a.plan_trace, b.plan_trace);
+    EXPECT_EQ(a.messages_sent, b.messages_sent);
+    EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.view_changes, b.view_changes);
+}
+
 // Batched voting plus wire coalescing under fire: replies cross the wire
 // as Bundle frames, enter the enclave in handle_replies batches, and the
 // ordering pipeline batches too — through a crash, a partition and the

@@ -2,9 +2,14 @@
 // replica group driven without any client/Troxy machinery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/echo_service.hpp"
+#include "apps/kv_service.hpp"
+#include "apps/mail_service.hpp"
 #include "hybster/client.hpp"
 #include "hybster/config.hpp"
+#include "hybster/exec_schedule.hpp"
 #include "hybster/keys.hpp"
 #include "hybster/messages.hpp"
 #include "hybster/replica.hpp"
@@ -274,12 +279,18 @@ struct BareGroup {
     sim::CostProfile profile = sim::CostProfile::java();
 
     explicit BareGroup(int f = 1, std::size_t batch_size_max = 1,
-                       sim::Duration batch_delay = 0) {
+                       sim::Duration batch_delay = 0,
+                       std::size_t execution_lanes = 1,
+                       ServiceFactory service = {}) {
+        if (!service) {
+            service = []() { return std::make_unique<apps::EchoService>(); };
+        }
         config.f = f;
         config.checkpoint_interval = 8;
         config.view_change_timeout = sim::milliseconds(200);
         config.batch_size_max = batch_size_max;
         config.batch_delay = batch_delay;
+        config.execution_lanes = execution_lanes;
         const int n = 2 * f + 1;
         for (int i = 0; i < n; ++i) {
             config.replicas.push_back(static_cast<sim::NodeId>(i + 1));
@@ -302,8 +313,7 @@ struct BareGroup {
             };
             replicas.push_back(std::make_unique<Replica>(
                 fabric, *nodes.back(), config,
-                static_cast<std::uint32_t>(i),
-                std::make_unique<apps::EchoService>(), std::move(trinx),
+                static_cast<std::uint32_t>(i), service(), std::move(trinx),
                 profile, std::move(hooks)));
             auto* replica = replicas.back().get();
             fabric.attach(config.replicas[static_cast<std::size_t>(i)],
@@ -573,6 +583,273 @@ TEST(Replica, FiveReplicaGroupToleratesTwoFaults) {
     group.sim.run_until(sim::seconds(4));
     EXPECT_EQ(group.replicas[0]->last_executed(), 2u);
     EXPECT_EQ(group.replies_for(2), 3);  // the three alive replicas
+}
+
+// --------------------------------------------------------- execution lanes
+
+/// Service with hand-controllable conflict classes and costs: the first
+/// payload byte is the state key, the second the execution cost in ns.
+struct StubLaneService final : Service {
+    [[nodiscard]] RequestInfo classify(ByteView request) const override {
+        RequestInfo info;
+        info.state_key = std::string(1, static_cast<char>(request[0]));
+        return info;
+    }
+    Bytes execute(ByteView request) override {
+        return Bytes(request.begin(), request.end());
+    }
+    [[nodiscard]] Bytes checkpoint() const override { return {}; }
+    void restore(ByteView) override {}
+    [[nodiscard]] sim::Duration execution_cost(
+        ByteView request) const override {
+        return request.size() > 1 ? request[1] : 0;
+    }
+};
+
+Request lane_request(char key, std::uint8_t cost, std::uint8_t flags = 0) {
+    Request request;
+    request.id = {500, static_cast<std::uint64_t>(key) * 256 + cost};
+    request.flags = flags;
+    request.payload = {static_cast<std::uint8_t>(key), cost};
+    return request;
+}
+
+TEST(PlanExecution, SameKeyMembersChainInOneClass) {
+    StubLaneService service;
+    Batch batch;
+    batch.requests = {lane_request('a', 10), lane_request('a', 20),
+                      lane_request('b', 30)};
+    const ExecPlan plan = plan_execution(batch, service, 4);
+
+    EXPECT_EQ(plan.conflict_classes, 2u);
+    EXPECT_EQ(plan.class_of, (std::vector<std::size_t>{0, 0, 1}));
+    EXPECT_EQ(plan.serial, sim::Duration{60});
+    // Chain a (10+20) and chain b (30) run on parallel lanes.
+    EXPECT_EQ(plan.makespan, sim::Duration{30});
+    EXPECT_EQ(plan.conflict_stalls, 1u);
+    EXPECT_EQ(plan.lanes_used, 2u);
+}
+
+TEST(PlanExecution, GreedySchedulePacksShortChains) {
+    StubLaneService service;
+    Batch batch;
+    batch.requests = {lane_request('a', 30), lane_request('b', 10),
+                      lane_request('c', 10), lane_request('d', 10)};
+    const ExecPlan plan = plan_execution(batch, service, 2);
+    // Greedy: a→lane0 (30); b,c,d stack on lane1 (30). Perfect packing.
+    EXPECT_EQ(plan.serial, sim::Duration{60});
+    EXPECT_EQ(plan.makespan, sim::Duration{30});
+    EXPECT_EQ(plan.conflict_stalls, 0u);
+    EXPECT_EQ(plan.lanes_used, 2u);
+}
+
+TEST(PlanExecution, SingleLaneEqualsSerialSum) {
+    StubLaneService service;
+    Batch batch;
+    batch.requests = {lane_request('a', 10), lane_request('b', 20),
+                      lane_request('c', 30)};
+    const ExecPlan plan = plan_execution(batch, service, 1);
+    EXPECT_EQ(plan.makespan, plan.serial);
+    EXPECT_EQ(plan.serial, sim::Duration{60});
+    EXPECT_EQ(plan.lanes_used, 1u);
+}
+
+TEST(PlanExecution, BatchOfOneMatchesItsOwnCost) {
+    StubLaneService service;
+    Batch batch;
+    batch.requests = {lane_request('a', 42)};
+    for (const std::size_t lanes : {std::size_t{1}, std::size_t{8}}) {
+        const ExecPlan plan = plan_execution(batch, service, lanes);
+        EXPECT_EQ(plan.makespan, sim::Duration{42});
+        EXPECT_EQ(plan.serial, sim::Duration{42});
+        EXPECT_EQ(plan.conflict_classes, 1u);
+        EXPECT_EQ(plan.conflict_stalls, 0u);
+    }
+}
+
+TEST(PlanExecution, NoopsAreSkipped) {
+    StubLaneService service;
+    Batch batch;
+    batch.requests = {lane_request('a', 10),
+                      lane_request('z', 99, Request::kFlagNoop),
+                      lane_request('b', 20)};
+    const ExecPlan plan = plan_execution(batch, service, 4);
+    EXPECT_EQ(plan.class_of[1], ExecPlan::kNoClass);
+    EXPECT_EQ(plan.serial, sim::Duration{30});
+    EXPECT_EQ(plan.makespan, sim::Duration{20});
+    EXPECT_EQ(plan.conflict_classes, 2u);
+}
+
+TEST(Replica, LaneCountsProduceIdenticalRepliesAndState) {
+    // Replies and checkpoints must be byte-identical for any lane count:
+    // lanes change modeled time, never results. Exercised over all three
+    // bundled services with a key pattern that mixes conflicting and
+    // disjoint requests per batch.
+    struct ServiceCase {
+        const char* name;
+        ServiceFactory factory;
+        std::function<Bytes(std::uint64_t)> payload;
+    };
+    const std::vector<ServiceCase> cases = {
+        {"echo", []() { return std::make_unique<apps::EchoService>(); },
+         [](std::uint64_t i) {
+             return apps::EchoService::make_write(i % 3, 48);
+         }},
+        {"kv", []() { return std::make_unique<apps::KvService>(); },
+         [](std::uint64_t i) {
+             return apps::KvService::make_put(
+                 "k" + std::to_string(i % 5), "v" + std::to_string(i));
+         }},
+        {"mail", []() { return std::make_unique<apps::MailService>(); },
+         [](std::uint64_t i) {
+             return apps::MailService::make_append(
+                 "box" + std::to_string(i % 4), "msg" + std::to_string(i));
+         }},
+    };
+
+    for (const ServiceCase& test_case : cases) {
+        std::vector<Bytes> checkpoints;
+        std::vector<std::vector<std::pair<std::uint64_t, Bytes>>> replies;
+        for (const std::size_t lanes :
+             {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+            BareGroup group(1, /*batch_size_max=*/8,
+                            /*batch_delay=*/sim::milliseconds(5), lanes,
+                            test_case.factory);
+            for (std::uint64_t i = 1; i <= 24; ++i) {
+                group.replicas[0]->submit(
+                    group.make_request(i, test_case.payload(i)));
+            }
+            group.sim.run_until(sim::seconds(3));
+            for (const auto& replica : group.replicas) {
+                EXPECT_EQ(replica->last_executed(),
+                          group.replicas[0]->last_executed())
+                    << test_case.name << " lanes=" << lanes;
+            }
+            std::vector<std::pair<std::uint64_t, Bytes>> run_replies;
+            for (const Reply& reply : group.delivered) {
+                if (reply.replica == 0) {
+                    run_replies.emplace_back(reply.request_id.number,
+                                             reply.result);
+                }
+            }
+            std::sort(run_replies.begin(), run_replies.end());
+            replies.push_back(std::move(run_replies));
+            checkpoints.push_back(group.replicas[0]->service().checkpoint());
+        }
+        for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+            EXPECT_EQ(checkpoints[i], checkpoints[0]) << test_case.name;
+            EXPECT_EQ(replies[i], replies[0]) << test_case.name;
+        }
+    }
+}
+
+TEST(Replica, SingleLaneKeepsSerialCostAndStats) {
+    // lanes = 1 is the seed flow: no batch is run through the scheduler
+    // and the charged CPU time matches a run without the knob at all.
+    auto run = [](std::size_t lanes) {
+        BareGroup group(1, /*batch_size_max=*/4,
+                        /*batch_delay=*/sim::milliseconds(5), lanes,
+                        []() { return std::make_unique<apps::KvService>(); });
+        for (std::uint64_t i = 1; i <= 12; ++i) {
+            group.replicas[0]->submit(group.make_request(
+                i, apps::KvService::make_put("k" + std::to_string(i % 3),
+                                             "value")));
+        }
+        group.sim.run_until(sim::seconds(3));
+        sim::Duration busy = 0;
+        for (const auto& node : group.nodes) busy += node->busy_time();
+        return std::pair(busy, group.replicas[0]->exec_stats());
+    };
+    const auto [default_busy, default_stats] = run(1);
+    EXPECT_EQ(default_stats.scheduled_batches, 0u);
+    EXPECT_EQ(default_stats.charged_cost, sim::Duration{0});
+
+    // A fully conflicting workload degenerates to one chain: even with
+    // lanes, the makespan equals the serial sum, so total CPU matches the
+    // serial run to the nanosecond.
+    auto run_hot = [](std::size_t lanes) {
+        BareGroup group(1, /*batch_size_max=*/4,
+                        /*batch_delay=*/sim::milliseconds(5), lanes,
+                        []() { return std::make_unique<apps::KvService>(); });
+        for (std::uint64_t i = 1; i <= 12; ++i) {
+            group.replicas[0]->submit(group.make_request(
+                i, apps::KvService::make_put("hot", "value")));
+        }
+        group.sim.run_until(sim::seconds(3));
+        sim::Duration busy = 0;
+        for (const auto& node : group.nodes) busy += node->busy_time();
+        return std::pair(busy, group.replicas[0]->exec_stats());
+    };
+    const auto [serial_busy, serial_stats] = run_hot(1);
+    const auto [laned_busy, laned_stats] = run_hot(4);
+    EXPECT_EQ(laned_busy, serial_busy);
+    EXPECT_GT(laned_stats.scheduled_batches, 0u);
+    EXPECT_EQ(laned_stats.charged_cost, laned_stats.serial_cost);
+    EXPECT_GT(laned_stats.conflict_stalls, 0u);
+    (void)serial_stats;
+    (void)default_busy;
+}
+
+TEST(Replica, ParallelLanesReduceChargedCost) {
+    // Disjoint keys at 4 lanes: the charged makespan must sit well below
+    // the serial sum, and no member stalls behind another.
+    BareGroup group(1, /*batch_size_max=*/8,
+                    /*batch_delay=*/sim::milliseconds(5), 4,
+                    []() { return std::make_unique<apps::KvService>(); });
+    for (std::uint64_t i = 1; i <= 16; ++i) {
+        group.replicas[0]->submit(group.make_request(
+            i, apps::KvService::make_put("k" + std::to_string(i), "v")));
+    }
+    group.sim.run_until(sim::seconds(3));
+    const auto& stats = group.replicas[0]->exec_stats();
+    ASSERT_GT(stats.scheduled_batches, 0u);
+    EXPECT_EQ(stats.conflict_stalls, 0u);
+    EXPECT_LT(stats.charged_cost, stats.serial_cost);
+    // Full batches of disjoint keys occupy every lane.
+    EXPECT_GE(stats.lanes_used_sum, stats.scheduled_batches);
+}
+
+TEST(Replica, PrebatchedSubmitFormsOneBatch) {
+    // A pre-formed burst (the Troxy's conflicted fast-read fallbacks)
+    // enters ordering as ONE batch even though batch_delay is zero.
+    BareGroup group(1, /*batch_size_max=*/8, /*batch_delay=*/0);
+    std::vector<Request> burst;
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+        burst.push_back(
+            group.make_request(i, apps::EchoService::make_write(i, 32)));
+    }
+    group.replicas[0]->submit_prebatched(std::move(burst));
+    group.sim.run_until(sim::seconds(2));
+
+    for (const auto& replica : group.replicas) {
+        EXPECT_EQ(replica->last_executed(), 1u);  // one batch = one seq
+    }
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+        EXPECT_EQ(group.replies_for(i), 3) << "request " << i;
+    }
+    EXPECT_EQ(group.replicas[0]->exec_stats().prebatched_submits, 1u);
+    EXPECT_EQ(group.replicas[0]->exec_stats().batches_cut, 1u);
+}
+
+TEST(Replica, PrebatchedSubmitSplitsOnlyAtSizeCap) {
+    // Bursts beyond batch_size_max split at the cap: 10 requests with a
+    // cap of 4 become batches of 4+4+2.
+    BareGroup group(1, /*batch_size_max=*/4, /*batch_delay=*/0);
+    std::vector<Request> burst;
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        burst.push_back(
+            group.make_request(i, apps::EchoService::make_write(i, 32)));
+    }
+    group.replicas[0]->submit_prebatched(std::move(burst));
+    group.sim.run_until(sim::seconds(2));
+
+    for (const auto& replica : group.replicas) {
+        EXPECT_EQ(replica->last_executed(), 3u);
+    }
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        EXPECT_EQ(group.replies_for(i), 3) << "request " << i;
+    }
+    EXPECT_EQ(group.replicas[0]->exec_stats().batches_cut, 3u);
 }
 
 }  // namespace

@@ -70,6 +70,19 @@ TEST(MailService, ClassifierPartitionsByMailbox) {
 
     const auto other = service.classify(MailService::make_fetch("spam", 1));
     EXPECT_EQ(other.state_key, "mail:spam");
+
+    // All reads stay keyed on the mailbox partition (so any mutation of
+    // the mailbox invalidates them); an expunge additionally names the
+    // message it removes in its write set.
+    EXPECT_TRUE(other.extra_keys.empty());
+    const auto expunge =
+        service.classify(MailService::make_expunge("inbox", 4));
+    EXPECT_EQ(expunge.state_key, "mail:inbox");
+    EXPECT_EQ(expunge.extra_keys,
+              (std::vector<std::string>{"mail:inbox:msg:4"}));
+    const auto append2 =
+        service.classify(MailService::make_append("inbox", "x"));
+    EXPECT_TRUE(append2.extra_keys.empty());
 }
 
 TEST(MailService, ErrorsAreTextualNotFatal) {

@@ -2,6 +2,7 @@
 
 #include "sim/cost.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/lanes.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
 #include "sim/simulator.hpp"
@@ -295,6 +296,56 @@ TEST(EnclaveCosts, SgxProfileHasTransitions) {
     EXPECT_GT(sgx.epc_limit_bytes, 0u);
     const EnclaveCosts free = EnclaveCosts::free();
     EXPECT_EQ(free.ecall_transition_ns, 0.0);
+}
+
+TEST(LaneSchedule, GreedyPicksEarliestFreeLaneLowestIndexOnTies) {
+    LaneSchedule schedule(3);
+    EXPECT_EQ(schedule.add(Duration{10}), 0u);  // all idle → lane 0
+    EXPECT_EQ(schedule.add(Duration{5}), 1u);   // next idle lane
+    EXPECT_EQ(schedule.add(Duration{5}), 2u);
+    // Lanes 1 and 2 are tied at 5; the lower index wins.
+    EXPECT_EQ(schedule.add(Duration{1}), 1u);
+    // Lane 2 (at 5) is now the earliest-free.
+    EXPECT_EQ(schedule.add(Duration{1}), 2u);
+    EXPECT_EQ(schedule.items(), 5u);
+}
+
+TEST(LaneSchedule, MakespanIsBusiestLane) {
+    LaneSchedule schedule(2);
+    schedule.add(Duration{30});  // lane 0
+    schedule.add(Duration{10});  // lane 1
+    schedule.add(Duration{10});  // lane 1 again (20 < 30)
+    EXPECT_EQ(schedule.makespan(), Duration{30});
+    EXPECT_EQ(schedule.serial_sum(), Duration{50});
+    EXPECT_EQ(schedule.lanes_used(), 2u);
+}
+
+TEST(LaneSchedule, SingleLaneMakespanEqualsSerialSum) {
+    LaneSchedule schedule(1);
+    for (int i = 1; i <= 7; ++i) {
+        EXPECT_EQ(schedule.add(Duration{static_cast<Duration>(i)}), 0u);
+    }
+    EXPECT_EQ(schedule.makespan(), schedule.serial_sum());
+    EXPECT_EQ(schedule.serial_sum(), Duration{28});
+    EXPECT_EQ(schedule.lanes_used(), 1u);
+}
+
+TEST(LaneSchedule, AddToLanePinsConflictChains) {
+    LaneSchedule schedule(4);
+    const std::size_t lane = schedule.add(Duration{10});
+    schedule.add_to_lane(lane, Duration{10});  // same chain stays put
+    schedule.add_to_lane(lane, Duration{10});
+    EXPECT_EQ(schedule.makespan(), Duration{30});
+    EXPECT_EQ(schedule.lanes_used(), 1u);
+    // Independent work still lands elsewhere.
+    EXPECT_NE(schedule.add(Duration{5}), lane);
+}
+
+TEST(LaneSchedule, ZeroLanesClampsToOne) {
+    LaneSchedule schedule(0);
+    EXPECT_EQ(schedule.lanes(), 1u);
+    schedule.add(Duration{3});
+    EXPECT_EQ(schedule.makespan(), Duration{3});
 }
 
 TEST(LatencyModel, ConstantAndNormal) {

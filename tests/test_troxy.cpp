@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "apps/echo_service.hpp"
+#include "apps/kv_service.hpp"
 #include "bench_support/cluster.hpp"
 #include "enclave/trinx.hpp"
 #include "net/client_framing.hpp"
@@ -351,7 +352,9 @@ struct VotingRig {
     std::optional<net::SecureChannelClient> channel;
     enclave::CostMeter meter;
 
-    VotingRig() {
+    explicit VotingRig(Classifier classifier = [](ByteView request) {
+        return apps::EchoService().classify(request);
+    }) {
         config.f = 1;
         for (int i = 0; i < 3; ++i) {
             config.replicas.push_back(static_cast<sim::NodeId>(i + 1));
@@ -364,10 +367,7 @@ struct VotingRig {
         }
         enclave = std::make_unique<TroxyEnclave>(
             kHostNode, 0, config, local_trinx, identity,
-            [](ByteView request) {
-                return apps::EchoService().classify(request);
-            },
-            profile, TroxyOptions{}, /*seed=*/7);
+            std::move(classifier), profile, TroxyOptions{}, /*seed=*/7);
 
         channel.emplace(identity.public_key, to_bytes("client-seed"));
         auto actions = enclave->accept_connection(meter, kClientNode,
@@ -801,6 +801,216 @@ TEST(TroxyEnclave, ByzantineCacheResponseFallsBackOnlyItself) {
     for (std::size_t i = 0; i < replies.size(); ++i) {
         EXPECT_EQ(replies[i], to_bytes("value-" + std::to_string(i)));
     }
+}
+
+// ------------------------------------- batch invalidation / fallback burst
+
+TEST(TroxyEnclave, FallbackBurstEntersOrderingPrebatched) {
+    // Every fast read in the burst conflicts (the remote's cache diverged
+    // on all four keys): instead of four independent ordering submissions
+    // the whole burst surfaces as ONE pre-formed batch for
+    // Replica::submit_prebatched.
+    FastReadRig rig;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        const hybster::Request request = rig.ordered_read(key);
+        rig.contact->authenticate_reply(rig.meter, request,
+                                        rig.executed(request, "local", 0));
+        rig.remote->authenticate_reply(rig.meter, request,
+                                       rig.executed(request, "stale", 1));
+    }
+    std::vector<CacheQuery> queries;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        queries.push_back(rig.start_read(key));
+    }
+    auto remote_actions =
+        rig.remote->handle_cache_queries(rig.meter, queries);
+    auto message = rig.decode_cache_send(remote_actions.sends[0]);
+    auto* batch = std::get_if<CacheResponseBatch>(&message);
+    ASSERT_NE(batch, nullptr);
+
+    auto actions =
+        rig.contact->handle_cache_responses(rig.meter, batch->responses);
+    const auto status = rig.contact->status();
+    EXPECT_EQ(status.fast_read_conflicts, 4u);
+    EXPECT_TRUE(actions.to_order.empty());
+    ASSERT_EQ(actions.to_order_batch.size(), 4u);
+    for (const hybster::Request& request : actions.to_order_batch) {
+        EXPECT_TRUE(request.is_read());
+    }
+    EXPECT_EQ(status.fallback_prebatches, 1u);
+    EXPECT_EQ(status.prebatched_fallbacks, 4u);
+}
+
+TEST(TroxyEnclave, ExecutedWriteBatchInvalidatesEachKeyOnce) {
+    // Three writes to one key certified in a single batched transition:
+    // the key drops from the cache once, the two repeat writers are
+    // dedup savings.
+    FastReadRig rig;
+    std::vector<hybster::Request> requests;
+    std::vector<hybster::Reply> replies;
+    for (int i = 0; i < 3; ++i) {
+        hybster::Request request;
+        request.id.client = FastReadRig::kContactNode;
+        request.id.number = rig.next_number++;
+        request.payload = apps::EchoService::make_write(7, 16);
+        requests.push_back(std::move(request));
+    }
+    for (const hybster::Request& request : requests) {
+        replies.push_back(rig.executed(request, "ack", 0));
+    }
+    std::vector<TroxyEnclave::ReplyAuth> batch;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        batch.push_back(TroxyEnclave::ReplyAuth{&requests[i], &replies[i]});
+    }
+    rig.contact->authenticate_replies(rig.meter, batch);
+    const auto status = rig.contact->status();
+    EXPECT_EQ(status.cache_invalidations, 1u);
+    EXPECT_EQ(status.invalidations_saved, 2u);
+}
+
+TEST(TroxyEnclave, WriteReadWriteBatchLeavesNoStaleEntry) {
+    // Regression: within one batched transition, a read between two
+    // writes of the same key re-fills the cache; the second write must
+    // invalidate AGAIN (the read re-arms the key in the dedup set) or a
+    // stale entry survives the batch.
+    auto run = [](bool trailing_write) {
+        FastReadRig rig;
+        std::vector<hybster::Request> requests;
+        std::vector<hybster::Reply> replies;
+        auto add = [&](bool read) {
+            hybster::Request request;
+            request.id.client = FastReadRig::kContactNode;
+            request.id.number = rig.next_number++;
+            if (read) {
+                request.flags |= hybster::Request::kFlagRead;
+                request.payload = apps::EchoService::make_read(7, 32, 64);
+            } else {
+                request.payload = apps::EchoService::make_write(7, 16);
+            }
+            requests.push_back(std::move(request));
+        };
+        add(false);
+        add(true);
+        if (trailing_write) add(false);
+        for (const hybster::Request& request : requests) {
+            replies.push_back(rig.executed(
+                request, request.is_read() ? "value" : "ack", 0));
+        }
+        std::vector<TroxyEnclave::ReplyAuth> batch;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            batch.push_back(
+                TroxyEnclave::ReplyAuth{&requests[i], &replies[i]});
+        }
+        rig.contact->authenticate_replies(rig.meter, batch);
+
+        // A fresh client read of the key: a live cache entry starts a
+        // fast read (cache query); an invalidated one falls back to
+        // ordering.
+        auto actions = rig.contact->handle_request(
+            rig.meter, FastReadRig::kClientNode,
+            rig.channel->protect(apps::EchoService::make_read(7, 32, 64)));
+        return std::pair(actions.cache_queries.size(),
+                         actions.to_order.size());
+    };
+
+    // write-read: the read's fresh entry is live, the follow-up read
+    // fast-reads from it.
+    const auto [wr_queries, wr_ordered] = run(false);
+    EXPECT_EQ(wr_queries, 1u);
+    EXPECT_EQ(wr_ordered, 0u);
+
+    // write-read-write: the second write killed the read's entry; the
+    // follow-up read must be ordered.
+    const auto [wrw_queries, wrw_ordered] = run(true);
+    EXPECT_EQ(wrw_queries, 0u);
+    EXPECT_EQ(wrw_ordered, 1u);
+}
+
+TEST(TroxyEnclave, WriteSetGatesAndInvalidatesScanPartitions) {
+    // KV coherence: an in-flight put("ab") gates fast reads on every
+    // covering scan partition, and its completed vote invalidates them.
+    VotingRig rig([](ByteView request) {
+        return apps::KvService().classify(request);
+    });
+
+    // Warm the contact cache for the scan("a") partition via an executed
+    // ordered scan.
+    hybster::Request scan_request;
+    scan_request.id.client = VotingRig::kHostNode;
+    scan_request.id.number = 900;
+    scan_request.flags |= hybster::Request::kFlagRead;
+    scan_request.payload = apps::KvService::make_scan("a");
+    hybster::Reply scan_reply;
+    scan_reply.kind = hybster::Reply::Kind::Ordered;
+    scan_reply.request_id = scan_request.id;
+    scan_reply.result = to_bytes("scan-result");
+    scan_reply.replica = 0;
+    rig.enclave->authenticate_reply(rig.meter, scan_request, scan_reply);
+
+    // Order a put whose write set covers "scan:a".
+    auto put_actions = rig.enclave->handle_request(
+        rig.meter, VotingRig::kClientNode,
+        rig.channel->protect(apps::KvService::make_put("ab", "v")));
+    ASSERT_EQ(put_actions.to_order.size(), 1u);
+    const hybster::Request put = put_actions.to_order[0];
+
+    // Despite the warm cache, the scan must be conservatively ordered
+    // while the put is in flight — the gate works through the write-set
+    // closure, not just the exact key.
+    auto gated = rig.enclave->handle_request(
+        rig.meter, VotingRig::kClientNode,
+        rig.channel->protect(apps::KvService::make_scan("a")));
+    EXPECT_TRUE(gated.cache_queries.empty());
+    EXPECT_EQ(gated.to_order.size(), 1u);
+
+    // Complete the put's vote: the whole write set (kv:ab + scan:"",
+    // scan:a, scan:ab) is invalidated, each key once.
+    const auto before = rig.enclave->status();
+    auto vote_actions = rig.enclave->handle_replies(
+        rig.meter, {rig.make_reply(0, put), rig.make_reply(1, put)});
+    const auto after = rig.enclave->status();
+    EXPECT_EQ(after.completed_votes, before.completed_votes + 1);
+    EXPECT_EQ(after.cache_invalidations - before.cache_invalidations, 4u);
+    EXPECT_EQ(after.invalidations_saved, before.invalidations_saved);
+}
+
+TEST(TroxyEnclave, LatencyTargetFlushesLoneFastReadImmediately) {
+    // Under batched fast reads a lone query normally waits out the flush
+    // delay; with the latency target on, a cold served-load EWMA predicts
+    // the batch will never fill and the host flushes immediately,
+    // recovering batch-1 latency at low load.
+    auto fast_read_latency = [](bool latency_target) {
+        bench::TroxyCluster::Params params = cluster_params(44);
+        params.host.fastread_batch_max = 8;
+        params.host.fastread_batch_delay = sim::milliseconds(5);
+        params.host.fastread_latency_target = latency_target;
+        bench::TroxyCluster cluster(std::move(params));
+        auto& client = cluster.add_client(0);
+        sim::SimTime start = 0;
+        sim::SimTime done = 0;
+        client.start([&]() {
+            client.send(apps::EchoService::make_write(1, 64), [&](Bytes) {
+                // The first read is ordered (cold caches) and warms every
+                // replica; the second takes the fast path through the
+                // batching host.
+                client.send(
+                    apps::EchoService::make_read(1, 32, 64), [&](Bytes) {
+                        start = cluster.simulator().now();
+                        client.send(apps::EchoService::make_read(1, 32, 64),
+                                    [&](Bytes) {
+                                        done = cluster.simulator().now();
+                                    });
+                    });
+            });
+        });
+        cluster.simulator().run_until(sim::seconds(5));
+        EXPECT_GT(done, start);
+        return done - start;
+    };
+    const sim::Duration held = fast_read_latency(false);
+    const sim::Duration immediate = fast_read_latency(true);
+    EXPECT_GE(held, sim::milliseconds(5));
+    EXPECT_LT(immediate, sim::milliseconds(2));
 }
 
 }  // namespace
