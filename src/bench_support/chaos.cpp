@@ -54,6 +54,10 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     params.host.fastread_batch_max = options.fastread_batch_max;
     params.host.batch_reply_auth = options.batch_reply_auth;
     params.base.execution_lanes = options.execution_lanes;
+    params.base.state_chunk_size = options.state_chunk_size;
+    params.base.state_chunks_per_message = options.state_chunks_per_message;
+    params.base.state_transfer_retry = options.state_transfer_retry;
+    params.host.enclave_recovery_period = options.enclave_recovery_period;
     params.service = []() { return std::make_unique<EchoService>(); };
     params.classifier = [](ByteView request) {
         return EchoService().classify(request);
@@ -67,8 +71,29 @@ ChaosReport run_chaos(const ChaosOptions& options) {
 
     TroxyCluster cluster(params);
 
-    // Fault schedule: explicit plan, or a seeded random one.
+    // Fault schedule: explicit plan, a rolling restart, or a seeded
+    // random one.
     sim::FaultPlan plan = options.plan;
+    if (plan.empty() && options.rolling_restart) {
+        // Rolling upgrade: every host crash/restarts once, one at a time,
+        // evenly spread across the fault window. The downtime is clamped
+        // below the per-host gap so at most one replica (≤ f) is ever
+        // down, keeping the run live throughout.
+        const int n = cluster.n();
+        const sim::Duration gap =
+            (options.heal_by - options.fault_start) /
+            static_cast<sim::Duration>(n);
+        const sim::Duration down =
+            std::min<sim::Duration>(options.rolling_downtime,
+                                    gap > 1 ? gap - 1 : 1);
+        for (int i = 0; i < n; ++i) {
+            const sim::SimTime at =
+                options.fault_start +
+                gap * static_cast<sim::Duration>(i);
+            plan.crash(at, i);
+            plan.restart(at + down, i);
+        }
+    }
     if (plan.empty()) {
         Rng plan_rng = Rng(options.seed).fork(0x63686173);
         sim::FaultPlan::RandomOptions random;
@@ -232,6 +257,33 @@ ChaosReport run_chaos(const ChaosOptions& options) {
             std::max(report.view_changes, host.replica().view_changes());
         report.state_transfers += host.replica().state_transfers();
         report.restarts += host.restarts();
+        const auto status = host.status();
+        report.enclave_recoveries += status.enclave_recoveries;
+        report.fast_read_hits += status.troxy.fast_read_hits;
+        report.fast_read_misses += status.troxy.fast_read_misses;
+        report.fast_read_conflicts += status.troxy.fast_read_conflicts;
+        report.st_bytes_sent += status.state.bytes_sent;
+        report.st_bytes_full += status.state.bytes_full;
+        report.st_chunks_sent += status.state.chunks_sent;
+        report.st_chunks_skipped += status.state.chunks_skipped;
+        report.st_chunks_reused += status.state.chunks_reused;
+        report.st_transfers_resumed += status.state.transfers_resumed;
+    }
+    const std::uint64_t fast_reads = report.fast_read_hits +
+                                     report.fast_read_misses +
+                                     report.fast_read_conflicts;
+    report.fast_read_hit_rate =
+        fast_reads == 0 ? 0.0
+                        : static_cast<double>(report.fast_read_hits) /
+                              static_cast<double>(fast_reads);
+    if (options.fastread_hitrate_floor > 0.0 &&
+        report.fast_read_hit_rate < options.fastread_hitrate_floor) {
+        ++report.violations;
+        report.errors.push_back(
+            "fast-read hit rate " +
+            std::to_string(report.fast_read_hit_rate) +
+            " fell below the floor " +
+            std::to_string(options.fastread_hitrate_floor));
     }
     report.messages_sent = cluster.network().messages_sent();
     report.bytes_sent = cluster.network().bytes_sent();

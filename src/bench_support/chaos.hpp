@@ -68,6 +68,31 @@ struct ChaosOptions {
     /// Modeled execution lanes per replica (hybster::Config); the default
     /// keeps chaos runs on the serial execution flow.
     std::size_t execution_lanes = 1;
+    /// Merkle-incremental state-transfer knobs: chunk granularity and the
+    /// retry that resumes half-finished transfers. Independently
+    /// schedulable from checkpoint_interval so recovery scenarios can
+    /// tune checkpoint cadence and transfer granularity separately.
+    std::size_t state_chunk_size = 4096;
+    std::size_t state_chunks_per_message = 64;
+    sim::Duration state_transfer_retry = sim::milliseconds(250);
+    /// Proactive enclave recovery period (TroxyReplicaHost::Options);
+    /// 0 disables the schedule. The cluster staggers the fleet so one
+    /// enclave recovers at a time.
+    sim::Duration enclave_recovery_period = 0;
+
+    // Rolling-restart mode: instead of a random plan, crash and restart
+    // every host in sequence inside [fault_start, heal_by] — a rolling
+    // upgrade under load. Combine with enclave_recovery_period to also
+    // recover every enclave during the run.
+    bool rolling_restart = false;
+    /// How long each host stays down during its rolling slot (must stay
+    /// below the per-host gap so at most one host is ever down).
+    sim::Duration rolling_downtime = sim::milliseconds(400);
+
+    /// Minimum acceptable aggregate fast-read hit rate
+    /// (hits / (hits + misses + conflicts)) after the run; 0 disables the
+    /// check. Counts a violation, not an assert, when breached.
+    double fastread_hitrate_floor = 0.0;
 
     // Fault schedule: faults are injected inside [fault_start, heal_by];
     // the run ends at `horizon`, leaving time to recover and drain.
@@ -100,6 +125,19 @@ struct ChaosReport {
     std::uint64_t bytes_sent = 0;
     sim::DropCounters drops;
     std::string plan_trace;  // reproduction trace (describe() of the plan)
+
+    // Recovery observability (sums over hosts unless noted).
+    std::uint64_t enclave_recoveries = 0;
+    std::uint64_t fast_read_hits = 0;
+    std::uint64_t fast_read_misses = 0;
+    std::uint64_t fast_read_conflicts = 0;
+    double fast_read_hit_rate = 0.0;  // hits / (hits+misses+conflicts)
+    std::uint64_t st_bytes_sent = 0;      // state-transfer bytes shipped
+    std::uint64_t st_bytes_full = 0;      // what full snapshots would cost
+    std::uint64_t st_chunks_sent = 0;
+    std::uint64_t st_chunks_skipped = 0;  // already held by the rejoiner
+    std::uint64_t st_chunks_reused = 0;   // verified from the local store
+    std::uint64_t st_transfers_resumed = 0;
 
     /// Safety held and every request completed.
     [[nodiscard]] bool ok() const noexcept {

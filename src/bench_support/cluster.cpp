@@ -7,20 +7,30 @@ namespace troxy::bench {
 
 namespace {
 
+/// Trusted-subsystem provisioning output: the per-replica counters plus
+/// the deployment authority and expected measurement, kept around so
+/// proactive enclave recovery can run the same attestation re-handshake
+/// the initial setup did.
+struct Provisioned {
+    std::vector<std::shared_ptr<enclave::TrinX>> trinx;
+    std::shared_ptr<enclave::AttestationAuthority> authority;
+    enclave::Measurement measurement{};
+};
+
 /// Establishes the trusted subsystems' shared group key the way the real
 /// system does: each enclave attests to the deployment authority, which
 /// releases the secret only against a valid report (§V-A).
-std::vector<std::shared_ptr<enclave::TrinX>> provision_trinx(
-    int count, std::uint64_t seed) {
+Provisioned provision_trinx(int count, std::uint64_t seed) {
     Writer platform_seed;
     platform_seed.u64(seed);
     platform_seed.str("platform-key");
     const Bytes platform_key =
         crypto::hkdf({}, platform_seed.data(), to_bytes("platform"), 32);
 
-    enclave::AttestationAuthority authority(platform_key);
-    const enclave::Measurement expected =
-        enclave::measure("troxy-enclave-v1");
+    Provisioned out;
+    out.authority =
+        std::make_shared<enclave::AttestationAuthority>(platform_key);
+    out.measurement = enclave::measure("troxy-enclave-v1");
 
     Writer group_seed;
     group_seed.u64(seed);
@@ -28,15 +38,14 @@ std::vector<std::shared_ptr<enclave::TrinX>> provision_trinx(
     const Bytes group_key =
         crypto::hkdf({}, group_seed.data(), to_bytes("group"), 32);
 
-    std::vector<std::shared_ptr<enclave::TrinX>> out;
     for (int replica = 0; replica < count; ++replica) {
         const std::uint64_t nonce = seed * 1000 + static_cast<std::uint64_t>(replica);
         const enclave::AttestationReport report =
-            authority.issue(expected, nonce);
-        const auto secret =
-            authority.provision(report, expected, nonce, group_key);
+            out.authority->issue(out.measurement, nonce);
+        const auto secret = out.authority->provision(report, out.measurement,
+                                                     nonce, group_key);
         TROXY_ASSERT(secret.has_value(), "attestation must succeed at setup");
-        out.push_back(std::make_shared<enclave::TrinX>(
+        out.trinx.push_back(std::make_shared<enclave::TrinX>(
             static_cast<std::uint32_t>(replica), *secret));
     }
     return out;
@@ -116,6 +125,9 @@ TroxyCluster::TroxyCluster(Params params) : ClusterBase(params.base) {
     config_.coalesce_wire = options_.coalesce_wire;
     config_.adaptive_batching = options_.adaptive_batching;
     config_.execution_lanes = options_.execution_lanes;
+    config_.state_chunk_size = options_.state_chunk_size;
+    config_.state_chunks_per_message = options_.state_chunks_per_message;
+    config_.state_transfer_retry = options_.state_transfer_retry;
     const int n = 2 * options_.f + 1;
     for (int i = 0; i < n; ++i) {
         config_.replicas.push_back(
@@ -123,16 +135,27 @@ TroxyCluster::TroxyCluster(Params params) : ClusterBase(params.base) {
     }
     config_.validate();
 
-    auto trinx = provision_trinx(n, options_.seed);
+    auto provisioned = provision_trinx(n, options_.seed);
     troxy_core::TroxyReplicaHost::Options host_options = params.host;
     host_options.troxy.inside_enclave = !params.ctroxy;
+    host_options.authority = provisioned.authority;
+    host_options.measurement = provisioned.measurement;
 
     for (int i = 0; i < n; ++i) {
         identities_.push_back(identity_for(options_.seed, i));
+        if (host_options.enclave_recovery_period > 0) {
+            // Stagger the fleet: recover one enclave at a time instead of
+            // tearing all of them down in lockstep.
+            host_options.enclave_recovery_offset =
+                params.host.enclave_recovery_offset +
+                host_options.enclave_recovery_period *
+                    static_cast<std::uint64_t>(i) /
+                    static_cast<std::uint64_t>(n);
+        }
         hosts_.push_back(std::make_unique<troxy_core::TroxyReplicaHost>(
             fabric_, *nodes_[static_cast<std::size_t>(i)], config_,
             static_cast<std::uint32_t>(i), params.service(),
-            trinx[static_cast<std::size_t>(i)],
+            provisioned.trinx[static_cast<std::size_t>(i)],
             identities_.back(), params.classifier, java_, native_,
             host_options, options_.seed + static_cast<std::uint64_t>(i)));
         hosts_.back()->attach();
@@ -191,6 +214,10 @@ void TroxyCluster::restart_host(int replica) {
     hosts_.at(static_cast<std::size_t>(replica))->restart(service_factory_());
 }
 
+bool TroxyCluster::recover_enclave(int replica) {
+    return hosts_.at(static_cast<std::size_t>(replica))->recover_enclave();
+}
+
 // -------------------------------------------------------- BaselineCluster
 
 BaselineCluster::BaselineCluster(Params params)
@@ -202,6 +229,9 @@ BaselineCluster::BaselineCluster(Params params)
     config_.batch_size_max = options_.batch_size_max;
     config_.batch_delay = options_.batch_delay;
     config_.execution_lanes = options_.execution_lanes;
+    config_.state_chunk_size = options_.state_chunk_size;
+    config_.state_chunks_per_message = options_.state_chunks_per_message;
+    config_.state_transfer_retry = options_.state_transfer_retry;
     const int n = 2 * options_.f + 1;
     for (int i = 0; i < n; ++i) {
         config_.replicas.push_back(
@@ -215,14 +245,15 @@ BaselineCluster::BaselineCluster(Params params)
     client_master_ = crypto::hkdf({}, master_seed.data(),
                                   to_bytes("clients"), 32);
 
-    auto trinx = provision_trinx(n, options_.seed);
+    auto provisioned = provision_trinx(n, options_.seed);
     for (int i = 0; i < n; ++i) {
         identities_.push_back(identity_for(options_.seed, i));
         const Bytes master = client_master_;
         const auto replica_id = static_cast<std::uint32_t>(i);
         hosts_.push_back(std::make_unique<baselines::BaselineReplicaHost>(
             fabric_, *nodes_[static_cast<std::size_t>(i)], config_,
-            replica_id, params.service(), trinx[static_cast<std::size_t>(i)],
+            replica_id, params.service(),
+            provisioned.trinx[static_cast<std::size_t>(i)],
             identities_.back(),
             [master, replica_id](sim::NodeId client) {
                 return hybster::client_replica_key(master, client,

@@ -49,6 +49,12 @@ struct ClusterOptions {
     /// Modeled execution lanes per replica
     /// (hybster::Config::execution_lanes); 1 = serial execution.
     std::size_t execution_lanes = 1;
+    /// Merkle-incremental state-transfer knobs, forwarded into
+    /// hybster::Config: chunk granularity, stream window, and the retry
+    /// that resumes a half-finished transfer.
+    std::size_t state_chunk_size = 4096;
+    std::size_t state_chunks_per_message = 64;
+    sim::Duration state_transfer_retry = sim::milliseconds(250);
     /// Standard deviation added to intra-cluster link latency. The
     /// deterministic simulator lacks the execution-time variance of a
     /// real testbed (JVM GC pauses, interrupt coalescing, switch
@@ -130,6 +136,11 @@ class TroxyCluster : public ClusterBase {
     /// rejoins via checkpoint state transfer.
     void crash_host(int replica);
     void restart_host(int replica);
+
+    /// Proactive enclave recovery on one host (attestation re-handshake,
+    /// session-key rotation, certified counter handover). Returns false
+    /// if recovery could not start (host crashed, one in flight).
+    bool recover_enclave(int replica);
 
     [[nodiscard]] std::vector<troxy_core::LegacyClient*> clients() {
         std::vector<troxy_core::LegacyClient*> out;

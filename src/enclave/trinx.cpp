@@ -1,5 +1,9 @@
 #include "enclave/trinx.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/serialize.hpp"
 
 namespace troxy::enclave {
@@ -88,6 +92,73 @@ bool TrinX::verify_independent_batched(CostedCrypto& crypto,
 CounterValue TrinX::current(CounterId counter) const noexcept {
     const auto it = counters_.find(counter);
     return it == counters_.end() ? 0 : it->second;
+}
+
+namespace {
+
+/// MAC input for a handover record: its own domain tag so a handover can
+/// never double as a continuing/independent certificate input.
+Bytes handover_input(std::uint32_t replica_id, ByteView payload) {
+    Writer w;
+    w.u8(0x03);  // domain separation: recovery handover
+    w.u32(replica_id);
+    w.raw(crypto::sha256(payload));
+    return std::move(w).take();
+}
+
+}  // namespace
+
+Bytes TrinX::export_handover(CostedCrypto& crypto) const {
+    Writer payload;
+    payload.u32(static_cast<std::uint32_t>(counters_.size()));
+    for (const auto& [id, value] : counters_) {
+        payload.u32(id);
+        payload.u64(value);
+    }
+    Bytes body = std::move(payload).take();
+    crypto.hash(body);
+    const Certificate cert =
+        crypto.mac(group_key_, handover_input(replica_id_, body));
+    Writer out;
+    out.bytes(body);
+    out.raw(cert);
+    return std::move(out).take();
+}
+
+bool TrinX::import_handover(CostedCrypto& crypto, ByteView blob) {
+    try {
+        Reader r(blob);
+        const Bytes body = r.bytes();
+        const Bytes raw_cert = r.raw(sizeof(Certificate));
+        r.expect_done();
+        Certificate cert;
+        std::copy(raw_cert.begin(), raw_cert.end(), cert.begin());
+        crypto.hash(body);
+        if (!crypto.mac_verify(group_key_,
+                               handover_input(replica_id_, body), cert)) {
+            return false;
+        }
+        Reader p(body);
+        const std::uint32_t count = p.u32();
+        if (count > 1u << 16) return false;
+        // Validate fully before mutating: a truncated body must not leave
+        // a half-imported counter set behind.
+        std::vector<std::pair<CounterId, CounterValue>> entries;
+        entries.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const CounterId id = p.u32();
+            const CounterValue value = p.u64();
+            entries.emplace_back(id, value);
+        }
+        p.expect_done();
+        for (const auto& [id, value] : entries) {
+            CounterValue& current = counters_[id];
+            current = std::max(current, value);  // never lower
+        }
+        return true;
+    } catch (const DecodeError&) {
+        return false;
+    }
 }
 
 }  // namespace troxy::enclave

@@ -88,6 +88,23 @@ class TrinX {
         return replica_id_;
     }
 
+    /// Proactive-recovery handover: a certified record of every counter's
+    /// current value, MACed under the group key with its own domain tag
+    /// and bound to this replica id. Only an instance provisioned with
+    /// the same group key (i.e. attested into this deployment) can mint
+    /// or accept one, and a record from replica A never verifies at
+    /// replica B.
+    [[nodiscard]] Bytes export_handover(CostedCrypto& crypto) const;
+
+    /// Re-binds counters from a handover record: verifies the certificate
+    /// (proving the exporter held the provisioned group key and was this
+    /// replica), then raises each counter to max(current, recorded) —
+    /// never lowers — so a recovered subsystem can never re-certify a
+    /// (counter, value) slot the old one already used, e.g. an old view's
+    /// ordering counter. Returns false (and changes nothing) on a
+    /// malformed or mis-certified record.
+    [[nodiscard]] bool import_handover(CostedCrypto& crypto, ByteView blob);
+
   private:
     [[nodiscard]] Bytes continuing_input(std::uint32_t replica_id,
                                          CounterId counter, CounterValue value,

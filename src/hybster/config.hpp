@@ -63,8 +63,19 @@ struct Config {
     sim::Duration view_change_timeout = sim::milliseconds(500);
 
     /// Retry interval for checkpoint state transfer while a restarted or
-    /// lagging replica waits for f+1 matching snapshots.
+    /// lagging replica waits for f+1 matching snapshots. A retry re-sends
+    /// the StateRequest with the chunk hashes already received, so a
+    /// half-finished transfer resumes instead of restarting.
     sim::Duration state_transfer_retry = sim::milliseconds(250);
+
+    /// Snapshot chunk size for Merkle-incremental state transfer: service
+    /// checkpoints are split into chunks of this many bytes, hashed into
+    /// a Merkle tree whose root is the certified checkpoint digest.
+    std::size_t state_chunk_size = 4096;
+
+    /// Maximum chunks shipped per StateResponse message; a transfer
+    /// larger than this becomes a stream of responses.
+    std::size_t state_chunks_per_message = 64;
 
     [[nodiscard]] int n() const noexcept {
         return static_cast<int>(replicas.size());
@@ -104,6 +115,10 @@ struct Config {
                      "batch delay must stay below the view-change timeout");
         TROXY_ASSERT(execution_lanes >= 1,
                      "at least one execution lane is required");
+        TROXY_ASSERT(state_chunk_size >= 64,
+                     "state chunks below 64 bytes are all hash overhead");
+        TROXY_ASSERT(state_chunks_per_message >= 1,
+                     "a state response must carry at least one chunk");
     }
 };
 

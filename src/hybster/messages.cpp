@@ -357,12 +357,17 @@ Bytes StateRequest::certified_view() const {
     w.u8(static_cast<std::uint8_t>(MsgType::StateRequest));
     w.u32(replica);
     w.u64(have);
+    w.u32(static_cast<std::uint32_t>(have_chunks.size()));
+    for (const crypto::Sha256Digest& d : have_chunks) put_digest(w, d);
     return std::move(w).take();
 }
 
 void StateRequest::encode(Writer& w) const {
+    w.reserve(16 + have_chunks.size() * crypto::kSha256DigestSize);
     w.u32(replica);
     w.u64(have);
+    w.u32(static_cast<std::uint32_t>(have_chunks.size()));
+    for (const crypto::Sha256Digest& d : have_chunks) put_digest(w, d);
     put_tag(w, cert);
 }
 
@@ -370,6 +375,12 @@ StateRequest StateRequest::decode(Reader& r) {
     StateRequest sr;
     sr.replica = r.u32();
     sr.have = r.u64();
+    const std::uint32_t chunk_count = r.u32();
+    if (chunk_count > 1u << 20) throw DecodeError("unreasonable have list");
+    sr.have_chunks.reserve(chunk_count);
+    for (std::uint32_t i = 0; i < chunk_count; ++i) {
+        sr.have_chunks.push_back(get_digest(r));
+    }
     sr.cert = get_tag(r);
     return sr;
 }
@@ -383,17 +394,28 @@ Bytes StateResponse::certified_view() const {
     w.u64(view);
     w.u64(view_start);
     w.u64(last_stable);
-    put_digest(w, crypto::sha256(snapshot));
+    put_digest(w, root);
     return std::move(w).take();
 }
 
 void StateResponse::encode(Writer& w) const {
-    w.reserve(33 + snapshot.size() + proof.size() * sizeof(CheckpointMsg));
+    std::size_t chunk_bytes = 0;
+    for (const Bytes& chunk : chunks) chunk_bytes += chunk.size();
+    w.reserve(73 + manifest.size() * crypto::kSha256DigestSize +
+              chunks.size() * 8 + chunk_bytes +
+              proof.size() * sizeof(CheckpointMsg));
     w.u32(replica);
     w.u64(view);
     w.u64(view_start);
     w.u64(last_stable);
-    w.bytes(snapshot);
+    put_digest(w, root);
+    w.u32(static_cast<std::uint32_t>(manifest.size()));
+    for (const crypto::Sha256Digest& d : manifest) put_digest(w, d);
+    w.u32(static_cast<std::uint32_t>(chunks.size()));
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        w.u32(chunk_index[i]);
+        w.bytes(chunks[i]);
+    }
     w.u8(static_cast<std::uint8_t>(proof.size()));
     for (const CheckpointMsg& vote : proof) vote.encode(w);
     put_tag(w, cert);
@@ -405,7 +427,21 @@ StateResponse StateResponse::decode(Reader& r) {
     sr.view = r.u64();
     sr.view_start = r.u64();
     sr.last_stable = r.u64();
-    sr.snapshot = r.bytes();
+    sr.root = get_digest(r);
+    const std::uint32_t manifest_count = r.u32();
+    if (manifest_count > 1u << 20) throw DecodeError("unreasonable manifest");
+    sr.manifest.reserve(manifest_count);
+    for (std::uint32_t i = 0; i < manifest_count; ++i) {
+        sr.manifest.push_back(get_digest(r));
+    }
+    const std::uint32_t chunk_count = r.u32();
+    if (chunk_count > 1u << 16) throw DecodeError("unreasonable chunk count");
+    sr.chunk_index.reserve(chunk_count);
+    sr.chunks.reserve(chunk_count);
+    for (std::uint32_t i = 0; i < chunk_count; ++i) {
+        sr.chunk_index.push_back(r.u32());
+        sr.chunks.push_back(r.bytes());
+    }
     const std::uint8_t count = r.u8();
     if (count > 64) throw DecodeError("unreasonable proof count");
     sr.proof.reserve(count);

@@ -235,9 +235,14 @@ struct NewView {
 /// Asks peers for a state-transfer snapshot: sent by a replica that
 /// restarted empty (crash-recovery rejoin) or detected, via a stable
 /// checkpoint it cannot reach, that it fell behind the cluster.
+/// `have_chunks` advertises the snapshot chunk hashes the requester
+/// already holds in its durable chunk store (from an earlier checkpoint
+/// or a partially completed transfer), so responders ship only what is
+/// missing — the Merkle-incremental transfer path.
 struct StateRequest {
     std::uint32_t replica = 0;       // the requester
     SequenceNumber have = 0;         // requester's latest stable checkpoint
+    std::vector<crypto::Sha256Digest> have_chunks;
     Certificate cert{};
 
     [[nodiscard]] Bytes certified_view() const;
@@ -245,27 +250,38 @@ struct StateRequest {
     static StateRequest decode(Reader& r);
 };
 
-/// Answer to a StateRequest: the responder's latest stable checkpoint
-/// snapshot plus its current view coordinates. The snapshot is
-/// self-certifying: `proof` carries the f+1 certified CheckpointMsgs
-/// that made it stable, so ONE response from any replica suffices — at
-/// least one vote in a valid proof comes from a correct replica, hence
-/// the digest is a real checkpoint of `last_stable`. This matters when
-/// only a single peer still holds the state (e.g. one replica restarts
-/// while another lags). Responses with last_stable == 0 carry no proof
-/// (nothing stable yet) and the requester falls back to f+1 matching
-/// responses before adopting the view coordinates.
+/// Answer to a StateRequest: one message of the responder's chunked
+/// checkpoint stream plus its current view coordinates. The stream is
+/// self-certifying: `root` is the Merkle root over `manifest` (the chunk
+/// leaf hashes in order) and `proof` carries the f+1 certified
+/// CheckpointMsgs whose state digest IS that root, so ONE responder
+/// suffices — at least one vote in a valid proof comes from a correct
+/// replica, hence the manifest describes a real checkpoint of
+/// `last_stable`. Each chunk verifies individually against the manifest,
+/// which lets the requester accept chunks in any order, from any
+/// responder, across retries. `chunk_index[i]` is the manifest position
+/// of `chunks[i]`; chunks the requester advertised are skipped, so the
+/// index list is generally non-contiguous. Responses with
+/// last_stable == 0 carry no manifest or proof (nothing stable yet) and
+/// the requester falls back to f+1 matching responses before adopting
+/// the view coordinates.
 struct StateResponse {
     std::uint32_t replica = 0;       // the responder
     ViewNumber view = 0;
     SequenceNumber view_start = 0;
     SequenceNumber last_stable = 0;  // snapshot's sequence number
-    Bytes snapshot;                  // empty when last_stable == 0
+    crypto::Sha256Digest root{};     // Merkle root == certified digest
+    std::vector<crypto::Sha256Digest> manifest;
+    std::vector<std::uint32_t> chunk_index;
+    std::vector<Bytes> chunks;
     std::vector<CheckpointMsg> proof;
     Certificate cert{};
 
-    /// Certified bytes: all coordinates plus the snapshot *digest* (the
-    /// snapshot itself may be large; hashing it once is enough).
+    /// Certified bytes: the coordinates plus the Merkle root only. The
+    /// chunk payloads need no per-message certificate — they verify
+    /// against the manifest and the manifest folds to the certified root
+    /// — so a responder computes ONE certificate per transfer and reuses
+    /// it across every message of the stream.
     [[nodiscard]] Bytes certified_view() const;
     void encode(Writer& w) const;
     static StateResponse decode(Reader& r);

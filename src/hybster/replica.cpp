@@ -14,6 +14,16 @@ bool digests_equal(const crypto::Sha256Digest& a,
                    const crypto::Sha256Digest& b) noexcept {
     return constant_time_equal(a, b);
 }
+
+/// Map key for the durable chunk store (leaf hash as bytes).
+Bytes store_key(const crypto::Sha256Digest& d) {
+    return Bytes(d.begin(), d.end());
+}
+
+/// Bound on the have-chunks list a StateRequest advertises: enough for
+/// snapshots far beyond anything the sim runs, while keeping a
+/// pathological store from inflating the request past the wire cap.
+constexpr std::size_t kMaxAdvertisedChunks = 8192;
 }  // namespace
 
 Replica::Replica(net::Fabric& fabric, sim::Node& node, Config config,
@@ -569,13 +579,19 @@ void Replica::maybe_checkpoint(enclave::CostedCrypto& crypto,
     executed_since_checkpoint_ = 0;
     const SequenceNumber seq = last_executed_;
     Bytes snapshot = service_->checkpoint();
+    // The certified digest IS the Merkle root over the snapshot's chunks,
+    // which is what lets state transfer ship the checkpoint incrementally
+    // under the same certificate chain.
+    ChunkedSnapshot chunked =
+        chunk_snapshot(crypto, snapshot, config_.state_chunk_size);
     CheckpointMsg cp;
     cp.seq = seq;
-    cp.state_digest = crypto.hash(snapshot);
+    cp.state_digest = chunked.root;
     cp.replica = id_;
     cp.cert = trinx_->certify_independent(crypto, cp.certified_view());
 
     own_checkpoints_[seq] = std::move(snapshot);
+    own_chunks_[seq] = std::move(chunked);
 
     const Bytes digest_key(cp.state_digest.begin(), cp.state_digest.end());
     auto& votes = checkpoint_votes_[seq][digest_key];
@@ -598,6 +614,10 @@ void Replica::maybe_checkpoint(enclave::CostedCrypto& crypto,
             while (own_checkpoints_.size() > 1) {
                 own_checkpoints_.erase(own_checkpoints_.begin());
             }
+            while (own_chunks_.size() > 1) {
+                own_chunks_.erase(own_chunks_.begin());
+            }
+            rebuild_chunk_store(own_chunks_.at(seq));
         }
     }
 }
@@ -633,6 +653,9 @@ void Replica::handle_checkpoint(enclave::CostedCrypto& crypto,
         log_.erase(log_.begin(), log_.upper_bound(seq));
         checkpoint_votes_.erase(checkpoint_votes_.begin(),
                                 checkpoint_votes_.upper_bound(seq - 1));
+        if (const auto it = own_chunks_.find(seq); it != own_chunks_.end()) {
+            rebuild_chunk_store(it->second);
+        }
         return;
     }
 
@@ -925,6 +948,12 @@ void Replica::restart(ServicePtr fresh_service) {
     forwarded_.clear();
     view_changes_rx_.clear();
     stable_proof_.clear();
+    own_chunks_.clear();
+    transfer_.reset();
+    // chunk_store_ deliberately survives: it models the untrusted on-disk
+    // snapshot area, and every chunk in it is re-verified against the
+    // certified Merkle root before use — this is what makes the rejoin
+    // incremental instead of a full re-download.
     highest_view_change_sent_ = 0;
     in_view_change_ = false;
     timer_armed_ = false;
@@ -958,6 +987,17 @@ void Replica::request_state_transfer(enclave::CostedCrypto& crypto,
     StateRequest request;
     request.replica = id_;
     request.have = last_stable_;
+    // Advertise every durable chunk (old checkpoints and partial-transfer
+    // progress alike): responders skip these, so a retry resumes where the
+    // last attempt stopped and an incremental rejoin ships only the delta.
+    request.have_chunks.reserve(
+        std::min(chunk_store_.size(), kMaxAdvertisedChunks));
+    for (const auto& [key, chunk] : chunk_store_) {
+        if (request.have_chunks.size() >= kMaxAdvertisedChunks) break;
+        crypto::Sha256Digest d;
+        std::copy(key.begin(), key.end(), d.begin());
+        request.have_chunks.push_back(d);
+    }
     request.cert =
         trinx_->certify_independent(crypto, request.certified_view());
     broadcast(outbox, Message(request));
@@ -979,6 +1019,14 @@ void Replica::arm_state_transfer_timer() {
         if (faults_.crashed) return;
         if (!rejoining_ && !awaiting_state_) return;
 
+        // A retry with partial progress is a resume, not a restart: the
+        // re-sent StateRequest advertises every chunk already banked.
+        if (transfer_ && transfer_->received > 0 &&
+            !transfer_->resume_counted) {
+            transfer_->resume_counted = true;
+            ++state_stats_.transfers_resumed;
+        }
+
         enclave::CostMeter meter;
         enclave::CostedCrypto crypto(profile_, meter);
         net::Outbox outbox = make_outbox();
@@ -999,26 +1047,75 @@ void Replica::handle_state_request(enclave::CostedCrypto& crypto,
         return;
     }
 
-    StateResponse response;
-    response.replica = id_;
-    response.view = view_;
-    response.view_start = view_start_;
-    response.last_stable = last_stable_;
-    if (last_stable_ > 0) {
-        const auto it = own_checkpoints_.find(last_stable_);
-        // Our snapshot and its stability proof should always exist for the
-        // current stable checkpoint; if either is missing, stay silent
-        // rather than answer with state we cannot prove.
-        if (it == own_checkpoints_.end()) return;
-        if (static_cast<int>(stable_proof_.size()) < config_.quorum()) {
-            return;
-        }
-        response.snapshot = it->second;
-        response.proof = stable_proof_;
+    StateResponse base;
+    base.replica = id_;
+    base.view = view_;
+    base.view_start = view_start_;
+    base.last_stable = last_stable_;
+    if (last_stable_ == 0) {
+        // Nothing stable yet: bare view coordinates, adopted by the
+        // requester once f+1 responders agree on the tuple.
+        base.root = merkle_root(crypto, {});
+        base.cert =
+            trinx_->certify_independent(crypto, base.certified_view());
+        send_to(outbox, request.replica, Message(base));
+        return;
     }
-    response.cert =
-        trinx_->certify_independent(crypto, response.certified_view());
-    send_to(outbox, request.replica, Message(response));
+
+    const auto it = own_chunks_.find(last_stable_);
+    // Our chunked snapshot and its stability proof should always exist
+    // for the current stable checkpoint; if either is missing, stay
+    // silent rather than answer with state we cannot prove.
+    if (it == own_chunks_.end()) return;
+    if (static_cast<int>(stable_proof_.size()) < config_.quorum()) {
+        return;
+    }
+    const ChunkedSnapshot& chunked = it->second;
+    base.root = chunked.root;
+    base.manifest = chunked.manifest;
+    base.proof = stable_proof_;
+    // ONE certificate serves the whole stream: it covers only the
+    // coordinates and the root, and every chunk verifies against the
+    // manifest which folds to that root.
+    base.cert = trinx_->certify_independent(crypto, base.certified_view());
+
+    // Incremental: withhold every chunk the requester advertised.
+    std::set<Bytes> has;
+    for (const crypto::Sha256Digest& d : request.have_chunks) {
+        has.insert(store_key(d));
+    }
+    std::vector<std::uint32_t> to_send;
+    to_send.reserve(chunked.chunks.size());
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(chunked.chunks.size()); ++i) {
+        if (has.contains(store_key(chunked.manifest[i]))) {
+            ++state_stats_.chunks_skipped;
+        } else {
+            to_send.push_back(i);
+        }
+    }
+    state_stats_.bytes_full += chunked.total_bytes();
+
+    if (to_send.empty()) {
+        // The requester already holds every chunk; the manifest + proof
+        // alone let it assemble and adopt.
+        send_to(outbox, request.replica, Message(base));
+        return;
+    }
+    for (std::size_t start = 0; start < to_send.size();
+         start += config_.state_chunks_per_message) {
+        StateResponse msg = base;
+        const std::size_t end = std::min(
+            start + config_.state_chunks_per_message, to_send.size());
+        for (std::size_t j = start; j < end; ++j) {
+            const std::uint32_t idx = to_send[j];
+            msg.chunk_index.push_back(idx);
+            msg.chunks.push_back(chunked.chunks[idx]);
+            state_stats_.bytes_sent += chunked.chunks[idx].size();
+            ++state_stats_.chunks_sent;
+        }
+        send_to(outbox, request.replica, Message(msg));
+    }
 }
 
 void Replica::handle_state_response(enclave::CostedCrypto& crypto,
@@ -1027,7 +1124,6 @@ void Replica::handle_state_response(enclave::CostedCrypto& crypto,
     if (!rejoining_ && !awaiting_state_) return;
     if (response.replica >= static_cast<std::uint32_t>(config_.n())) return;
     if (response.replica == id_) return;
-    if (response.last_stable > 0 && response.snapshot.empty()) return;
     if (!trinx_->verify_independent(crypto, response.replica,
                                     response.certified_view(),
                                     response.cert)) {
@@ -1039,92 +1135,184 @@ void Replica::handle_state_response(enclave::CostedCrypto& crypto,
     // log, which is the catch-up path for restarts before checkpoint one.
     if (!rejoining_ && response.last_stable <= last_executed_) return;
 
-    const crypto::Sha256Digest snapshot_digest =
-        crypto.hash(response.snapshot);
+    if (response.last_stable == 0) {
+        // No checkpoint anywhere yet: there is no proof to carry, so the
+        // bare view coordinates are only adopted once f+1 responders agree
+        // on the full tuple — a single Byzantine responder can neither
+        // roll the requester back nor teleport it into a fictional view.
+        if (response.view < view_) return;
+        const auto key = std::make_tuple(
+            response.view, response.view_start, response.last_stable,
+            store_key(response.root));
+        auto& [voters, sample] = state_responses_[key];
+        if (voters.empty()) sample = response;
+        voters.insert(response.replica);
 
-    if (response.last_stable > 0) {
-        // Self-certifying snapshot: f+1 distinct certified checkpoint
-        // votes for (last_stable, digest) prove the snapshot is a real
-        // checkpoint — at least one vote comes from a correct replica. A
-        // single proven response is therefore enough to adopt, which is
-        // essential when only one peer still holds the state (e.g. one
-        // replica restarts while another lags behind the checkpoint).
-        std::set<std::uint32_t> proof_voters;
-        for (const CheckpointMsg& vote : response.proof) {
-            if (vote.seq != response.last_stable) continue;
-            if (vote.replica >= static_cast<std::uint32_t>(config_.n())) {
-                continue;
-            }
-            if (!digests_equal(vote.state_digest, snapshot_digest)) {
-                continue;
-            }
-            if (!trinx_->verify_independent(crypto, vote.replica,
-                                            vote.certified_view(),
-                                            vote.cert)) {
-                continue;
-            }
-            proof_voters.insert(vote.replica);
+        if (static_cast<int>(voters.size()) >= config_.quorum()) {
+            const StateResponse adopted = sample;
+            adopt_state(crypto, outbox, adopted.view, adopted.view_start, 0,
+                        Bytes{}, ChunkedSnapshot{}, {});
         }
-        if (static_cast<int>(proof_voters.size()) < config_.quorum()) {
-            return;
-        }
-        adopt_state(crypto, outbox, response);
         return;
     }
 
-    // No checkpoint anywhere yet: there is no proof to carry, so the bare
-    // view coordinates are only adopted once f+1 responders agree on the
-    // full tuple — a single Byzantine responder can neither roll the
-    // requester back nor teleport it into a fictional view.
-    if (response.view < view_) return;
-    const auto key = std::make_tuple(
-        response.view, response.view_start, response.last_stable,
-        Bytes(snapshot_digest.begin(), snapshot_digest.end()));
-    auto& [voters, sample] = state_responses_[key];
-    if (voters.empty()) sample = response;
-    voters.insert(response.replica);
+    // Chunked stream message. The manifest must fold to the advertised
+    // root (domain-separated hashing makes this binding injective), and
+    // f+1 distinct certified checkpoint votes for (last_stable, root)
+    // prove the manifest describes a real checkpoint — at least one vote
+    // comes from a correct replica. A single proven responder therefore
+    // suffices, which is essential when only one peer still holds the
+    // state (e.g. one replica restarts while another lags).
+    if (response.manifest.empty()) return;
+    if (!digests_equal(merkle_root(crypto, response.manifest),
+                       response.root)) {
+        return;
+    }
+    std::set<std::uint32_t> proof_voters;
+    for (const CheckpointMsg& vote : response.proof) {
+        if (vote.seq != response.last_stable) continue;
+        if (vote.replica >= static_cast<std::uint32_t>(config_.n())) {
+            continue;
+        }
+        if (!digests_equal(vote.state_digest, response.root)) continue;
+        if (!trinx_->verify_independent(crypto, vote.replica,
+                                        vote.certified_view(), vote.cert)) {
+            continue;
+        }
+        proof_voters.insert(vote.replica);
+    }
+    if (static_cast<int>(proof_voters.size()) < config_.quorum()) return;
 
-    if (static_cast<int>(voters.size()) >= config_.quorum()) {
-        const StateResponse adopted = sample;
-        adopt_state(crypto, outbox, adopted);
+    // Install or continue transfer progress. An in-flight transfer is
+    // only displaced by a *newer* proven checkpoint (the cluster moved on
+    // mid-transfer); equal-seq messages from any responder, including
+    // retries, all feed the same progress record.
+    if (transfer_ && (transfer_->seq != response.last_stable ||
+                      !digests_equal(transfer_->root, response.root))) {
+        if (response.last_stable <= transfer_->seq) return;
+        transfer_.reset();
+    }
+    if (!transfer_) {
+        TransferProgress progress;
+        progress.seq = response.last_stable;
+        progress.root = response.root;
+        progress.manifest = response.manifest;
+        progress.proof = response.proof;
+        progress.view = response.view;
+        progress.view_start = response.view_start;
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(progress.manifest.size()); ++i) {
+            if (chunk_store_.contains(store_key(progress.manifest[i]))) {
+                ++state_stats_.chunks_reused;
+            } else {
+                progress.missing.insert(i);
+            }
+        }
+        transfer_ = std::move(progress);
+    } else if (response.view > transfer_->view) {
+        transfer_->view = response.view;
+        transfer_->view_start = response.view_start;
+    }
+
+    // Bank every new chunk that verifies against the manifest.
+    for (std::size_t j = 0; j < response.chunks.size(); ++j) {
+        const std::uint32_t idx = response.chunk_index[j];
+        if (idx >= transfer_->manifest.size()) continue;
+        if (!transfer_->missing.contains(idx)) continue;
+        const crypto::Sha256Digest leaf =
+            chunk_leaf_hash(crypto, response.chunks[j]);
+        if (!digests_equal(leaf, transfer_->manifest[idx])) continue;
+        chunk_store_[store_key(leaf)] = std::move(response.chunks[j]);
+        transfer_->missing.erase(idx);
+        ++transfer_->received;
+        ++state_stats_.chunks_received;
+    }
+
+    if (transfer_->missing.empty()) complete_transfer(crypto, outbox);
+}
+
+void Replica::complete_transfer(enclave::CostedCrypto& crypto,
+                                net::Outbox& outbox) {
+    // Banked chunks normally all sit in the durable store, but a
+    // live-lagging replica can stabilize its own checkpoint mid-transfer,
+    // which rebuilds the store and may evict them. Re-mark whatever is
+    // gone as missing and let the retry re-fetch it.
+    bool incomplete = false;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(transfer_->manifest.size()); ++i) {
+        if (!chunk_store_.contains(store_key(transfer_->manifest[i]))) {
+            transfer_->missing.insert(i);
+            incomplete = true;
+        }
+    }
+    if (incomplete) return;
+
+    TransferProgress progress = std::move(*transfer_);
+    transfer_.reset();
+
+    ChunkedSnapshot chunked;
+    chunked.root = progress.root;
+    chunked.manifest = progress.manifest;
+    Bytes snapshot;
+    chunked.chunks.reserve(progress.manifest.size());
+    for (const crypto::Sha256Digest& leaf : progress.manifest) {
+        const auto it = chunk_store_.find(store_key(leaf));
+        snapshot.insert(snapshot.end(), it->second.begin(),
+                        it->second.end());
+        chunked.chunks.push_back(it->second);
+    }
+    adopt_state(crypto, outbox, progress.view, progress.view_start,
+                progress.seq, std::move(snapshot), std::move(chunked),
+                std::move(progress.proof));
+}
+
+void Replica::rebuild_chunk_store(const ChunkedSnapshot& chunked) {
+    chunk_store_.clear();
+    for (std::size_t i = 0; i < chunked.chunks.size(); ++i) {
+        chunk_store_[store_key(chunked.manifest[i])] = chunked.chunks[i];
     }
 }
 
 void Replica::adopt_state(enclave::CostedCrypto& crypto, net::Outbox& outbox,
-                          const StateResponse& response) {
+                          ViewNumber view, SequenceNumber view_start,
+                          SequenceNumber last_stable, Bytes snapshot,
+                          ChunkedSnapshot chunked,
+                          std::vector<CheckpointMsg> proof) {
     ++state_transfers_;
     const bool was_rejoining = rejoining_;
     // A live replica that merely lagged keeps its own view coordinates
     // when they are already ahead of the responder's (a proven snapshot is
     // valid regardless of the view it was reported from).
-    const bool same_view =
-        response.view == view_ && response.view_start == view_start_;
+    const bool same_view = view == view_ && view_start == view_start_;
     rejoining_ = false;
     awaiting_state_ = false;
     state_responses_.clear();
+    transfer_.reset();
     ++state_timer_generation_;  // cancel the retry timer
 
-    if (response.view >= view_) {
-        view_ = response.view;
-        view_start_ = response.view_start;
+    if (view >= view_) {
+        view_ = view;
+        view_start_ = view_start;
     }
-    last_stable_ = std::max(last_stable_, response.last_stable);
-    if (response.last_stable > last_executed_) {
-        last_executed_ = response.last_stable;
+    last_stable_ = std::max(last_stable_, last_stable);
+    if (last_stable > last_executed_) {
+        last_executed_ = last_stable;
         // The snapshot is the state right after the checkpoint that reset
         // the peers' request counters, so ours resets too.
         executed_since_checkpoint_ = 0;
     }
-    next_seq_ = std::max(next_seq_, response.last_stable + 1);
-    log_.erase(log_.begin(), log_.upper_bound(response.last_stable));
+    next_seq_ = std::max(next_seq_, last_stable + 1);
+    log_.erase(log_.begin(), log_.upper_bound(last_stable));
     rebuild_in_flight();  // possibly unexecuted entries were dropped
-    if (response.last_stable > 0) {
-        service_->restore(response.snapshot);
-        own_checkpoints_[response.last_stable] = response.snapshot;
-        stable_proof_ = response.proof;
+    if (last_stable > 0) {
+        service_->restore(snapshot);
+        rebuild_chunk_store(chunked);
+        own_checkpoints_[last_stable] = std::move(snapshot);
+        own_chunks_[last_stable] = std::move(chunked);
+        stable_proof_ = std::move(proof);
         checkpoint_votes_.erase(
             checkpoint_votes_.begin(),
-            checkpoint_votes_.upper_bound(response.last_stable - 1));
+            checkpoint_votes_.upper_bound(last_stable - 1));
     }
     // Match highest_view_change_sent_ to the adopted view so the forced
     // view change below is not suppressed by a pre-crash value.

@@ -44,6 +44,7 @@
 #include "hybster/config.hpp"
 #include "hybster/messages.hpp"
 #include "hybster/service.hpp"
+#include "hybster/snapshot.hpp"
 #include "net/envelope.hpp"
 #include "net/outbox.hpp"
 #include "sim/cost.hpp"
@@ -194,6 +195,37 @@ class Replica {
         return exec_stats_;
     }
 
+    /// Cumulative Merkle-incremental state-transfer accounting, both
+    /// sides: as responder (sent/skipped/full) and as requester
+    /// (received/reused/resumed).
+    struct StateTransferStats {
+        /// Responder: chunk payload bytes actually shipped.
+        std::uint64_t bytes_sent = 0;
+        /// Responder: what the served snapshots would have cost shipped
+        /// whole (the monolithic-transfer baseline).
+        std::uint64_t bytes_full = 0;
+        std::uint64_t chunks_sent = 0;
+        /// Responder: chunks withheld because the requester advertised
+        /// their hashes.
+        std::uint64_t chunks_skipped = 0;
+        /// Requester: chunks received and verified against a manifest.
+        std::uint64_t chunks_received = 0;
+        /// Requester: manifest entries satisfied from the local durable
+        /// chunk store instead of the wire.
+        std::uint64_t chunks_reused = 0;
+        /// Requester: transfers that continued past a retry with partial
+        /// progress instead of restarting from byte zero.
+        std::uint64_t transfers_resumed = 0;
+    };
+    [[nodiscard]] const StateTransferStats& state_stats() const noexcept {
+        return state_stats_;
+    }
+
+    /// Wipes the durable chunk store — models losing the on-disk snapshot
+    /// area in addition to the crash. Test/bench hook for measuring the
+    /// full-transfer baseline.
+    void clear_chunk_store() { chunk_store_.clear(); }
+
   private:
     struct LogEntry {
         std::optional<Prepare> prepare;
@@ -225,7 +257,17 @@ class Replica {
     void begin_state_transfer(enclave::CostedCrypto& crypto,
                               net::Outbox& outbox);
     void adopt_state(enclave::CostedCrypto& crypto, net::Outbox& outbox,
-                     const StateResponse& response);
+                     ViewNumber view, SequenceNumber view_start,
+                     SequenceNumber last_stable, Bytes snapshot,
+                     ChunkedSnapshot chunked,
+                     std::vector<CheckpointMsg> proof);
+    /// Assembles the snapshot from the completed transfer's chunk set and
+    /// adopts it.
+    void complete_transfer(enclave::CostedCrypto& crypto,
+                           net::Outbox& outbox);
+    /// Replaces the durable chunk store's contents with the chunks of the
+    /// now-stable checkpoint.
+    void rebuild_chunk_store(const ChunkedSnapshot& chunked);
     void arm_state_transfer_timer();
 
     // --- ordering (leader batching) ---
@@ -329,9 +371,21 @@ class Replica {
              std::map<Bytes, std::map<std::uint32_t, CheckpointMsg>>>
         checkpoint_votes_;
     std::map<SequenceNumber, Bytes> own_checkpoints_;  // seq → snapshot
+    /// Chunked form of own_checkpoints_ (same keys, pruned together):
+    /// what handle_state_request serves from.
+    std::map<SequenceNumber, ChunkedSnapshot> own_chunks_;
     /// The f+1 certified votes that made last_stable_ stable; attached to
     /// StateResponses so one response suffices to prove the snapshot.
     std::vector<CheckpointMsg> stable_proof_;
+
+    /// Durable chunk store (leaf hash → chunk bytes): models the
+    /// *untrusted* on-disk snapshot area, so restart() deliberately keeps
+    /// it. It needs no trust — every chunk a transfer consumes is
+    /// re-verified against the certified Merkle root, so a corrupted or
+    /// rolled-back disk can only cause a re-fetch, never a wrong state.
+    /// Rebuilt from the newest stable checkpoint's chunks; extended by
+    /// in-progress transfers (which is what makes them resumable).
+    std::map<Bytes, Bytes> chunk_store_;
 
     // Requests forwarded to the leader but not yet executed locally; a
     // non-empty set keeps the progress timer armed so an unresponsive
@@ -363,6 +417,24 @@ class Replica {
     std::map<std::tuple<ViewNumber, SequenceNumber, SequenceNumber, Bytes>,
              std::pair<std::set<std::uint32_t>, StateResponse>>
         state_responses_;
+
+    /// A proven chunked transfer in progress. Survives retries (the
+    /// resume path: a retried StateRequest advertises everything already
+    /// received) and is only replaced by a transfer for a *newer* stable
+    /// checkpoint; cleared on adoption and restart.
+    struct TransferProgress {
+        SequenceNumber seq = 0;
+        crypto::Sha256Digest root{};
+        std::vector<crypto::Sha256Digest> manifest;
+        std::vector<CheckpointMsg> proof;
+        ViewNumber view = 0;
+        SequenceNumber view_start = 0;
+        std::set<std::uint32_t> missing;  // manifest indices still needed
+        std::uint64_t received = 0;
+        bool resume_counted = false;
+    };
+    std::optional<TransferProgress> transfer_;
+    StateTransferStats state_stats_;
 };
 
 }  // namespace troxy::hybster

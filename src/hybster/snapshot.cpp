@@ -1,0 +1,70 @@
+#include "hybster/snapshot.hpp"
+
+#include "common/assert.hpp"
+
+namespace troxy::hybster {
+
+namespace {
+
+constexpr std::uint8_t kLeafDomain = 0x00;
+constexpr std::uint8_t kNodeDomain = 0x01;
+
+}  // namespace
+
+crypto::Sha256Digest chunk_leaf_hash(enclave::CostedCrypto& crypto,
+                                     ByteView chunk) {
+    Bytes input;
+    input.reserve(1 + chunk.size());
+    input.push_back(kLeafDomain);
+    input.insert(input.end(), chunk.begin(), chunk.end());
+    return crypto.hash(input);
+}
+
+crypto::Sha256Digest merkle_root(
+    enclave::CostedCrypto& crypto,
+    const std::vector<crypto::Sha256Digest>& manifest) {
+    if (manifest.empty()) {
+        return crypto.hash(ByteView(&kNodeDomain, 1));
+    }
+    std::vector<crypto::Sha256Digest> level = manifest;
+    while (level.size() > 1) {
+        std::vector<crypto::Sha256Digest> next;
+        next.reserve((level.size() + 1) / 2);
+        std::size_t i = 0;
+        for (; i + 1 < level.size(); i += 2) {
+            Bytes input;
+            input.reserve(1 + 2 * crypto::kSha256DigestSize);
+            input.push_back(kNodeDomain);
+            input.insert(input.end(), level[i].begin(), level[i].end());
+            input.insert(input.end(), level[i + 1].begin(),
+                         level[i + 1].end());
+            next.push_back(crypto.hash(input));
+        }
+        if (i < level.size()) next.push_back(level[i]);  // odd: promote
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+ChunkedSnapshot chunk_snapshot(enclave::CostedCrypto& crypto,
+                               ByteView snapshot, std::size_t chunk_size) {
+    TROXY_ASSERT(chunk_size > 0, "chunk size must be positive");
+    ChunkedSnapshot out;
+    const std::size_t count =
+        snapshot.empty() ? 1 : (snapshot.size() + chunk_size - 1) / chunk_size;
+    out.chunks.reserve(count);
+    out.manifest.reserve(count);
+    for (std::size_t offset = 0; offset == 0 || offset < snapshot.size();
+         offset += chunk_size) {
+        const std::size_t len =
+            std::min(chunk_size, snapshot.size() - offset);
+        Bytes chunk(snapshot.begin() + static_cast<std::ptrdiff_t>(offset),
+                    snapshot.begin() + static_cast<std::ptrdiff_t>(offset + len));
+        out.manifest.push_back(chunk_leaf_hash(crypto, chunk));
+        out.chunks.push_back(std::move(chunk));
+    }
+    out.root = merkle_root(crypto, out.manifest);
+    return out;
+}
+
+}  // namespace troxy::hybster

@@ -311,6 +311,7 @@ void TroxyEnclave::ingest_reply(enclave::CostedCrypto& crypto,
         // A fresh entry re-arms the key: a later write completing in the
         // SAME transition must invalidate it again, dedup or not.
         if (invalidated != nullptr) invalidated->erase(pending.state_key);
+        invalidated_unrecached_.erase(pending.state_key);
     } else {
         invalidate_write_set(pending.state_key, pending.extra_keys,
                              invalidated);
@@ -434,6 +435,7 @@ enclave::Certificate TroxyEnclave::certify_executed_reply(
         // Re-arm the key: a later write in the same batch must
         // invalidate this fresh entry again.
         if (invalidated != nullptr) invalidated->erase(info.state_key);
+        invalidated_unrecached_.erase(info.state_key);
     }
 
     return trinx_->certify_independent_batched(crypto, reply.certified_view(),
@@ -447,6 +449,13 @@ void TroxyEnclave::invalidate_write_set(
         const std::string& key = k == 0 ? state_key : extra_keys[k - 1];
         if (invalidated != nullptr && !invalidated->insert(key).second) {
             ++stats_.invalidations_saved;
+            continue;
+        }
+        // Cross-batch dedup: a key invalidated earlier and never
+        // re-cached since cannot be in the cache, so there is nothing to
+        // drop.
+        if (!invalidated_unrecached_.insert(key).second) {
+            ++stats_.invalidations_saved_cross_batch;
             continue;
         }
         cache_.invalidate(key);
@@ -825,6 +834,8 @@ void TroxyEnclave::restart() {
     // The votes backing these in-flight markers are gone; a leaked entry
     // would gate fast reads on its key forever.
     pending_write_keys_.clear();
+    // The cache is empty, so no key is "invalidated but maybe cached".
+    invalidated_unrecached_.clear();
 }
 
 }  // namespace troxy::troxy_core

@@ -214,6 +214,10 @@ class TroxyEnclave {
         /// Repeat invalidations skipped because an earlier write in the
         /// same batched transition already dropped the key.
         std::uint64_t invalidations_saved = 0;
+        /// Invalidations skipped across transitions: the key was already
+        /// invalidated earlier and nothing re-cached it since, so the
+        /// cache provably does not hold it.
+        std::uint64_t invalidations_saved_cross_batch = 0;
         /// Fallback bursts surfaced as one pre-formed ordering batch.
         std::uint64_t fallback_prebatches = 0;
         std::uint64_t prebatched_fallbacks = 0;  // members of those bursts
@@ -367,6 +371,11 @@ class TroxyEnclave {
     /// Keys with own writes still in flight: fast reads on them would
     /// almost certainly conflict, so they are conservatively ordered.
     std::map<std::string, int> pending_write_keys_;
+    /// Keys invalidated and not re-cached since (every cache_.put erases
+    /// its key): the cache provably holds none of them, so a repeat write
+    /// skips the whole invalidation — the cross-batch counterpart of the
+    /// per-transition `invalidated` dedup set.
+    std::set<std::string> invalidated_unrecached_;
     std::uint64_t next_request_number_ = 1;
     std::uint64_t next_query_id_ = 1;
     std::uint64_t handshake_counter_ = 0;

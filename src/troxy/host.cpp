@@ -21,10 +21,15 @@ TroxyReplicaHost::TroxyReplicaHost(
       node_(node),
       config_(config),
       troxy_profile_(troxy_profile),
-      options_(options) {
+      options_(options),
+      replica_id_(replica_id),
+      trinx_(trinx),
+      channel_identity_(channel_identity),
+      classifier_(std::move(classifier)),
+      seed_(seed) {
     troxy_ = std::make_unique<TroxyEnclave>(
-        node.id(), replica_id, config, trinx, channel_identity,
-        std::move(classifier), troxy_profile, options.troxy, seed);
+        node.id(), replica_id, config, trinx, channel_identity, classifier_,
+        troxy_profile, options.troxy, seed);
 
     hybster::Replica::Hooks hooks;
     // Requests in a Troxy deployment carry a single trusted-subsystem
@@ -114,6 +119,11 @@ void TroxyReplicaHost::crash() {
     fastread_buffered_ = 0;
     ++fastread_flush_generation_;
     fastread_timer_armed_ = false;
+    // An in-flight enclave recovery dies with the host; the periodic
+    // schedule (if any) re-triggers one after restart.
+    enclave_recovering_ = false;
+    ++recovery_generation_;
+    recovery_buffer_.clear();
 }
 
 void TroxyReplicaHost::restart(hybster::ServicePtr fresh_service) {
@@ -132,10 +142,147 @@ void TroxyReplicaHost::attach() {
     fabric_.attach(node_.id(), [this](sim::NodeId from, Bytes message) {
         on_message(from, std::move(message));
     });
+    if (options_.enclave_recovery_period > 0 && options_.authority) {
+        arm_recovery_timer(options_.enclave_recovery_period +
+                           options_.enclave_recovery_offset);
+    }
+}
+
+void TroxyReplicaHost::arm_recovery_timer(sim::Duration delay) {
+    fabric_.simulator().after(delay, [this]() {
+        if (options_.enclave_recovery_period <= 0) return;
+        // A crashed host skips the firing but keeps the schedule: the
+        // recovery cycle resumes once the host restarts.
+        if (!faults_.crashed) recover_enclave();
+        arm_recovery_timer(options_.enclave_recovery_period);
+    });
+}
+
+bool TroxyReplicaHost::recover_enclave() {
+    if (!options_.authority || faults_.crashed || enclave_recovering_) {
+        return false;
+    }
+    enclave_recovering_ = true;
+    const std::uint64_t generation = ++recovery_generation_;
+
+    // Teardown: the trusted subsystem exports a certified record of its
+    // counters first (the handover only an attested instance can accept),
+    // then the old enclave instance is gone for the downtime window.
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(troxy_profile_, meter);
+    Bytes handover = trinx_->export_handover(crypto);
+
+    fabric_.simulator().after(
+        options_.enclave_recovery_downtime,
+        [this, generation, handover = std::move(handover)]() mutable {
+            if (generation != recovery_generation_) return;
+            if (faults_.crashed) return;  // crash() aborted the recovery
+            finish_enclave_recovery(std::move(handover));
+        });
+    return true;
+}
+
+void TroxyReplicaHost::finish_enclave_recovery(Bytes handover) {
+    // Attestation re-handshake: a fresh nonce, a fresh report, and the
+    // authority's verdict gate the replacement instance — exactly the
+    // initial provisioning flow, re-run.
+    const std::uint64_t nonce = seed_ * 1000003 + ++recovery_nonce_;
+    const enclave::AttestationReport report =
+        options_.authority->issue(options_.measurement, nonce);
+    if (!options_.authority->verify(report, options_.measurement, nonce)) {
+        // The authority refused the re-handshake: stay down rather than
+        // run unattested (cannot happen with a well-configured authority).
+        enclave_recovering_ = false;
+        recovery_buffer_.clear();
+        return;
+    }
+
+    // Retire the outgoing instance's counters into the host accumulator
+    // so observability spans the swap.
+    {
+        const TroxyEnclave::Status old = troxy_->status();
+        auto& acc = retired_troxy_stats_;
+        acc.fast_read_hits += old.fast_read_hits;
+        acc.fast_read_misses += old.fast_read_misses;
+        acc.fast_read_conflicts += old.fast_read_conflicts;
+        acc.ordered_requests += old.ordered_requests;
+        acc.completed_votes += old.completed_votes;
+        acc.rejected_replies += old.rejected_replies;
+        acc.reply_batches += old.reply_batches;
+        acc.batched_replies += old.batched_replies;
+        acc.reply_auth_batches += old.reply_auth_batches;
+        acc.batch_authenticated_replies += old.batch_authenticated_replies;
+        acc.cache_query_batches += old.cache_query_batches;
+        acc.batched_cache_queries += old.batched_cache_queries;
+        acc.cache_response_batches += old.cache_response_batches;
+        acc.batched_cache_responses += old.batched_cache_responses;
+        acc.cache_invalidations += old.cache_invalidations;
+        acc.invalidations_saved += old.invalidations_saved;
+        acc.invalidations_saved_cross_batch +=
+            old.invalidations_saved_cross_batch;
+        acc.fallback_prebatches += old.fallback_prebatches;
+        acc.prebatched_fallbacks += old.prebatched_fallbacks;
+        acc.mode_switches += old.mode_switches;
+        acc.enclave_transitions += old.enclave_transitions;
+    }
+
+    // Fresh instance: empty cache, empty voter, no sessions — every
+    // secure-channel session key rotates because clients must re-
+    // handshake, against the SAME pinned channel identity. The varied
+    // seed re-keys the instance's internal randomness.
+    troxy_ = std::make_unique<TroxyEnclave>(
+        node_.id(), replica_id_, config_, trinx_, channel_identity_,
+        classifier_, troxy_profile_, options_.troxy,
+        seed_ + 7919 * (enclave_recoveries_ + 1));
+    if (!tcs_free_.empty()) {
+        std::fill(tcs_free_.begin(), tcs_free_.end(), 0);
+    }
+
+    // Trusted-counter re-binding: the certified handover verifies under
+    // the provisioned group key and never lowers a counter, so the
+    // recovered subsystem cannot re-certify any (counter, value) slot —
+    // e.g. an old view's ordering counter — the old instance used.
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(troxy_profile_, meter);
+    const bool rebound = trinx_->import_handover(crypto, handover);
+    TROXY_ASSERT(rebound, "counter handover must verify under the group key");
+
+    ++enclave_recoveries_;
+    enclave_recovering_ = false;
+
+    // Replay what the host buffered while the enclave was down: hellos
+    // re-handshake against the new instance; records under a dead session
+    // are rejected by the channel and covered by the client's ordinary
+    // reconnect logic — either way the legacy client never notices more
+    // than added latency.
+    std::vector<std::pair<sim::NodeId, Bytes>> buffered =
+        std::move(recovery_buffer_);
+    recovery_buffer_.clear();
+    for (auto& [from, frame] : buffered) {
+        on_message(from, std::move(frame));
+    }
 }
 
 void TroxyReplicaHost::on_message(sim::NodeId from, Bytes message) {
     if (faults_.crashed) return;
+
+    // During a recovery downtime window the enclave is gone: traffic that
+    // would enter it through client-facing ecalls is buffered and
+    // replayed once the recovered instance is attested. Agreement traffic
+    // keeps flowing — the replica is untrusted host-side code and runs
+    // through an enclave recovery (its trusted counters are exactly what
+    // the handover preserves).
+    if (enclave_recovering_) {
+        auto peeked = net::unwrap(message);
+        if (peeked && (peeked->first == net::Channel::Client ||
+                       peeked->first == net::Channel::TroxyCache)) {
+            ++recovery_buffered_frames_;
+            if (recovery_buffer_.size() < 4096) {
+                recovery_buffer_.emplace_back(from, std::move(message));
+            }
+            return;
+        }
+    }
 
     auto unwrapped = net::unwrap(message);
     if (!unwrapped) return;
@@ -444,10 +591,40 @@ void TroxyReplicaHost::arm_fastread_flush_timer() {
 TroxyReplicaHost::Status TroxyReplicaHost::status() const {
     Status s;
     s.troxy = troxy_->status();
+    // Add the counters retired by enclave recoveries; gauges stay live.
+    {
+        const auto& acc = retired_troxy_stats_;
+        s.troxy.fast_read_hits += acc.fast_read_hits;
+        s.troxy.fast_read_misses += acc.fast_read_misses;
+        s.troxy.fast_read_conflicts += acc.fast_read_conflicts;
+        s.troxy.ordered_requests += acc.ordered_requests;
+        s.troxy.completed_votes += acc.completed_votes;
+        s.troxy.rejected_replies += acc.rejected_replies;
+        s.troxy.reply_batches += acc.reply_batches;
+        s.troxy.batched_replies += acc.batched_replies;
+        s.troxy.reply_auth_batches += acc.reply_auth_batches;
+        s.troxy.batch_authenticated_replies +=
+            acc.batch_authenticated_replies;
+        s.troxy.cache_query_batches += acc.cache_query_batches;
+        s.troxy.batched_cache_queries += acc.batched_cache_queries;
+        s.troxy.cache_response_batches += acc.cache_response_batches;
+        s.troxy.batched_cache_responses += acc.batched_cache_responses;
+        s.troxy.cache_invalidations += acc.cache_invalidations;
+        s.troxy.invalidations_saved += acc.invalidations_saved;
+        s.troxy.invalidations_saved_cross_batch +=
+            acc.invalidations_saved_cross_batch;
+        s.troxy.fallback_prebatches += acc.fallback_prebatches;
+        s.troxy.prebatched_fallbacks += acc.prebatched_fallbacks;
+        s.troxy.mode_switches += acc.mode_switches;
+        s.troxy.enclave_transitions += acc.enclave_transitions;
+    }
     s.voter_ewma_x100 = voter_controller_.ewma_x100();
     s.fastread_ewma_x100 = fastread_controller_.ewma_x100();
     s.batch_ewma_x100 = replica_->batch_ewma_x100();
     s.exec = replica_->exec_stats();
+    s.state = replica_->state_stats();
+    s.enclave_recoveries = enclave_recoveries_;
+    s.recovery_buffered_frames = recovery_buffered_frames_;
     return s;
 }
 

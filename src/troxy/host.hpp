@@ -12,7 +12,10 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "enclave/attestation.hpp"
 #include "hybster/adaptive.hpp"
 #include "hybster/replica.hpp"
 #include "troxy/enclave.hpp"
@@ -59,6 +62,23 @@ class TroxyReplicaHost {
         /// flush boundary within the delay; otherwise flush immediately,
         /// recovering batch-1 latency at low load.
         bool fastread_latency_target = false;
+
+        // --- proactive enclave recovery (SecureSMART-style) ---
+        /// Attestation context for recovery re-handshakes. Recovery is
+        /// disabled while the authority is absent.
+        std::shared_ptr<enclave::AttestationAuthority> authority;
+        /// Expected enclave measurement the re-handshake checks against.
+        enclave::Measurement measurement{};
+        /// Recover this host's enclave every period (0 = only explicit
+        /// recover_enclave() calls).
+        sim::Duration enclave_recovery_period = 0;
+        /// Extra delay before the first periodic recovery, so a fleet can
+        /// stagger its enclaves instead of recovering them in lockstep.
+        sim::Duration enclave_recovery_offset = 0;
+        /// Teardown-to-attested window: client frames arriving while the
+        /// enclave is down are buffered and replayed once the recovered
+        /// instance passed attestation.
+        sim::Duration enclave_recovery_downtime = sim::milliseconds(2);
     };
 
     TroxyReplicaHost(net::Fabric& fabric, sim::Node& node,
@@ -105,6 +125,23 @@ class TroxyReplicaHost {
         return restarts_;
     }
 
+    /// Proactive enclave recovery (§SecureSMART): tears the TroxyEnclave
+    /// instance down and, after options.enclave_recovery_downtime, brings
+    /// up a FRESH instance gated by an attestation re-handshake against
+    /// options.authority. All volatile enclave state is gone — secure-
+    /// channel session keys rotate (clients must re-handshake; the pinned
+    /// channel identity is kept so they can), the cache re-warms — while
+    /// the trusted counters re-bind through a certified TrinX handover
+    /// that can only raise values, so the recovered subsystem can never
+    /// re-certify an old view. Client frames arriving during the window
+    /// are buffered by the host and replayed transparently. Returns false
+    /// when recovery cannot start (no authority, crashed, or one already
+    /// in flight).
+    bool recover_enclave();
+    [[nodiscard]] std::uint64_t enclave_recoveries() const noexcept {
+        return enclave_recoveries_;
+    }
+
     /// Enclave counters plus the host-side adaptive controllers' smoothed
     /// load estimates (served items per delay window, ×100) — what the
     /// benches record to show the controllers tracking offered load.
@@ -115,6 +152,12 @@ class TroxyReplicaHost {
         std::uint64_t batch_ewma_x100 = 0;  // leader's ordering controller
         /// Replica execution-lane occupancy / conflict-stall counters.
         hybster::Replica::ExecStats exec;
+        /// Merkle-incremental state-transfer accounting (both sides).
+        hybster::Replica::StateTransferStats state;
+        /// Proactive enclave recoveries completed on this host.
+        std::uint64_t enclave_recoveries = 0;
+        /// Client frames buffered across recovery downtime windows.
+        std::uint64_t recovery_buffered_frames = 0;
     };
     [[nodiscard]] Status status() const;
 
@@ -123,6 +166,12 @@ class TroxyReplicaHost {
     void apply(enclave::CostMeter& meter, TroxyActions&& actions);
     void arm_vote_timer(std::uint64_t number);
     void arm_fast_read_timer(std::uint64_t query_id);
+
+    // --- proactive enclave recovery ---
+    /// Attests and swaps in the fresh enclave instance at the end of the
+    /// downtime window, then replays buffered client frames.
+    void finish_enclave_recovery(Bytes handover);
+    void arm_recovery_timer(sim::Duration delay);
 
     // --- voter batching (untrusted buffering; the enclave re-verifies
     // every reply, so the host holding or reordering them is harmless) ---
@@ -157,6 +206,27 @@ class TroxyReplicaHost {
 
     std::unique_ptr<TroxyEnclave> troxy_;
     std::unique_ptr<hybster::Replica> replica_;
+
+    // Enclave construction context, kept so proactive recovery can build
+    // the replacement instance: same replica id, same trusted counters,
+    // same pinned channel identity (clients reconnect without re-pinning),
+    // fresh everything else.
+    std::uint32_t replica_id_;
+    std::shared_ptr<enclave::TrinX> trinx_;
+    crypto::X25519Keypair channel_identity_;
+    Classifier classifier_;
+    std::uint64_t seed_;
+
+    // Proactive recovery state. Retired instances' counters accumulate
+    // here so status() spans recoveries instead of resetting with each
+    // fresh enclave (gauges — cache size, pending work — stay live).
+    TroxyEnclave::Status retired_troxy_stats_;
+    bool enclave_recovering_ = false;
+    std::uint64_t enclave_recoveries_ = 0;
+    std::uint64_t recovery_generation_ = 0;
+    std::uint64_t recovery_nonce_ = 0;
+    std::uint64_t recovery_buffered_frames_ = 0;
+    std::vector<std::pair<sim::NodeId, Bytes>> recovery_buffer_;
 
     // Timer bookkeeping (untrusted, liveness only).
     std::set<std::uint64_t> votes_in_flight_;

@@ -868,6 +868,47 @@ TEST(TroxyEnclave, ExecutedWriteBatchInvalidatesEachKeyOnce) {
     EXPECT_EQ(status.invalidations_saved, 2u);
 }
 
+TEST(TroxyEnclave, RepeatWriteAcrossTransitionsSkipsInvalidation) {
+    // Cross-batch dedup: once a key is invalidated and nothing re-cached
+    // it, later transitions' writes to it provably find no entry to drop
+    // — the invalidation is skipped entirely. A read that re-fills the
+    // cache re-arms the key.
+    FastReadRig rig;
+    auto write_once = [&]() {
+        hybster::Request request;
+        request.id.client = FastReadRig::kContactNode;
+        request.id.number = rig.next_number++;
+        request.payload = apps::EchoService::make_write(7, 16);
+        const hybster::Reply reply = rig.executed(request, "ack", 0);
+        rig.contact->authenticate_reply(rig.meter, request, reply);
+    };
+
+    write_once();  // first write: the key drops from the cache
+    const auto first = rig.contact->status();
+    EXPECT_EQ(first.invalidations_saved_cross_batch, 0u);
+
+    write_once();  // separate transition, key still uncached: skipped
+    write_once();
+    const auto skipped = rig.contact->status();
+    EXPECT_EQ(skipped.invalidations_saved_cross_batch, 2u);
+    EXPECT_EQ(skipped.cache_invalidations, first.cache_invalidations);
+
+    // An executed ordered read re-caches the key...
+    hybster::Request read;
+    read.id.client = FastReadRig::kContactNode;
+    read.id.number = rig.next_number++;
+    read.flags |= hybster::Request::kFlagRead;
+    read.payload = apps::EchoService::make_read(7, 32, 64);
+    rig.contact->authenticate_reply(rig.meter, read,
+                                    rig.executed(read, "value", 0));
+
+    // ...so the next write must invalidate for real again.
+    write_once();
+    const auto rearmed = rig.contact->status();
+    EXPECT_EQ(rearmed.invalidations_saved_cross_batch, 2u);
+    EXPECT_EQ(rearmed.cache_invalidations, skipped.cache_invalidations + 1);
+}
+
 TEST(TroxyEnclave, WriteReadWriteBatchLeavesNoStaleEntry) {
     // Regression: within one batched transition, a read between two
     // writes of the same key re-fills the cache; the second write must
