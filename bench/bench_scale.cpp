@@ -1,0 +1,516 @@
+// Simulator-engine scale benchmark: calendar-queue scheduler + slab/arena
+// allocation vs the original binary-heap/std::function engine, and an
+// open-loop million-client sweep over a full Troxy cluster.
+//
+// Two parts:
+//
+//   1. Engine microbench — the seed engine (std::priority_queue of events
+//      whose callbacks are std::function closures, one heap allocation
+//      per scheduled event plus a payload vector per message) is
+//      reimplemented here verbatim as the "before"; the "after" is the
+//      production Simulator (calendar queue, slab event nodes, 48-byte
+//      inline callbacks, pooled payload buffers). Both run the same
+//      self-rescheduling timer population; we report events/sec and
+//      allocations/event. CI gates the speedup (>= 3x) and the allocation
+//      ratio (>= 10x).
+//
+//   2. Scale sweep — {1e4, 1e5, 1e6} virtual clients x {uniform,
+//      zipf-0.99} keys driven by the OpenLoopSuite against a ctroxy
+//      TroxyCluster: ONE aggregate-rate Poisson arrival chain fans the
+//      population over a bounded set of physical sessions (O(rate)
+//      timers, not O(clients)), with connection churn re-handshaking
+//      sessions throughout. Reports wall-clock, simulated events/sec,
+//      allocations/event, p50/p99 latency, pool and scheduler counters.
+//
+// Flags: --smoke     engine microbench at reduced size + 1e5-client sweep
+//        --out PATH  JSON output path (default BENCH_scale.json)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <new>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "apps/kv_service.hpp"
+#include "bench_support/cluster.hpp"
+#include "bench_support/stats.hpp"
+#include "bench_support/workload.hpp"
+#include "crypto/fastmode.hpp"
+#include "sim/simulator.hpp"
+
+// ------------------------------------------------- allocation accounting
+//
+// Global operator new/delete overrides count every heap allocation in the
+// process; deltas around a measured region give allocations/event. The
+// overrides must not allocate and must pair with the matching sized /
+// aligned forms.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     (size + static_cast<std::size_t>(align) -
+                                      1) &
+                                         ~(static_cast<std::size_t>(align) -
+                                           1))) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+
+namespace {
+
+using namespace troxy;
+using namespace troxy::bench;
+namespace sim = troxy::sim;
+
+double wall_seconds_since(
+    std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+// ------------------------------------------------------ engine microbench
+
+/// The seed engine, verbatim: a binary heap of events carrying
+/// std::function callbacks, with the top event copied out on every pop.
+class LegacyEngine {
+  public:
+    void at(std::uint64_t t, std::function<void()> fn) {
+        queue_.push(Event{t, next_seq_++, std::move(fn)});
+    }
+    bool step() {
+        if (queue_.empty()) return false;
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.time;
+        ev.fn();
+        return true;
+    }
+    [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+  private:
+    struct Event {
+        std::uint64_t time;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+    std::uint64_t now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Deterministic per-chain gap sequence (splitmix-style), identical for
+/// both engines so they execute the same timer population.
+std::uint64_t next_gap(std::uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return 500 + z % 1000000;  // 0.5 us .. 1 ms inter-event gaps
+}
+
+struct EngineResult {
+    double events_per_sec = 0.0;
+    double allocs_per_event = 0.0;
+    double wall_s = 0.0;
+};
+
+/// The representative event shape: each firing consumes a wire-sized
+/// payload, then schedules its chain's successor carrying a fresh one —
+/// the message cycle of the old Network/Fabric path.
+EngineResult run_legacy_engine(std::size_t chains, std::uint64_t events) {
+    LegacyEngine engine;
+    std::uint64_t executed = 0;
+    std::uint64_t sink = 0;
+
+    struct Chain {
+        std::uint64_t rng;
+    };
+    std::vector<Chain> state(chains);
+
+    std::function<void(std::size_t)> fire = [&](std::size_t chain) {
+        if (executed >= events) return;
+        ++executed;
+        // One payload per message, one closure per schedule — both heap
+        // allocations, exactly like the pre-slab engine.
+        Bytes payload(256);
+        payload[0] = static_cast<std::uint8_t>(chain);
+        sink += payload[0];
+        const std::uint64_t gap = next_gap(state[chain].rng);
+        engine.at(engine.now() + gap,
+                  [&fire, &sink, chain, carried = std::move(payload)]() {
+                      sink += carried.size();
+                      fire(chain);
+                  });
+    };
+
+    for (std::size_t c = 0; c < chains; ++c) {
+        state[c].rng = c * 0x1234567ull + 1;
+        fire(c);
+    }
+
+    const std::uint64_t alloc_base = g_allocs.load();
+    const auto start = std::chrono::steady_clock::now();
+    while (engine.step()) {
+    }
+    EngineResult result;
+    result.wall_s = wall_seconds_since(start);
+    result.events_per_sec = static_cast<double>(executed) / result.wall_s;
+    result.allocs_per_event =
+        static_cast<double>(g_allocs.load() - alloc_base) /
+        static_cast<double>(executed);
+    if (sink == 0xdeadbeef) std::printf("impossible\n");
+    return result;
+}
+
+EngineResult run_calendar_engine(std::size_t chains, std::uint64_t events) {
+    sim::Simulator simulator(1);
+    sim::BufferPool pool;
+    std::uint64_t executed = 0;
+    std::uint64_t sink = 0;
+
+    struct Chain {
+        std::uint64_t rng;
+    };
+    std::vector<Chain> state(chains);
+
+    std::function<void(std::size_t, Bytes)> fire = [&](std::size_t chain,
+                                                       Bytes payload) {
+        sink += payload[0];
+        pool.release(std::move(payload));
+        if (executed >= events) return;
+        ++executed;
+        Bytes next = pool.acquire(256);
+        next[0] = static_cast<std::uint8_t>(chain);
+        const std::uint64_t gap = next_gap(state[chain].rng);
+        // The capture (fire ref + index + Bytes) stays under the 48-byte
+        // inline budget: scheduling allocates nothing once the slab and
+        // pool are warm.
+        simulator.after(static_cast<sim::Duration>(gap),
+                        [&fire, chain, carried = std::move(next)]() mutable {
+                            fire(chain, std::move(carried));
+                        });
+    };
+
+    for (std::size_t c = 0; c < chains; ++c) {
+        state[c].rng = c * 0x1234567ull + 1;
+        ++executed;
+        Bytes first = pool.acquire(256);
+        first[0] = static_cast<std::uint8_t>(c);
+        const std::uint64_t gap = next_gap(state[c].rng);
+        simulator.after(static_cast<sim::Duration>(gap),
+                        [&fire, c, carried = std::move(first)]() mutable {
+                            fire(c, std::move(carried));
+                        });
+    }
+
+    const std::uint64_t alloc_base = g_allocs.load();
+    const auto start = std::chrono::steady_clock::now();
+    simulator.run();
+    const auto& st = simulator.scheduler_stats();
+    std::printf(
+        "    [calendar stats: %llu buckets, %llu rebuilds, %llu far, "
+        "%llu direct searches, %llu inline / %llu heap callbacks, "
+        "%llu node reuses / %llu allocs]\n",
+        static_cast<unsigned long long>(st.buckets),
+        static_cast<unsigned long long>(st.rebuilds),
+        static_cast<unsigned long long>(st.far_events),
+        static_cast<unsigned long long>(st.direct_searches),
+        static_cast<unsigned long long>(st.inline_callbacks),
+        static_cast<unsigned long long>(st.heap_callbacks),
+        static_cast<unsigned long long>(st.node_reuses),
+        static_cast<unsigned long long>(st.node_allocs));
+    EngineResult result;
+    result.wall_s = wall_seconds_since(start);
+    result.events_per_sec =
+        static_cast<double>(simulator.executed_events()) / result.wall_s;
+    result.allocs_per_event =
+        static_cast<double>(g_allocs.load() - alloc_base) /
+        static_cast<double>(simulator.executed_events());
+    if (sink == 0xdeadbeef) std::printf("impossible\n");
+    return result;
+}
+
+// ------------------------------------------------------------ scale sweep
+
+struct SweepCell {
+    std::uint64_t virtual_clients = 0;
+    std::string distribution;
+    double zipf_s = 0.0;
+
+    double wall_s = 0.0;
+    double sim_events_per_sec = 0.0;
+    std::uint64_t sim_events = 0;
+    double allocs_per_event = 0.0;
+    double throughput = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t churned = 0;
+    double offered_rate = 0.0;
+    double achieved_rate = 0.0;
+    sim::BufferPool::Stats pool;
+    sim::Simulator::SchedulerStats scheduler;
+    std::uint64_t packet_reuses = 0;
+    std::uint64_t packet_allocs = 0;
+};
+
+SweepCell run_sweep_cell(std::uint64_t virtual_clients, double zipf_s,
+                         bool smoke) {
+    TroxyCluster::Params params;
+    params.base.seed = 42;
+    params.base.batch_size_max = 16;
+    params.base.batch_delay = sim::microseconds(200);
+    params.base.coalesce_wire = true;
+    params.host.coalesce_wire = true;
+    params.host.voter_batch_max = 16;
+    params.host.batch_reply_auth = true;
+    params.ctroxy = true;
+    params.service = []() { return std::make_unique<apps::KvService>(); };
+    params.classifier = [](ByteView request) {
+        return apps::KvService().classify(request);
+    };
+    TroxyCluster cluster(params);
+
+    // The physical session set: what a front-end connection pool would
+    // hold open. The virtual-client population fans out over it.
+    const int connections = 24;
+    std::vector<troxy_core::LegacyClient*> conns;
+    conns.reserve(connections);
+    for (int i = 0; i < connections; ++i) {
+        conns.push_back(&cluster.add_client());
+    }
+
+    const sim::Duration warmup =
+        smoke ? sim::milliseconds(200) : sim::milliseconds(500);
+    const sim::Duration window =
+        smoke ? sim::milliseconds(600) : sim::seconds(2);
+    Recorder recorder(warmup, window);
+
+    OpenLoopOptions wl;
+    wl.rate_per_sec = smoke ? 8000.0 : 20000.0;
+    wl.virtual_clients = virtual_clients;
+    wl.keys = 65536;
+    wl.zipf_s = zipf_s;
+    wl.read_fraction = 0.5;
+    wl.churn_per_sec = 20.0;  // sessions cycling through handshakes
+    OpenLoopSuite suite(
+        cluster.simulator(), recorder, wl,
+        [](Rng&, const OpenLoopArrival& arrival) {
+            const std::string key = "k" + std::to_string(arrival.key);
+            if (arrival.is_read) return apps::KvService::make_get(key);
+            return apps::KvService::make_put(key, std::string(64, 'v'));
+        },
+        params.base.seed);
+    for (auto* conn : conns) suite.add_connection(*conn);
+    suite.start();
+
+    const std::uint64_t alloc_base = g_allocs.load();
+    const auto start = std::chrono::steady_clock::now();
+    cluster.simulator().run_until(recorder.window_end() +
+                                  sim::milliseconds(500));
+
+    SweepCell cell;
+    cell.virtual_clients = virtual_clients;
+    cell.zipf_s = zipf_s;
+    cell.distribution = zipf_s > 0.0
+                            ? "zipf-" + std::to_string(zipf_s).substr(0, 4)
+                            : "uniform";
+    cell.wall_s = wall_seconds_since(start);
+    cell.sim_events = cluster.simulator().executed_events();
+    cell.sim_events_per_sec =
+        static_cast<double>(cell.sim_events) / cell.wall_s;
+    cell.allocs_per_event =
+        static_cast<double>(g_allocs.load() - alloc_base) /
+        static_cast<double>(cell.sim_events);
+    cell.throughput = recorder.throughput_per_sec();
+    cell.p50_ms = recorder.percentile_latency_ms(50);
+    cell.p99_ms = recorder.percentile_latency_ms(99);
+    cell.issued = suite.issued();
+    cell.completed = suite.completed();
+    cell.churned = suite.churned_sessions();
+    cell.offered_rate = wl.rate_per_sec;
+    if (suite.last_arrival() > suite.first_arrival()) {
+        cell.achieved_rate =
+            static_cast<double>(suite.issued() - 1) * 1e9 /
+            static_cast<double>(suite.last_arrival() -
+                                suite.first_arrival());
+    }
+    cell.pool = cluster.network().pool().stats();
+    cell.scheduler = cluster.simulator().scheduler_stats();
+    cell.packet_reuses = cluster.network().packet_reuses();
+    cell.packet_allocs = cluster.network().packet_allocs();
+    return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    troxy::crypto::set_fast_crypto(true);
+
+    bool smoke = false;
+    std::string out_path = "BENCH_scale.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    // Part 1: engine microbench. The chain count is the pending-event
+    // population (every chain keeps one timer outstanding), sized like a
+    // large client fleet's timer load.
+    const std::size_t chains = smoke ? 50000 : 100000;
+    const std::uint64_t events = smoke ? 1000000 : 4000000;
+    std::printf("engine microbench: %zu pending timers, %llu events\n",
+                chains, static_cast<unsigned long long>(events));
+    // Best of three per engine: the ratio should compare engine
+    // capability, not scheduler noise on a shared machine.
+    EngineResult legacy, calendar;
+    for (int rep = 0; rep < 3; ++rep) {
+        const EngineResult r = run_legacy_engine(chains, events);
+        if (r.events_per_sec > legacy.events_per_sec) legacy = r;
+    }
+    std::printf("  binary-heap/std::function: %.2fM events/s, "
+                "%.2f allocs/event\n",
+                legacy.events_per_sec / 1e6, legacy.allocs_per_event);
+    for (int rep = 0; rep < 3; ++rep) {
+        const EngineResult r = run_calendar_engine(chains, events);
+        if (r.events_per_sec > calendar.events_per_sec) calendar = r;
+    }
+    std::printf("  calendar/slab/inline:      %.2fM events/s, "
+                "%.4f allocs/event\n",
+                calendar.events_per_sec / 1e6, calendar.allocs_per_event);
+    const double engine_speedup =
+        calendar.events_per_sec / legacy.events_per_sec;
+    const double alloc_ratio =
+        calendar.allocs_per_event > 0.0
+            ? legacy.allocs_per_event / calendar.allocs_per_event
+            : 1e9;
+    std::printf("  speedup %.2fx, allocation ratio %.0fx\n", engine_speedup,
+                alloc_ratio);
+
+    // Part 2: open-loop scale sweep.
+    std::vector<std::uint64_t> populations =
+        smoke ? std::vector<std::uint64_t>{100000}
+              : std::vector<std::uint64_t>{10000, 100000, 1000000};
+    const std::vector<double> skews = {0.0, 0.99};
+
+    std::vector<SweepCell> cells;
+    for (const std::uint64_t population : populations) {
+        for (const double s : skews) {
+            SweepCell cell = run_sweep_cell(population, s, smoke);
+            std::printf(
+                "  [%7llu clients %-9s] %6.2fs wall, %5.2fM sim-events/s, "
+                "%.3f allocs/event, %.0f req/s, p50 %.2f ms, p99 %.2f ms, "
+                "%llu sessions churned\n",
+                static_cast<unsigned long long>(cell.virtual_clients),
+                cell.distribution.c_str(), cell.wall_s,
+                cell.sim_events_per_sec / 1e6, cell.allocs_per_event,
+                cell.throughput, cell.p50_ms, cell.p99_ms,
+                static_cast<unsigned long long>(cell.churned));
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    std::FILE* json = std::fopen(out_path.c_str(), "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"benchmark\": \"simulator_scale\",\n");
+    std::fprintf(json,
+                 "  \"workload\": \"open-loop aggregate-rate kv ops, "
+                 "virtual clients over 24 sessions, 50%% reads, "
+                 "session churn 20/s\",\n");
+    std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(json, "  \"engine\": {\n");
+    std::fprintf(json,
+                 "    \"legacy_events_per_sec\": %.0f,\n"
+                 "    \"legacy_allocs_per_event\": %.3f,\n"
+                 "    \"calendar_events_per_sec\": %.0f,\n"
+                 "    \"calendar_allocs_per_event\": %.4f,\n"
+                 "    \"engine_speedup\": %.3f,\n"
+                 "    \"alloc_ratio\": %.1f\n  },\n",
+                 legacy.events_per_sec, legacy.allocs_per_event,
+                 calendar.events_per_sec, calendar.allocs_per_event,
+                 engine_speedup, alloc_ratio);
+    std::fprintf(json, "  \"results\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell& c = cells[i];
+        std::fprintf(
+            json,
+            "    {\"virtual_clients\": %llu, \"distribution\": \"%s\", "
+            "\"wall_clock_s\": %.3f, \"sim_events\": %llu, "
+            "\"sim_events_per_sec\": %.0f, \"allocs_per_event\": %.4f, "
+            "\"throughput_per_sec\": %.1f, \"p50_ms\": %.3f, "
+            "\"p99_ms\": %.3f, \"issued\": %llu, \"completed\": %llu, "
+            "\"offered_rate\": %.0f, \"achieved_rate\": %.1f, "
+            "\"churned_sessions\": %llu, \"pool_hits\": %llu, "
+            "\"pool_misses\": %llu, \"packet_reuses\": %llu, "
+            "\"packet_allocs\": %llu, \"inline_callbacks\": %llu, "
+            "\"heap_callbacks\": %llu, \"node_reuses\": %llu, "
+            "\"node_allocs\": %llu, \"buckets\": %llu, "
+            "\"rebuilds\": %llu}%s\n",
+            static_cast<unsigned long long>(c.virtual_clients),
+            c.distribution.c_str(), c.wall_s,
+            static_cast<unsigned long long>(c.sim_events),
+            c.sim_events_per_sec, c.allocs_per_event, c.throughput,
+            c.p50_ms, c.p99_ms,
+            static_cast<unsigned long long>(c.issued),
+            static_cast<unsigned long long>(c.completed), c.offered_rate,
+            c.achieved_rate, static_cast<unsigned long long>(c.churned),
+            static_cast<unsigned long long>(c.pool.hits),
+            static_cast<unsigned long long>(c.pool.misses),
+            static_cast<unsigned long long>(c.packet_reuses),
+            static_cast<unsigned long long>(c.packet_allocs),
+            static_cast<unsigned long long>(c.scheduler.inline_callbacks),
+            static_cast<unsigned long long>(c.scheduler.heap_callbacks),
+            static_cast<unsigned long long>(c.scheduler.node_reuses),
+            static_cast<unsigned long long>(c.scheduler.node_allocs),
+            static_cast<unsigned long long>(c.scheduler.buckets),
+            static_cast<unsigned long long>(c.scheduler.rebuilds),
+            i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -45,6 +45,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
 
     TroxyCluster::Params params;
     params.base.seed = options.seed;
+    params.base.scheduler = options.scheduler;
     params.base.checkpoint_interval = options.checkpoint_interval;
     params.base.batch_size_max = options.batch_size_max;
     params.base.batch_delay = options.batch_delay;

@@ -30,12 +30,18 @@
 #include "hybster/config.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
+#include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
 namespace troxy::bench {
 
 struct ChaosOptions {
     std::uint64_t seed = 1;
+    /// Scheduler engine under test (ClusterOptions::scheduler). The A/B
+    /// determinism test runs the same seed under both engines and demands
+    /// identical verdicts, traces and counters.
+    sim::Simulator::Scheduler scheduler =
+        sim::Simulator::Scheduler::Calendar;
 
     // Workload.
     int clients = 3;

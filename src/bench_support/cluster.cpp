@@ -65,7 +65,7 @@ crypto::X25519Keypair identity_for(std::uint64_t seed, int index) {
 
 ClusterBase::ClusterBase(const ClusterOptions& options)
     : options_(options),
-      sim_(options.seed),
+      sim_(options.seed, options.scheduler),
       network_(sim_),
       fabric_(sim_, network_),
       java_(sim::CostProfile::java()),
@@ -185,23 +185,27 @@ troxy_core::LegacyClient& TroxyCluster::add_client(int contact) {
         client_options_));
     auto* client = clients_.back().get();
     // A coalescing host may ship several client frames as one Bundle;
-    // the client-side dispatch unpacks them like a socket read loop.
-    fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
-        auto unwrapped = net::unwrap(message);
-        if (!unwrapped) return;
-        if (unwrapped->first == net::Channel::Bundle) {
-            auto inner = net::unbundle(unwrapped->second);
-            if (!inner) return;
-            for (const Bytes& m : *inner) {
-                auto u = net::unwrap(m);
-                if (u && u->first == net::Channel::Client) {
-                    client->on_message(from, u->second);
+    // the client-side dispatch unpacks them like a socket read loop. The
+    // wire buffer is consumed in place and recycled for the next sender.
+    fabric_.attach(node.id(), [client, network = &fabric_.network()](
+                                  sim::NodeId from, Bytes message) {
+        auto unwrapped = net::unwrap_view(message);
+        if (unwrapped) {
+            if (unwrapped->first == net::Channel::Bundle) {
+                auto inner = net::unbundle(unwrapped->second);
+                if (inner) {
+                    for (const Bytes& m : *inner) {
+                        auto u = net::unwrap_view(m);
+                        if (u && u->first == net::Channel::Client) {
+                            client->on_message(from, u->second);
+                        }
+                    }
                 }
+            } else if (unwrapped->first == net::Channel::Client) {
+                client->on_message(from, unwrapped->second);
             }
-            return;
         }
-        if (unwrapped->first != net::Channel::Client) return;
-        client->on_message(from, unwrapped->second);
+        network->recycle(std::move(message));
     });
     return *client;
 }
@@ -284,10 +288,13 @@ hybster::Client& BaselineCluster::add_client() {
         fabric_, node, config_, std::move(pinned), std::move(keys), java_,
         client_options));
     auto* client = clients_.back().get();
-    fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
-        auto unwrapped = net::unwrap(message);
-        if (!unwrapped || unwrapped->first != net::Channel::Client) return;
-        client->on_message(from, unwrapped->second);
+    fabric_.attach(node.id(), [client, network = &fabric_.network()](
+                                  sim::NodeId from, Bytes message) {
+        auto unwrapped = net::unwrap_view(message);
+        if (unwrapped && unwrapped->first == net::Channel::Client) {
+            client->on_message(from, unwrapped->second);
+        }
+        network->recycle(std::move(message));
     });
     return *client;
 }
@@ -323,13 +330,14 @@ ProphecyCluster::ProphecyCluster(Params params) : ClusterBase(params.base) {
             static_cast<std::uint32_t>(i), params.service(), macs, java_));
         auto* replica = replicas_.back().get();
         fabric_.attach(config_.replicas[static_cast<std::size_t>(i)],
-                       [replica](sim::NodeId from, Bytes message) {
-                           auto unwrapped = net::unwrap(message);
-                           if (!unwrapped ||
-                               unwrapped->first != net::Channel::Pbft) {
-                               return;
+                       [replica, network = &fabric_.network()](
+                           sim::NodeId from, Bytes message) {
+                           auto unwrapped = net::unwrap_view(message);
+                           if (unwrapped &&
+                               unwrapped->first == net::Channel::Pbft) {
+                               replica->on_message(from, unwrapped->second);
                            }
-                           replica->on_message(from, unwrapped->second);
+                           network->recycle(std::move(message));
                        });
     }
 
@@ -348,10 +356,13 @@ troxy_core::LegacyClient& ProphecyCluster::add_client() {
         std::vector<crypto::X25519Key>{middlebox_identity_.public_key},
         java_, troxy_core::LegacyClient::Options{}));
     auto* client = clients_.back().get();
-    fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
-        auto unwrapped = net::unwrap(message);
-        if (!unwrapped || unwrapped->first != net::Channel::Client) return;
-        client->on_message(from, unwrapped->second);
+    fabric_.attach(node.id(), [client, network = &fabric_.network()](
+                                  sim::NodeId from, Bytes message) {
+        auto unwrapped = net::unwrap_view(message);
+        if (unwrapped && unwrapped->first == net::Channel::Client) {
+            client->on_message(from, unwrapped->second);
+        }
+        network->recycle(std::move(message));
     });
     return *client;
 }
@@ -376,10 +387,13 @@ troxy_core::LegacyClient& StandaloneCluster::add_client() {
         std::vector<crypto::X25519Key>{identity_.public_key}, java_,
         troxy_core::LegacyClient::Options{}));
     auto* client = clients_.back().get();
-    fabric_.attach(node.id(), [client](sim::NodeId from, Bytes message) {
-        auto unwrapped = net::unwrap(message);
-        if (!unwrapped || unwrapped->first != net::Channel::Client) return;
-        client->on_message(from, unwrapped->second);
+    fabric_.attach(node.id(), [client, network = &fabric_.network()](
+                                  sim::NodeId from, Bytes message) {
+        auto unwrapped = net::unwrap_view(message);
+        if (unwrapped && unwrapped->first == net::Channel::Client) {
+            client->on_message(from, unwrapped->second);
+        }
+        network->recycle(std::move(message));
     });
     return *client;
 }

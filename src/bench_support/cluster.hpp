@@ -61,6 +61,10 @@ struct ClusterOptions {
     /// queueing); experiments whose phenomena depend on replica
     /// de-synchronization (read/write conflicts, Fig. 10) opt into it.
     sim::Duration lan_jitter = 0;
+    /// Event-scheduler engine: Calendar is the production O(1) wheel,
+    /// BinaryHeap the simple reference used for determinism A/B checks.
+    sim::Simulator::Scheduler scheduler =
+        sim::Simulator::Scheduler::Calendar;
 };
 
 /// Owns the simulator, network, fabric and nodes shared by a deployment.

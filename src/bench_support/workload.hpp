@@ -6,9 +6,19 @@
 // driver issues requests at a fixed aggregate rate regardless of replies
 // (the JMeter configuration of §VI-D: 100 clients, 500 req/s total,
 // deliberately below saturation).
+//
+// The OpenLoopSuite scales the open-loop model to population sizes the
+// per-client drivers cannot: ONE Poisson arrival chain runs at the
+// aggregate rate and each arrival samples a virtual-client identity and a
+// (possibly Zipf-skewed) key, so a million-client workload costs O(rate)
+// pending timers instead of O(clients). Virtual clients fan out over a
+// bounded set of physical connections; optional churn tears sessions
+// down and re-handshakes them, exercising the Troxy's accept path and
+// cache warmup at a configurable rate.
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "bench_support/stats.hpp"
 #include "common/rng.hpp"
@@ -56,6 +66,110 @@ class Workload {
     Generator generator_;
     Rng rng_;
     std::uint64_t issued_ = 0;
+};
+
+/// Deterministic Zipfian rank sampler over {0, …, n-1} with
+/// P(rank k) ∝ 1/(k+1)^s — rank 0 is the hottest key. Inverts the exact
+/// tabulated CDF (O(n) setup, O(log n) per sample) rather than the
+/// approximate YCSB closed form, so the empirical distribution matches
+/// probability() to chi-squared precision. Every draw consumes exactly
+/// one uniform variate so skewed runs replay deterministically. Valid
+/// for s in [0, 1); s <= 0 degrades to a uniform draw.
+class ZipfianSampler {
+  public:
+    ZipfianSampler(std::uint64_t n, double s);
+
+    [[nodiscard]] std::uint64_t sample(Rng& rng) const noexcept;
+
+    /// Exact P(rank) under the sampler's distribution (for χ² tests).
+    [[nodiscard]] double probability(std::uint64_t rank) const noexcept;
+
+    [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+    [[nodiscard]] double s() const noexcept { return theta_; }
+
+  private:
+    std::uint64_t n_ = 1;
+    double theta_ = 0.0;  // skew exponent (0 = uniform)
+    double zetan_ = 1.0;  // generalized harmonic H_{n,theta}
+    std::vector<double> cdf_;  // cumulative unnormalized weights
+};
+
+/// One sampled open-loop arrival, handed to the request builder.
+struct OpenLoopArrival {
+    std::uint64_t vclient = 0;  // virtual client identity
+    std::uint64_t key = 0;      // Zipf rank (0 = hottest)
+    bool is_read = false;
+};
+
+/// Builds the application payload for one arrival.
+using OpenLoopBuilder = std::function<Bytes(Rng&, const OpenLoopArrival&)>;
+
+struct OpenLoopOptions {
+    /// Aggregate Poisson arrival rate across the whole population.
+    double rate_per_sec = 1000.0;
+    /// Virtual-client identity space fanned over the attached
+    /// connections (vclient % connections picks the physical session).
+    std::uint64_t virtual_clients = 1;
+    /// Key space size (Zipf ranks).
+    std::uint64_t keys = 1;
+    /// Zipf skew; 0 = uniform keys.
+    double zipf_s = 0.0;
+    /// Fraction of arrivals flagged as reads.
+    double read_fraction = 0.0;
+    /// Mean session teardown+re-handshake events per second across the
+    /// connection set (0 = no churn). Each churn event reconnects one
+    /// uniformly chosen connection: fresh handshake, cold session.
+    double churn_per_sec = 0.0;
+};
+
+/// Aggregate-rate open-loop generator: one arrival chain, N virtual
+/// clients, optional key skew and connection churn.
+class OpenLoopSuite {
+  public:
+    OpenLoopSuite(sim::Simulator& simulator, Recorder& recorder,
+                  OpenLoopOptions options, OpenLoopBuilder builder,
+                  std::uint64_t seed);
+
+    /// Registers a physical connection; call before start().
+    void add_connection(troxy_core::LegacyClient& client);
+
+    /// Handshakes every connection, then starts the arrival chain (and
+    /// the churn chain, if configured). Both run until the recorder's
+    /// measurement window closes.
+    void start();
+
+    [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+    [[nodiscard]] std::uint64_t completed() const noexcept {
+        return completed_;
+    }
+    [[nodiscard]] std::uint64_t churned_sessions() const noexcept {
+        return churned_;
+    }
+    /// Timestamp of the first generated arrival (for rate accounting).
+    [[nodiscard]] sim::SimTime first_arrival() const noexcept {
+        return first_arrival_;
+    }
+    [[nodiscard]] sim::SimTime last_arrival() const noexcept {
+        return last_arrival_;
+    }
+
+  private:
+    void schedule_arrival();
+    void schedule_churn();
+
+    sim::Simulator& sim_;
+    Recorder& recorder_;
+    OpenLoopOptions options_;
+    OpenLoopBuilder builder_;
+    ZipfianSampler zipf_;
+    Rng rng_;
+    Rng churn_rng_;
+    std::vector<troxy_core::LegacyClient*> connections_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t churned_ = 0;
+    sim::SimTime first_arrival_ = 0;
+    sim::SimTime last_arrival_ = 0;
 };
 
 }  // namespace troxy::bench

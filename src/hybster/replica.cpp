@@ -56,19 +56,24 @@ CounterValue Replica::expected_counter(SequenceNumber seq) const {
 }
 
 void Replica::broadcast(net::Outbox& outbox, const Message& message) {
-    const Bytes wire = net::wrap(net::Channel::Hybster,
-                                 encode_message(message));
+    // Each destination gets its own frame (the Outbox consumes buffers),
+    // so every copy is drawn from the network's recycled wire buffers.
+    sim::BufferPool& pool = outbox.fabric().network().pool();
+    const Bytes encoded = encode_message(message);
     for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(config_.n());
          ++r) {
         if (r == id_) continue;
-        outbox.send(config_.node_of(r), wire);
+        outbox.send(config_.node_of(r),
+                    net::wrap_pooled(pool, net::Channel::Hybster, encoded));
     }
 }
 
 void Replica::send_to(net::Outbox& outbox, std::uint32_t replica,
                       const Message& message) {
+    sim::BufferPool& pool = outbox.fabric().network().pool();
     outbox.send(config_.node_of(replica),
-                net::wrap(net::Channel::Hybster, encode_message(message)));
+                net::wrap_pooled(pool, net::Channel::Hybster,
+                                 encode_message(message)));
 }
 
 void Replica::on_message(sim::NodeId from, ByteView payload) {

@@ -14,6 +14,7 @@
 
 #include "common/bytes.hpp"
 #include "common/serialize.hpp"
+#include "sim/pool.hpp"
 
 namespace troxy::net {
 
@@ -51,6 +52,37 @@ inline std::optional<std::pair<Channel, Bytes>> unwrap(ByteView message) {
     }
     return std::make_pair(channel,
                           Bytes(message.begin() + 1, message.end()));
+}
+
+/// Zero-copy unwrap: the returned view aliases `message` (valid only as
+/// long as the underlying buffer is). Use when the payload is consumed in
+/// place, e.g. to peek at a channel or decode without detaching the bytes.
+inline std::optional<std::pair<Channel, ByteView>> unwrap_view(
+    ByteView message) {
+    if (message.empty()) return std::nullopt;
+    const auto channel = static_cast<Channel>(message[0]);
+    switch (channel) {
+        case Channel::Hybster:
+        case Channel::Pbft:
+        case Channel::Client:
+        case Channel::TroxyCache:
+        case Channel::Middlebox:
+        case Channel::Bundle:
+            break;
+        default:
+            return std::nullopt;
+    }
+    return std::make_pair(channel, message.subspan(1));
+}
+
+/// wrap() into a pool-recycled buffer: the envelope frame reuses a retired
+/// wire buffer of the right size class instead of allocating a fresh one.
+inline Bytes wrap_pooled(sim::BufferPool& pool, Channel channel,
+                         ByteView payload) {
+    Bytes frame = pool.acquire_empty(1 + payload.size());
+    frame.push_back(static_cast<std::uint8_t>(channel));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
 }
 
 /// Coalesces several already-wrapped messages into one Bundle frame:

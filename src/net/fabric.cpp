@@ -14,13 +14,23 @@ void Fabric::attach(sim::NodeId id, Handler handler) {
 void Fabric::detach(sim::NodeId id) { handlers_.erase(id); }
 
 void Fabric::send(sim::NodeId from, sim::NodeId to, Bytes message) {
-    const std::size_t size = message.size();
-    network_.send(from, to, size,
-                  [this, from, to, msg = std::move(message)]() mutable {
-                      const auto it = handlers_.find(to);
-                      if (it == handlers_.end()) return;  // crashed endpoint
-                      it->second(from, std::move(msg));
-                  });
+    // The payload send path carries the buffer on a slab-recycled packet
+    // record and dispatches through a function pointer, so the hot path
+    // allocates neither a closure nor a payload copy.
+    network_.send(from, to, std::move(message),
+                  sim::Network::PayloadTarget{this, &Fabric::dispatch});
+}
+
+void Fabric::dispatch(void* ctx, sim::NodeId from, sim::NodeId to,
+                      Bytes payload) {
+    auto* fabric = static_cast<Fabric*>(ctx);
+    const auto it = fabric->handlers_.find(to);
+    if (it == fabric->handlers_.end()) {
+        // Crashed endpoint: the message dies here, but its buffer does not.
+        fabric->network_.recycle(std::move(payload));
+        return;
+    }
+    it->second(from, std::move(payload));
 }
 
 }  // namespace troxy::net

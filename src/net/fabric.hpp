@@ -9,7 +9,7 @@
 #pragma once
 
 #include <functional>
-#include <map>
+#include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "sim/network.hpp"
@@ -36,9 +36,12 @@ class Fabric {
     [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
   private:
+    static void dispatch(void* ctx, sim::NodeId from, sim::NodeId to,
+                         Bytes payload);
+
     sim::Simulator& sim_;
     sim::Network& network_;
-    std::map<sim::NodeId, Handler> handlers_;
+    std::unordered_map<sim::NodeId, Handler> handlers_;
 };
 
 }  // namespace troxy::net

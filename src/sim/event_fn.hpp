@@ -1,0 +1,127 @@
+// Small-buffer-optimized event callback.
+//
+// The scheduler fast path must not touch the allocator: almost every
+// closure scheduled by the protocol code captures a few pointers and
+// integers, so EventFn stores callables up to kInlineSize bytes inline
+// and only spills larger ones to the heap. Unlike std::function it is
+// move-only (no copy on the pop path — the simulator executes events in
+// place) and reports whether it spilled, so the engine can count heap
+// closures in its stats.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace troxy::sim {
+
+class EventFn {
+  public:
+    /// Captures up to this many bytes live inline; larger callables heap-
+    /// allocate once at construction (never on pop/execute).
+    static constexpr std::size_t kInlineSize = 48;
+
+    EventFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                      // std::function at every schedule call site
+        using D = std::decay_t<F>;
+        if constexpr (sizeof(D) <= kInlineSize &&
+                      alignof(D) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<D>) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+            ops_ = &inline_ops<D>;
+        } else {
+            ::new (static_cast<void*>(storage_))
+                D*(new D(std::forward<F>(f)));
+            ops_ = &heap_ops<D>;
+        }
+    }
+
+    EventFn(EventFn&& other) noexcept { move_from(std::move(other)); }
+
+    EventFn& operator=(EventFn&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(std::move(other));
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn&) = delete;
+    EventFn& operator=(const EventFn&) = delete;
+
+    ~EventFn() { reset(); }
+
+    void operator()() { ops_->invoke(storage_); }
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+        return ops_ != nullptr;
+    }
+
+    /// True if the callable spilled to the heap (captures > kInlineSize).
+    [[nodiscard]] bool on_heap() const noexcept {
+        return ops_ != nullptr && ops_->heap;
+    }
+
+    void reset() noexcept {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops {
+        void (*invoke)(unsigned char*);
+        void (*relocate)(unsigned char*, unsigned char*);  // move + destroy
+        void (*destroy)(unsigned char*);
+        bool heap;
+    };
+
+    template <typename D>
+    static constexpr Ops inline_ops = {
+        [](unsigned char* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+        [](unsigned char* dst, unsigned char* src) {
+            D* from = std::launder(reinterpret_cast<D*>(src));
+            ::new (static_cast<void*>(dst)) D(std::move(*from));
+            from->~D();
+        },
+        [](unsigned char* s) { std::launder(reinterpret_cast<D*>(s))->~D(); },
+        false,
+    };
+
+    template <typename D>
+    static constexpr Ops heap_ops = {
+        [](unsigned char* s) {
+            (**std::launder(reinterpret_cast<D**>(s)))();
+        },
+        [](unsigned char* dst, unsigned char* src) {
+            D** from = std::launder(reinterpret_cast<D**>(src));
+            ::new (static_cast<void*>(dst)) D*(*from);
+        },
+        [](unsigned char* s) {
+            delete *std::launder(reinterpret_cast<D**>(s));
+        },
+        true,
+    };
+
+    void move_from(EventFn&& other) noexcept {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace troxy::sim

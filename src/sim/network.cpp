@@ -153,6 +153,25 @@ bool Network::fault_drops(NodeId from, NodeId to, std::size_t bytes) {
     return false;
 }
 
+Network::Packet* Network::alloc_packet() {
+    if (free_packets_ != nullptr) {
+        Packet* packet = free_packets_;
+        free_packets_ = packet->next_free;
+        packet->next_free = nullptr;
+        ++packet_reuses_;
+        return packet;
+    }
+    ++packet_allocs_;
+    return &packet_slab_.emplace_back();
+}
+
+void Network::free_packet(Packet* packet) noexcept {
+    packet->target = PayloadTarget{};
+    packet->plain = nullptr;
+    packet->next_free = free_packets_;
+    free_packets_ = packet;
+}
+
 void Network::send(NodeId from, NodeId to, std::size_t bytes,
                    std::function<void()> deliver) {
     // The sender always pays for the send; counting happens before the
@@ -163,6 +182,41 @@ void Network::send(NodeId from, NodeId to, std::size_t bytes,
 
     if (fault_drops(from, to, bytes)) return;
 
+    Packet* packet = alloc_packet();
+    packet->plain = std::move(deliver);
+    packet->from = from;
+    packet->to = to;
+    send_packet(bytes, packet);
+}
+
+void Network::send(NodeId from, NodeId to, Bytes payload,
+                   PayloadTarget target) {
+    const std::size_t bytes = payload.size();
+    ++messages_sent_;
+    bytes_sent_ += bytes;
+
+    if (fault_drops(from, to, bytes)) {
+        // Dropped messages still retire their buffer into the pool, so a
+        // lossy run recycles as well as a clean one.
+        if (pool_.release_counted(std::move(payload))) {
+            ++drops_.pool_hits;
+        } else {
+            ++drops_.pool_misses;
+        }
+        return;
+    }
+
+    Packet* packet = alloc_packet();
+    packet->payload = std::move(payload);
+    packet->target = target;
+    packet->from = from;
+    packet->to = to;
+    send_packet(bytes, packet);
+}
+
+void Network::send_packet(std::size_t bytes, Packet* packet) {
+    const NodeId from = packet->from;
+    const NodeId to = packet->to;
     const LinkSpec& spec = spec_for(from, to);
 
     // Wire framing overhead (Ethernet + IP + TCP headers, amortized).
@@ -205,20 +259,38 @@ void Network::send(NodeId from, NodeId to, std::size_t bytes,
         // An intermediate event runs at arrival time (the simulator
         // executes those in time order), so the scalar ingress chain is
         // correct.
-        const int group = to_group->second;
-        sim_.at(arrival, [this, group, wire_bits,
-                          deliver = std::move(deliver)]() mutable {
-            NicGroup& nic = nic_groups_[group];
-            const Duration rx = static_cast<Duration>(
-                wire_bits * 1e9 / nic.bandwidth_bits_per_sec);
-            const SimTime done =
-                std::max(sim_.now(), nic.ingress_free_at) + rx;
-            nic.ingress_free_at = done;
-            sim_.at(done, std::move(deliver));
-        });
+        packet->wire_bits = wire_bits;
+        packet->ingress_group = to_group->second;
+        sim_.at(arrival, [this, packet] { ingress_packet(packet); });
         return;
     }
-    sim_.at(arrival, std::move(deliver));
+    sim_.at(arrival, [this, packet] { deliver_packet(packet); });
+}
+
+void Network::ingress_packet(Packet* packet) {
+    NicGroup& nic = nic_groups_[packet->ingress_group];
+    const Duration rx = static_cast<Duration>(
+        packet->wire_bits * 1e9 / nic.bandwidth_bits_per_sec);
+    const SimTime done = std::max(sim_.now(), nic.ingress_free_at) + rx;
+    nic.ingress_free_at = done;
+    sim_.at(done, [this, packet] { deliver_packet(packet); });
+}
+
+void Network::deliver_packet(Packet* packet) {
+    if (packet->target.fn != nullptr) {
+        const PayloadTarget target = packet->target;
+        const NodeId from = packet->from;
+        const NodeId to = packet->to;
+        Bytes payload = std::move(packet->payload);
+        free_packet(packet);
+        target.fn(target.ctx, from, to, std::move(payload));
+        return;
+    }
+    // Legacy closure path: the callback may re-enter the network, so the
+    // packet is freed before it runs.
+    std::function<void()> deliver = std::move(packet->plain);
+    free_packet(packet);
+    deliver();
 }
 
 }  // namespace troxy::sim

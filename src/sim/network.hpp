@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -23,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "sim/node.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace troxy::sim {
@@ -67,6 +69,10 @@ struct DropCounters {
     std::uint64_t by_link_down = 0;  // explicit link failure
     std::uint64_t by_partition = 0;  // named partition separation
     std::uint64_t bytes = 0;         // payload bytes across all causes
+    // Payload recycling on the drop path: buffers of dropped messages
+    // returned to the size-class pool (hit) vs discarded (miss).
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;
 
     [[nodiscard]] std::uint64_t total() const noexcept {
         return by_loss + by_link_down + by_partition;
@@ -126,6 +132,31 @@ class Network {
     void send(NodeId from, NodeId to, std::size_t bytes,
               std::function<void()> deliver);
 
+    /// Payload delivery target: a plain function pointer plus context, so
+    /// in-flight messages carry no std::function on the payload path.
+    struct PayloadTarget {
+        void* ctx = nullptr;
+        void (*fn)(void* ctx, NodeId from, NodeId to, Bytes payload) =
+            nullptr;
+    };
+
+    /// Payload-carrying send: the network owns the buffer while the
+    /// message is in flight (slab-recycled packet records, no per-message
+    /// closure allocation) and hands it to `target` at delivery time.
+    /// Payloads of dropped messages are recycled into the buffer pool.
+    void send(NodeId from, NodeId to, Bytes payload, PayloadTarget target);
+
+    /// The network's size-class payload pool. Senders acquire() wire
+    /// buffers from it and receivers recycle() exhausted ones, closing
+    /// the allocation loop across the message cycle.
+    [[nodiscard]] BufferPool& pool() noexcept { return pool_; }
+    [[nodiscard]] Bytes acquire(std::size_t size) {
+        return pool_.acquire(size);
+    }
+    void recycle(Bytes&& buffer) noexcept {
+        pool_.release(std::move(buffer));
+    }
+
     [[nodiscard]] std::uint64_t messages_sent() const noexcept {
         return messages_sent_;
     }
@@ -135,6 +166,13 @@ class Network {
     [[nodiscard]] const DropCounters& drops() const noexcept {
         return drops_;
     }
+    /// In-flight packet-record slab behaviour (fresh vs freelist).
+    [[nodiscard]] std::uint64_t packet_allocs() const noexcept {
+        return packet_allocs_;
+    }
+    [[nodiscard]] std::uint64_t packet_reuses() const noexcept {
+        return packet_reuses_;
+    }
 
   private:
     struct NicGroup {
@@ -143,9 +181,29 @@ class Network {
         SimTime ingress_free_at = 0;
     };
 
+    /// In-flight message record, slab-allocated and freelist-recycled.
+    /// Exactly one of `target.fn` / `plain` is set.
+    struct Packet {
+        Bytes payload;
+        PayloadTarget target;
+        std::function<void()> plain;  // legacy closure path
+        NodeId from = 0;
+        NodeId to = 0;
+        double wire_bits = 0.0;
+        int ingress_group = 0;
+        Packet* next_free = nullptr;
+    };
+
     [[nodiscard]] const LinkSpec& spec_for(NodeId from, NodeId to) const;
     [[nodiscard]] bool fault_drops(NodeId from, NodeId to,
                                    std::size_t bytes);
+
+    Packet* alloc_packet();
+    void free_packet(Packet* packet) noexcept;
+    /// Shared latency/bandwidth/FIFO path; consumes the packet.
+    void send_packet(std::size_t bytes, Packet* packet);
+    void ingress_packet(Packet* packet);
+    void deliver_packet(Packet* packet);
 
     Simulator& sim_;
     Rng rng_;
@@ -162,6 +220,11 @@ class Network {
     std::uint64_t messages_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;
     DropCounters drops_;
+    BufferPool pool_;
+    std::deque<Packet> packet_slab_;
+    Packet* free_packets_ = nullptr;
+    std::uint64_t packet_allocs_ = 0;
+    std::uint64_t packet_reuses_ = 0;
 };
 
 }  // namespace troxy::sim

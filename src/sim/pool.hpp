@@ -1,0 +1,69 @@
+// Size-class buffer pool.
+//
+// Wire messages and payload buffers churn through the simulator at
+// millions per run; allocating a fresh std::vector backing store for each
+// one makes malloc the hot path. The pool recycles Bytes objects in a
+// small set of capacity classes: release() banks a retired buffer on its
+// class freelist (LIFO, bounded depth), acquire() hands the capacity back
+// out without touching the allocator. Contents of acquired buffers are
+// unspecified — callers overwrite every byte they use.
+//
+// The pool is fully deterministic (no randomness, LIFO order) so pooled
+// runs replay bit-identically to unpooled ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace troxy::sim {
+
+class BufferPool {
+  public:
+    /// Capacity classes; buffers above the largest class are never pooled.
+    static constexpr std::array<std::size_t, 6> kClassSizes = {
+        64, 256, 1024, 4096, 16384, 65536};
+    /// Buffers kept per class; extra releases are discarded to bound
+    /// steady-state memory.
+    static constexpr std::size_t kMaxDepth = 256;
+
+    struct Stats {
+        std::uint64_t hits = 0;       // acquires served from a freelist
+        std::uint64_t misses = 0;     // acquires that had to allocate
+        std::uint64_t recycled = 0;   // releases banked on a freelist
+        std::uint64_t discarded = 0;  // releases dropped (size/depth)
+    };
+
+    /// Returns a buffer of exactly `size` bytes (unspecified contents),
+    /// recycled when a matching class has stock.
+    [[nodiscard]] Bytes acquire(std::size_t size);
+
+    /// Like acquire() but returns an *empty* buffer whose capacity covers
+    /// `capacity` bytes — for append-style writers.
+    [[nodiscard]] Bytes acquire_empty(std::size_t capacity);
+
+    /// Banks a retired buffer for reuse; cheap no-op when it does not fit
+    /// any class or the class is full.
+    void release(Bytes&& buffer) noexcept;
+
+    /// release() that reports whether the buffer was banked (true) or
+    /// discarded (false) — for callers that keep their own counters.
+    bool release_counted(Bytes&& buffer) noexcept;
+
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  private:
+    /// Smallest class covering `size`; kClassSizes.size() if oversize.
+    [[nodiscard]] static std::size_t class_for(std::size_t size) noexcept;
+    /// Largest class a buffer of `capacity` can serve; kClassSizes.size()
+    /// if below the smallest class.
+    [[nodiscard]] static std::size_t class_of_capacity(
+        std::size_t capacity) noexcept;
+
+    std::array<std::vector<Bytes>, kClassSizes.size()> classes_;
+    Stats stats_;
+};
+
+}  // namespace troxy::sim

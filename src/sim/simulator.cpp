@@ -1,29 +1,325 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <new>
+
 #include "common/assert.hpp"
 
 namespace troxy::sim {
+namespace {
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
-
-void Simulator::at(SimTime t, std::function<void()> fn) {
-    TROXY_ASSERT(t >= now_, "cannot schedule an event in the past");
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+/// Smallest power of two >= v, clamped to [lo, hi].
+std::size_t pow2_clamp(std::size_t v, std::size_t lo, std::size_t hi) {
+    std::size_t p = lo;
+    while (p < v && p < hi) p <<= 1;
+    return p;
 }
 
-void Simulator::after(Duration delay, std::function<void()> fn) {
+struct HeapLater {
+    bool operator()(const auto* a, const auto* b) const noexcept {
+        if (a->time != b->time) return a->time > b->time;
+        return a->seq > b->seq;
+    }
+};
+
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed, Scheduler scheduler)
+    : scheduler_(scheduler), rng_(seed) {
+    if (scheduler_ == Scheduler::Calendar) {
+        buckets_.resize(kMinBuckets);
+        mask_ = kMinBuckets - 1;
+        width_shift_ = 10;  // 1024 ns, nearest power of two to 1 us
+        width_ = Duration{1} << width_shift_;
+        far_threshold_ = static_cast<SimTime>(kMinBuckets) * width_ * 4;
+        stats_.buckets = kMinBuckets;
+    }
+}
+
+Simulator::~Simulator() {
+    for (Bucket& bucket : buckets_) destroy_list(bucket.head);
+    destroy_list(far_head_);
+    for (EventNode* node : heap_) {
+        node->~EventNode();
+    }
+    for (unsigned char* chunk : chunks_) {
+        ::operator delete(chunk, std::align_val_t{alignof(EventNode)});
+    }
+}
+
+void Simulator::destroy_list(EventNode* node) noexcept {
+    while (node != nullptr) {
+        EventNode* next = node->next;
+        node->~EventNode();
+        node = next;
+    }
+}
+
+// ---------------------------------------------------------------- slab
+
+Simulator::EventNode* Simulator::alloc_node(SimTime t, EventFn&& fn) {
+    void* slot;
+    if (free_head_ != nullptr) {
+        slot = free_head_;
+        free_head_ = *static_cast<void**>(free_head_);
+        ++stats_.node_reuses;
+    } else {
+        if (chunk_used_ == kChunkNodes) {
+            chunks_.push_back(static_cast<unsigned char*>(::operator new(
+                kChunkNodes * sizeof(EventNode),
+                std::align_val_t{alignof(EventNode)})));
+            chunk_used_ = 0;
+        }
+        slot = chunks_.back() + chunk_used_ * sizeof(EventNode);
+        ++chunk_used_;
+        ++stats_.node_allocs;
+    }
+    return ::new (slot) EventNode{t, next_seq_++, nullptr, std::move(fn)};
+}
+
+void Simulator::recycle_node(EventNode* node) noexcept {
+    node->~EventNode();
+    *reinterpret_cast<void**>(node) = free_head_;
+    free_head_ = node;
+}
+
+// ----------------------------------------------------------- scheduling
+
+void Simulator::at(SimTime t, EventFn fn) {
+    TROXY_ASSERT(t >= now_, "cannot schedule an event in the past");
+    ++stats_.scheduled;
+    if (fn.on_heap()) {
+        ++stats_.heap_callbacks;
+    } else {
+        ++stats_.inline_callbacks;
+    }
+    insert(alloc_node(t, std::move(fn)));
+}
+
+void Simulator::after(Duration delay, EventFn fn) {
     at(now_ + delay, std::move(fn));
 }
 
+void Simulator::insert(EventNode* node) {
+    ++size_;
+    if (scheduler_ == Scheduler::BinaryHeap) {
+        heap_.push_back(node);
+        std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+        return;
+    }
+    if (wheel_count_ >= buckets_.size() * 2 &&
+        buckets_.size() < kMaxBuckets) {
+        rebuild();
+    }
+    if (node->time >= far_threshold_) {
+        ++stats_.far_events;
+        node->next = far_head_;
+        far_head_ = node;
+        ++far_count_;
+        return;
+    }
+    wheel_insert(node);
+}
+
+void Simulator::wheel_insert(EventNode* node) noexcept {
+    const std::uint64_t id = node->time >> width_shift_;
+    if (id < scan_id_) scan_id_ = id;  // keep the scan behind every event
+    Bucket& bucket = buckets_[id & mask_];
+    ++wheel_count_;
+    if (bucket.head == nullptr) {
+        node->next = nullptr;
+        bucket.head = bucket.tail = node;
+        return;
+    }
+    // Monotone fast path: live inserts arrive in seq order, so most land
+    // at or after the tail in O(1). The seq comparison matters for
+    // rebuild(), which reinserts nodes in arbitrary order — an equal-time
+    // node must still sort by seq.
+    if (node->time > bucket.tail->time ||
+        (node->time == bucket.tail->time && node->seq > bucket.tail->seq)) {
+        node->next = nullptr;
+        bucket.tail->next = node;
+        bucket.tail = node;
+        return;
+    }
+    // Out-of-order insert: walk to the (time, seq) position.
+    EventNode** link = &bucket.head;
+    while (*link != nullptr && ((*link)->time < node->time ||
+                                ((*link)->time == node->time &&
+                                 (*link)->seq < node->seq))) {
+        link = &(*link)->next;
+    }
+    node->next = *link;
+    *link = node;
+    if (node->next == nullptr) bucket.tail = node;
+}
+
+Simulator::EventNode* Simulator::peek_next() {
+    if (scheduler_ == Scheduler::BinaryHeap) {
+        return heap_.empty() ? nullptr : heap_.front();
+    }
+    if (wheel_count_ == 0) {
+        if (far_count_ == 0) return nullptr;
+        rebuild();  // migrate the far-list into a resized wheel
+    }
+    const std::size_t nb = buckets_.size();
+    std::size_t steps = 0;
+    while (true) {
+        Bucket& bucket = buckets_[scan_id_ & mask_];
+        EventNode* head = bucket.head;
+        // The year check: the head is due only if it belongs to the
+        // bucket id currently scanned (aliased future years stay put).
+        if (head != nullptr &&
+            (head->time >> width_shift_) == scan_id_) {
+            // The likeliest next pop is this node's in-bucket successor;
+            // warm its line while the callback runs.
+            __builtin_prefetch(head->next);
+            return head;
+        }
+        ++scan_id_;
+        if (++steps > nb) return direct_search();
+    }
+}
+
+Simulator::EventNode* Simulator::direct_search() noexcept {
+    ++stats_.direct_searches;
+    EventNode* best = nullptr;
+    for (Bucket& bucket : buckets_) {
+        // Equal head times are impossible across buckets (equal time
+        // implies equal bucket), so comparing times alone is exact.
+        if (bucket.head != nullptr &&
+            (best == nullptr || bucket.head->time < best->time)) {
+            best = bucket.head;
+        }
+    }
+    scan_id_ = best->time >> width_shift_;
+    return best;
+}
+
+void Simulator::pop_peeked(EventNode* node) noexcept {
+    --size_;
+    if (scheduler_ == Scheduler::BinaryHeap) {
+        std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+        heap_.pop_back();
+        return;
+    }
+    Bucket& bucket = buckets_[scan_id_ & mask_];
+    bucket.head = node->next;
+    if (bucket.head == nullptr) bucket.tail = nullptr;
+    --wheel_count_;
+}
+
+void Simulator::maybe_recalibrate() {
+    // Width drift check. Growth-triggered rebuilds fix the bucket COUNT
+    // but a steady-state population never grows, so a width chosen under
+    // a different event density (e.g. during initial seeding, before any
+    // pop has measured a gap) would persist forever — and a wheel whose
+    // width is 100x the head gap degenerates into long sorted-list walks
+    // inside each bucket. Every 4096 pops, measure the mean inter-pop gap
+    // over the window (elapsed sim time / pops — exact, no truncation
+    // bias, unlike a per-pop integer EMA which oscillates) and re-derive
+    // the wheel once the width leaves a factor-4 band around the 2x-gap
+    // target. Rebuilds never change the (time, seq) pop order, so
+    // recalibration cannot perturb determinism.
+    if ((executed_ & 0xFFF) != 0) return;
+    const std::uint64_t pops = executed_ - recal_pops_;
+    const SimTime elapsed = now_ - recal_time_;
+    recal_pops_ = executed_;
+    recal_time_ = now_;
+    if (pops == 0) return;
+    if (wheel_count_ + far_count_ < kMinBuckets) return;
+    avg_gap_ =
+        std::max<Duration>(static_cast<Duration>(elapsed / pops), 1);
+    const Duration target = avg_gap_ * 2;
+    if (width_ > target * 4 || target > width_ * 4) rebuild();
+}
+
+void Simulator::rebuild() {
+    ++stats_.rebuilds;
+    // Collect every pending node into one unordered list.
+    EventNode* all = nullptr;
+    SimTime min_time = ~SimTime{0};
+    for (Bucket& bucket : buckets_) {
+        EventNode* node = bucket.head;
+        while (node != nullptr) {
+            EventNode* next = node->next;
+            if (node->time < min_time) min_time = node->time;
+            node->next = all;
+            all = node;
+            node = next;
+        }
+        bucket.head = bucket.tail = nullptr;
+    }
+    EventNode* node = far_head_;
+    while (node != nullptr) {
+        EventNode* next = node->next;
+        if (node->time < min_time) min_time = node->time;
+        node->next = all;
+        all = node;
+        node = next;
+    }
+    far_head_ = nullptr;
+    far_count_ = 0;
+    wheel_count_ = 0;
+
+    // Size the wheel to the population and pick the bucket width from the
+    // observed head density (EMA of inter-pop gaps): events near the
+    // scan land ~2 per bucket regardless of how far the outliers reach.
+    const std::size_t nb = pow2_clamp(size_, kMinBuckets, kMaxBuckets);
+    buckets_.assign(nb, Bucket{});
+    mask_ = nb - 1;
+    stats_.buckets = nb;
+    // Power-of-two width covering the 2x-gap target: bucket ids become
+    // shifts instead of 64-bit divisions on the insert and scan paths.
+    const Duration target = std::max<Duration>(avg_gap_ * 2, 1);
+    width_shift_ = 0;
+    while ((Duration{1} << width_shift_) < target && width_shift_ < 40) {
+        ++width_shift_;
+    }
+    width_ = Duration{1} << width_shift_;
+    const SimTime base = size_ > 0 ? min_time : now_;
+    scan_id_ = base >> width_shift_;
+    // The wheel horizon: eight rotations of headroom. Events beyond it
+    // go to the far-list and migrate on a later rebuild; the generous
+    // horizon keeps those O(n) era migrations rare.
+    const SimTime horizon =
+        static_cast<SimTime>(nb) * width_ * 8;
+    far_threshold_ =
+        base > ~SimTime{0} - horizon ? ~SimTime{0} : base + horizon;
+#ifdef TROXY_TRACE_REBUILD
+    std::fprintf(stderr, "rebuild: exec=%llu size=%zu nb=%zu width=%lld avg_gap=%lld base=%llu thr=%llu\n",
+        (unsigned long long)executed_, size_, nb, (long long)width_, (long long)avg_gap_,
+        (unsigned long long)base, (unsigned long long)far_threshold_);
+#endif
+
+    while (all != nullptr) {
+        EventNode* next = all->next;
+        if (all->time >= far_threshold_) {
+            all->next = far_head_;
+            far_head_ = all;
+            ++far_count_;
+        } else {
+            wheel_insert(all);
+        }
+        all = next;
+    }
+}
+
+// ------------------------------------------------------------ execution
+
 bool Simulator::step() {
-    if (queue_.empty()) return false;
-    // priority_queue::top() is const; the event is copied out so the
-    // handler may schedule further events (including at the same time).
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
+    EventNode* node = peek_next();
+    if (node == nullptr) return false;
+    pop_peeked(node);
+    now_ = node->time;
     ++executed_;
-    ev.fn();
+    if (scheduler_ == Scheduler::Calendar) maybe_recalibrate();
+    // The callback runs in place inside its (unlinked) slab node — no
+    // copy and no move on the pop path; the node is recycled only after
+    // the handler returns, since the handler may schedule further events.
+    node->fn();
+    recycle_node(node);
     return true;
 }
 
@@ -33,7 +329,16 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(SimTime t) {
-    while (!queue_.empty() && queue_.top().time <= t) step();
+    while (true) {
+        EventNode* node = peek_next();
+        if (node == nullptr || node->time > t) break;
+        pop_peeked(node);
+        now_ = node->time;
+        ++executed_;
+        if (scheduler_ == Scheduler::Calendar) maybe_recalibrate();
+        node->fn();
+        recycle_node(node);
+    }
     if (now_ < t) now_ = t;
 }
 

@@ -1,25 +1,59 @@
 // Discrete-event simulation core.
 //
-// A Simulator owns a priority queue of timestamped events. Replicas,
-// Troxies, middleboxes, clients and the network are all event handlers on
-// this queue; an experiment is "schedule initial events, run until the
+// A Simulator owns a scheduler of timestamped events. Replicas, Troxies,
+// middleboxes, clients and the network are all event handlers on this
+// queue; an experiment is "schedule initial events, run until the
 // measurement window closes". Ties are broken by insertion order, so runs
 // are fully deterministic.
+//
+// The default scheduler is a calendar queue (Brown 1988): a lazily
+// resized wheel of time-sorted buckets with an unsorted far-list for
+// events beyond the wheel horizon. Insert and pop are O(1) amortized
+// versus O(log n) for a binary heap, and both the event records and their
+// callbacks avoid the allocator on the hot path — records come from an
+// internal slab with freelist recycling and callbacks are
+// small-buffer-optimized EventFn values executed in place (never copied
+// out on pop). Ordering is structural — strictly by (time, insertion
+// seq) — so the calendar queue replays every seed identically to the
+// binary-heap reference engine, which is kept selectable for A/B
+// determinism tests and before/after microbenchmarks.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace troxy::sim {
 
 class Simulator {
   public:
-    explicit Simulator(std::uint64_t seed = 1);
+    enum class Scheduler {
+        Calendar,    // bucket wheel + far-list, O(1) amortized (default)
+        BinaryHeap,  // reference engine for determinism A/B tests
+    };
+
+    /// Engine observability: allocation behaviour and wheel dynamics.
+    struct SchedulerStats {
+        std::uint64_t scheduled = 0;         // events accepted by at()
+        std::uint64_t inline_callbacks = 0;  // captures fit in EventFn
+        std::uint64_t heap_callbacks = 0;    // captures spilled to heap
+        std::uint64_t node_allocs = 0;       // fresh slab carves
+        std::uint64_t node_reuses = 0;       // freelist recycles
+        std::uint64_t far_events = 0;        // routed past the horizon
+        std::uint64_t rebuilds = 0;          // wheel resizes/migrations
+        std::uint64_t direct_searches = 0;   // full-rotation fallbacks
+        std::size_t buckets = 0;             // current wheel size
+    };
+
+    explicit Simulator(std::uint64_t seed = 1,
+                       Scheduler scheduler = Scheduler::Calendar);
+    ~Simulator();
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
 
     [[nodiscard]] SimTime now() const noexcept { return now_; }
 
@@ -27,10 +61,10 @@ class Simulator {
     Rng& rng() noexcept { return rng_; }
 
     /// Schedules `fn` at absolute time `t` (>= now).
-    void at(SimTime t, std::function<void()> fn);
+    void at(SimTime t, EventFn fn);
 
     /// Schedules `fn` `delay` nanoseconds from now.
-    void after(Duration delay, std::function<void()> fn);
+    void after(Duration delay, EventFn fn);
 
     /// Executes the next event; returns false if the queue is empty.
     bool step();
@@ -42,7 +76,7 @@ class Simulator {
     void run_until(SimTime t);
 
     [[nodiscard]] std::size_t pending_events() const noexcept {
-        return queue_.size();
+        return size_;
     }
 
     /// Total events executed (sanity metric for tests).
@@ -50,24 +84,78 @@ class Simulator {
         return executed_;
     }
 
+    [[nodiscard]] Scheduler scheduler() const noexcept { return scheduler_; }
+
+    [[nodiscard]] const SchedulerStats& scheduler_stats() const noexcept {
+        return stats_;
+    }
+
   private:
-    struct Event {
+    struct EventNode {
         SimTime time;
         std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-        std::function<void()> fn;
+        EventNode* next;    // bucket / far / free list link
+        EventFn fn;
     };
 
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const noexcept {
-            if (a.time != b.time) return a.time > b.time;
-            return a.seq > b.seq;
-        }
+    /// One wheel slot: a (time, seq)-sorted singly-linked list. The tail
+    /// pointer makes the common monotone insert (>= everything already in
+    /// the slot) O(1), so same-instant bursts do not degenerate.
+    struct Bucket {
+        EventNode* head = nullptr;
+        EventNode* tail = nullptr;
     };
 
+    // ------------------------------------------------------------- slab
+    EventNode* alloc_node(SimTime t, EventFn&& fn);
+    void recycle_node(EventNode* node) noexcept;
+    void destroy_list(EventNode* node) noexcept;
+
+    // -------------------------------------------------------- scheduler
+    void insert(EventNode* node);
+    void wheel_insert(EventNode* node) noexcept;
+    [[nodiscard]] EventNode* peek_next();
+    void pop_peeked(EventNode* node) noexcept;
+    EventNode* direct_search() noexcept;
+    void maybe_recalibrate();
+    void rebuild();
+
+    static constexpr std::size_t kMinBuckets = 64;
+    static constexpr std::size_t kMaxBuckets = std::size_t{1} << 21;
+    static constexpr std::size_t kChunkNodes = 512;
+
+    Scheduler scheduler_;
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::size_t size_ = 0;  // wheel + far (+ heap) population
+    SchedulerStats stats_;
+
+    // Calendar wheel. scan_id_ is the absolute bucket id (time / width)
+    // where the dequeue scan resumes; the invariant "scan_id_ <= bucket
+    // id of every pending wheel event" is kept by rewinding it on insert.
+    std::vector<Bucket> buckets_;
+    std::size_t mask_ = 0;            // buckets_.size() - 1 (power of two)
+    Duration width_ = 0;              // bucket width in ns (power of two)
+    unsigned width_shift_ = 0;        // log2(width_): ids are time >> shift
+    std::uint64_t scan_id_ = 0;       // absolute bucket id of the scan
+    SimTime far_threshold_ = 0;       // wheel holds only times below this
+    EventNode* far_head_ = nullptr;   // unsorted overflow list
+    std::size_t far_count_ = 0;
+    std::size_t wheel_count_ = 0;
+    Duration avg_gap_ = microseconds(1);  // window-mean inter-pop gap
+    std::uint64_t recal_pops_ = 0;  // executed_ at the last width check
+    SimTime recal_time_ = 0;        // now_ at the last width check
+
+    // Binary-heap reference engine (Scheduler::BinaryHeap only).
+    std::vector<EventNode*> heap_;
+
+    // Node slab: fixed-size chunks carved sequentially, freed nodes
+    // linked through their storage for reuse.
+    std::vector<unsigned char*> chunks_;
+    std::size_t chunk_used_ = kChunkNodes;
+    void* free_head_ = nullptr;
+
     Rng rng_;
 };
 

@@ -273,18 +273,28 @@ void TroxyReplicaHost::on_message(sim::NodeId from, Bytes message) {
     // through an enclave recovery (its trusted counters are exactly what
     // the handover preserves).
     if (enclave_recovering_) {
-        auto peeked = net::unwrap(message);
+        // Peek at the channel byte without detaching the payload.
+        auto peeked = net::unwrap_view(message);
         if (peeked && (peeked->first == net::Channel::Client ||
                        peeked->first == net::Channel::TroxyCache)) {
             ++recovery_buffered_frames_;
             if (recovery_buffer_.size() < 4096) {
                 recovery_buffer_.emplace_back(from, std::move(message));
+            } else {
+                fabric_.network().recycle(std::move(message));
             }
             return;
         }
     }
 
-    auto unwrapped = net::unwrap(message);
+    dispatch_message(from, message);
+    // Every dispatch path decodes out of the frame synchronously, so the
+    // wire buffer can rejoin the pool for the next sender.
+    fabric_.network().recycle(std::move(message));
+}
+
+void TroxyReplicaHost::dispatch_message(sim::NodeId from, ByteView message) {
+    auto unwrapped = net::unwrap_view(message);
     if (!unwrapped) return;
     auto& [channel, payload] = *unwrapped;
 
@@ -313,7 +323,7 @@ void TroxyReplicaHost::on_message(sim::NodeId from, Bytes message) {
             if (!inner) return;
             std::vector<hybster::Reply> replies;
             for (Bytes& message : *inner) {
-                auto unwrapped_inner = net::unwrap(message);
+                auto unwrapped_inner = net::unwrap_view(message);
                 if (!unwrapped_inner) continue;
                 if (unwrapped_inner->first == net::Channel::Hybster) {
                     auto decoded =

@@ -163,6 +163,9 @@ class TroxyReplicaHost {
 
   private:
     void on_message(sim::NodeId from, Bytes message);
+    /// Channel dispatch over a borrowed view of the wire frame; the owning
+    /// caller recycles the buffer afterwards.
+    void dispatch_message(sim::NodeId from, ByteView message);
     void apply(enclave::CostMeter& meter, TroxyActions&& actions);
     void arm_vote_timer(std::uint64_t number);
     void arm_fast_read_timer(std::uint64_t query_id);

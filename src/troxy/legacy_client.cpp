@@ -54,6 +54,13 @@ void LegacyClient::connect() {
     arm_watchdog();
 }
 
+void LegacyClient::reconnect() {
+    // connect() replaces the channel (fresh handshake state), clears the
+    // coalescing buffer and re-arms the watchdog; outstanding_ survives
+    // and is replayed once the new session's ServerHello lands.
+    connect();
+}
+
 void LegacyClient::failover() {
     ++failovers_;
     ++consecutive_failovers_;

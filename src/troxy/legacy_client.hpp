@@ -64,6 +64,16 @@ class LegacyClient {
     /// is allowed.
     void send(Bytes app_request, ReplyCallback callback);
 
+    /// Tears the secure channel down and opens a fresh session to the
+    /// same server: a full handshake with new session keys, exactly what
+    /// the server sees when one user departs and another connects.
+    /// In-flight requests carry over and are retransmitted on the new
+    /// session (same as failover).
+    void reconnect();
+    [[nodiscard]] std::uint64_t sessions() const noexcept {
+        return handshake_counter_;
+    }
+
     /// Entry point for Channel::Client payloads addressed to this node.
     void on_message(sim::NodeId from, ByteView payload);
 

@@ -165,5 +165,135 @@ TEST(Experiments, HttpRunsForEverySystem) {
     }
 }
 
+
+// ---------------------------------------------------- open-loop generators
+
+// Chi-squared goodness of fit: the sampler\'s empirical counts must match
+// its own probability() across the whole rank space. 95th-percentile
+// critical values for the chi-squared distribution sit near
+// df + 2*sqrt(2*df); a comfortable margin above that still catches a
+// broken normalizer or a biased branch (each of which shifts the
+// statistic by orders of magnitude).
+TEST(Zipfian, SamplesMatchDistributionChiSquared) {
+    for (const double s : {0.0, 0.5, 0.99}) {
+        const std::uint64_t n = 64;
+        const std::uint64_t draws = 200000;
+        ZipfianSampler sampler(n, s);
+        std::vector<std::uint64_t> counts(n, 0);
+        Rng rng(1234);
+        for (std::uint64_t i = 0; i < draws; ++i) {
+            const std::uint64_t rank = sampler.sample(rng);
+            ASSERT_LT(rank, n);
+            ++counts[rank];
+        }
+        double chi2 = 0.0;
+        for (std::uint64_t k = 0; k < n; ++k) {
+            const double expected =
+                sampler.probability(k) * static_cast<double>(draws);
+            ASSERT_GT(expected, 5.0) << "bin " << k << " too thin for chi2";
+            const double d = static_cast<double>(counts[k]) - expected;
+            chi2 += d * d / expected;
+        }
+        EXPECT_LT(chi2, 120.0) << "skew " << s << " (df=63)";
+        if (s > 0.0) {
+            // Skew sanity: rank 0 must dominate rank n-1 decisively.
+            EXPECT_GT(counts[0], counts[n - 1] * 2);
+        }
+    }
+}
+
+TEST(Zipfian, ProbabilitiesSumToOne) {
+    ZipfianSampler sampler(1000, 0.99);
+    double total = 0.0;
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        total += sampler.probability(k);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(OpenLoopSuite, AggregateRateIsAccurate) {
+    TroxyCluster::Params params;
+    params.base.seed = 11;
+    params.ctroxy = true;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    TroxyCluster cluster(params);
+
+    Recorder recorder(sim::milliseconds(200), sim::seconds(2));
+    OpenLoopOptions options;
+    options.rate_per_sec = 2000.0;
+    options.virtual_clients = 100000;
+    options.keys = 1024;
+    options.zipf_s = 0.99;
+    options.read_fraction = 0.5;
+    OpenLoopSuite suite(
+        cluster.simulator(), recorder, options,
+        [](Rng&, const OpenLoopArrival& arrival) {
+            return arrival.is_read
+                       ? EchoService::make_read(arrival.key, 32, 64)
+                       : EchoService::make_write(arrival.key, 64);
+        },
+        11);
+    for (int i = 0; i < 8; ++i) suite.add_connection(cluster.add_client());
+    suite.start();
+    cluster.simulator().run_until(recorder.window_end() +
+                                  sim::milliseconds(500));
+
+    // Open loop: the ACHIEVED arrival rate must track the configured rate
+    // within 2% regardless of service latency (that is what open loop
+    // means) — measured over the full arrival span to make the Poisson
+    // noise term negligible.
+    ASSERT_GT(suite.issued(), 1000u);
+    const double span_s =
+        static_cast<double>(suite.last_arrival() - suite.first_arrival()) /
+        1e9;
+    const double achieved =
+        static_cast<double>(suite.issued() - 1) / span_s;
+    EXPECT_NEAR(achieved, options.rate_per_sec,
+                options.rate_per_sec * 0.02);
+    EXPECT_GT(suite.completed(), 0u);
+}
+
+TEST(OpenLoopSuite, ChurnReconnectsSessions) {
+    TroxyCluster::Params params;
+    params.base.seed = 12;
+    params.ctroxy = true;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    TroxyCluster cluster(params);
+
+    Recorder recorder(sim::milliseconds(100), sim::seconds(1));
+    OpenLoopOptions options;
+    options.rate_per_sec = 500.0;
+    options.virtual_clients = 1000;
+    options.keys = 16;
+    options.churn_per_sec = 50.0;
+    OpenLoopSuite suite(
+        cluster.simulator(), recorder, options,
+        [](Rng&, const OpenLoopArrival& arrival) {
+            return EchoService::make_read(arrival.key, 32, 64);
+        },
+        12);
+    std::vector<troxy_core::LegacyClient*> conns;
+    for (int i = 0; i < 4; ++i) conns.push_back(&cluster.add_client());
+    for (auto* conn : conns) suite.add_connection(*conn);
+    suite.start();
+    cluster.simulator().run_until(recorder.window_end() +
+                                  sim::milliseconds(500));
+
+    // Churn tears down and re-handshakes sessions while traffic flows:
+    // sessions() counts completed handshakes, so reconnects show up as
+    // extra handshakes beyond the initial connect.
+    EXPECT_GT(suite.churned_sessions(), 20u);
+    std::uint64_t handshakes = 0;
+    for (auto* conn : conns) handshakes += conn->sessions();
+    EXPECT_GT(handshakes, static_cast<std::uint64_t>(conns.size()));
+    EXPECT_GT(suite.completed(), 100u);
+}
+
 }  // namespace
 }  // namespace troxy::bench

@@ -339,5 +339,44 @@ TEST(Chaos, RestartedReplicaRejoinsViaStateTransfer) {
               cluster.host(0).replica().service().checkpoint());
 }
 
+
+// Engine A/B under chaos and ASan: the calendar scheduler must replay
+// full fault-injection runs — crashes, partitions, loss, view changes,
+// state transfer — with byte-for-byte the verdicts and counters of the
+// binary-heap reference engine, for several seeds. This is the
+// end-to-end determinism guarantee the microscopic (time, seq) storm
+// test cannot give on its own.
+TEST(Chaos, CalendarAndBinaryHeapSchedulersAgree) {
+    for (const std::uint64_t seed : {3u, 9u, 21u}) {
+        bench::ChaosOptions options;
+        options.seed = seed;
+        options.requests_per_client = 25;
+        options.horizon = sim::seconds(20);
+
+        options.scheduler = sim::Simulator::Scheduler::BinaryHeap;
+        const bench::ChaosReport heap = bench::run_chaos(options);
+        options.scheduler = sim::Simulator::Scheduler::Calendar;
+        const bench::ChaosReport calendar = bench::run_chaos(options);
+
+        EXPECT_TRUE(heap.ok()) << report_summary(heap);
+        EXPECT_EQ(heap.ok(), calendar.ok()) << "seed " << seed;
+        EXPECT_EQ(heap.violations, calendar.violations) << "seed " << seed;
+        EXPECT_EQ(heap.completed, calendar.completed) << "seed " << seed;
+        EXPECT_EQ(heap.plan_trace, calendar.plan_trace) << "seed " << seed;
+        EXPECT_EQ(heap.messages_sent, calendar.messages_sent)
+            << "seed " << seed;
+        EXPECT_EQ(heap.bytes_sent, calendar.bytes_sent) << "seed " << seed;
+        EXPECT_EQ(heap.failovers, calendar.failovers) << "seed " << seed;
+        EXPECT_EQ(heap.view_changes, calendar.view_changes)
+            << "seed " << seed;
+        EXPECT_EQ(heap.state_transfers, calendar.state_transfers)
+            << "seed " << seed;
+        EXPECT_EQ(heap.drops.by_loss, calendar.drops.by_loss)
+            << "seed " << seed;
+        EXPECT_EQ(heap.drops.bytes, calendar.drops.bytes)
+            << "seed " << seed;
+    }
+}
+
 }  // namespace
 }  // namespace troxy
