@@ -286,8 +286,11 @@ struct SweepCell {
     std::uint64_t packet_allocs = 0;
 };
 
+/// `rate_override` > 0 replaces the sweep's default offered rate (used
+/// by the knee finder); the sweep cells themselves pass 0 and keep their
+/// historical configuration byte-for-byte.
 SweepCell run_sweep_cell(std::uint64_t virtual_clients, double zipf_s,
-                         bool smoke) {
+                         bool smoke, double rate_override = 0.0) {
     TroxyCluster::Params params;
     params.base.seed = 42;
     params.base.batch_size_max = 16;
@@ -319,7 +322,8 @@ SweepCell run_sweep_cell(std::uint64_t virtual_clients, double zipf_s,
     Recorder recorder(warmup, window);
 
     OpenLoopOptions wl;
-    wl.rate_per_sec = smoke ? 8000.0 : 20000.0;
+    wl.rate_per_sec =
+        rate_override > 0.0 ? rate_override : (smoke ? 8000.0 : 20000.0);
     wl.virtual_clients = virtual_clients;
     wl.keys = 65536;
     wl.zipf_s = zipf_s;
@@ -449,6 +453,63 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Part 3: find the knee. Per configuration, ramp the offered
+    // open-loop rate geometrically until p99 breaches the SLO; the knee
+    // is the highest offered rate that still met it. Probes run after
+    // the sweep in fresh clusters, so the historical cells above are
+    // untouched.
+    struct KneeProbe {
+        double offered = 0.0;
+        double throughput = 0.0;
+        double p99_ms = 0.0;
+        bool breached = false;
+    };
+    struct KneeResult {
+        std::uint64_t virtual_clients = 0;
+        std::string distribution;
+        double knee_rate = 0.0;    // highest offered rate meeting the SLO
+        double breach_rate = 0.0;  // first offered rate breaching it
+        std::vector<KneeProbe> probes;
+    };
+    const double slo_p99_ms = 10.0;
+    const double knee_start = smoke ? 2000.0 : 5000.0;
+    const int knee_probes_max = 5;
+    std::printf("knee finder: ramp offered rate x2 from %.0f req/s until "
+                "p99 > %.0f ms\n",
+                knee_start, slo_p99_ms);
+    std::vector<KneeResult> knees;
+    for (const std::uint64_t population : populations) {
+        for (const double s : skews) {
+            KneeResult knee;
+            knee.virtual_clients = population;
+            double rate = knee_start;
+            for (int probe = 0; probe < knee_probes_max; ++probe) {
+                SweepCell cell = run_sweep_cell(population, s, smoke, rate);
+                knee.distribution = cell.distribution;
+                KneeProbe p;
+                p.offered = rate;
+                p.throughput = cell.throughput;
+                p.p99_ms = cell.p99_ms;
+                p.breached = cell.p99_ms > slo_p99_ms;
+                knee.probes.push_back(p);
+                if (p.breached) {
+                    knee.breach_rate = rate;
+                    break;
+                }
+                knee.knee_rate = rate;
+                rate *= 2.0;
+            }
+            std::printf(
+                "  [%7llu clients %-9s] knee %.0f req/s "
+                "(first breach %.0f, %zu probes, last p99 %.2f ms)\n",
+                static_cast<unsigned long long>(knee.virtual_clients),
+                knee.distribution.c_str(), knee.knee_rate,
+                knee.breach_rate, knee.probes.size(),
+                knee.probes.back().p99_ms);
+            knees.push_back(std::move(knee));
+        }
+    }
+
     std::FILE* json = std::fopen(out_path.c_str(), "w");
     if (json == nullptr) {
         std::fprintf(stderr, "cannot open %s for writing\n",
@@ -508,6 +569,27 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(c.scheduler.buckets),
             static_cast<unsigned long long>(c.scheduler.rebuilds),
             i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"slo_p99_ms\": %.1f,\n  \"knee\": [\n",
+                 slo_p99_ms);
+    for (std::size_t i = 0; i < knees.size(); ++i) {
+        const KneeResult& k = knees[i];
+        std::fprintf(
+            json,
+            "    {\"virtual_clients\": %llu, \"distribution\": \"%s\", "
+            "\"knee_rate\": %.0f, \"breach_rate\": %.0f, \"probes\": [",
+            static_cast<unsigned long long>(k.virtual_clients),
+            k.distribution.c_str(), k.knee_rate, k.breach_rate);
+        for (std::size_t j = 0; j < k.probes.size(); ++j) {
+            const KneeProbe& p = k.probes[j];
+            std::fprintf(json,
+                         "{\"offered\": %.0f, \"throughput\": %.1f, "
+                         "\"p99_ms\": %.3f, \"breached\": %s}%s",
+                         p.offered, p.throughput, p.p99_ms,
+                         p.breached ? "true" : "false",
+                         j + 1 < k.probes.size() ? ", " : "");
+        }
+        std::fprintf(json, "]}%s\n", i + 1 < knees.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);

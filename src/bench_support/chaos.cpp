@@ -50,6 +50,8 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     params.base.batch_size_max = options.batch_size_max;
     params.base.batch_delay = options.batch_delay;
     params.base.coalesce_wire = options.coalesce_wire;
+    params.base.wire_zero_copy = options.wire_zero_copy;
+    params.base.transport = options.transport;
     params.host.voter_batch_max = options.voter_batch_max;
     params.host.coalesce_wire = options.coalesce_wire;
     params.host.fastread_batch_max = options.fastread_batch_max;
@@ -289,6 +291,13 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     report.messages_sent = cluster.network().messages_sent();
     report.bytes_sent = cluster.network().bytes_sent();
     report.drops = cluster.network().drops();
+    report.pool = cluster.network().pool().stats();
+    const std::uint64_t pool_lookups = report.pool.hits + report.pool.misses;
+    report.pool_hit_rate =
+        pool_lookups == 0 ? 0.0
+                          : static_cast<double>(report.pool.hits) /
+                                static_cast<double>(pool_lookups);
+    report.wire = cluster.network().wire_stats();
     return report;
 }
 

@@ -28,8 +28,10 @@
 #include <vector>
 
 #include "hybster/config.hpp"
+#include "sim/cost.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -66,6 +68,14 @@ struct ChaosOptions {
     /// ecall, per-message record flow.
     std::size_t voter_batch_max = 1;
     bool coalesce_wire = false;
+    /// Ship coalesced bursts as scatter-gather fragment chains
+    /// (ClusterOptions::wire_zero_copy); the default keeps the flattened
+    /// Bundle flow. Only meaningful with coalesce_wire.
+    bool wire_zero_copy = false;
+    /// Transport send-cost profile (ClusterOptions::transport); none()
+    /// keeps the seed's free-transport model. A bypass profile also arms
+    /// the network's per-peer credit window under the fault schedule.
+    sim::TransportProfile transport = sim::TransportProfile::none();
     /// Fast-read query batching and batched reply certification
     /// (TroxyReplicaHost::Options); defaults keep the per-query,
     /// per-reply ecall flow.
@@ -130,6 +140,11 @@ struct ChaosReport {
     std::uint64_t messages_sent = 0;
     std::uint64_t bytes_sent = 0;
     sim::DropCounters drops;
+    /// Wire-path observability: payload-buffer pool hit rate and the
+    /// scatter-gather counters (zero when wire_zero_copy is off).
+    sim::BufferPool::Stats pool;
+    double pool_hit_rate = 0.0;  // hits / (hits + misses)
+    sim::WireStats wire;
     std::string plan_trace;  // reproduction trace (describe() of the plan)
 
     // Recovery observability (sums over hosts unless noted).

@@ -2,6 +2,7 @@
 
 #include "common/serialize.hpp"
 #include "hybster/keys.hpp"
+#include "net/fragment.hpp"
 
 namespace troxy::bench {
 
@@ -77,6 +78,9 @@ ClusterBase::ClusterBase(const ClusterOptions& options)
             options.lan_jitter, sim::microseconds(5));
     }
     network_.set_default_link(lan);
+    if (options.transport.credit_window > 0) {
+        network_.set_credit_window(options.transport.credit_window);
+    }
 }
 
 sim::Node& ClusterBase::make_server_node(const std::string& name) {
@@ -123,6 +127,8 @@ TroxyCluster::TroxyCluster(Params params) : ClusterBase(params.base) {
     config_.batch_size_max = options_.batch_size_max;
     config_.batch_delay = options_.batch_delay;
     config_.coalesce_wire = options_.coalesce_wire;
+    config_.wire_zero_copy = options_.wire_zero_copy;
+    config_.transport = options_.transport;
     config_.adaptive_batching = options_.adaptive_batching;
     config_.execution_lanes = options_.execution_lanes;
     config_.state_chunk_size = options_.state_chunk_size;
@@ -140,6 +146,12 @@ TroxyCluster::TroxyCluster(Params params) : ClusterBase(params.base) {
     host_options.troxy.inside_enclave = !params.ctroxy;
     host_options.authority = provisioned.authority;
     host_options.measurement = provisioned.measurement;
+    host_options.wire_zero_copy =
+        host_options.wire_zero_copy || options_.wire_zero_copy;
+    if (options_.transport.tx_base_ns > 0.0 ||
+        options_.transport.credit_window > 0) {
+        host_options.transport = options_.transport;
+    }
 
     for (int i = 0; i < n; ++i) {
         identities_.push_back(identity_for(options_.seed, i));
@@ -187,8 +199,8 @@ troxy_core::LegacyClient& TroxyCluster::add_client(int contact) {
     // A coalescing host may ship several client frames as one Bundle;
     // the client-side dispatch unpacks them like a socket read loop. The
     // wire buffer is consumed in place and recycled for the next sender.
-    fabric_.attach(node.id(), [client, network = &fabric_.network()](
-                                  sim::NodeId from, Bytes message) {
+    auto deliver_flat = [client, network = &fabric_.network()](
+                            sim::NodeId from, Bytes message) {
         auto unwrapped = net::unwrap_view(message);
         if (unwrapped) {
             if (unwrapped->first == net::Channel::Bundle) {
@@ -206,7 +218,31 @@ troxy_core::LegacyClient& TroxyCluster::add_client(int contact) {
             }
         }
         network->recycle(std::move(message));
-    });
+    };
+    fabric_.attach(node.id(), deliver_flat);
+    // Scatter-gather receive: a burst arriving as a fragment chain is
+    // consumed message by message without flattening the frame; foreign
+    // chain shapes fall back to the flat path.
+    fabric_.attach_chain(
+        node.id(), [client, network = &fabric_.network(), deliver_flat](
+                       sim::NodeId from, sim::FragmentChain chain) {
+            auto inner = net::take_bundle_messages(std::move(chain));
+            if (inner) {
+                network->recycle_chain(std::move(chain));
+                for (Bytes& m : *inner) {
+                    auto u = net::unwrap_view(m);
+                    if (u && u->first == net::Channel::Client) {
+                        client->on_message(from, u->second);
+                    }
+                    network->recycle(std::move(m));
+                }
+                return;
+            }
+            network->count_materialization();
+            Bytes flat = chain.materialize(&network->pool());
+            network->recycle_chain(std::move(chain));
+            deliver_flat(from, std::move(flat));
+        });
     return *client;
 }
 

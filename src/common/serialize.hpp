@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "common/bytes.hpp"
 
@@ -28,6 +29,12 @@ class DecodeError : public std::runtime_error {
 class Writer {
   public:
     Writer() = default;
+
+    /// Reuses `backing`'s allocation (pool-recycled wire buffers): the
+    /// buffer is cleared, its capacity kept.
+    explicit Writer(Bytes&& backing) noexcept : buf_(std::move(backing)) {
+        buf_.clear();
+    }
 
     void u8(std::uint8_t v) { buf_.push_back(v); }
     void u16(std::uint16_t v) { put_le(v, 2); }
@@ -55,6 +62,11 @@ class Writer {
     [[nodiscard]] const Bytes& data() const& noexcept { return buf_; }
     [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
     [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+    /// Mutable backing buffer — for encoders that post-process an
+    /// already-written region in place (e.g. sealing plaintext where it
+    /// sits instead of sealing a copy).
+    [[nodiscard]] Bytes& buffer() noexcept { return buf_; }
 
   private:
     void put_le(std::uint64_t v, int n) {

@@ -81,6 +81,24 @@ Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteView aad,
     return ciphertext;
 }
 
+void aead_seal_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                       ByteView aad, Bytes& buf, std::size_t offset) {
+    const std::size_t len = buf.size() - offset;
+    if (fast_crypto()) {
+        std::uint8_t tag[kAeadTagSize];
+        detail::fast_digest(buf.data() + offset, len,
+                            fast_seed(key, nonce, aad), tag, sizeof tag);
+        buf.insert(buf.end(), tag, tag + sizeof tag);
+        return;
+    }
+    chacha20_xor_inplace(key, nonce, 1, buf.data() + offset, len);
+    const Poly1305Key poly_key = derive_poly_key(key, nonce);
+    const Poly1305Tag tag = poly1305(
+        poly_key,
+        build_mac_data(aad, ByteView(buf.data() + offset, len)));
+    buf.insert(buf.end(), tag.begin(), tag.end());
+}
+
 std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
                                ByteView aad, ByteView sealed) {
     if (sealed.size() < kAeadTagSize) return std::nullopt;

@@ -21,6 +21,13 @@ inline constexpr std::size_t kAeadTagSize = kPoly1305TagSize;
 Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteView aad,
                 ByteView plaintext);
 
+/// Gather-style seal: the caller has already written the plaintext as
+/// `buf[offset..]` (its final wire position); the region is encrypted in
+/// place and the 16-byte tag appended. Byte-identical to aead_seal() on
+/// the same plaintext, without the plaintext→ciphertext→record copies.
+void aead_seal_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                       ByteView aad, Bytes& buf, std::size_t offset);
+
 /// Verifies and decrypts; returns nullopt on authentication failure.
 std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
                                ByteView aad, ByteView sealed);

@@ -80,4 +80,19 @@ Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
     return out;
 }
 
+void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                          std::uint32_t initial_counter, std::uint8_t* data,
+                          std::size_t size) noexcept {
+    std::uint32_t counter = initial_counter;
+    std::size_t offset = 0;
+    while (offset < size) {
+        const auto keystream = chacha20_block(key, counter++, nonce);
+        const std::size_t n = std::min<std::size_t>(64, size - offset);
+        for (std::size_t i = 0; i < n; ++i) {
+            data[offset + i] ^= keystream[i];
+        }
+        offset += n;
+    }
+}
+
 }  // namespace troxy::crypto

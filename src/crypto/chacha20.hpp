@@ -29,4 +29,11 @@ std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
 Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                    std::uint32_t initial_counter, ByteView data);
 
+/// In-place variant: XORs the keystream over `data` directly, for
+/// gather-style encoders that assembled the plaintext in its final wire
+/// buffer and must not pay a second allocation.
+void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                          std::uint32_t initial_counter, std::uint8_t* data,
+                          std::size_t size) noexcept;
+
 }  // namespace troxy::crypto

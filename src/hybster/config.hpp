@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sim/cost.hpp"
 #include "sim/node.hpp"
 #include "sim/time.hpp"
 
@@ -43,6 +44,17 @@ struct Config {
     /// destination (one wire record instead of N). Off by default so the
     /// unbatched message flow stays byte-identical to the seed.
     bool coalesce_wire = false;
+
+    /// Ship coalesced bursts as scatter-gather fragment chains instead of
+    /// flattening them into one contiguous Bundle buffer. Wire bytes are
+    /// identical; only copies and allocations disappear. Off by default
+    /// so existing runs replay bit-identically.
+    bool wire_zero_copy = false;
+
+    /// Per-record transport send cost (syscall vs kernel-bypass doorbell)
+    /// charged by each Outbox flush. The default none() charges nothing —
+    /// the seed's implicit model.
+    sim::TransportProfile transport = sim::TransportProfile::none();
 
     /// Modeled execution lanes per replica (state-machine parallelism).
     /// A committed batch is partitioned into conflict classes by the

@@ -296,7 +296,9 @@ class Replica {
     /// Builds the per-handler send buffer; coalesces destination bursts
     /// into Bundle frames when the config enables wire coalescing.
     [[nodiscard]] net::Outbox make_outbox() {
-        return net::Outbox(fabric_, node_, config_.coalesce_wire);
+        return net::Outbox(fabric_, node_, config_.coalesce_wire,
+                           /*record_cost=*/0, config_.wire_zero_copy,
+                           &config_.transport);
     }
     void broadcast(net::Outbox& outbox, const Message& message);
     void send_to(net::Outbox& outbox, std::uint32_t replica,

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/bytes.hpp"
 #include "common/serialize.hpp"
 #include "sim/pool.hpp"
@@ -90,6 +91,8 @@ inline Bytes wrap_pooled(sim::BufferPool& pool, Channel channel,
 /// unbundles and dispatches each inner message as if it had arrived alone,
 /// so one wire transmission carries a whole pipeline burst.
 inline Bytes make_bundle(const std::vector<Bytes>& wrapped) {
+    TROXY_ASSERT(wrapped.size() <= 65535,
+                 "bundle message count exceeds u16 field");
     std::size_t total = 1 + 2;
     for (const Bytes& m : wrapped) total += 4 + m.size();
     Writer w;

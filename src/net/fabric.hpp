@@ -20,11 +20,19 @@ namespace troxy::net {
 class Fabric {
   public:
     using Handler = std::function<void(sim::NodeId from, Bytes message)>;
+    using ChainHandler =
+        std::function<void(sim::NodeId from, sim::FragmentChain chain)>;
 
     Fabric(sim::Simulator& simulator, sim::Network& network);
 
     /// Registers the handler invoked when a message arrives at `id`.
     void attach(sim::NodeId id, Handler handler);
+    /// Optional scatter-gather receive path: frames sent as chains reach
+    /// `handler` without being flattened. Endpoints without one still get
+    /// chained traffic through their plain handler (the dispatcher
+    /// materializes the frame), so chain-aware senders interoperate with
+    /// every receiver.
+    void attach_chain(sim::NodeId id, ChainHandler handler);
     void detach(sim::NodeId id);
 
     /// Sends `message` from `from` to `to`. Delivery is asynchronous; if
@@ -32,16 +40,23 @@ class Fabric {
     /// dropped (crashed process).
     void send(sim::NodeId from, sim::NodeId to, Bytes message);
 
+    /// Scatter-gather send: ships the chain without materializing it.
+    void send_chain(sim::NodeId from, sim::NodeId to,
+                    sim::FragmentChain chain);
+
     [[nodiscard]] sim::Network& network() noexcept { return network_; }
     [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
   private:
     static void dispatch(void* ctx, sim::NodeId from, sim::NodeId to,
                          Bytes payload);
+    static void dispatch_chain(void* ctx, sim::NodeId from, sim::NodeId to,
+                               sim::FragmentChain chain);
 
     sim::Simulator& sim_;
     sim::Network& network_;
     std::unordered_map<sim::NodeId, Handler> handlers_;
+    std::unordered_map<sim::NodeId, ChainHandler> chain_handlers_;
 };
 
 }  // namespace troxy::net

@@ -1,0 +1,101 @@
+// Scatter-gather bundle framing.
+//
+// encode_bundle() is the zero-copy sibling of make_bundle(): instead of
+// copying every wrapped message into one contiguous frame, it builds a
+// FragmentChain — a 3-byte inline header (channel byte ‖ u16 count),
+// then per message a 4-byte inline length prefix followed by the message
+// buffer referenced in place. Materializing the chain reproduces
+// make_bundle()'s bytes exactly, so the two paths are interchangeable on
+// the wire.
+//
+// take_bundle_messages() is the receive-side inverse for chain-aware
+// hosts: it moves the coalesced messages back out of the chain without a
+// flatten/re-split round trip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+#include "net/envelope.hpp"
+#include "sim/fragment.hpp"
+
+namespace troxy::net {
+
+using sim::Fragment;
+using sim::FragmentChain;
+
+/// Max messages per Bundle frame (the u16 count field).
+inline constexpr std::size_t kMaxBundleMessages = 65535;
+
+/// Appends Bundle framing for `wrapped` to `chain` without copying the
+/// messages: byte-identical to make_bundle(wrapped) when materialized.
+/// Consumes the message buffers (they travel inside the chain).
+inline void encode_bundle(FragmentChain& chain, std::vector<Bytes>&& wrapped) {
+    TROXY_ASSERT(!wrapped.empty() && wrapped.size() <= kMaxBundleMessages,
+                 "bundle message count out of range");
+    const auto count = static_cast<std::uint16_t>(wrapped.size());
+    const std::uint8_t head[3] = {
+        static_cast<std::uint8_t>(Channel::Bundle),
+        static_cast<std::uint8_t>(count & 0xff),
+        static_cast<std::uint8_t>(count >> 8),
+    };
+    chain.append_inline(ByteView(head, sizeof head));
+    for (Bytes& m : wrapped) {
+        const auto len = static_cast<std::uint32_t>(m.size());
+        const std::uint8_t prefix[4] = {
+            static_cast<std::uint8_t>(len & 0xff),
+            static_cast<std::uint8_t>((len >> 8) & 0xff),
+            static_cast<std::uint8_t>((len >> 16) & 0xff),
+            static_cast<std::uint8_t>(len >> 24),
+        };
+        chain.append_inline(ByteView(prefix, sizeof prefix));
+        chain.append_owned(std::move(m));
+    }
+    wrapped.clear();
+}
+
+/// Moves the coalesced messages out of a chain built by encode_bundle().
+/// Strict about shape: returns nullopt unless the chain alternates
+/// 4-byte inline length prefixes with matching Owned payloads under a
+/// 3-byte Bundle header — callers fall back to materialize()+unbundle()
+/// for foreign chains.
+inline std::optional<std::vector<Bytes>> take_bundle_messages(
+    FragmentChain&& chain) {
+    std::vector<Fragment>& frags = chain.fragments();
+    if (frags.empty()) return std::nullopt;
+    const ByteView head = frags[0].view();
+    if (frags[0].kind() != Fragment::Kind::Inline || head.size() != 3 ||
+        head[0] != static_cast<std::uint8_t>(Channel::Bundle)) {
+        return std::nullopt;
+    }
+    const std::size_t count =
+        static_cast<std::size_t>(head[1]) |
+        (static_cast<std::size_t>(head[2]) << 8);
+    if (count == 0 || frags.size() != 1 + 2 * count) return std::nullopt;
+    std::vector<Bytes> messages;
+    messages.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Fragment& prefix = frags[1 + 2 * i];
+        Fragment& payload = frags[2 + 2 * i];
+        if (prefix.kind() != Fragment::Kind::Inline ||
+            prefix.view().size() != 4 ||
+            payload.kind() != Fragment::Kind::Owned) {
+            return std::nullopt;
+        }
+        const ByteView p = prefix.view();
+        const std::size_t len = static_cast<std::size_t>(p[0]) |
+                                (static_cast<std::size_t>(p[1]) << 8) |
+                                (static_cast<std::size_t>(p[2]) << 16) |
+                                (static_cast<std::size_t>(p[3]) << 24);
+        if (payload.size() != len) return std::nullopt;
+        messages.push_back(payload.take_owned());
+    }
+    chain.clear();
+    return messages;
+}
+
+}  // namespace troxy::net

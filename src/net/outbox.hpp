@@ -9,8 +9,17 @@
 // With coalescing enabled, flush() groups the queued messages by
 // destination and ships each group as ONE Bundle frame — one wire record
 // per destination burst. The per-record cost is charged once per emitted
-// record (per burst), not per queued message, so the meter matches the
-// one-record-per-burst wire behaviour.
+// *Bundle* record: a destination with a single message keeps its original
+// frame and pays exactly what the uncoalesced path pays, so batch-1
+// traffic is cost- and byte-identical whether coalescing is on or off.
+//
+// With zero_copy enabled, Bundle frames are built as FragmentChains —
+// inline framing headers plus the queued messages referenced in place —
+// and shipped through the scatter-gather network path: no per-burst
+// flatten copy, and the chain storage itself is recycled by the network.
+// A transport profile, when given, charges the per-record send cost
+// (syscall or doorbell plus staging copies) to the flushing meter; the
+// zero-copy path pays the per-byte cost only on inline header bytes.
 #pragma once
 
 #include <map>
@@ -21,6 +30,8 @@
 #include "enclave/meter.hpp"
 #include "net/envelope.hpp"
 #include "net/fabric.hpp"
+#include "net/fragment.hpp"
+#include "sim/cost.hpp"
 #include "sim/node.hpp"
 
 namespace troxy::net {
@@ -28,11 +39,14 @@ namespace troxy::net {
 class Outbox {
   public:
     Outbox(Fabric& fabric, sim::Node& node, bool coalesce = false,
-           sim::Duration record_cost = 0)
+           sim::Duration record_cost = 0, bool zero_copy = false,
+           const sim::TransportProfile* transport = nullptr)
         : fabric_(fabric),
           node_(node),
           coalesce_(coalesce),
-          record_cost_(record_cost) {}
+          zero_copy_(zero_copy),
+          record_cost_(record_cost),
+          transport_(transport) {}
 
     /// Queues `message` for `to`; transmitted at flush time.
     void send(sim::NodeId to, Bytes message) {
@@ -54,14 +68,9 @@ class Outbox {
             node_.charge(meter.take());
             return;
         }
-        auto sends = std::move(pending_);
-        pending_.clear();
         auto callbacks = std::move(deferred_);
         deferred_.clear();
-        if (coalesce_) sends = coalesce_bursts(std::move(sends));
-        // One per-record charge per emitted wire record: after coalescing
-        // a destination burst costs one record, not one per queued message.
-        meter.add(record_cost_ * static_cast<sim::Duration>(sends.size()));
+        std::vector<OutFrame> frames = collect_frames(meter);
         const sim::NodeId from = node_.id();
         // NB: the Outbox itself is usually stack-allocated and gone by the
         // time this event fires — capture the long-lived Fabric, not this.
@@ -72,10 +81,14 @@ class Outbox {
         Fabric* fabric = &fabric_;
         node_.exec_ordered(
             meter.take(),
-            [fabric, from, sends = std::move(sends),
+            [fabric, from, frames = std::move(frames),
              callbacks = std::move(callbacks)]() mutable {
-                for (auto& [to, message] : sends) {
-                    fabric->send(from, to, std::move(message));
+                for (OutFrame& f : frames) {
+                    if (f.chained) {
+                        fabric->send_chain(from, f.to, std::move(f.chain));
+                    } else {
+                        fabric->send(from, f.to, std::move(f.frame));
+                    }
                 }
                 for (auto& fn : callbacks) fn();
             },
@@ -86,36 +99,79 @@ class Outbox {
     [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
 
   private:
-    /// Groups consecutive-by-destination queued messages into Bundle
-    /// frames. Order within a destination is preserved (stable grouping);
-    /// a destination with a single message keeps its original frame so
-    /// batch-1 traffic is byte-identical to the uncoalesced path.
-    static std::vector<std::pair<sim::NodeId, Bytes>> coalesce_bursts(
-        std::vector<std::pair<sim::NodeId, Bytes>> sends) {
-        std::map<sim::NodeId, std::vector<Bytes>> groups;
-        std::vector<sim::NodeId> order;
-        for (auto& [to, message] : sends) {
-            auto [it, inserted] = groups.try_emplace(to);
-            if (inserted) order.push_back(to);
-            it->second.push_back(std::move(message));
-        }
-        std::vector<std::pair<sim::NodeId, Bytes>> out;
-        out.reserve(order.size());
-        for (const sim::NodeId to : order) {
-            auto& burst = groups[to];
-            if (burst.size() == 1) {
-                out.emplace_back(to, std::move(burst.front()));
-            } else {
-                out.emplace_back(to, make_bundle(burst));
+    /// One wire frame ready to emit: either a contiguous buffer or a
+    /// fragment chain (`chained` selects).
+    struct OutFrame {
+        sim::NodeId to = 0;
+        Bytes frame;
+        sim::FragmentChain chain;
+        bool chained = false;
+    };
+
+    /// Turns the queue into wire frames, grouping consecutive-by-
+    /// destination messages into Bundle frames when coalescing. Order
+    /// within a destination is preserved (stable grouping); a destination
+    /// with a single message keeps its original frame. Charges `meter`
+    /// the per-record cost for each emitted Bundle and, when a transport
+    /// profile is set, the per-frame send cost.
+    std::vector<OutFrame> collect_frames(enclave::CostMeter& meter) {
+        auto sends = std::move(pending_);
+        pending_.clear();
+        std::vector<OutFrame> frames;
+        if (!coalesce_) {
+            frames.reserve(sends.size());
+            for (auto& [to, message] : sends) {
+                OutFrame f;
+                f.to = to;
+                f.frame = std::move(message);
+                frames.push_back(std::move(f));
+            }
+        } else {
+            std::map<sim::NodeId, std::vector<Bytes>> groups;
+            std::vector<sim::NodeId> order;
+            for (auto& [to, message] : sends) {
+                auto [it, inserted] = groups.try_emplace(to);
+                if (inserted) order.push_back(to);
+                it->second.push_back(std::move(message));
+            }
+            frames.reserve(order.size());
+            for (const sim::NodeId to : order) {
+                auto& burst = groups[to];
+                OutFrame f;
+                f.to = to;
+                if (burst.size() == 1) {
+                    // Batch-1: the original frame travels unchanged.
+                    f.frame = std::move(burst.front());
+                } else if (zero_copy_) {
+                    f.chain = fabric_.network().acquire_chain();
+                    encode_bundle(f.chain, std::move(burst));
+                    f.chained = true;
+                } else {
+                    f.frame = make_bundle(burst);
+                }
+                frames.push_back(std::move(f));
             }
         }
-        return out;
+        // One per-record charge per emitted wire record: a coalesced
+        // burst costs one record, and a singleton group costs exactly
+        // what the same message costs uncoalesced — no Bundle surcharge.
+        meter.add(record_cost_ *
+                  static_cast<sim::Duration>(frames.size()));
+        if (transport_ != nullptr) {
+            for (const OutFrame& f : frames) {
+                meter.add(transport_->tx(
+                    f.chained ? f.chain.copied_bytes() : f.frame.size()));
+            }
+        }
+        return frames;
     }
 
     Fabric& fabric_;
     sim::Node& node_;
     bool coalesce_ = false;
+    bool zero_copy_ = false;
     sim::Duration record_cost_ = 0;
+    const sim::TransportProfile* transport_ = nullptr;
     std::vector<std::pair<sim::NodeId, Bytes>> pending_;
     std::vector<std::function<void()>> deferred_;
 };

@@ -52,29 +52,39 @@ Bytes RecordProtection::protect(ByteView plaintext) {
 }
 
 Bytes RecordProtection::protect_many(const std::vector<ByteView>& messages) {
+    Writer record;
+    protect_many_into(record, messages);
+    return std::move(record).take();
+}
+
+void RecordProtection::protect_many_into(
+    Writer& out, const std::vector<ByteView>& messages) {
     TROXY_ASSERT(!messages.empty() &&
                      messages.size() <= kMaxMessagesPerRecord,
                  "record burst must hold 1..65535 messages");
     const std::uint64_t seq = send_seq_++;
-    Writer aad;
-    aad.u64(seq);
+    std::uint8_t aad[8];
+    for (int i = 0; i < 8; ++i) {
+        aad[i] = static_cast<std::uint8_t>(seq >> (8 * i));
+    }
     const crypto::ChaChaNonce nonce = crypto::make_record_nonce(iv_, seq);
 
     // The burst is framed *inside* the sealed plaintext (count ‖
     // length-prefixed messages), so the AEAD tag covers the count and a
     // receiver can never be tricked into splitting a record differently.
+    // Gather encoding: the plaintext is written straight into the record
+    // at its final wire position and sealed in place — no inner buffer,
+    // no sealed copy, no record copy.
     std::size_t total = 2;
     for (const ByteView m : messages) total += 4 + m.size();
-    Writer inner;
-    inner.reserve(total);
-    inner.u16(static_cast<std::uint16_t>(messages.size()));
-    for (const ByteView m : messages) inner.bytes(m);
-
-    Writer record;
-    record.reserve(8 + 4 + total + 16);
-    record.u64(seq);
-    record.bytes(crypto::aead_seal(key_, nonce, aad.data(), inner.data()));
-    return std::move(record).take();
+    out.reserve(8 + 4 + total + crypto::kAeadTagSize);
+    out.u64(seq);
+    out.u32(static_cast<std::uint32_t>(total + crypto::kAeadTagSize));
+    const std::size_t plaintext_at = out.size();
+    out.u16(static_cast<std::uint16_t>(messages.size()));
+    for (const ByteView m : messages) out.bytes(m);
+    crypto::aead_seal_inplace(key_, nonce, ByteView(aad, sizeof aad),
+                              out.buffer(), plaintext_at);
 }
 
 std::vector<Bytes> RecordProtection::unprotect(ByteView record) {
@@ -178,6 +188,11 @@ Bytes SecureChannelClient::protect_many(
     return send_.protect_many(messages);
 }
 
+void SecureChannelClient::protect_many_into(
+    Writer& out, const std::vector<ByteView>& messages) {
+    send_.protect_many_into(out, messages);
+}
+
 std::vector<Bytes> SecureChannelClient::unprotect(ByteView record) {
     return recv_.unprotect(record);
 }
@@ -229,6 +244,11 @@ Bytes SecureChannelServer::protect(ByteView plaintext) {
 Bytes SecureChannelServer::protect_many(
     const std::vector<ByteView>& messages) {
     return send_.protect_many(messages);
+}
+
+void SecureChannelServer::protect_many_into(
+    Writer& out, const std::vector<ByteView>& messages) {
+    send_.protect_many_into(out, messages);
 }
 
 std::vector<Bytes> SecureChannelServer::unprotect(ByteView record) {

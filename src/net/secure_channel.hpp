@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/serialize.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/x25519.hpp"
 #include "enclave/meter.hpp"
@@ -67,6 +68,14 @@ class RecordProtection {
     /// Seals a burst of messages into ONE record: one sequence number,
     /// one AEAD pass, one wire transmission for the whole burst.
     Bytes protect_many(const std::vector<ByteView>& messages);
+
+    /// Gather variant: appends the record to `out` (which may already
+    /// hold framing bytes), writing the plaintext directly at its final
+    /// wire position and sealing it in place — the whole frame builds in
+    /// one buffer with zero intermediate copies. Byte-identical to
+    /// appending protect_many()'s result.
+    void protect_many_into(Writer& out,
+                           const std::vector<ByteView>& messages);
 
     /// Opens a record and returns every message that is now deliverable
     /// in sequence order (possibly none if this record only filled a
@@ -120,6 +129,10 @@ class SecureChannelClient {
     /// Seals a pipeline burst into one record (one AEAD, one wire record).
     Bytes protect_many(const std::vector<ByteView>& messages);
 
+    /// Appends the sealed record to `out` (see RecordProtection).
+    void protect_many_into(Writer& out,
+                           const std::vector<ByteView>& messages);
+
     /// Decrypts server→client records; returns the messages now
     /// deliverable in order.
     std::vector<Bytes> unprotect(ByteView record);
@@ -151,6 +164,8 @@ class SecureChannelServer {
 
     Bytes protect(ByteView plaintext);
     Bytes protect_many(const std::vector<ByteView>& messages);
+    void protect_many_into(Writer& out,
+                           const std::vector<ByteView>& messages);
     std::vector<Bytes> unprotect(ByteView record);
 
   private:

@@ -79,6 +79,37 @@ CostProfile CostProfile::native() noexcept {
     return p;
 }
 
+Duration TransportProfile::tx(std::size_t copied) const noexcept {
+    return as_duration(tx_base_ns +
+                       tx_per_byte_ns * static_cast<double>(copied));
+}
+
+TransportProfile TransportProfile::none() noexcept {
+    return TransportProfile{};
+}
+
+TransportProfile TransportProfile::kernel_nic() noexcept {
+    // sendmsg() round trip through the socket layer (~syscall + skb setup)
+    // plus the user→kernel copy of every byte of the record.
+    TransportProfile p;
+    p.tx_base_ns = 1'800.0;
+    p.tx_per_byte_ns = 0.25;
+    p.credit_window = 0;
+    return p;
+}
+
+TransportProfile TransportProfile::bypass() noexcept {
+    // Posting a descriptor and ringing the doorbell on a user-mapped
+    // queue pair; bytes still staged into registered buffers pay the same
+    // copy cost, so the zero-copy win shows up through the copied-bytes
+    // argument, not the profile. 128 RX-descriptor credits per peer.
+    TransportProfile p;
+    p.tx_base_ns = 150.0;
+    p.tx_per_byte_ns = 0.25;
+    p.credit_window = 128;
+    return p;
+}
+
 EnclaveCosts EnclaveCosts::sgx_v1() noexcept {
     // Effective transition cost at 3.4 GHz: the raw crossing (~8k cycles)
     // plus TLB flush and cache pollution aftermath;

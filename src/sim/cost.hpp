@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "sim/time.hpp"
 
@@ -62,6 +63,40 @@ struct CostProfile {
 
     /// Native C/C++ profile used by ctroxy (outside any enclave).
     static CostProfile native() noexcept;
+};
+
+/// Transport-layer send cost: what a process pays per emitted wire
+/// record, on top of the link model in sim::Network. The kernel path
+/// charges a syscall-sized base plus a user→kernel copy per byte; a
+/// kernel-bypass NIC (RECIPE-style RDMA/DPDK) replaces the syscall with
+/// a doorbell write and, with registered zero-copy buffers, drops the
+/// per-byte staging copy — but bounds the records in flight per peer by
+/// a credit window (receiver-managed RX descriptors), modeled in
+/// sim::Network. The default none() profile charges nothing, keeping
+/// every pre-existing configuration cost-identical to the seed.
+struct TransportProfile {
+    /// Per-record send entry: syscall (kernel) or doorbell (bypass).
+    double tx_base_ns = 0.0;
+    /// Per-byte staging copy into transport buffers. A zero-copy encode
+    /// path pays this only on the bytes it physically writes (headers),
+    /// not on payloads referenced in place.
+    double tx_per_byte_ns = 0.0;
+    /// Max in-flight records per directed peer before sends stall
+    /// waiting for credits (0 = unlimited, the kernel socket model).
+    std::uint32_t credit_window = 0;
+
+    /// Send cost of one record of which `copied` bytes were staged.
+    [[nodiscard]] Duration tx(std::size_t copied) const noexcept;
+
+    /// Free transport (the seed's implicit model; charges nothing).
+    static TransportProfile none() noexcept;
+
+    /// Kernel NIC: sendmsg()-sized entry plus full per-byte copy.
+    static TransportProfile kernel_nic() noexcept;
+
+    /// Kernel-bypass NIC: doorbell-sized entry, same per-byte cost for
+    /// whatever is still staged, 128-record credit window.
+    static TransportProfile bypass() noexcept;
 };
 
 /// Enclave-specific fixed costs, charged by the EnclaveHost gate on top of

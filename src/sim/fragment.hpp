@@ -1,0 +1,214 @@
+// Scatter-gather wire fragments.
+//
+// A wire frame assembled from existing payload buffers (a coalesced
+// Bundle, a multi-message secure-channel record) does not need a
+// contiguous copy to travel through the simulated network: a
+// FragmentChain is an iovec-style list of pieces — small Inline headers
+// written in place, Owned payload buffers referenced as-is, and Shared
+// buffers for broadcast fan-out — whose concatenation IS the frame. The
+// network ships the chain; a receiver either consumes the referenced
+// buffers directly (zero-copy) or materialize()s the frame, which
+// reproduces the exact bytes a copying encoder would have produced, so
+// digests, replay detection and seed replay are unaffected.
+//
+// Owned buffers come from and return to the sim::BufferPool; chain
+// storage (the fragment vector) is recycled by sim::Network so a warm
+// encode path allocates nothing per frame.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+#include "sim/pool.hpp"
+
+namespace troxy::sim {
+
+/// One iovec-style piece of a wire frame.
+class Fragment {
+  public:
+    /// Inline capacity: enough for any framing header this codebase
+    /// writes (channel byte, u16 count, u32/u64 length prefixes).
+    static constexpr std::size_t kInlineCapacity = 16;
+
+    enum class Kind : std::uint8_t {
+        Inline,  // header bytes stored in the fragment itself
+        Owned,   // payload buffer moved in, recycled at consumption
+        Shared,  // payload shared across frames (broadcast fan-out)
+    };
+
+    Fragment() = default;
+
+    static Fragment inline_of(ByteView header) {
+        TROXY_ASSERT(header.size() <= kInlineCapacity,
+                     "inline fragment over capacity");
+        Fragment f;
+        f.kind_ = Kind::Inline;
+        f.inline_len_ = static_cast<std::uint8_t>(header.size());
+        for (std::size_t i = 0; i < header.size(); ++i) {
+            f.inline_[i] = header[i];
+        }
+        return f;
+    }
+
+    static Fragment owned(Bytes&& payload) {
+        Fragment f;
+        f.kind_ = Kind::Owned;
+        f.owned_ = std::move(payload);
+        return f;
+    }
+
+    static Fragment shared(std::shared_ptr<const Bytes> payload) {
+        Fragment f;
+        f.kind_ = Kind::Shared;
+        f.shared_ = std::move(payload);
+        return f;
+    }
+
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        switch (kind_) {
+            case Kind::Inline:
+                return inline_len_;
+            case Kind::Owned:
+                return owned_.size();
+            case Kind::Shared:
+                return shared_ ? shared_->size() : 0;
+        }
+        return 0;
+    }
+
+    [[nodiscard]] ByteView view() const noexcept {
+        switch (kind_) {
+            case Kind::Inline:
+                return ByteView(inline_.data(), inline_len_);
+            case Kind::Owned:
+                return ByteView(owned_);
+            case Kind::Shared:
+                return shared_ ? ByteView(*shared_) : ByteView();
+        }
+        return {};
+    }
+
+    /// Moves the payload out of an Owned fragment (leaves it empty).
+    [[nodiscard]] Bytes take_owned() noexcept {
+        TROXY_ASSERT(kind_ == Kind::Owned, "not an owned fragment");
+        return std::move(owned_);
+    }
+
+    /// Drops payload references; Owned buffers are released into `pool`.
+    void recycle(BufferPool& pool) noexcept {
+        if (kind_ == Kind::Owned && !owned_.empty()) {
+            pool.release(std::move(owned_));
+        }
+        owned_.clear();
+        shared_.reset();
+        kind_ = Kind::Inline;
+        inline_len_ = 0;
+    }
+
+  private:
+    Kind kind_ = Kind::Inline;
+    std::uint8_t inline_len_ = 0;
+    std::array<std::uint8_t, kInlineCapacity> inline_{};
+    Bytes owned_;
+    std::shared_ptr<const Bytes> shared_;
+};
+
+/// A wire frame as an ordered list of fragments. The concatenation of
+/// the fragments' bytes is the frame; size() is maintained incrementally
+/// so the network books bandwidth without walking the chain.
+class FragmentChain {
+  public:
+    FragmentChain() = default;
+
+    void append_inline(ByteView header) {
+        fragments_.push_back(Fragment::inline_of(header));
+        total_ += header.size();
+        copied_ += header.size();
+    }
+
+    void append_owned(Bytes&& payload) {
+        total_ += payload.size();
+        referenced_ += payload.size();
+        fragments_.push_back(Fragment::owned(std::move(payload)));
+    }
+
+    void append_shared(std::shared_ptr<const Bytes> payload) {
+        const std::size_t n = payload ? payload->size() : 0;
+        total_ += n;
+        referenced_ += n;
+        fragments_.push_back(Fragment::shared(std::move(payload)));
+    }
+
+    /// Total wire bytes of the frame (== materialize().size()).
+    [[nodiscard]] std::size_t size() const noexcept { return total_; }
+    /// Bytes physically written into the chain (inline headers only) —
+    /// what a zero-copy transport actually copies per frame.
+    [[nodiscard]] std::size_t copied_bytes() const noexcept {
+        return copied_;
+    }
+    /// Bytes referenced in place (owned + shared payloads).
+    [[nodiscard]] std::size_t referenced_bytes() const noexcept {
+        return referenced_;
+    }
+    [[nodiscard]] bool empty() const noexcept { return fragments_.empty(); }
+    [[nodiscard]] std::size_t fragment_count() const noexcept {
+        return fragments_.size();
+    }
+
+    [[nodiscard]] std::vector<Fragment>& fragments() noexcept {
+        return fragments_;
+    }
+    [[nodiscard]] const std::vector<Fragment>& fragments() const noexcept {
+        return fragments_;
+    }
+
+    /// Appends the frame's exact wire bytes to `out` — the escape hatch
+    /// that keeps chained frames byte-identical to copied ones.
+    void materialize_into(Bytes& out) const {
+        out.reserve(out.size() + total_);
+        for (const Fragment& f : fragments_) {
+            const ByteView v = f.view();
+            out.insert(out.end(), v.begin(), v.end());
+        }
+    }
+
+    /// Materializes into a pool-recycled buffer (or a fresh one when no
+    /// pool is given).
+    [[nodiscard]] Bytes materialize(BufferPool* pool = nullptr) const {
+        Bytes out = pool != nullptr ? pool->acquire_empty(total_) : Bytes{};
+        materialize_into(out);
+        return out;
+    }
+
+    /// Releases every Owned payload into `pool` and clears the chain.
+    /// Fragment storage keeps its capacity so a recycled chain appends
+    /// without allocating.
+    void recycle(BufferPool& pool) noexcept {
+        for (Fragment& f : fragments_) f.recycle(pool);
+        clear();
+    }
+
+    /// Clears bookkeeping without touching payload buffers (callers that
+    /// moved the payloads out use this). Keeps vector capacity.
+    void clear() noexcept {
+        fragments_.clear();
+        total_ = 0;
+        copied_ = 0;
+        referenced_ = 0;
+    }
+
+  private:
+    std::vector<Fragment> fragments_;
+    std::size_t total_ = 0;
+    std::size_t copied_ = 0;
+    std::size_t referenced_ = 0;
+};
+
+}  // namespace troxy::sim

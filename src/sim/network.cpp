@@ -167,9 +167,29 @@ Network::Packet* Network::alloc_packet() {
 
 void Network::free_packet(Packet* packet) noexcept {
     packet->target = PayloadTarget{};
+    packet->chain_target = ChainTarget{};
+    packet->chain.clear();
     packet->plain = nullptr;
+    packet->frame_bytes = 0;
+    packet->credited = false;
     packet->next_free = free_packets_;
     free_packets_ = packet;
+}
+
+FragmentChain Network::acquire_chain() {
+    if (!chain_store_.empty()) {
+        FragmentChain chain = std::move(chain_store_.back());
+        chain_store_.pop_back();
+        return chain;
+    }
+    return FragmentChain{};
+}
+
+void Network::recycle_chain(FragmentChain&& chain) noexcept {
+    chain.recycle(pool_);
+    if (chain_store_.size() < 64) {
+        chain_store_.push_back(std::move(chain));
+    }
 }
 
 void Network::send(NodeId from, NodeId to, std::size_t bytes,
@@ -214,9 +234,60 @@ void Network::send(NodeId from, NodeId to, Bytes payload,
     send_packet(bytes, packet);
 }
 
+void Network::send(NodeId from, NodeId to, FragmentChain chain,
+                   ChainTarget target) {
+    const std::size_t bytes = chain.size();
+    ++messages_sent_;
+    bytes_sent_ += bytes;
+
+    if (fault_drops(from, to, bytes)) {
+        // Like the copying path, dropped frames retire their buffers into
+        // the pool; each owned payload counts one hit or miss.
+        for (Fragment& f : chain.fragments()) {
+            if (f.kind() != Fragment::Kind::Owned) continue;
+            if (pool_.release_counted(f.take_owned())) {
+                ++drops_.pool_hits;
+            } else {
+                ++drops_.pool_misses;
+            }
+        }
+        recycle_chain(std::move(chain));
+        return;
+    }
+
+    ++wire_stats_.frames_zero_copy;
+    wire_stats_.bytes_copied += chain.copied_bytes();
+    wire_stats_.bytes_referenced += chain.referenced_bytes();
+
+    Packet* packet = alloc_packet();
+    packet->chain = std::move(chain);
+    packet->chain_target = target;
+    packet->from = from;
+    packet->to = to;
+    send_packet(bytes, packet);
+}
+
 void Network::send_packet(std::size_t bytes, Packet* packet) {
     const NodeId from = packet->from;
     const NodeId to = packet->to;
+
+    // Credit window (kernel-bypass transports): a pair with `window`
+    // records already in flight parks the packet; release_credit()
+    // relaunches it when a delivery returns a credit. Latency is sampled
+    // at (re)launch time, so stalled packets draw from the RNG in the
+    // order they actually depart — deterministic per seed.
+    if (credit_window_ > 0 && !packet->credited) {
+        std::uint32_t& in_flight = credits_in_flight_[{from, to}];
+        if (in_flight >= credit_window_) {
+            packet->frame_bytes = bytes;
+            credit_stalled_[{from, to}].push_back(packet);
+            ++wire_stats_.credit_stalls;
+            return;
+        }
+        ++in_flight;
+        packet->credited = true;
+    }
+
     const LinkSpec& spec = spec_for(from, to);
 
     // Wire framing overhead (Ethernet + IP + TCP headers, amortized).
@@ -276,7 +347,32 @@ void Network::ingress_packet(Packet* packet) {
     sim_.at(done, [this, packet] { deliver_packet(packet); });
 }
 
+void Network::release_credit(NodeId from, NodeId to) {
+    const auto pair = std::make_pair(from, to);
+    const auto it = credits_in_flight_.find(pair);
+    if (it == credits_in_flight_.end()) return;
+    if (it->second > 0) --it->second;
+    const auto stalled = credit_stalled_.find(pair);
+    if (stalled == credit_stalled_.end() || stalled->second.empty()) return;
+    Packet* next = stalled->second.front();
+    stalled->second.pop_front();
+    send_packet(next->frame_bytes, next);
+}
+
 void Network::deliver_packet(Packet* packet) {
+    if (packet->credited) {
+        packet->credited = false;
+        release_credit(packet->from, packet->to);
+    }
+    if (packet->chain_target.fn != nullptr) {
+        const ChainTarget target = packet->chain_target;
+        const NodeId from = packet->from;
+        const NodeId to = packet->to;
+        FragmentChain chain = std::move(packet->chain);
+        free_packet(packet);
+        target.fn(target.ctx, from, to, std::move(chain));
+        return;
+    }
     if (packet->target.fn != nullptr) {
         const PayloadTarget target = packet->target;
         const NodeId from = packet->from;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/fragment.hpp"
 #include "sim/node.hpp"
 #include "sim/pool.hpp"
 #include "sim/simulator.hpp"
@@ -77,6 +78,16 @@ struct DropCounters {
     [[nodiscard]] std::uint64_t total() const noexcept {
         return by_loss + by_link_down + by_partition;
     }
+};
+
+/// Scatter-gather wire-path statistics.
+struct WireStats {
+    std::uint64_t frames_zero_copy = 0;  // frames shipped as chains
+    std::uint64_t bytes_referenced = 0;  // payload bytes never copied
+    std::uint64_t bytes_copied = 0;      // inline header bytes written
+    std::uint64_t materializations = 0;  // chains flattened for a
+                                         // non-chain-aware receiver
+    std::uint64_t credit_stalls = 0;     // sends held for a credit
 };
 
 class Network {
@@ -146,6 +157,46 @@ class Network {
     /// Payloads of dropped messages are recycled into the buffer pool.
     void send(NodeId from, NodeId to, Bytes payload, PayloadTarget target);
 
+    /// Chain delivery target (function pointer, same rationale as
+    /// PayloadTarget).
+    struct ChainTarget {
+        void* ctx = nullptr;
+        void (*fn)(void* ctx, NodeId from, NodeId to,
+                   FragmentChain chain) = nullptr;
+    };
+
+    /// Scatter-gather send: ships a fragment chain without materializing
+    /// it. Latency, bandwidth, FIFO and fault behaviour are computed from
+    /// chain.size() — exactly the bytes a copying sender would have put
+    /// on the wire — so chained and copied frames replay identically.
+    /// Chains of dropped messages recycle their buffers into the pool.
+    void send(NodeId from, NodeId to, FragmentChain chain,
+              ChainTarget target);
+
+    /// Recycled chain storage for senders (fragment vectors keep their
+    /// capacity across frames, so a warm encode path never allocates).
+    [[nodiscard]] FragmentChain acquire_chain();
+    void recycle_chain(FragmentChain&& chain) noexcept;
+
+    /// Bounded in-flight credit window per directed pair (kernel-bypass
+    /// transports post a fixed number of RX descriptors per peer). While
+    /// a pair has `window` records in flight, further sends queue and
+    /// depart as deliveries return credits. 0 = unlimited (default; the
+    /// kernel socket model — no behaviour change).
+    void set_credit_window(std::uint32_t window) noexcept {
+        credit_window_ = window;
+    }
+    [[nodiscard]] std::uint32_t credit_window() const noexcept {
+        return credit_window_;
+    }
+
+    [[nodiscard]] const WireStats& wire_stats() const noexcept {
+        return wire_stats_;
+    }
+    /// Called by a dispatcher that had to flatten a chain for a
+    /// non-chain-aware receiver.
+    void count_materialization() noexcept { ++wire_stats_.materializations; }
+
     /// The network's size-class payload pool. Senders acquire() wire
     /// buffers from it and receivers recycle() exhausted ones, closing
     /// the allocation loop across the message cycle.
@@ -182,15 +233,19 @@ class Network {
     };
 
     /// In-flight message record, slab-allocated and freelist-recycled.
-    /// Exactly one of `target.fn` / `plain` is set.
+    /// Exactly one of `target.fn` / `chain_target.fn` / `plain` is set.
     struct Packet {
         Bytes payload;
+        FragmentChain chain;  // scatter-gather path (chain_target set)
         PayloadTarget target;
+        ChainTarget chain_target;
         std::function<void()> plain;  // legacy closure path
         NodeId from = 0;
         NodeId to = 0;
         double wire_bits = 0.0;
         int ingress_group = 0;
+        std::size_t frame_bytes = 0;  // for credit-stalled re-sends
+        bool credited = false;        // holds one credit of its pair
         Packet* next_free = nullptr;
     };
 
@@ -204,6 +259,9 @@ class Network {
     void send_packet(std::size_t bytes, Packet* packet);
     void ingress_packet(Packet* packet);
     void deliver_packet(Packet* packet);
+    /// Returns the credit a delivered/freed packet held; launches the
+    /// next stalled packet of its pair, if any.
+    void release_credit(NodeId from, NodeId to);
 
     Simulator& sim_;
     Rng rng_;
@@ -220,11 +278,16 @@ class Network {
     std::uint64_t messages_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;
     DropCounters drops_;
+    WireStats wire_stats_;
     BufferPool pool_;
     std::deque<Packet> packet_slab_;
     Packet* free_packets_ = nullptr;
     std::uint64_t packet_allocs_ = 0;
     std::uint64_t packet_reuses_ = 0;
+    std::vector<FragmentChain> chain_store_;  // recycled chain storage
+    std::uint32_t credit_window_ = 0;
+    std::map<std::pair<NodeId, NodeId>, std::uint32_t> credits_in_flight_;
+    std::map<std::pair<NodeId, NodeId>, std::deque<Packet*>> credit_stalled_;
 };
 
 }  // namespace troxy::sim

@@ -377,12 +377,14 @@ void TroxyEnclave::flush_releases(enclave::CostedCrypto& crypto,
         }
         // ONE AEAD pass over the whole burst for this connection: the
         // per-record base cost is paid once instead of once per reply.
+        // Gather encoding builds envelope ‖ frame header ‖ sealed record
+        // in one buffer.
         crypto.charge(profile_.aead(total));
-        Bytes record = conn->second.channel.protect_many(views);
-        actions.sends.emplace_back(
-            client,
-            net::wrap(net::Channel::Client,
-                      net::frame_client(net::ClientFrame::Record, record)));
+        Writer frame;
+        frame.u8(static_cast<std::uint8_t>(net::Channel::Client));
+        frame.u8(static_cast<std::uint8_t>(net::ClientFrame::Record));
+        conn->second.channel.protect_many_into(frame, views);
+        actions.sends.emplace_back(client, std::move(frame).take());
     }
 }
 
@@ -400,11 +402,12 @@ void TroxyEnclave::release_reply(enclave::CostedCrypto& crypto,
         const auto next = connection.ready.find(connection.next_release);
         if (next == connection.ready.end()) break;
         crypto.charge(profile_.aead(next->second.size()));
-        Bytes record = connection.channel.protect(next->second);
-        actions.sends.emplace_back(
-            client,
-            net::wrap(net::Channel::Client,
-                      net::frame_client(net::ClientFrame::Record, record)));
+        Writer frame;
+        frame.u8(static_cast<std::uint8_t>(net::Channel::Client));
+        frame.u8(static_cast<std::uint8_t>(net::ClientFrame::Record));
+        connection.channel.protect_many_into(
+            frame, {ByteView(next->second)});
+        actions.sends.emplace_back(client, std::move(frame).take());
         connection.ready.erase(next);
         ++connection.next_release;
     }

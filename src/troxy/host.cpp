@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "net/client_framing.hpp"
 #include "net/envelope.hpp"
+#include "net/fragment.hpp"
 #include "net/outbox.hpp"
 
 namespace troxy::troxy_core {
@@ -142,6 +143,10 @@ void TroxyReplicaHost::attach() {
     fabric_.attach(node_.id(), [this](sim::NodeId from, Bytes message) {
         on_message(from, std::move(message));
     });
+    fabric_.attach_chain(
+        node_.id(), [this](sim::NodeId from, sim::FragmentChain chain) {
+            on_chain(from, std::move(chain));
+        });
     if (options_.enclave_recovery_period > 0 && options_.authority) {
         arm_recovery_timer(options_.enclave_recovery_period +
                            options_.enclave_recovery_offset);
@@ -293,6 +298,28 @@ void TroxyReplicaHost::on_message(sim::NodeId from, Bytes message) {
     fabric_.network().recycle(std::move(message));
 }
 
+void TroxyReplicaHost::on_chain(sim::NodeId from, sim::FragmentChain chain) {
+    sim::Network& network = fabric_.network();
+    if (faults_.crashed) {
+        network.recycle_chain(std::move(chain));
+        return;
+    }
+    // Recovery-window traffic goes through the ordinary buffering logic,
+    // which needs an owning flat frame anyway.
+    if (!enclave_recovering_) {
+        auto messages = net::take_bundle_messages(std::move(chain));
+        if (messages) {
+            network.recycle_chain(std::move(chain));
+            dispatch_burst(from, std::move(*messages));
+            return;
+        }
+    }
+    network.count_materialization();
+    Bytes flat = chain.materialize(&network.pool());
+    network.recycle_chain(std::move(chain));
+    on_message(from, std::move(flat));
+}
+
 void TroxyReplicaHost::dispatch_message(sim::NodeId from, ByteView message) {
     auto unwrapped = net::unwrap_view(message);
     if (!unwrapped) return;
@@ -316,32 +343,10 @@ void TroxyReplicaHost::dispatch_message(sim::NodeId from, ByteView message) {
         }
         case net::Channel::Bundle: {
             // A coalesced flush burst from a peer: unpack and dispatch
-            // each inner message. Replies for the local voter are
-            // collected so the whole burst enters the enclave through ONE
-            // handle_replies transition (when voter batching is on).
+            // each inner message.
             auto inner = net::unbundle(payload);
             if (!inner) return;
-            std::vector<hybster::Reply> replies;
-            for (Bytes& message : *inner) {
-                auto unwrapped_inner = net::unwrap_view(message);
-                if (!unwrapped_inner) continue;
-                if (unwrapped_inner->first == net::Channel::Hybster) {
-                    auto decoded =
-                        hybster::decode_message(unwrapped_inner->second);
-                    if (!decoded) continue;
-                    if (auto* reply =
-                            std::get_if<hybster::Reply>(&*decoded)) {
-                        if (reply->request_id.client == node_.id()) {
-                            replies.push_back(std::move(*reply));
-                        }
-                        continue;
-                    }
-                    replica_->on_message(from, unwrapped_inner->second);
-                    continue;
-                }
-                on_message(from, std::move(message));
-            }
-            ingest_replies(std::move(replies));
+            dispatch_burst(from, std::move(*inner));
             return;
         }
         case net::Channel::Client: {
@@ -391,6 +396,29 @@ void TroxyReplicaHost::dispatch_message(sim::NodeId from, ByteView message) {
         default:
             return;  // not for this host
     }
+}
+
+void TroxyReplicaHost::dispatch_burst(sim::NodeId from,
+                                      std::vector<Bytes> messages) {
+    std::vector<hybster::Reply> replies;
+    for (Bytes& message : messages) {
+        auto unwrapped_inner = net::unwrap_view(message);
+        if (!unwrapped_inner) continue;
+        if (unwrapped_inner->first == net::Channel::Hybster) {
+            auto decoded = hybster::decode_message(unwrapped_inner->second);
+            if (!decoded) continue;
+            if (auto* reply = std::get_if<hybster::Reply>(&*decoded)) {
+                if (reply->request_id.client == node_.id()) {
+                    replies.push_back(std::move(*reply));
+                }
+                continue;
+            }
+            replica_->on_message(from, unwrapped_inner->second);
+            continue;
+        }
+        on_message(from, std::move(message));
+    }
+    ingest_replies(std::move(replies));
 }
 
 void TroxyReplicaHost::enqueue_reply(hybster::Reply&& reply) {
@@ -483,7 +511,9 @@ void TroxyReplicaHost::apply(enclave::CostMeter& meter,
         fast_reads_in_flight_.erase(id);
     }
 
-    net::Outbox outbox(fabric_, node_, options_.coalesce_wire);
+    net::Outbox outbox(fabric_, node_, options_.coalesce_wire,
+                       /*record_cost=*/0, options_.wire_zero_copy,
+                       &options_.transport);
     for (auto& [to, bytes] : actions.sends) {
         outbox.send(to, std::move(bytes));
     }
@@ -592,7 +622,9 @@ void TroxyReplicaHost::arm_fastread_flush_timer() {
             if (generation != fastread_flush_generation_) return;
             fastread_timer_armed_ = false;
             enclave::CostMeter meter;
-            net::Outbox outbox(fabric_, node_, options_.coalesce_wire);
+            net::Outbox outbox(fabric_, node_, options_.coalesce_wire,
+                       /*record_cost=*/0, options_.wire_zero_copy,
+                       &options_.transport);
             flush_fastread_buffer(outbox);
             outbox.flush(meter);
         });
@@ -635,6 +667,8 @@ TroxyReplicaHost::Status TroxyReplicaHost::status() const {
     s.state = replica_->state_stats();
     s.enclave_recoveries = enclave_recoveries_;
     s.recovery_buffered_frames = recovery_buffered_frames_;
+    s.pool = fabric_.network().pool().stats();
+    s.wire = fabric_.network().wire_stats();
     return s;
 }
 

@@ -39,6 +39,14 @@ class TroxyReplicaHost {
         /// Coalesce this host's outgoing flush bursts into one Bundle
         /// frame per destination (one wire record per burst).
         bool coalesce_wire = false;
+        /// Ship coalesced bursts as scatter-gather fragment chains (wire
+        /// bytes identical, flatten copies and allocations eliminated).
+        /// Off by default so existing runs replay bit-identically.
+        bool wire_zero_copy = false;
+        /// Per-record transport send cost charged by this host's flushes
+        /// (kernel syscall+copy vs bypass doorbell). The default none()
+        /// charges nothing — the seed's implicit model.
+        sim::TransportProfile transport = sim::TransportProfile::none();
         /// Let an EWMA of the served reply load (replies per delay window)
         /// shrink the voter flush boundary under light load (idle keeps
         /// per-reply latency).
@@ -158,14 +166,28 @@ class TroxyReplicaHost {
         std::uint64_t enclave_recoveries = 0;
         /// Client frames buffered across recovery downtime windows.
         std::uint64_t recovery_buffered_frames = 0;
+        /// Wire-buffer pool behaviour of the host's network (shared
+        /// across the fabric — cluster-wide counters, not per host).
+        sim::BufferPool::Stats pool;
+        /// Scatter-gather wire-path counters (shared, cluster-wide).
+        sim::WireStats wire;
     };
     [[nodiscard]] Status status() const;
 
   private:
     void on_message(sim::NodeId from, Bytes message);
+    /// Scatter-gather receive: a coalesced burst arriving as a fragment
+    /// chain is split back into its messages without flattening; foreign
+    /// chain shapes (and recovery-window traffic) materialize and take
+    /// the ordinary path.
+    void on_chain(sim::NodeId from, sim::FragmentChain chain);
     /// Channel dispatch over a borrowed view of the wire frame; the owning
     /// caller recycles the buffer afterwards.
     void dispatch_message(sim::NodeId from, ByteView message);
+    /// Dispatches an unbundled burst: replies for the local voter are
+    /// collected so the whole burst enters the enclave through ONE
+    /// handle_replies transition (when voter batching is on).
+    void dispatch_burst(sim::NodeId from, std::vector<Bytes> messages);
     void apply(enclave::CostMeter& meter, TroxyActions&& actions);
     void arm_vote_timer(std::uint64_t number);
     void arm_fast_read_timer(std::uint64_t query_id);

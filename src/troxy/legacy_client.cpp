@@ -132,10 +132,13 @@ void LegacyClient::send(Bytes app_request, ReplyCallback callback) {
     enclave::CostedCrypto crypto(profile_, meter);
     net::Outbox outbox(fabric_, node_);
     crypto.charge(profile_.aead(app_request.size()));
-    outbox.send(servers_[server_index_],
-                net::wrap(net::Channel::Client,
-                          net::frame_client(net::ClientFrame::Record,
-                                            channel_->protect(app_request))));
+    // Gather encoding: envelope, frame header and sealed record build in
+    // ONE buffer (the record plaintext is sealed where it was written).
+    Writer frame;
+    frame.u8(static_cast<std::uint8_t>(net::Channel::Client));
+    frame.u8(static_cast<std::uint8_t>(net::ClientFrame::Record));
+    channel_->protect_many_into(frame, {ByteView(app_request)});
+    outbox.send(servers_[server_index_], std::move(frame).take());
     outbox.flush(meter);
 }
 
@@ -162,13 +165,14 @@ void LegacyClient::flush_sends() {
         total += request.size();
         views.emplace_back(request);
     }
-    // One AEAD pass and one wire record for the whole burst.
+    // One AEAD pass and one wire record for the whole burst, gathered
+    // into one buffer with the envelope and frame headers.
     crypto.charge(profile_.aead(total));
-    outbox.send(
-        servers_[server_index_],
-        net::wrap(net::Channel::Client,
-                  net::frame_client(net::ClientFrame::Record,
-                                    channel_->protect_many(views))));
+    Writer frame;
+    frame.u8(static_cast<std::uint8_t>(net::Channel::Client));
+    frame.u8(static_cast<std::uint8_t>(net::ClientFrame::Record));
+    channel_->protect_many_into(frame, views);
+    outbox.send(servers_[server_index_], std::move(frame).take());
     outbox.flush(meter);
 }
 

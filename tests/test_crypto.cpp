@@ -227,6 +227,36 @@ TEST(Aead, RecordNonceChangesPerSequence) {
     EXPECT_NE(n0, n1);
 }
 
+TEST(Aead, SealInplaceMatchesSeal) {
+    // The gather path seals the plaintext where it sits in the record
+    // buffer; the result must be byte-identical to the copying seal for
+    // every size class (empty, sub-block, block-aligned, multi-block).
+    ChaChaKey key{};
+    key[3] = 0x42;
+    ChaChaNonce nonce{};
+    nonce[1] = 0x07;
+    const Bytes aad = to_bytes("record-aad");
+    for (const std::size_t size : {0u, 1u, 63u, 64u, 65u, 1000u}) {
+        Bytes plaintext(size);
+        for (std::size_t i = 0; i < size; ++i) {
+            plaintext[i] = static_cast<std::uint8_t>(i * 31 + 7);
+        }
+        const Bytes reference = aead_seal(key, nonce, aad, plaintext);
+
+        Bytes buf = to_bytes("header-prefix");  // unrelated leading bytes
+        const std::size_t offset = buf.size();
+        buf.insert(buf.end(), plaintext.begin(), plaintext.end());
+        aead_seal_inplace(key, nonce, aad, buf, offset);
+        ASSERT_EQ(buf.size(), offset + reference.size());
+        EXPECT_EQ(Bytes(buf.begin() + static_cast<std::ptrdiff_t>(offset),
+                        buf.end()),
+                  reference);
+        EXPECT_EQ(Bytes(buf.begin(),
+                        buf.begin() + static_cast<std::ptrdiff_t>(offset)),
+                  to_bytes("header-prefix"));  // prefix untouched
+    }
+}
+
 // ------------------------------------------------------------------ X25519
 
 TEST(X25519, Rfc7748Vector1) {
@@ -301,6 +331,20 @@ TEST_F(FastModeTest, AeadRoundTripAndTamperDetection) {
     EXPECT_EQ(*opened, plaintext);
     sealed[0] ^= 1;
     EXPECT_FALSE(aead_open(key, nonce, to_bytes("aad"), sealed).has_value());
+}
+
+TEST_F(FastModeTest, SealInplaceMatchesSeal) {
+    set_fast_crypto(true);
+    ChaChaKey key{};
+    key[0] = 9;
+    ChaChaNonce nonce{};
+    const Bytes aad = to_bytes("a");
+    const Bytes plaintext = to_bytes("fast gather payload");
+    const Bytes reference = aead_seal(key, nonce, aad, plaintext);
+    Bytes buf = to_bytes("hdr");
+    buf.insert(buf.end(), plaintext.begin(), plaintext.end());
+    aead_seal_inplace(key, nonce, aad, buf, 3);
+    EXPECT_EQ(Bytes(buf.begin() + 3, buf.end()), reference);
 }
 
 TEST_F(FastModeTest, SizesMatchRealMode) {

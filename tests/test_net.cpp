@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "net/client_framing.hpp"
 #include "net/envelope.hpp"
 #include "net/fabric.hpp"
+#include "net/fragment.hpp"
 #include "net/mac_table.hpp"
 #include "net/outbox.hpp"
 #include "net/secure_channel.hpp"
@@ -515,6 +517,282 @@ TEST(Outbox, RecordCostChargedPerBurstNotPerMessage) {
     EXPECT_LE(coalesced, sim::microseconds(200) + 2);
     EXPECT_GE(uncoalesced, sim::microseconds(400));
     EXPECT_LE(uncoalesced, sim::microseconds(400) + 2);
+}
+
+TEST(Outbox, BatchOfOneCostParity) {
+    // A flush whose coalesced group holds a single message must charge
+    // exactly the non-coalesced cost: same record count, no Bundle
+    // surcharge, byte-identical wire frame, identical delivery time.
+    const auto run_case = [](bool coalesce) {
+        sim::Simulator sim;
+        sim::Network network(sim);
+        sim::LinkSpec instant;
+        instant.latency = sim::LatencyModel::constant(0);
+        instant.bandwidth_bits_per_sec = 1e15;
+        network.set_default_link(instant);
+        Fabric fabric(sim, network);
+        sim::Node node(sim, 1, "n", 1);
+        sim::SimTime delivered_at = 0;
+        Bytes frame;
+        fabric.attach(2, [&](sim::NodeId, Bytes m) {
+            delivered_at = sim.now();
+            frame = std::move(m);
+        });
+        Outbox outbox(fabric, node, coalesce, sim::microseconds(100));
+        outbox.send(2, wrap(Channel::Hybster, to_bytes("only")));
+        enclave::CostMeter meter;
+        outbox.flush(meter);
+        sim.run();
+        return std::make_pair(delivered_at, frame);
+    };
+    const auto [coalesced_at, coalesced_frame] = run_case(true);
+    const auto [plain_at, plain_frame] = run_case(false);
+    EXPECT_EQ(coalesced_at, plain_at);
+    EXPECT_EQ(coalesced_frame, plain_frame);
+    EXPECT_EQ(plain_frame, wrap(Channel::Hybster, to_bytes("only")));
+}
+
+// ------------------------------------------------- scatter-gather bundles
+
+TEST(Envelope, BundleZeroLengthMessageRoundTrip) {
+    const std::vector<Bytes> frames = {
+        Bytes{}, wrap(Channel::Hybster, to_bytes("x")), Bytes{}};
+    const Bytes bundle = make_bundle(frames);
+    const auto unwrapped = unwrap(bundle);
+    ASSERT_TRUE(unwrapped.has_value());
+    const auto inner = unbundle(unwrapped->second);
+    ASSERT_TRUE(inner.has_value());
+    ASSERT_EQ(inner->size(), 3u);
+    EXPECT_TRUE((*inner)[0].empty());
+    EXPECT_EQ((*inner)[1], frames[1]);
+    EXPECT_TRUE((*inner)[2].empty());
+}
+
+TEST(Envelope, BundleCountAtU16Limit) {
+    // 65535 zero-length members: the count field is at its ceiling and
+    // both encoders must agree byte for byte.
+    std::vector<Bytes> frames(kMaxBundleMessages);
+    const Bytes bundle = make_bundle(frames);
+    const auto unwrapped = unwrap(bundle);
+    ASSERT_TRUE(unwrapped.has_value());
+    const auto inner = unbundle(unwrapped->second);
+    ASSERT_TRUE(inner.has_value());
+    EXPECT_EQ(inner->size(), kMaxBundleMessages);
+
+    FragmentChain chain;
+    std::vector<Bytes> moved(kMaxBundleMessages);
+    encode_bundle(chain, std::move(moved));
+    EXPECT_EQ(chain.materialize(), bundle);
+}
+
+TEST(Envelope, BundleTruncatedLengthPrefixRejectedAsUnit) {
+    // Cut the frame two bytes into the second message's length prefix:
+    // the whole bundle is rejected — the intact first message is NOT
+    // delivered on its own.
+    const std::vector<Bytes> frames = {to_bytes("aa"), to_bytes("bb")};
+    const Bytes bundle = make_bundle(frames);
+    const auto unwrapped = unwrap(bundle);
+    ASSERT_TRUE(unwrapped.has_value());
+    const ByteView payload = unwrapped->second;
+    // payload = u16 count ‖ u32 len ‖ "aa" ‖ u32 len ‖ "bb"
+    const Bytes truncated(payload.begin(), payload.begin() + 2 + 4 + 2 + 2);
+    EXPECT_FALSE(unbundle(truncated).has_value());
+    // truncating inside a message body is rejected the same way
+    const Bytes short_body(payload.begin(), payload.begin() + 2 + 4 + 1);
+    EXPECT_FALSE(unbundle(short_body).has_value());
+}
+
+TEST(Envelope, BundleSplitEncodeRoundTripProperty) {
+    // Random message vectors: flatten and chain encodings are
+    // byte-identical, and both receive paths (unbundle on the flat
+    // frame, take_bundle_messages on the chain) reproduce the inputs.
+    Rng rng(0x77a7);
+    for (int iter = 0; iter < 50; ++iter) {
+        const std::size_t count = 1 + rng.next_below(20);
+        std::vector<Bytes> frames;
+        frames.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            Bytes m(rng.next_below(300));
+            for (auto& b : m) {
+                b = static_cast<std::uint8_t>(rng.next_below(256));
+            }
+            frames.push_back(std::move(m));
+        }
+        const Bytes reference = make_bundle(frames);
+
+        std::vector<Bytes> moved = frames;
+        FragmentChain chain;
+        encode_bundle(chain, std::move(moved));
+        EXPECT_EQ(chain.size(), reference.size());
+        EXPECT_EQ(chain.materialize(), reference);
+
+        std::vector<Bytes> again = frames;
+        FragmentChain receive_chain;
+        encode_bundle(receive_chain, std::move(again));
+        auto taken = take_bundle_messages(std::move(receive_chain));
+        ASSERT_TRUE(taken.has_value());
+        EXPECT_EQ(*taken, frames);
+
+        const auto unwrapped = unwrap(reference);
+        ASSERT_TRUE(unwrapped.has_value());
+        const auto inner = unbundle(unwrapped->second);
+        ASSERT_TRUE(inner.has_value());
+        EXPECT_EQ(*inner, frames);
+    }
+}
+
+TEST(FragmentChain, TakeBundleMessagesRejectsForeignShape) {
+    // A chain that is not an encode_bundle() product is left untouched
+    // so the caller can materialize it instead.
+    FragmentChain chain;
+    chain.append_inline(to_bytes("xy"));
+    chain.append_owned(to_bytes("payload"));
+    EXPECT_FALSE(take_bundle_messages(std::move(chain)).has_value());
+    EXPECT_EQ(chain.fragments().size(), 2u);
+    EXPECT_EQ(chain.size(), 2u + 7u);
+}
+
+TEST(Fabric, ChainShipsToChainHandlerWithoutMaterializing) {
+    sim::Simulator sim;
+    sim::Network network(sim);
+    Fabric fabric(sim, network);
+
+    const std::vector<Bytes> frames = {
+        wrap(Channel::Hybster, to_bytes("p1")),
+        wrap(Channel::Hybster, to_bytes("p2"))};
+    std::vector<Bytes> received;
+    fabric.attach_chain(2, [&](sim::NodeId, sim::FragmentChain chain) {
+        auto messages = take_bundle_messages(std::move(chain));
+        ASSERT_TRUE(messages.has_value());
+        received = std::move(*messages);
+    });
+
+    FragmentChain chain = network.acquire_chain();
+    std::vector<Bytes> moved = frames;
+    encode_bundle(chain, std::move(moved));
+    fabric.send_chain(1, 2, std::move(chain));
+    sim.run();
+
+    EXPECT_EQ(received, frames);
+    EXPECT_EQ(network.wire_stats().frames_zero_copy, 1u);
+    EXPECT_EQ(network.wire_stats().materializations, 0u);
+}
+
+TEST(Fabric, ChainMaterializesForPlainHandlerByteIdentically) {
+    sim::Simulator sim;
+    sim::Network network(sim);
+    Fabric fabric(sim, network);
+
+    const std::vector<Bytes> frames = {
+        wrap(Channel::Hybster, to_bytes("p1")),
+        wrap(Channel::Client, to_bytes("p2"))};
+    Bytes flat;
+    fabric.attach(2, [&](sim::NodeId, Bytes m) { flat = std::move(m); });
+
+    FragmentChain chain = network.acquire_chain();
+    std::vector<Bytes> moved = frames;
+    encode_bundle(chain, std::move(moved));
+    fabric.send_chain(1, 2, std::move(chain));
+    sim.run();
+
+    EXPECT_EQ(flat, make_bundle(frames));
+    EXPECT_EQ(network.wire_stats().materializations, 1u);
+}
+
+TEST(Network, CreditWindowStallsAndPreservesOrder) {
+    sim::Simulator sim;
+    sim::Network network(sim);
+    network.set_credit_window(1);
+    Fabric fabric(sim, network);
+
+    std::vector<Bytes> received;
+    fabric.attach(2, [&](sim::NodeId, Bytes m) {
+        received.push_back(std::move(m));
+    });
+    fabric.send(1, 2, to_bytes("a"));
+    fabric.send(1, 2, to_bytes("b"));
+    fabric.send(1, 2, to_bytes("c"));
+    sim.run();
+
+    // With one credit per directed pair the second and third send had to
+    // wait for a delivery each; everything still arrives, in order.
+    ASSERT_EQ(received.size(), 3u);
+    EXPECT_EQ(received[0], to_bytes("a"));
+    EXPECT_EQ(received[1], to_bytes("b"));
+    EXPECT_EQ(received[2], to_bytes("c"));
+    EXPECT_EQ(network.wire_stats().credit_stalls, 2u);
+}
+
+TEST(Outbox, ZeroCopyFlushMatchesCopyingWire) {
+    // The same burst flushed through the copying and the zero-copy
+    // coalescing paths must produce byte-identical frames at a plain
+    // receiver, at the same simulated time.
+    const auto run_case = [](bool zero_copy) {
+        sim::Simulator sim;
+        sim::Network network(sim);
+        Fabric fabric(sim, network);
+        sim::Node node(sim, 1, "n", 1);
+        std::vector<Bytes> frames;
+        sim::SimTime delivered_at = 0;
+        fabric.attach(2, [&](sim::NodeId, Bytes m) {
+            delivered_at = sim.now();
+            frames.push_back(std::move(m));
+        });
+        Outbox outbox(fabric, node, /*coalesce=*/true, /*record_cost=*/0,
+                      zero_copy);
+        outbox.send(2, wrap(Channel::Hybster, to_bytes("a")));
+        outbox.send(2, wrap(Channel::Hybster, to_bytes("bb")));
+        outbox.send(2, wrap(Channel::Hybster, to_bytes("ccc")));
+        enclave::CostMeter meter;
+        outbox.flush(meter);
+        sim.run();
+        return std::make_pair(delivered_at, frames);
+    };
+    const auto [zc_at, zc_frames] = run_case(true);
+    const auto [copy_at, copy_frames] = run_case(false);
+    EXPECT_EQ(zc_at, copy_at);
+    EXPECT_EQ(zc_frames, copy_frames);
+}
+
+TEST(Outbox, TransportChargesOnlyStagedBytesOnZeroCopyPath) {
+    // Transport profile: per-record entry plus per-byte staging. The
+    // copying path stages the whole frame; the zero-copy path stages the
+    // inline framing headers only, so its flush completes earlier by the
+    // referenced-bytes share of the per-byte cost.
+    const auto run_case = [](bool zero_copy) {
+        sim::Simulator sim;
+        sim::Network network(sim);
+        sim::LinkSpec instant;
+        instant.latency = sim::LatencyModel::constant(0);
+        instant.bandwidth_bits_per_sec = 1e15;
+        network.set_default_link(instant);
+        Fabric fabric(sim, network);
+        sim::Node node(sim, 1, "n", 1);
+        sim::SimTime delivered_at = 0;
+        fabric.attach(2, [&](sim::NodeId, Bytes) {
+            delivered_at = sim.now();
+        });
+        sim::TransportProfile transport;
+        transport.tx_base_ns = 1000.0;
+        transport.tx_per_byte_ns = 1.0;
+        Outbox outbox(fabric, node, /*coalesce=*/true, /*record_cost=*/0,
+                      zero_copy, &transport);
+        outbox.send(2, wrap(Channel::Hybster, Bytes(100, 0xaa)));
+        outbox.send(2, wrap(Channel::Hybster, Bytes(100, 0xbb)));
+        enclave::CostMeter meter;
+        outbox.flush(meter);
+        sim.run();
+        return delivered_at;
+    };
+    const sim::SimTime copying = run_case(false);
+    const sim::SimTime zero_copy = run_case(true);
+    // Frame: 3-byte Bundle head + 2 x (4-byte prefix + 101-byte message).
+    // Copying stages all 213 bytes; zero-copy stages the 11 header bytes.
+    // (±2 time units of wire serialization on top of the metered cost)
+    EXPECT_GE(copying, sim::SimTime(1000 + 213));
+    EXPECT_LE(copying, sim::SimTime(1000 + 213) + 2);
+    EXPECT_GE(zero_copy, sim::SimTime(1000 + 11));
+    EXPECT_LE(zero_copy, sim::SimTime(1000 + 11) + 2);
 }
 
 }  // namespace
