@@ -1,0 +1,476 @@
+// Sharded-Troxy benchmark: partitioned replica groups behind one
+// transparent front (BENCH_shard.json).
+//
+// Two parts:
+//
+//   1. Saturation sweep — closed-loop pure-write workload against a
+//      ShardedTroxyCluster for S ∈ {1, 2, 4, 8}. The service carries a
+//      fixed modeled execution cost, so ordered-write throughput is
+//      execution-bound — exactly the resource a key-range partition
+//      multiplies: each shard orders and executes only its slice of the
+//      key space. S = 1 is the unsharded deployment (no front node);
+//      S > 1 routes everything through the ShardFrontHost. CI gates the
+//      S=4 aggregate ordered-write throughput at >= 3.0x S=1. One extra
+//      cell runs S=4 with a multiwrite fraction whose partner key lands
+//      on another shard, pricing the ordered two-shard commit lane.
+//
+//   2. Open-loop population sweep — S ∈ {1, 2, 4, 8} x {1e4, 1e5, 1e6}
+//      virtual clients (OpenLoopSuite: one aggregate-rate Poisson chain
+//      over a bounded connection pool with session churn) at a fixed
+//      offered rate, reporting tail latency and front routing counters
+//      as the population grows.
+//
+// Flags: --smoke     S ∈ {1, 4}, 1e5-client sweep, short windows
+//        --out PATH  JSON output path (default BENCH_shard.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/echo_service.hpp"
+#include "bench_support/cluster.hpp"
+#include "bench_support/stats.hpp"
+#include "bench_support/workload.hpp"
+#include "crypto/fastmode.hpp"
+
+namespace {
+
+using namespace troxy;
+using namespace troxy::bench;
+namespace sim = troxy::sim;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/// EchoService with a fixed modeled execution cost on top: a service
+/// whose request handling, not the protocol, is the bottleneck — the
+/// regime where partitioning the key space multiplies throughput.
+class HeavyEchoService final : public hybster::Service {
+  public:
+    explicit HeavyEchoService(sim::Duration cost) : cost_(cost) {}
+
+    [[nodiscard]] hybster::RequestInfo classify(
+        ByteView request) const override {
+        return inner_.classify(request);
+    }
+    Bytes execute(ByteView request) override {
+        return inner_.execute(request);
+    }
+    [[nodiscard]] Bytes checkpoint() const override {
+        return inner_.checkpoint();
+    }
+    void restore(ByteView snapshot) override { inner_.restore(snapshot); }
+    [[nodiscard]] sim::Duration execution_cost(
+        ByteView request) const override {
+        return cost_ + inner_.execution_cost(request);
+    }
+
+  private:
+    apps::EchoService inner_;
+    sim::Duration cost_;
+};
+
+std::unique_ptr<ShardedTroxyCluster> make_cluster(int shards, int keys,
+                                                  sim::Duration exec_cost) {
+    ShardedTroxyCluster::Params params;
+    params.base.seed = 42;
+    params.base.shard_count = shards;
+    params.base.batch_size_max = 16;
+    params.base.batch_delay = sim::microseconds(200);
+    params.base.coalesce_wire = true;
+    params.host.coalesce_wire = true;
+    params.host.voter_batch_max = 16;
+    params.host.batch_reply_auth = true;
+    params.ctroxy = true;
+    if (exec_cost > 0) {
+        params.service = [exec_cost]() {
+            return std::make_unique<HeavyEchoService>(exec_cost);
+        };
+    } else {
+        params.service = []() {
+            return std::make_unique<apps::EchoService>();
+        };
+    }
+    params.classifier = [](ByteView request) {
+        return apps::EchoService().classify(request);
+    };
+    if (shards > 1) {
+        std::vector<std::string> universe;
+        universe.reserve(static_cast<std::size_t>(keys));
+        for (int k = 0; k < keys; ++k) {
+            universe.push_back("k" + std::to_string(k));
+        }
+        params.map = troxy_core::ShardMap::split_evenly(
+            std::move(universe), shards);
+    }
+    return std::make_unique<ShardedTroxyCluster>(std::move(params));
+}
+
+struct FrontCounters {
+    std::uint64_t requests = 0;
+    std::uint64_t released = 0;
+    std::uint64_t cross_shard_commits = 0;
+    std::uint64_t upstream_failovers = 0;
+    int router_fanout = 0;
+    std::vector<std::uint64_t> shard_forwarded;
+};
+
+FrontCounters front_counters(ShardedTroxyCluster& cluster) {
+    FrontCounters out;
+    if (cluster.front() == nullptr) return out;
+    const auto status = cluster.front()->status();
+    out.requests = status.requests;
+    out.released = status.released;
+    out.cross_shard_commits = status.cross_shard_commits;
+    out.upstream_failovers = status.upstream_failovers;
+    out.router_fanout = status.router_fanout;
+    for (const auto& shard : status.shards) {
+        out.shard_forwarded.push_back(shard.forwarded);
+    }
+    return out;
+}
+
+// --------------------------------------------------------- saturation
+
+struct SatCell {
+    int shards = 0;
+    double cross_fraction = 0.0;
+    double throughput = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    double wall_s = 0.0;
+    std::uint64_t sim_events = 0;
+    FrontCounters front;
+};
+
+SatCell run_saturation(int shards, double cross_fraction, bool smoke,
+                       int connections, int pipeline) {
+    const int keys = 4096;
+    // 400 us of modeled execution per write: the shard's replica cores
+    // saturate near 20k ordered writes/s, well under the routing front's
+    // ceiling, so the S-sweep measures how the partition multiplies the
+    // execution budget.
+    auto cluster = make_cluster(shards, keys, sim::microseconds(400));
+    std::vector<troxy_core::LegacyClient*> conns;
+    for (int i = 0; i < connections; ++i) {
+        conns.push_back(&cluster->add_client());
+    }
+
+    const sim::Duration warmup =
+        smoke ? sim::milliseconds(200) : sim::milliseconds(400);
+    const sim::Duration window =
+        smoke ? sim::milliseconds(800) : sim::milliseconds(1500);
+    Recorder recorder(warmup, window);
+
+    Workload workload(
+        cluster->simulator(), recorder,
+        [keys, cross_fraction](Rng& rng) {
+            GeneratedRequest out;
+            const std::uint64_t key =
+                rng.next_below(static_cast<std::uint64_t>(keys));
+            if (cross_fraction > 0.0 &&
+                rng.next_double() < cross_fraction) {
+                // Partner half the key space away: on another shard for
+                // every even S, forcing the ordered two-shard commit.
+                out.payload = apps::EchoService::make_multi_write(
+                    key,
+                    (key + static_cast<std::uint64_t>(keys) / 2) %
+                        static_cast<std::uint64_t>(keys),
+                    64);
+            } else {
+                out.payload = apps::EchoService::make_write(key, 64);
+            }
+            return out;
+        },
+        /*seed=*/42);
+    for (auto* conn : conns) workload.drive_legacy(*conn, pipeline);
+
+    const auto start = std::chrono::steady_clock::now();
+    cluster->simulator().run_until(recorder.window_end() +
+                                   sim::milliseconds(500));
+
+    SatCell cell;
+    cell.shards = shards;
+    cell.cross_fraction = cross_fraction;
+    cell.throughput = recorder.throughput_per_sec();
+    cell.p50_ms = recorder.percentile_latency_ms(50);
+    cell.p99_ms = recorder.percentile_latency_ms(99);
+    cell.issued = workload.issued();
+    cell.completed = recorder.completed();
+    cell.wall_s = wall_seconds_since(start);
+    cell.sim_events = cluster->simulator().executed_events();
+    cell.front = front_counters(*cluster);
+    return cell;
+}
+
+// ---------------------------------------------------------- open loop
+
+struct OpenCell {
+    int shards = 0;
+    std::uint64_t virtual_clients = 0;
+    double offered_rate = 0.0;
+    double throughput = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t churned = 0;
+    double wall_s = 0.0;
+    FrontCounters front;
+};
+
+OpenCell run_open_loop(int shards, std::uint64_t virtual_clients,
+                       bool smoke) {
+    const int keys = 65536;
+    auto cluster = make_cluster(shards, keys, /*exec_cost=*/0);
+
+    const int connections = 24;
+    std::vector<troxy_core::LegacyClient*> conns;
+    for (int i = 0; i < connections; ++i) {
+        conns.push_back(&cluster->add_client());
+    }
+
+    const sim::Duration warmup =
+        smoke ? sim::milliseconds(200) : sim::milliseconds(500);
+    const sim::Duration window =
+        smoke ? sim::milliseconds(600) : sim::seconds(2);
+    Recorder recorder(warmup, window);
+
+    OpenLoopOptions wl;
+    wl.rate_per_sec = smoke ? 8000.0 : 20000.0;
+    wl.virtual_clients = virtual_clients;
+    wl.keys = static_cast<std::uint64_t>(keys);
+    wl.zipf_s = 0.0;
+    wl.read_fraction = 0.5;
+    wl.churn_per_sec = 20.0;
+    OpenLoopSuite suite(
+        cluster->simulator(), recorder, wl,
+        [](Rng&, const OpenLoopArrival& arrival) {
+            if (arrival.is_read) {
+                return apps::EchoService::make_read(arrival.key, 32, 128);
+            }
+            return apps::EchoService::make_write(arrival.key, 64);
+        },
+        /*seed=*/42);
+    for (auto* conn : conns) suite.add_connection(*conn);
+    suite.start();
+
+    const auto start = std::chrono::steady_clock::now();
+    cluster->simulator().run_until(recorder.window_end() +
+                                   sim::milliseconds(500));
+
+    OpenCell cell;
+    cell.shards = shards;
+    cell.virtual_clients = virtual_clients;
+    cell.offered_rate = wl.rate_per_sec;
+    cell.throughput = recorder.throughput_per_sec();
+    cell.p50_ms = recorder.percentile_latency_ms(50);
+    cell.p99_ms = recorder.percentile_latency_ms(99);
+    cell.issued = suite.issued();
+    cell.completed = suite.completed();
+    cell.churned = suite.churned_sessions();
+    cell.wall_s = wall_seconds_since(start);
+    cell.front = front_counters(*cluster);
+    return cell;
+}
+
+void print_front(const FrontCounters& front) {
+    if (front.router_fanout == 0) return;
+    std::printf("      front: %llu routed, %llu released, %llu cross, "
+                "%llu failovers, fanout %d, per-shard [",
+                static_cast<unsigned long long>(front.requests),
+                static_cast<unsigned long long>(front.released),
+                static_cast<unsigned long long>(front.cross_shard_commits),
+                static_cast<unsigned long long>(front.upstream_failovers),
+                front.router_fanout);
+    for (std::size_t s = 0; s < front.shard_forwarded.size(); ++s) {
+        std::printf("%s%llu", s > 0 ? " " : "",
+                    static_cast<unsigned long long>(
+                        front.shard_forwarded[s]));
+    }
+    std::printf("]\n");
+}
+
+void json_front(std::FILE* json, const FrontCounters& front) {
+    std::fprintf(json,
+                 "\"front_requests\": %llu, \"front_released\": %llu, "
+                 "\"cross_shard_commits\": %llu, "
+                 "\"upstream_failovers\": %llu, \"router_fanout\": %d, "
+                 "\"shard_forwarded\": [",
+                 static_cast<unsigned long long>(front.requests),
+                 static_cast<unsigned long long>(front.released),
+                 static_cast<unsigned long long>(front.cross_shard_commits),
+                 static_cast<unsigned long long>(front.upstream_failovers),
+                 front.router_fanout);
+    for (std::size_t s = 0; s < front.shard_forwarded.size(); ++s) {
+        std::fprintf(json, "%s%llu", s > 0 ? ", " : "",
+                     static_cast<unsigned long long>(
+                         front.shard_forwarded[s]));
+    }
+    std::fprintf(json, "]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    troxy::crypto::set_fast_crypto(true);
+
+    bool smoke = false;
+    std::string out_path = "BENCH_shard.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    // Part 1: saturation sweep.
+    const std::vector<int> shard_counts =
+        smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+    std::printf("saturation: closed-loop pure writes, 400 us/op modeled "
+                "execution, 48 conns x 48 pipeline\n");
+    std::vector<SatCell> saturation;
+    for (const int shards : shard_counts) {
+        SatCell cell = run_saturation(shards, 0.0, smoke, 48, 48);
+        std::printf("  [S=%d] %8.0f writes/s, p50 %6.2f ms, p99 %6.2f ms "
+                    "(%llu completed, %.1fs wall)\n",
+                    cell.shards, cell.throughput, cell.p50_ms, cell.p99_ms,
+                    static_cast<unsigned long long>(cell.completed),
+                    cell.wall_s);
+        print_front(cell.front);
+        saturation.push_back(std::move(cell));
+    }
+    double s1_throughput = 0.0;
+    for (const SatCell& cell : saturation) {
+        if (cell.shards == 1) s1_throughput = cell.throughput;
+    }
+    auto speedup_of = [&](int shards) {
+        for (const SatCell& cell : saturation) {
+            if (cell.shards == shards && s1_throughput > 0.0) {
+                return cell.throughput / s1_throughput;
+            }
+        }
+        return 0.0;
+    };
+    std::printf("  speedups vs S=1:");
+    for (const int shards : shard_counts) {
+        if (shards == 1) continue;
+        std::printf(" S=%d %.2fx", shards, speedup_of(shards));
+    }
+    std::printf("\n");
+
+    // Cross-shard pricing: S=4 with 10% two-key multiwrites whose
+    // partner lives two shards away. The lane is serialized, so this
+    // cell runs a light population — it prices the ordered two-shard
+    // commit's latency, not a deliberately overloaded queue.
+    SatCell cross = run_saturation(4, 0.10, smoke, 8, 8);
+    std::printf("  [S=4 +10%% cross-shard] %8.0f writes/s, p50 %6.2f ms, "
+                "p99 %6.2f ms, %llu two-shard commits\n",
+                cross.throughput, cross.p50_ms, cross.p99_ms,
+                static_cast<unsigned long long>(
+                    cross.front.cross_shard_commits));
+
+    // Part 2: open-loop population sweep.
+    const std::vector<std::uint64_t> populations =
+        smoke ? std::vector<std::uint64_t>{100000}
+              : std::vector<std::uint64_t>{10000, 100000, 1000000};
+    std::printf("open loop: %.0f req/s offered, 50%% reads, 24 sessions, "
+                "churn 20/s\n",
+                smoke ? 8000.0 : 20000.0);
+    std::vector<OpenCell> open_cells;
+    for (const int shards : shard_counts) {
+        for (const std::uint64_t population : populations) {
+            OpenCell cell = run_open_loop(shards, population, smoke);
+            std::printf("  [S=%d %7llu clients] %8.0f req/s, p50 %6.2f ms, "
+                        "p99 %6.2f ms, %llu churned (%.1fs wall)\n",
+                        cell.shards,
+                        static_cast<unsigned long long>(
+                            cell.virtual_clients),
+                        cell.throughput, cell.p50_ms, cell.p99_ms,
+                        static_cast<unsigned long long>(cell.churned),
+                        cell.wall_s);
+            open_cells.push_back(std::move(cell));
+        }
+    }
+
+    std::FILE* json = std::fopen(out_path.c_str(), "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"benchmark\": \"sharded_troxy\",\n");
+    std::fprintf(json,
+                 "  \"workload\": \"closed-loop pure writes over 4096 "
+                 "keys, 400us/op modeled execution, 48 conns x 48 "
+                 "pipeline; open-loop 50%% reads over 65536 keys\",\n");
+    std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(json, "  \"saturation\": [\n");
+    for (std::size_t i = 0; i < saturation.size(); ++i) {
+        const SatCell& c = saturation[i];
+        std::fprintf(
+            json,
+            "    {\"shards\": %d, \"cross_fraction\": %.2f, "
+            "\"throughput_per_sec\": %.1f, \"p50_ms\": %.3f, "
+            "\"p99_ms\": %.3f, \"issued\": %llu, \"completed\": %llu, "
+            "\"wall_clock_s\": %.3f, \"sim_events\": %llu, ",
+            c.shards, c.cross_fraction, c.throughput, c.p50_ms, c.p99_ms,
+            static_cast<unsigned long long>(c.issued),
+            static_cast<unsigned long long>(c.completed), c.wall_s,
+            static_cast<unsigned long long>(c.sim_events));
+        json_front(json, c.front);
+        std::fprintf(json, "}%s\n",
+                     i + 1 < saturation.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"s4_vs_s1_speedup\": %.3f,\n", speedup_of(4));
+    if (!smoke) {
+        std::fprintf(json, "  \"s2_vs_s1_speedup\": %.3f,\n",
+                     speedup_of(2));
+        std::fprintf(json, "  \"s8_vs_s1_speedup\": %.3f,\n",
+                     speedup_of(8));
+    }
+    std::fprintf(json,
+                 "  \"cross_shard\": {\"shards\": %d, "
+                 "\"cross_fraction\": %.2f, \"throughput_per_sec\": %.1f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, ",
+                 cross.shards, cross.cross_fraction, cross.throughput,
+                 cross.p50_ms, cross.p99_ms);
+    json_front(json, cross.front);
+    std::fprintf(json, "},\n");
+    std::fprintf(json, "  \"open_loop\": [\n");
+    for (std::size_t i = 0; i < open_cells.size(); ++i) {
+        const OpenCell& c = open_cells[i];
+        std::fprintf(
+            json,
+            "    {\"shards\": %d, \"virtual_clients\": %llu, "
+            "\"offered_rate\": %.0f, \"throughput_per_sec\": %.1f, "
+            "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"issued\": %llu, "
+            "\"completed\": %llu, \"churned_sessions\": %llu, "
+            "\"wall_clock_s\": %.3f, ",
+            c.shards, static_cast<unsigned long long>(c.virtual_clients),
+            c.offered_rate, c.throughput, c.p50_ms, c.p99_ms,
+            static_cast<unsigned long long>(c.issued),
+            static_cast<unsigned long long>(c.completed),
+            static_cast<unsigned long long>(c.churned), c.wall_s);
+        json_front(json, c.front);
+        std::fprintf(json, "}%s\n",
+                     i + 1 < open_cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -12,8 +12,11 @@ constexpr std::size_t kWriteAckSize = 10;
 EchoService::Parsed EchoService::parse(ByteView request) {
     Reader r(request);
     Parsed p;
-    p.is_read = r.u8() == 0;
+    const std::uint8_t op = r.u8();
+    p.is_read = op == 0;
+    p.multi = op == 2;
     p.key = r.u64();
+    if (p.multi) p.partner = r.u64();
     p.reply_size = r.u32();
     return p;  // padding ignored
 }
@@ -23,6 +26,9 @@ hybster::RequestInfo EchoService::classify(ByteView request) const {
     hybster::RequestInfo info;
     info.is_read = p.is_read;
     info.state_key = "k" + std::to_string(p.key);
+    if (p.multi) {
+        info.extra_keys.push_back("k" + std::to_string(p.partner));
+    }
     return info;
 }
 
@@ -49,6 +55,7 @@ Bytes EchoService::execute(ByteView request) {
     if (p.is_read) {
         return expected_read_reply(p.key, versions_[p.key], p.reply_size);
     }
+    if (p.multi) ++versions_[p.partner];
     const std::uint64_t version = ++versions_[p.key];
     Writer ack;
     ack.u8(1);  // "written"
@@ -108,6 +115,23 @@ Bytes EchoService::make_write(std::uint64_t key, std::size_t request_size) {
     w.u32(0);
     const std::size_t pad =
         request_size > kHeaderSize ? request_size - kHeaderSize : 0;
+    w.u32(static_cast<std::uint32_t>(pad));
+    Bytes out = std::move(w).take();
+    out.resize(out.size() + pad, 0);
+    return out;
+}
+
+Bytes EchoService::make_multi_write(std::uint64_t key,
+                                    std::uint64_t partner,
+                                    std::size_t request_size) {
+    Writer w;
+    w.u8(2);
+    w.u64(key);
+    w.u64(partner);
+    w.u32(0);
+    const std::size_t header = kHeaderSize + 8;
+    const std::size_t pad =
+        request_size > header ? request_size - header : 0;
     w.u32(static_cast<std::uint32_t>(pad));
     Bytes out = std::move(w).take();
     out.resize(out.size() + pad, 0);

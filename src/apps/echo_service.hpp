@@ -4,11 +4,17 @@
 //
 // Request wire format (application level — the Troxy treats it as an
 // opaque record and only uses the classifier):
-//   u8  op            0 = read, 1 = write
+//   u8  op            0 = read, 1 = write, 2 = multiwrite
 //   u64 key           state partition touched
+//   u64 partner       (op 2 only) second state partition touched
 //   u32 reply_size    requested reply payload size
 //   u32 pad_size      request padding length
 //   pad_size × u8     padding (zeros; makes the request the desired size)
+//
+// Op 2 is a two-key write whose classifier closure names the partner key
+// in extra_keys — under a sharded deployment a multiwrite whose keys live
+// on different shards exercises the cross-shard commit path. The ack
+// carries the primary key's new version in the usual 10-byte format.
 //
 // State: a version counter per key. Writes bump the version and return a
 // 10-byte acknowledgement (the paper's write replies are always 10 B);
@@ -41,6 +47,11 @@ class EchoService final : public hybster::Service {
     /// Builds a write request of approximately `request_size` bytes.
     static Bytes make_write(std::uint64_t key, std::size_t request_size);
 
+    /// Builds a two-key write (op 2) of approximately `request_size`
+    /// bytes; bumps both `key` and `partner`, acks `key`'s new version.
+    static Bytes make_multi_write(std::uint64_t key, std::uint64_t partner,
+                                  std::size_t request_size);
+
     /// The deterministic reply a read of (key, version) must produce —
     /// used by tests to check linearizability.
     static Bytes expected_read_reply(std::uint64_t key,
@@ -52,7 +63,9 @@ class EchoService final : public hybster::Service {
   private:
     struct Parsed {
         bool is_read = false;
+        bool multi = false;
         std::uint64_t key = 0;
+        std::uint64_t partner = 0;
         std::size_t reply_size = 0;
     };
     [[nodiscard]] static Parsed parse(ByteView request);

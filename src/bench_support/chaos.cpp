@@ -27,8 +27,10 @@ struct Checker {
 
 struct PendingOp {
     bool is_write = false;
+    bool multi = false;        // two-key multiwrite (cross-shard path)
     std::uint64_t key = 0;
-    std::uint64_t floor = 0;  // committed[key] at invocation
+    std::uint64_t partner = 0; // second key of a multiwrite
+    std::uint64_t floor = 0;   // committed[key] at invocation
 };
 
 struct ClientDriver {
@@ -72,7 +74,64 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     params.client.connection_timeout = sim::milliseconds(500);
     params.client.backoff_cap = sim::milliseconds(2000);
 
-    TroxyCluster cluster(params);
+    // Build the deployment: the classic unsharded TroxyCluster (the
+    // pre-shard chaos path, bit-identical replay) or a sharded one driven
+    // through the routing front. Everything below speaks through the
+    // adapter handles so both paths share one workload and checker.
+    std::unique_ptr<TroxyCluster> flat;
+    std::unique_ptr<ShardedTroxyCluster> sharded;
+    ClusterBase* base = nullptr;
+    int hosts_per_shard = 0;
+    int total_hosts = 0;
+    const hybster::Config* config0 = nullptr;
+
+    if (options.shards <= 1) {
+        flat = std::make_unique<TroxyCluster>(params);
+        base = flat.get();
+        hosts_per_shard = flat->n();
+        total_hosts = flat->n();
+        config0 = &flat->config();
+    } else {
+        ShardedTroxyCluster::Params sparams;
+        sparams.base = params.base;
+        sparams.base.shard_count = options.shards;
+        sparams.service = params.service;
+        sparams.classifier = params.classifier;
+        sparams.host = params.host;
+        sparams.client = params.client;
+        sparams.front.upstream = params.client;
+        std::vector<std::string> universe;
+        for (int k = 0; k < std::max(options.keys, 1); ++k) {
+            universe.push_back("k" + std::to_string(k));
+        }
+        sparams.map = troxy_core::ShardMap::split_evenly(
+            std::move(universe), options.shards);
+        sharded = std::make_unique<ShardedTroxyCluster>(std::move(sparams));
+        base = sharded.get();
+        hosts_per_shard = 2 * sharded->options().f + 1;
+        total_hosts = hosts_per_shard * sharded->shards();
+        config0 = &sharded->config(0);
+    }
+
+    auto host_at = [&](int h) -> troxy_core::TroxyReplicaHost& {
+        if (flat) return flat->host(h);
+        return sharded->host(h / hosts_per_shard, h % hosts_per_shard);
+    };
+    auto crash_at = [&](int h) {
+        if (flat) {
+            flat->crash_host(h);
+        } else {
+            sharded->crash_host(h / hosts_per_shard, h % hosts_per_shard);
+        }
+    };
+    auto restart_at = [&](int h) {
+        if (flat) {
+            flat->restart_host(h);
+        } else {
+            sharded->restart_host(h / hosts_per_shard,
+                                  h % hosts_per_shard);
+        }
+    };
 
     // Fault schedule: explicit plan, a rolling restart, or a seeded
     // random one.
@@ -80,9 +139,9 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     if (plan.empty() && options.rolling_restart) {
         // Rolling upgrade: every host crash/restarts once, one at a time,
         // evenly spread across the fault window. The downtime is clamped
-        // below the per-host gap so at most one replica (≤ f) is ever
-        // down, keeping the run live throughout.
-        const int n = cluster.n();
+        // below the per-host gap so at most one replica (≤ f, in any
+        // shard) is ever down, keeping the run live throughout.
+        const int n = total_hosts;
         const sim::Duration gap =
             (options.heal_by - options.fault_start) /
             static_cast<sim::Duration>(n);
@@ -102,9 +161,17 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         sim::FaultPlan::RandomOptions random;
         random.start = options.fault_start;
         random.heal_by = options.heal_by;
-        random.hosts = cluster.n();
-        random.max_concurrent_crashes = cluster.config().f;
-        random.nodes = cluster.config().replicas;
+        random.hosts = total_hosts;
+        random.max_concurrent_crashes = config0->f;
+        if (flat) {
+            random.nodes = config0->replicas;
+        } else {
+            for (int s = 0; s < sharded->shards(); ++s) {
+                const auto& replicas = sharded->config(s).replicas;
+                random.nodes.insert(random.nodes.end(), replicas.begin(),
+                                    replicas.end());
+            }
+        }
         random.crash_events = options.crash_events;
         random.partition_events = options.partition_events;
         random.link_flap_events = options.link_flap_events;
@@ -113,10 +180,9 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         plan = sim::FaultPlan::random(plan_rng, random);
     }
     report.plan_trace = plan.describe();
-    plan.schedule(
-        cluster.simulator(), cluster.network(),
-        [&cluster](int host) { cluster.crash_host(host); },
-        [&cluster](int host) { cluster.restart_host(host); });
+    plan.schedule(base->simulator(), base->network(),
+                  [&crash_at](int host) { crash_at(host); },
+                  [&restart_at](int host) { restart_at(host); });
 
     // Closed-loop workload: each client keeps one request in flight.
     Checker checker;
@@ -134,20 +200,38 @@ ChaosReport run_chaos(const ChaosOptions& options) {
             static_cast<std::uint64_t>(std::max(options.keys, 1)));
         op.is_write =
             driver->rng.next_double() < options.write_fraction;
+        // The extra draw only happens when cross-shard traffic is
+        // requested, so pre-shard seeds replay with an untouched stream.
+        if (op.is_write && options.cross_shard_fraction > 0.0 &&
+            driver->rng.next_double() < options.cross_shard_fraction) {
+            op.multi = true;
+            op.partner =
+                (op.key +
+                 static_cast<std::uint64_t>(std::max(options.keys, 2)) /
+                     2) %
+                static_cast<std::uint64_t>(std::max(options.keys, 2));
+        }
         op.floor = checker.committed[op.key];
         driver->pending = op;
         if (op.is_write) ++checker.writes_issued[op.key];
+        if (op.multi && op.partner != op.key) {
+            ++checker.writes_issued[op.partner];
+            ++report.multiwrites_issued;
+        }
 
         Bytes request =
-            op.is_write ? EchoService::make_write(op.key, 64)
-                        : EchoService::make_read(op.key, 32,
-                                                 options.reply_size);
+            op.multi ? EchoService::make_multi_write(op.key, op.partner, 64)
+            : op.is_write
+                ? EchoService::make_write(op.key, 64)
+                : EchoService::make_read(op.key, 32, options.reply_size);
         driver->client->send(std::move(request), [&, driver](Bytes reply) {
             const PendingOp done = driver->pending;
             ++report.completed;
 
             if (done.is_write) {
-                // Ack: u8(1) || u64(version) || padding to 10 bytes.
+                // Ack: u8(1) || u64(version) || padding to 10 bytes. A
+                // multiwrite acks the primary key's version; the partner
+                // key's commit is observed through later reads.
                 bool valid = reply.size() == 10 && reply[0] == 1;
                 std::uint64_t version = 0;
                 if (valid) {
@@ -196,8 +280,8 @@ ChaosReport run_chaos(const ChaosOptions& options) {
                 static_cast<sim::Duration>(driver->rng.next_exponential(
                     static_cast<double>(options.think_time))),
                 1);
-            cluster.simulator().after(think,
-                                      [&issue, driver]() { issue(driver); });
+            base->simulator().after(think,
+                                    [&issue, driver]() { issue(driver); });
         });
     };
 
@@ -205,7 +289,8 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         auto driver = std::make_unique<ClientDriver>();
         driver->rng = workload_rng.fork(static_cast<std::uint64_t>(c) + 1);
         driver->remaining = options.requests_per_client;
-        driver->client = &cluster.add_client(c % cluster.n());
+        driver->client = flat ? &flat->add_client(c % flat->n())
+                              : &sharded->add_client();
         drivers.push_back(std::move(driver));
     }
     for (auto& driver : drivers) {
@@ -213,49 +298,56 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         raw->client->start([&issue, raw]() { issue(raw); });
     }
 
-    cluster.simulator().run_until(options.horizon);
+    base->simulator().run_until(options.horizon);
 
     // Convergence: after the drain window a quorum must agree on one
-    // service state at the highest executed sequence number.
-    hybster::SequenceNumber max_executed = 0;
-    for (int i = 0; i < cluster.n(); ++i) {
-        max_executed = std::max(max_executed,
-                                cluster.host(i).replica().last_executed());
-    }
-    int at_tip = 0;
-    Bytes tip_state;
-    bool tip_diverged = false;
-    for (int i = 0; i < cluster.n(); ++i) {
-        auto& replica = cluster.host(i).replica();
-        if (replica.last_executed() != max_executed) continue;
-        const Bytes state = replica.service().checkpoint();
-        if (at_tip == 0) {
-            tip_state = state;
-        } else if (state != tip_state) {
-            tip_diverged = true;
+    // service state at the highest executed sequence number — per
+    // replica group, since each shard orders its own log.
+    const int shard_count = flat ? 1 : sharded->shards();
+    for (int s = 0; s < shard_count; ++s) {
+        hybster::SequenceNumber max_executed = 0;
+        for (int i = 0; i < hosts_per_shard; ++i) {
+            max_executed = std::max(
+                max_executed,
+                host_at(s * hosts_per_shard + i).replica().last_executed());
         }
-        ++at_tip;
-    }
-    if (at_tip < cluster.config().quorum()) {
-        ++report.violations;
-        report.errors.push_back(
-            "only " + std::to_string(at_tip) +
-            " replicas reached sequence " + std::to_string(max_executed) +
-            " (quorum is " + std::to_string(cluster.config().quorum()) +
-            ")");
-    }
-    if (tip_diverged) {
-        ++report.violations;
-        report.errors.push_back(
-            "replicas at sequence " + std::to_string(max_executed) +
-            " disagree on the service state");
+        int at_tip = 0;
+        Bytes tip_state;
+        bool tip_diverged = false;
+        for (int i = 0; i < hosts_per_shard; ++i) {
+            auto& replica = host_at(s * hosts_per_shard + i).replica();
+            if (replica.last_executed() != max_executed) continue;
+            const Bytes state = replica.service().checkpoint();
+            if (at_tip == 0) {
+                tip_state = state;
+            } else if (state != tip_state) {
+                tip_diverged = true;
+            }
+            ++at_tip;
+        }
+        const std::string where =
+            shard_count == 1 ? "" : " in shard " + std::to_string(s);
+        if (at_tip < config0->quorum()) {
+            ++report.violations;
+            report.errors.push_back(
+                "only " + std::to_string(at_tip) +
+                " replicas reached sequence " +
+                std::to_string(max_executed) + where + " (quorum is " +
+                std::to_string(config0->quorum()) + ")");
+        }
+        if (tip_diverged) {
+            ++report.violations;
+            report.errors.push_back(
+                "replicas at sequence " + std::to_string(max_executed) +
+                where + " disagree on the service state");
+        }
     }
 
     for (auto& driver : drivers) {
         report.failovers += driver->client->failovers();
     }
-    for (int i = 0; i < cluster.n(); ++i) {
-        auto& host = cluster.host(i);
+    for (int i = 0; i < total_hosts; ++i) {
+        auto& host = host_at(i);
         report.view_changes =
             std::max(report.view_changes, host.replica().view_changes());
         report.state_transfers += host.replica().state_transfers();
@@ -288,16 +380,56 @@ ChaosReport run_chaos(const ChaosOptions& options) {
             " fell below the floor " +
             std::to_string(options.fastread_hitrate_floor));
     }
-    report.messages_sent = cluster.network().messages_sent();
-    report.bytes_sent = cluster.network().bytes_sent();
-    report.drops = cluster.network().drops();
-    report.pool = cluster.network().pool().stats();
+
+    if (sharded) {
+        const auto front_status = sharded->front()->status();
+        report.cross_shard_commits = front_status.cross_shard_commits;
+        report.front_requests = front_status.requests;
+        report.front_released = front_status.released;
+        report.front_failovers = front_status.upstream_failovers;
+        report.router_fanout = front_status.router_fanout;
+        for (int s = 0; s < shard_count; ++s) {
+            ShardChaosReport shard;
+            const auto& front_shard =
+                front_status.shards[static_cast<std::size_t>(s)];
+            shard.forwarded = front_shard.forwarded;
+            shard.replies = front_shard.replies;
+            shard.reads = front_shard.reads;
+            shard.writes = front_shard.writes;
+            shard.cross_participations = front_shard.cross_participations;
+            for (int i = 0; i < hosts_per_shard; ++i) {
+                auto& host = host_at(s * hosts_per_shard + i);
+                const auto status = host.status();
+                shard.fast_read_hits += status.troxy.fast_read_hits;
+                shard.fast_read_misses += status.troxy.fast_read_misses;
+                shard.fast_read_conflicts +=
+                    status.troxy.fast_read_conflicts;
+                shard.view_changes = std::max(
+                    shard.view_changes, host.replica().view_changes());
+                shard.state_transfers += host.replica().state_transfers();
+            }
+            const std::uint64_t shard_reads = shard.fast_read_hits +
+                                              shard.fast_read_misses +
+                                              shard.fast_read_conflicts;
+            shard.fast_read_hit_rate =
+                shard_reads == 0
+                    ? 0.0
+                    : static_cast<double>(shard.fast_read_hits) /
+                          static_cast<double>(shard_reads);
+            report.shards.push_back(shard);
+        }
+    }
+
+    report.messages_sent = base->network().messages_sent();
+    report.bytes_sent = base->network().bytes_sent();
+    report.drops = base->network().drops();
+    report.pool = base->network().pool().stats();
     const std::uint64_t pool_lookups = report.pool.hits + report.pool.misses;
     report.pool_hit_rate =
         pool_lookups == 0 ? 0.0
                           : static_cast<double>(report.pool.hits) /
                                 static_cast<double>(pool_lookups);
-    report.wire = cluster.network().wire_stats();
+    report.wire = base->network().wire_stats();
     return report;
 }
 

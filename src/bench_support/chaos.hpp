@@ -110,6 +110,19 @@ struct ChaosOptions {
     /// check. Counts a violation, not an assert, when breached.
     double fastread_hitrate_floor = 0.0;
 
+    /// Shard count: 1 runs the classic unsharded TroxyCluster path
+    /// (bit-identical to pre-shard chaos runs); >1 builds a
+    /// ShardedTroxyCluster whose key-range map splits the workload's
+    /// "k<i>" key universe evenly and drives everything through the
+    /// routing front.
+    int shards = 1;
+    /// Fraction of writes issued as two-key multiwrites (EchoService
+    /// op 2) whose partner key usually lives on another shard, forcing
+    /// the front's ordered cross-shard commit lane. 0 keeps the
+    /// workload's rng stream untouched so unsharded seeds replay
+    /// bit-identically.
+    double cross_shard_fraction = 0.0;
+
     // Fault schedule: faults are injected inside [fault_start, heal_by];
     // the run ends at `horizon`, leaving time to recover and drain.
     sim::SimTime fault_start = sim::seconds(1);
@@ -124,6 +137,22 @@ struct ChaosOptions {
     int link_flap_events = 1;
     int loss_events = 1;
     double max_loss = 0.3;
+};
+
+/// Per-shard observability for sharded chaos runs: the front's routing
+/// counters merged with the shard's replica-group recovery counters.
+struct ShardChaosReport {
+    std::uint64_t forwarded = 0;  // requests the front routed here
+    std::uint64_t replies = 0;    // shard-local replies released
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t cross_participations = 0;
+    std::uint64_t fast_read_hits = 0;
+    std::uint64_t fast_read_misses = 0;
+    std::uint64_t fast_read_conflicts = 0;
+    double fast_read_hit_rate = 0.0;
+    std::uint64_t view_changes = 0;     // max over the shard's replicas
+    std::uint64_t state_transfers = 0;  // sum over the shard's replicas
 };
 
 struct ChaosReport {
@@ -159,6 +188,15 @@ struct ChaosReport {
     std::uint64_t st_chunks_skipped = 0;  // already held by the rejoiner
     std::uint64_t st_chunks_reused = 0;   // verified from the local store
     std::uint64_t st_transfers_resumed = 0;
+
+    // Sharded-run observability (empty/zero in unsharded runs).
+    std::uint64_t cross_shard_commits = 0;  // completed two-shard commits
+    std::uint64_t multiwrites_issued = 0;   // two-key ops the workload sent
+    std::uint64_t front_requests = 0;       // classified + routed
+    std::uint64_t front_released = 0;       // replies sent downstream
+    std::uint64_t front_failovers = 0;      // upstream session failovers
+    int router_fanout = 0;                  // upstream sessions (== S)
+    std::vector<ShardChaosReport> shards;
 
     /// Safety held and every request completed.
     [[nodiscard]] bool ok() const noexcept {

@@ -1,5 +1,7 @@
 #include "bench_support/cluster.hpp"
 
+#include <stdexcept>
+
 #include "common/serialize.hpp"
 #include "hybster/keys.hpp"
 #include "net/fragment.hpp"
@@ -58,6 +60,57 @@ crypto::X25519Keypair identity_for(std::uint64_t seed, int index) {
     w.u32(static_cast<std::uint32_t>(index));
     w.str("channel-identity");
     return crypto::x25519_keypair_from_seed(w.data());
+}
+
+/// Client-side receive dispatch for legacy clients. A coalescing host
+/// may ship several client frames as one Bundle; the dispatch unpacks
+/// them like a socket read loop. The wire buffer is consumed in place
+/// and recycled for the next sender. Scatter-gather bursts arriving as
+/// fragment chains are consumed message by message without flattening
+/// the frame; foreign chain shapes fall back to the flat path.
+void attach_legacy_dispatch(net::Fabric& fabric, sim::Node& node,
+                            troxy_core::LegacyClient* client) {
+    auto deliver_flat = [client, network = &fabric.network()](
+                            sim::NodeId from, Bytes message) {
+        auto unwrapped = net::unwrap_view(message);
+        if (unwrapped) {
+            if (unwrapped->first == net::Channel::Bundle) {
+                auto inner = net::unbundle(unwrapped->second);
+                if (inner) {
+                    for (const Bytes& m : *inner) {
+                        auto u = net::unwrap_view(m);
+                        if (u && u->first == net::Channel::Client) {
+                            client->on_message(from, u->second);
+                        }
+                    }
+                }
+            } else if (unwrapped->first == net::Channel::Client) {
+                client->on_message(from, unwrapped->second);
+            }
+        }
+        network->recycle(std::move(message));
+    };
+    fabric.attach(node.id(), deliver_flat);
+    fabric.attach_chain(
+        node.id(), [client, network = &fabric.network(), deliver_flat](
+                       sim::NodeId from, sim::FragmentChain chain) {
+            auto inner = net::take_bundle_messages(std::move(chain));
+            if (inner) {
+                network->recycle_chain(std::move(chain));
+                for (Bytes& m : *inner) {
+                    auto u = net::unwrap_view(m);
+                    if (u && u->first == net::Channel::Client) {
+                        client->on_message(from, u->second);
+                    }
+                    network->recycle(std::move(m));
+                }
+                return;
+            }
+            network->count_materialization();
+            Bytes flat = chain.materialize(&network->pool());
+            network->recycle_chain(std::move(chain));
+            deliver_flat(from, std::move(flat));
+        });
 }
 
 }  // namespace
@@ -196,53 +249,7 @@ troxy_core::LegacyClient& TroxyCluster::add_client(int contact) {
         fabric_, node, std::move(servers), std::move(keys), java_,
         client_options_));
     auto* client = clients_.back().get();
-    // A coalescing host may ship several client frames as one Bundle;
-    // the client-side dispatch unpacks them like a socket read loop. The
-    // wire buffer is consumed in place and recycled for the next sender.
-    auto deliver_flat = [client, network = &fabric_.network()](
-                            sim::NodeId from, Bytes message) {
-        auto unwrapped = net::unwrap_view(message);
-        if (unwrapped) {
-            if (unwrapped->first == net::Channel::Bundle) {
-                auto inner = net::unbundle(unwrapped->second);
-                if (inner) {
-                    for (const Bytes& m : *inner) {
-                        auto u = net::unwrap_view(m);
-                        if (u && u->first == net::Channel::Client) {
-                            client->on_message(from, u->second);
-                        }
-                    }
-                }
-            } else if (unwrapped->first == net::Channel::Client) {
-                client->on_message(from, unwrapped->second);
-            }
-        }
-        network->recycle(std::move(message));
-    };
-    fabric_.attach(node.id(), deliver_flat);
-    // Scatter-gather receive: a burst arriving as a fragment chain is
-    // consumed message by message without flattening the frame; foreign
-    // chain shapes fall back to the flat path.
-    fabric_.attach_chain(
-        node.id(), [client, network = &fabric_.network(), deliver_flat](
-                       sim::NodeId from, sim::FragmentChain chain) {
-            auto inner = net::take_bundle_messages(std::move(chain));
-            if (inner) {
-                network->recycle_chain(std::move(chain));
-                for (Bytes& m : *inner) {
-                    auto u = net::unwrap_view(m);
-                    if (u && u->first == net::Channel::Client) {
-                        client->on_message(from, u->second);
-                    }
-                    network->recycle(std::move(m));
-                }
-                return;
-            }
-            network->count_materialization();
-            Bytes flat = chain.materialize(&network->pool());
-            network->recycle_chain(std::move(chain));
-            deliver_flat(from, std::move(flat));
-        });
+    attach_legacy_dispatch(fabric_, node, client);
     return *client;
 }
 
@@ -256,6 +263,186 @@ void TroxyCluster::restart_host(int replica) {
 
 bool TroxyCluster::recover_enclave(int replica) {
     return hosts_.at(static_cast<std::size_t>(replica))->recover_enclave();
+}
+
+// --------------------------------------------------- ShardedTroxyCluster
+
+ShardedTroxyCluster::ShardedTroxyCluster(Params params)
+    : ClusterBase(params.base) {
+    service_factory_ = params.service;
+    client_options_ = params.client;
+    const int shards = options_.shard_count;
+    const int n = 2 * options_.f + 1;
+    if (shards < 1) {
+        throw std::invalid_argument(
+            "ShardedTroxyCluster: shard_count must be at least 1, got " +
+            std::to_string(shards));
+    }
+    if (options_.replica_budget > 0 &&
+        shards * n > options_.replica_budget) {
+        throw std::invalid_argument(
+            "ShardedTroxyCluster: " + std::to_string(shards) +
+            " shards x " + std::to_string(n) + " replicas (f=" +
+            std::to_string(options_.f) + ") = " +
+            std::to_string(shards * n) +
+            " replicas exceed the replica budget of " +
+            std::to_string(options_.replica_budget));
+    }
+    if (shards > 1) {
+        if (params.map.shard_count() != shards) {
+            throw std::invalid_argument(
+                "ShardedTroxyCluster: shard map describes " +
+                std::to_string(params.map.shard_count()) +
+                " shards but shard_count is " + std::to_string(shards));
+        }
+        params.map.validate();
+    } else {
+        // Single shard: the whole key space, whatever map was passed.
+        params.map = troxy_core::ShardMap();
+    }
+    map_ = std::move(params.map);
+
+    groups_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+        build_group(s, params);
+    }
+
+    if (shards > 1) {
+        sim::Node& front_node = make_server_node("front");
+        front_identity_ = identity_for(options_.seed, 9000);
+        std::vector<troxy_core::ShardFrontHost::Backend> backends;
+        backends.reserve(groups_.size());
+        for (Group& group : groups_) {
+            troxy_core::ShardFrontHost::Backend backend;
+            for (int i = 0; i < n; ++i) {
+                backend.servers.push_back(
+                    group.config.node_of(static_cast<std::uint32_t>(i)));
+                backend.pinned_keys.push_back(
+                    group.identities[static_cast<std::size_t>(i)]
+                        .public_key);
+            }
+            backends.push_back(std::move(backend));
+        }
+        front_ = std::make_unique<troxy_core::ShardFrontHost>(
+            fabric_, front_node, map_, std::move(backends),
+            front_identity_, params.classifier, native_, params.front);
+        front_->attach();
+        front_->start();
+    }
+}
+
+void ShardedTroxyCluster::build_group(int shard, const Params& params) {
+    const int n = 2 * options_.f + 1;
+    // Shard 0 runs on the base seed so an S=1 deployment replays the
+    // unsharded TroxyCluster bit-identically; further shards derive
+    // disjoint key material from a fixed stride.
+    const std::uint64_t group_seed =
+        options_.seed + static_cast<std::uint64_t>(shard) * 1000003;
+    Group group;
+    group.config.f = options_.f;
+    group.config.checkpoint_interval = options_.checkpoint_interval;
+    group.config.batch_size_max = options_.batch_size_max;
+    group.config.batch_delay = options_.batch_delay;
+    group.config.coalesce_wire = options_.coalesce_wire;
+    group.config.wire_zero_copy = options_.wire_zero_copy;
+    group.config.transport = options_.transport;
+    group.config.adaptive_batching = options_.adaptive_batching;
+    group.config.execution_lanes = options_.execution_lanes;
+    group.config.state_chunk_size = options_.state_chunk_size;
+    group.config.state_chunks_per_message =
+        options_.state_chunks_per_message;
+    group.config.state_transfer_retry = options_.state_transfer_retry;
+    group.config.shard_id = shard;
+    group.config.shard_count = options_.shard_count;
+    const std::size_t node_base = nodes_.size();
+    for (int i = 0; i < n; ++i) {
+        const std::string name =
+            options_.shard_count == 1
+                ? "replica" + std::to_string(i)
+                : "s" + std::to_string(shard) + "r" + std::to_string(i);
+        group.config.replicas.push_back(make_server_node(name).id());
+    }
+    group.config.validate();
+
+    auto provisioned = provision_trinx(n, group_seed);
+    troxy_core::TroxyReplicaHost::Options host_options = params.host;
+    host_options.troxy.inside_enclave = !params.ctroxy;
+    host_options.authority = provisioned.authority;
+    host_options.measurement = provisioned.measurement;
+    host_options.wire_zero_copy =
+        host_options.wire_zero_copy || options_.wire_zero_copy;
+    if (options_.transport.tx_base_ns > 0.0 ||
+        options_.transport.credit_window > 0) {
+        host_options.transport = options_.transport;
+    }
+
+    for (int i = 0; i < n; ++i) {
+        group.identities.push_back(identity_for(group_seed, i));
+        if (host_options.enclave_recovery_period > 0) {
+            host_options.enclave_recovery_offset =
+                params.host.enclave_recovery_offset +
+                host_options.enclave_recovery_period *
+                    static_cast<std::uint64_t>(i) /
+                    static_cast<std::uint64_t>(n);
+        }
+        group.hosts.push_back(
+            std::make_unique<troxy_core::TroxyReplicaHost>(
+                fabric_, *nodes_[node_base + static_cast<std::size_t>(i)],
+                group.config, static_cast<std::uint32_t>(i),
+                params.service(),
+                provisioned.trinx[static_cast<std::size_t>(i)],
+                group.identities.back(), params.classifier, java_,
+                native_, host_options,
+                group_seed + static_cast<std::uint64_t>(i)));
+        group.hosts.back()->attach();
+    }
+    groups_.push_back(std::move(group));
+}
+
+troxy_core::LegacyClient& ShardedTroxyCluster::add_client() {
+    sim::Node& node = make_client_node(
+        "client" + std::to_string(clients_.size()));
+
+    std::vector<sim::NodeId> servers;
+    std::vector<crypto::X25519Key> keys;
+    if (front_) {
+        // Sharded: the front is the single transparent endpoint.
+        servers.push_back(front_->node().id());
+        keys.push_back(front_identity_.public_key);
+    } else {
+        // Unsharded: round-robin contact with full failover list,
+        // exactly like TroxyCluster::add_client.
+        const Group& group = groups_.front();
+        const int contact = next_contact_;
+        next_contact_ = (next_contact_ + 1) % group.config.n();
+        for (int i = 0; i < group.config.n(); ++i) {
+            const int replica = (contact + i) % group.config.n();
+            servers.push_back(
+                group.config.node_of(static_cast<std::uint32_t>(replica)));
+            keys.push_back(
+                group.identities[static_cast<std::size_t>(replica)]
+                    .public_key);
+        }
+    }
+
+    clients_.push_back(std::make_unique<troxy_core::LegacyClient>(
+        fabric_, node, std::move(servers), std::move(keys), java_,
+        client_options_));
+    auto* client = clients_.back().get();
+    attach_legacy_dispatch(fabric_, node, client);
+    return *client;
+}
+
+void ShardedTroxyCluster::crash_host(int shard, int replica) {
+    groups_.at(static_cast<std::size_t>(shard))
+        .hosts.at(static_cast<std::size_t>(replica))
+        ->crash();
+}
+
+void ShardedTroxyCluster::restart_host(int shard, int replica) {
+    groups_.at(static_cast<std::size_t>(shard))
+        .hosts.at(static_cast<std::size_t>(replica))
+        ->restart(service_factory_());
 }
 
 // -------------------------------------------------------- BaselineCluster

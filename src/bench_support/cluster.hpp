@@ -22,6 +22,8 @@
 #include "net/fabric.hpp"
 #include "troxy/host.hpp"
 #include "troxy/legacy_client.hpp"
+#include "troxy/shard_front.hpp"
+#include "troxy/shard_router.hpp"
 
 namespace troxy::bench {
 
@@ -74,6 +76,13 @@ struct ClusterOptions {
     /// BinaryHeap the simple reference used for determinism A/B checks.
     sim::Simulator::Scheduler scheduler =
         sim::Simulator::Scheduler::Calendar;
+    /// Number of independent replica groups the service state is
+    /// partitioned over (ShardedTroxyCluster). 1 = the classic unsharded
+    /// deployment, byte-identical to TroxyCluster.
+    int shard_count = 1;
+    /// Upper bound on total replicas across all shards (testbed machine
+    /// budget); 0 = unlimited. shard_count * (2f+1) must fit inside it.
+    int replica_budget = 0;
 };
 
 /// Owns the simulator, network, fabric and nodes shared by a deployment.
@@ -167,6 +176,86 @@ class TroxyCluster : public ClusterBase {
     troxy_core::LegacyClient::Options client_options_;
     std::vector<crypto::X25519Keypair> identities_;
     std::vector<std::unique_ptr<troxy_core::TroxyReplicaHost>> hosts_;
+    std::vector<std::unique_ptr<troxy_core::LegacyClient>> clients_;
+    int next_contact_ = 0;
+};
+
+// --------------------------------------------------------- Sharded Troxy
+
+/// S independent Troxy-backed Hybster groups behind one transparent
+/// front (ISSUE 9). Each shard is a full 2f+1 replica group with its own
+/// log, leader, checkpoints and Troxy cache slice; the front terminates
+/// legacy client channels, routes by the ShardMap and merges replies so
+/// clients observe a single endpoint. With shard_count == 1 the
+/// deployment is byte-identical to TroxyCluster: same node names, same
+/// seeds, no front node, clients contact the replicas directly.
+class ShardedTroxyCluster : public ClusterBase {
+  public:
+    struct Params {
+        ClusterOptions base;  // base.shard_count selects S
+        hybster::ServiceFactory service;
+        troxy_core::Classifier classifier;
+        troxy_core::TroxyReplicaHost::Options host;
+        troxy_core::LegacyClient::Options client;
+        bool ctroxy = false;
+        /// Key-range partition; must describe exactly base.shard_count
+        /// shards (ignored when shard_count == 1). Build with
+        /// ShardMap::split_evenly over the workload's key universe.
+        troxy_core::ShardMap map;
+        /// Front knobs (upstream session options).
+        troxy_core::ShardFrontHost::Options front;
+    };
+
+    /// Throws std::invalid_argument when the shard knobs are inconsistent
+    /// (shard count < 1, replica budget exceeded, map/shard mismatch,
+    /// malformed boundaries).
+    explicit ShardedTroxyCluster(Params params);
+
+    [[nodiscard]] int shards() const noexcept {
+        return static_cast<int>(groups_.size());
+    }
+    [[nodiscard]] const hybster::Config& config(int shard = 0) const {
+        return groups_.at(static_cast<std::size_t>(shard)).config;
+    }
+    [[nodiscard]] troxy_core::TroxyReplicaHost& host(int shard,
+                                                     int replica) {
+        return *groups_.at(static_cast<std::size_t>(shard))
+                    .hosts.at(static_cast<std::size_t>(replica));
+    }
+    /// The routing front; only present when shards() > 1.
+    [[nodiscard]] troxy_core::ShardFrontHost* front() noexcept {
+        return front_.get();
+    }
+
+    /// Adds a legacy client. Sharded: contacts the front (single
+    /// endpoint). Unsharded: identical to TroxyCluster::add_client with
+    /// round-robin contact over the replicas.
+    troxy_core::LegacyClient& add_client();
+
+    void crash_host(int shard, int replica);
+    void restart_host(int shard, int replica);
+
+    [[nodiscard]] std::vector<troxy_core::LegacyClient*> clients() {
+        std::vector<troxy_core::LegacyClient*> out;
+        for (auto& c : clients_) out.push_back(c.get());
+        return out;
+    }
+
+  private:
+    struct Group {
+        hybster::Config config;
+        std::vector<crypto::X25519Keypair> identities;
+        std::vector<std::unique_ptr<troxy_core::TroxyReplicaHost>> hosts;
+    };
+
+    void build_group(int shard, const Params& params);
+
+    hybster::ServiceFactory service_factory_;
+    troxy_core::LegacyClient::Options client_options_;
+    troxy_core::ShardMap map_;
+    std::vector<Group> groups_;
+    std::unique_ptr<troxy_core::ShardFrontHost> front_;
+    crypto::X25519Keypair front_identity_;
     std::vector<std::unique_ptr<troxy_core::LegacyClient>> clients_;
     int next_contact_ = 0;
 };

@@ -89,6 +89,15 @@ struct Config {
     /// larger than this becomes a stream of responses.
     std::size_t state_chunks_per_message = 64;
 
+    /// Shard identity in a partitioned deployment: this group serves the
+    /// shard_id-th key range of shard_count. The defaults are the
+    /// single-group identity, so unsharded deployments are untouched.
+    /// Ships in the config (not derived) so per-group keys, counters and
+    /// certificates can never be replayed across shards by a Byzantine
+    /// router.
+    int shard_id = 0;
+    int shard_count = 1;
+
     [[nodiscard]] int n() const noexcept {
         return static_cast<int>(replicas.size());
     }
@@ -131,6 +140,10 @@ struct Config {
                      "state chunks below 64 bytes are all hash overhead");
         TROXY_ASSERT(state_chunks_per_message >= 1,
                      "a state response must carry at least one chunk");
+        TROXY_ASSERT(shard_count >= 1,
+                     "a deployment has at least one shard");
+        TROXY_ASSERT(shard_id >= 0 && shard_id < shard_count,
+                     "shard id must lie in [0, shard_count)");
     }
 };
 

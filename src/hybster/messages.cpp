@@ -398,12 +398,7 @@ Bytes StateResponse::certified_view() const {
     return std::move(w).take();
 }
 
-void StateResponse::encode(Writer& w) const {
-    std::size_t chunk_bytes = 0;
-    for (const Bytes& chunk : chunks) chunk_bytes += chunk.size();
-    w.reserve(73 + manifest.size() * crypto::kSha256DigestSize +
-              chunks.size() * 8 + chunk_bytes +
-              proof.size() * sizeof(CheckpointMsg));
+void StateResponse::encode_head(Writer& w, std::size_t chunk_count) const {
     w.u32(replica);
     w.u64(view);
     w.u64(view_start);
@@ -411,14 +406,27 @@ void StateResponse::encode(Writer& w) const {
     put_digest(w, root);
     w.u32(static_cast<std::uint32_t>(manifest.size()));
     for (const crypto::Sha256Digest& d : manifest) put_digest(w, d);
-    w.u32(static_cast<std::uint32_t>(chunks.size()));
+    w.u32(static_cast<std::uint32_t>(chunk_count));
+}
+
+void StateResponse::encode_tail(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(proof.size()));
+    for (const CheckpointMsg& vote : proof) vote.encode(w);
+    put_tag(w, cert);
+}
+
+void StateResponse::encode(Writer& w) const {
+    std::size_t chunk_bytes = 0;
+    for (const Bytes& chunk : chunks) chunk_bytes += chunk.size();
+    w.reserve(73 + manifest.size() * crypto::kSha256DigestSize +
+              chunks.size() * 8 + chunk_bytes +
+              proof.size() * sizeof(CheckpointMsg));
+    encode_head(w, chunks.size());
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         w.u32(chunk_index[i]);
         w.bytes(chunks[i]);
     }
-    w.u8(static_cast<std::uint8_t>(proof.size()));
-    for (const CheckpointMsg& vote : proof) vote.encode(w);
-    put_tag(w, cert);
+    encode_tail(w);
 }
 
 StateResponse StateResponse::decode(Reader& r) {

@@ -252,6 +252,14 @@ class Replica {
                               net::Outbox& outbox, StateRequest&& request);
     void handle_state_response(enclave::CostedCrypto& crypto,
                                net::Outbox& outbox, StateResponse&& response);
+    /// Ships one window of the chunk stream as a zero-copy FragmentChain
+    /// (inline index/length prefixes over shared chunk buffers);
+    /// materializes byte-identically to the flat StateResponse frame.
+    void send_state_window(net::Outbox& outbox, const StateResponse& base,
+                           const ChunkedSnapshot& chunked,
+                           const std::vector<std::uint32_t>& to_send,
+                           std::size_t start, std::size_t end,
+                           std::uint32_t requester);
     void request_state_transfer(enclave::CostedCrypto& crypto,
                                 net::Outbox& outbox);
     void begin_state_transfer(enclave::CostedCrypto& crypto,
@@ -387,7 +395,9 @@ class Replica {
     /// rolled-back disk can only cause a re-fetch, never a wrong state.
     /// Rebuilt from the newest stable checkpoint's chunks; extended by
     /// in-progress transfers (which is what makes them resumable).
-    std::map<Bytes, Bytes> chunk_store_;
+    /// Values are shared with own_chunks_ and in-flight wire frames, so
+    /// banking or rebuilding never copies chunk payloads.
+    std::map<Bytes, std::shared_ptr<const Bytes>> chunk_store_;
 
     // Requests forwarded to the leader but not yet executed locally; a
     // non-empty set keeps the progress timer armed so an unresponsive

@@ -61,7 +61,8 @@ ChunkedSnapshot chunk_snapshot(enclave::CostedCrypto& crypto,
         Bytes chunk(snapshot.begin() + static_cast<std::ptrdiff_t>(offset),
                     snapshot.begin() + static_cast<std::ptrdiff_t>(offset + len));
         out.manifest.push_back(chunk_leaf_hash(crypto, chunk));
-        out.chunks.push_back(std::move(chunk));
+        out.chunks.push_back(
+            std::make_shared<const Bytes>(std::move(chunk)));
     }
     out.root = merkle_root(crypto, out.manifest);
     return out;

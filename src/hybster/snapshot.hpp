@@ -17,6 +17,7 @@
 // An odd node at any level is promoted unchanged to the next level.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -27,15 +28,20 @@ namespace troxy::hybster {
 
 /// A checkpoint snapshot in transferable form: the chunks, their leaf
 /// hashes in chunk order (the manifest), and the Merkle root that the
-/// checkpoint certificates bind.
+/// checkpoint certificates bind. Chunks are immutable and shared:
+/// the stable checkpoint, the durable chunk store and in-flight
+/// zero-copy wire frames all reference the same buffers, so banking or
+/// resending a chunk never copies its payload.
 struct ChunkedSnapshot {
-    std::vector<Bytes> chunks;
+    std::vector<std::shared_ptr<const Bytes>> chunks;
     std::vector<crypto::Sha256Digest> manifest;
     crypto::Sha256Digest root{};
 
     [[nodiscard]] std::size_t total_bytes() const noexcept {
         std::size_t total = 0;
-        for (const Bytes& chunk : chunks) total += chunk.size();
+        for (const auto& chunk : chunks) {
+            if (chunk) total += chunk->size();
+        }
         return total;
     }
 };

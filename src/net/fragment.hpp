@@ -31,28 +31,39 @@ using sim::FragmentChain;
 /// Max messages per Bundle frame (the u16 count field).
 inline constexpr std::size_t kMaxBundleMessages = 65535;
 
+/// Appends the 3-byte Bundle frame header (channel byte ‖ u16 count) —
+/// byte-identical to make_bundle()'s header.
+inline void append_bundle_head(FragmentChain& chain, std::size_t count) {
+    TROXY_ASSERT(count > 0 && count <= kMaxBundleMessages,
+                 "bundle message count out of range");
+    const auto c = static_cast<std::uint16_t>(count);
+    const std::uint8_t head[3] = {
+        static_cast<std::uint8_t>(Channel::Bundle),
+        static_cast<std::uint8_t>(c & 0xff),
+        static_cast<std::uint8_t>(c >> 8),
+    };
+    chain.append_inline(ByteView(head, sizeof head));
+}
+
+/// Appends a Bundle member's 4-byte LE length prefix.
+inline void append_bundle_prefix(FragmentChain& chain, std::size_t length) {
+    const auto len = static_cast<std::uint32_t>(length);
+    const std::uint8_t prefix[4] = {
+        static_cast<std::uint8_t>(len & 0xff),
+        static_cast<std::uint8_t>((len >> 8) & 0xff),
+        static_cast<std::uint8_t>((len >> 16) & 0xff),
+        static_cast<std::uint8_t>(len >> 24),
+    };
+    chain.append_inline(ByteView(prefix, sizeof prefix));
+}
+
 /// Appends Bundle framing for `wrapped` to `chain` without copying the
 /// messages: byte-identical to make_bundle(wrapped) when materialized.
 /// Consumes the message buffers (they travel inside the chain).
 inline void encode_bundle(FragmentChain& chain, std::vector<Bytes>&& wrapped) {
-    TROXY_ASSERT(!wrapped.empty() && wrapped.size() <= kMaxBundleMessages,
-                 "bundle message count out of range");
-    const auto count = static_cast<std::uint16_t>(wrapped.size());
-    const std::uint8_t head[3] = {
-        static_cast<std::uint8_t>(Channel::Bundle),
-        static_cast<std::uint8_t>(count & 0xff),
-        static_cast<std::uint8_t>(count >> 8),
-    };
-    chain.append_inline(ByteView(head, sizeof head));
+    append_bundle_head(chain, wrapped.size());
     for (Bytes& m : wrapped) {
-        const auto len = static_cast<std::uint32_t>(m.size());
-        const std::uint8_t prefix[4] = {
-            static_cast<std::uint8_t>(len & 0xff),
-            static_cast<std::uint8_t>((len >> 8) & 0xff),
-            static_cast<std::uint8_t>((len >> 16) & 0xff),
-            static_cast<std::uint8_t>(len >> 24),
-        };
-        chain.append_inline(ByteView(prefix, sizeof prefix));
+        append_bundle_prefix(chain, m.size());
         chain.append_owned(std::move(m));
     }
     wrapped.clear();

@@ -50,7 +50,23 @@ class Outbox {
 
     /// Queues `message` for `to`; transmitted at flush time.
     void send(sim::NodeId to, Bytes message) {
-        pending_.emplace_back(to, std::move(message));
+        Pending p;
+        p.to = to;
+        p.message = std::move(message);
+        pending_.push_back(std::move(p));
+    }
+
+    /// Queues an already-chained frame (e.g. a zero-copy state-transfer
+    /// response whose chunk payloads are referenced in place). Travels
+    /// through the same coalescing path as flat messages: a coalesced
+    /// Bundle splices the chain's fragments in, keeping the materialized
+    /// bytes identical to what send() of the flattened frame would ship.
+    void send_chain(sim::NodeId to, sim::FragmentChain chain) {
+        Pending p;
+        p.to = to;
+        p.chain = std::move(chain);
+        p.chained = true;
+        pending_.push_back(std::move(p));
     }
 
     /// Queues a callback to run at flush time (local effects that must
@@ -108,6 +124,18 @@ class Outbox {
         bool chained = false;
     };
 
+    /// One queued send: a flat wrapped message or a pre-built chain.
+    struct Pending {
+        sim::NodeId to = 0;
+        Bytes message;
+        sim::FragmentChain chain;
+        bool chained = false;
+
+        [[nodiscard]] std::size_t size() const noexcept {
+            return chained ? chain.size() : message.size();
+        }
+    };
+
     /// Turns the queue into wire frames, grouping consecutive-by-
     /// destination messages into Bundle frames when coalescing. Order
     /// within a destination is preserved (stable grouping); a destination
@@ -120,19 +148,21 @@ class Outbox {
         std::vector<OutFrame> frames;
         if (!coalesce_) {
             frames.reserve(sends.size());
-            for (auto& [to, message] : sends) {
+            for (Pending& p : sends) {
                 OutFrame f;
-                f.to = to;
-                f.frame = std::move(message);
+                f.to = p.to;
+                f.chained = p.chained;
+                f.frame = std::move(p.message);
+                f.chain = std::move(p.chain);
                 frames.push_back(std::move(f));
             }
         } else {
-            std::map<sim::NodeId, std::vector<Bytes>> groups;
+            std::map<sim::NodeId, std::vector<Pending>> groups;
             std::vector<sim::NodeId> order;
-            for (auto& [to, message] : sends) {
-                auto [it, inserted] = groups.try_emplace(to);
-                if (inserted) order.push_back(to);
-                it->second.push_back(std::move(message));
+            for (Pending& p : sends) {
+                auto [it, inserted] = groups.try_emplace(p.to);
+                if (inserted) order.push_back(p.to);
+                it->second.push_back(std::move(p));
             }
             frames.reserve(order.size());
             for (const sim::NodeId to : order) {
@@ -141,13 +171,43 @@ class Outbox {
                 f.to = to;
                 if (burst.size() == 1) {
                     // Batch-1: the original frame travels unchanged.
-                    f.frame = std::move(burst.front());
+                    f.chained = burst.front().chained;
+                    f.frame = std::move(burst.front().message);
+                    f.chain = std::move(burst.front().chain);
                 } else if (zero_copy_) {
+                    // Mixed Bundle chain: flat messages are referenced as
+                    // Owned payloads, already-chained messages splice
+                    // their fragments in under the same length prefix —
+                    // materialized bytes match make_bundle() of the
+                    // flattened burst exactly.
                     f.chain = fabric_.network().acquire_chain();
-                    encode_bundle(f.chain, std::move(burst));
+                    append_bundle_head(f.chain, burst.size());
+                    for (Pending& p : burst) {
+                        append_bundle_prefix(f.chain, p.size());
+                        if (p.chained) {
+                            f.chain.splice(std::move(p.chain));
+                            fabric_.network().recycle_chain(
+                                std::move(p.chain));
+                        } else {
+                            f.chain.append_owned(std::move(p.message));
+                        }
+                    }
                     f.chained = true;
                 } else {
-                    f.frame = make_bundle(burst);
+                    sim::BufferPool& pool = fabric_.network().pool();
+                    std::vector<Bytes> flat;
+                    flat.reserve(burst.size());
+                    for (Pending& p : burst) {
+                        if (p.chained) {
+                            flat.push_back(p.chain.materialize(&pool));
+                            p.chain.recycle(pool);
+                            fabric_.network().recycle_chain(
+                                std::move(p.chain));
+                        } else {
+                            flat.push_back(std::move(p.message));
+                        }
+                    }
+                    f.frame = make_bundle(flat);
                 }
                 frames.push_back(std::move(f));
             }
@@ -172,7 +232,7 @@ class Outbox {
     bool zero_copy_ = false;
     sim::Duration record_cost_ = 0;
     const sim::TransportProfile* transport_ = nullptr;
-    std::vector<std::pair<sim::NodeId, Bytes>> pending_;
+    std::vector<Pending> pending_;
     std::vector<std::function<void()>> deferred_;
 };
 

@@ -146,6 +146,27 @@ class FragmentChain {
         fragments_.push_back(Fragment::shared(std::move(payload)));
     }
 
+    /// Appends an already-built fragment, keeping the copied/referenced
+    /// bookkeeping consistent with the append_* builders.
+    void append(Fragment&& fragment) {
+        const std::size_t n = fragment.size();
+        total_ += n;
+        if (fragment.kind() == Fragment::Kind::Inline) {
+            copied_ += n;
+        } else {
+            referenced_ += n;
+        }
+        fragments_.push_back(std::move(fragment));
+    }
+
+    /// Moves every fragment of `other` onto the end of this chain (used
+    /// when a coalesced Bundle swallows an already-chained message).
+    /// `other` is left cleared; its payloads now belong to this chain.
+    void splice(FragmentChain&& other) {
+        for (Fragment& f : other.fragments_) append(std::move(f));
+        other.clear();
+    }
+
     /// Total wire bytes of the frame (== materialize().size()).
     [[nodiscard]] std::size_t size() const noexcept { return total_; }
     /// Bytes physically written into the chain (inline headers only) —

@@ -1,0 +1,307 @@
+#include "troxy/shard_front.hpp"
+
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+#include "net/client_framing.hpp"
+#include "net/envelope.hpp"
+#include "net/fragment.hpp"
+#include "net/outbox.hpp"
+
+namespace troxy::troxy_core {
+
+ShardFrontHost::ShardFrontHost(net::Fabric& fabric, sim::Node& node,
+                               ShardMap map, std::vector<Backend> backends,
+                               crypto::X25519Keypair channel_identity,
+                               Classifier classifier,
+                               const sim::CostProfile& profile,
+                               Options options)
+    : fabric_(fabric),
+      node_(node),
+      map_(std::move(map)),
+      identity_(channel_identity),
+      classifier_(std::move(classifier)),
+      profile_(profile),
+      options_(options) {
+    map_.validate();
+    TROXY_ASSERT(static_cast<int>(backends.size()) == map_.shard_count(),
+                 "one backend replica group per shard");
+    shard_stats_.resize(backends.size());
+    upstreams_.reserve(backends.size());
+    for (std::size_t s = 0; s < backends.size(); ++s) {
+        for (const sim::NodeId server : backends[s].servers) {
+            server_to_shard_[server] = static_cast<int>(s);
+        }
+        upstreams_.push_back(std::make_unique<LegacyClient>(
+            fabric_, node_, std::move(backends[s].servers),
+            std::move(backends[s].pinned_keys), profile_,
+            options_.upstream));
+    }
+}
+
+void ShardFrontHost::attach() {
+    fabric_.attach(node_.id(), [this](sim::NodeId from, Bytes message) {
+        on_message(from, std::move(message));
+    });
+    fabric_.attach_chain(
+        node_.id(), [this](sim::NodeId from, sim::FragmentChain chain) {
+            on_chain(from, std::move(chain));
+        });
+}
+
+void ShardFrontHost::start() {
+    for (auto& upstream : upstreams_) {
+        upstream->start(nullptr);
+    }
+}
+
+void ShardFrontHost::on_chain(sim::NodeId from, sim::FragmentChain chain) {
+    sim::Network& network = fabric_.network();
+    auto messages = net::take_bundle_messages(std::move(chain));
+    if (messages) {
+        network.recycle_chain(std::move(chain));
+        for (Bytes& m : *messages) {
+            on_message(from, std::move(m));
+        }
+        return;
+    }
+    network.count_materialization();
+    Bytes flat = chain.materialize(&network.pool());
+    network.recycle_chain(std::move(chain));
+    on_message(from, std::move(flat));
+}
+
+void ShardFrontHost::on_message(sim::NodeId from, Bytes message) {
+    auto unwrapped = net::unwrap_view(message);
+    if (unwrapped) {
+        const auto it = server_to_shard_.find(from);
+        if (it != server_to_shard_.end()) {
+            // Upstream traffic from a shard replica; a coalescing host
+            // may ship several client frames as one Bundle.
+            LegacyClient& upstream = *upstreams_[
+                static_cast<std::size_t>(it->second)];
+            if (unwrapped->first == net::Channel::Bundle) {
+                auto inner = net::unbundle(unwrapped->second);
+                if (inner) {
+                    for (const Bytes& m : *inner) {
+                        auto u = net::unwrap_view(m);
+                        if (u && u->first == net::Channel::Client) {
+                            upstream.on_message(from, u->second);
+                        }
+                    }
+                }
+            } else if (unwrapped->first == net::Channel::Client) {
+                upstream.on_message(from, unwrapped->second);
+            }
+        } else if (unwrapped->first == net::Channel::Client) {
+            on_client_frame(from, unwrapped->second);
+        }
+    }
+    fabric_.network().recycle(std::move(message));
+}
+
+void ShardFrontHost::on_client_frame(sim::NodeId from, ByteView payload) {
+    auto frame = net::unframe_client(payload);
+    if (!frame) return;
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+    crypto.charge_dispatch();
+
+    switch (frame->first) {
+        case net::ClientFrame::Hello: {
+            auto [it, inserted] = connections_.try_emplace(from, identity_);
+            if (!inserted) {
+                // Fresh session from the same node: the old release
+                // window dies with the old channel; in-flight upstream
+                // completions are fenced off by the generation bump.
+                connections_.erase(it);
+                it = connections_.try_emplace(from, identity_).first;
+            }
+            it->second.generation = ++connection_generation_;
+            Writer seed;
+            seed.u32(node_.id());
+            seed.u64(++handshake_counter_);
+            auto hello =
+                it->second.channel.accept(crypto, frame->second,
+                                          seed.data());
+            if (hello) {
+                ++connections_accepted_;
+                outbox.send(from,
+                            net::wrap(net::Channel::Client,
+                                      net::frame_client(
+                                          net::ClientFrame::ServerHello,
+                                          *hello)));
+            } else {
+                connections_.erase(from);
+            }
+            break;
+        }
+        case net::ClientFrame::Record: {
+            const auto it = connections_.find(from);
+            if (it == connections_.end() ||
+                !it->second.channel.established()) {
+                break;
+            }
+            crypto.charge(profile_.aead(frame->second.size()));
+            for (Bytes& app_request :
+                 it->second.channel.unprotect(frame->second)) {
+                handle_request(from, it->second, std::move(app_request));
+            }
+            break;
+        }
+        case net::ClientFrame::ServerHello:
+            break;
+    }
+    outbox.flush(meter);
+}
+
+void ShardFrontHost::handle_request(sim::NodeId from, Connection& conn,
+                                    Bytes app_request) {
+    const hybster::RequestInfo info = classifier_(app_request);
+    ++requests_;
+    const int owner = map_.shard_of(info.state_key);
+    if (info.is_read) {
+        // Reads ride the owner shard's cache-quorum path; the closure is
+        // irrelevant (nothing is written).
+        forward_single(from, conn, owner, /*is_read=*/true,
+                       std::move(app_request));
+        return;
+    }
+    std::vector<int> shards = map_.shards_of(info);
+    if (shards.size() == 1) {
+        forward_single(from, conn, owner, /*is_read=*/false,
+                       std::move(app_request));
+        return;
+    }
+    enqueue_cross(from, conn, std::move(shards), owner,
+                  std::move(app_request));
+}
+
+void ShardFrontHost::forward_single(sim::NodeId from, Connection& conn,
+                                    int shard, bool is_read,
+                                    Bytes app_request) {
+    ShardStats& stats = shard_stats_[static_cast<std::size_t>(shard)];
+    ++stats.forwarded;
+    if (is_read) {
+        ++stats.reads;
+    } else {
+        ++stats.writes;
+    }
+    const std::uint64_t generation = conn.generation;
+    const std::uint64_t slot = conn.next_assign++;
+    upstreams_[static_cast<std::size_t>(shard)]->send(
+        std::move(app_request),
+        [this, from, generation, slot, shard](Bytes reply) {
+            ++shard_stats_[static_cast<std::size_t>(shard)].replies;
+            deliver_reply(from, generation, slot, std::move(reply));
+        });
+}
+
+void ShardFrontHost::enqueue_cross(sim::NodeId from, Connection& conn,
+                                   std::vector<int> shards, int owner,
+                                   Bytes app_request) {
+    for (const int s : shards) {
+        ShardStats& stats = shard_stats_[static_cast<std::size_t>(s)];
+        ++stats.forwarded;
+        ++stats.writes;
+        ++stats.cross_participations;
+    }
+    CrossCommit commit;
+    commit.client = from;
+    commit.generation = conn.generation;
+    commit.slot = conn.next_assign++;
+    commit.request = std::move(app_request);
+    commit.shards = std::move(shards);
+    commit.owner = owner;
+    cross_queue_.push_back(std::move(commit));
+    cross_queue_peak_ =
+        std::max<std::uint64_t>(cross_queue_peak_, cross_queue_.size());
+    if (!cross_active_) {
+        cross_active_ = true;
+        send_cross_step();
+    }
+}
+
+void ShardFrontHost::send_cross_step() {
+    CrossCommit& commit = cross_queue_.front();
+    const int shard = commit.shards[commit.next];
+    // The full request goes to every touched shard: each shard's service
+    // executes it against the keys it owns, so the owner of every key in
+    // the closure sees the write in its ordered log.
+    Bytes request = commit.request;
+    upstreams_[static_cast<std::size_t>(shard)]->send(
+        std::move(request),
+        [this, shard](Bytes reply) { advance_cross(shard, std::move(reply)); });
+}
+
+void ShardFrontHost::advance_cross(int shard, Bytes reply) {
+    TROXY_ASSERT(!cross_queue_.empty(), "cross-shard lane out of sync");
+    CrossCommit& commit = cross_queue_.front();
+    if (shard == commit.owner) {
+        commit.owner_reply = std::move(reply);
+    }
+    ++commit.next;
+    if (commit.next < commit.shards.size()) {
+        send_cross_step();
+        return;
+    }
+    // Every shard committed: release the owner's reply. Releasing only
+    // now is what makes the write visible-atomic to this client — a
+    // follow-up read of any touched key (routed to that key's owner
+    // shard) lands after that shard's commit.
+    ++cross_commits_;
+    CrossCommit done = std::move(cross_queue_.front());
+    cross_queue_.pop_front();
+    deliver_reply(done.client, done.generation, done.slot,
+                  std::move(done.owner_reply));
+    if (cross_queue_.empty()) {
+        cross_active_ = false;
+    } else {
+        send_cross_step();
+    }
+}
+
+void ShardFrontHost::deliver_reply(sim::NodeId client,
+                                   std::uint64_t generation,
+                                   std::uint64_t slot, Bytes reply) {
+    const auto it = connections_.find(client);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+    if (conn.generation != generation) return;  // pre-reconnect straggler
+    conn.ready.emplace(slot, std::move(reply));
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+    auto next = conn.ready.find(conn.next_release);
+    while (next != conn.ready.end()) {
+        crypto.charge(profile_.aead(next->second.size()));
+        outbox.send(client,
+                    net::wrap(net::Channel::Client,
+                              net::frame_client(
+                                  net::ClientFrame::Record,
+                                  conn.channel.protect(next->second))));
+        ++released_;
+        conn.ready.erase(next);
+        next = conn.ready.find(++conn.next_release);
+    }
+    outbox.flush(meter);
+}
+
+ShardFrontHost::Status ShardFrontHost::status() const {
+    Status status;
+    status.requests = requests_;
+    status.released = released_;
+    status.cross_shard_commits = cross_commits_;
+    status.cross_queue_peak = cross_queue_peak_;
+    status.connections = connections_accepted_;
+    status.router_fanout = static_cast<int>(upstreams_.size());
+    for (const auto& upstream : upstreams_) {
+        status.upstream_failovers += upstream->failovers();
+    }
+    status.shards = shard_stats_;
+    return status;
+}
+
+}  // namespace troxy::troxy_core

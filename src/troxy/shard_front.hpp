@@ -1,0 +1,173 @@
+// Sharded Troxy front: one transparent endpoint over S replica groups.
+//
+// The front terminates ordinary legacy secure channels exactly like a
+// contact Troxy — the client does a 1-RTT handshake against one pinned
+// server key and speaks its unmodified application protocol — and hides
+// a partitioned deployment behind that single endpoint. Every decrypted
+// request is classified (the same Classifier the Troxy enclave uses),
+// routed by the ShardMap on its state_key, and forwarded over a
+// per-shard upstream session: the front runs one LegacyClient per shard
+// whose failover list is the shard's whole replica group, so
+// shard-internal faults (leader crash, view change, contact failover)
+// are absorbed by the machinery that already exists for unsharded
+// clients. Replies are matched back to the originating downstream
+// connection and released strictly in request order, preserving the
+// stream semantics a legacy client relies on.
+//
+// Reads ride each shard's cache-quorum fast path untouched — the front
+// just picks the shard whose Troxy cache slice owns the key. Writes
+// whose classifier closure (extra_keys) spans a second shard take the
+// cross-shard lane: a simple ordered commit that forwards the full
+// request to every touched shard in ascending shard order, one shard at
+// a time, and releases the owner shard's reply only after the last
+// shard committed. The lane is serialized (one cross-shard commit in
+// flight at a time), so every shard observes cross-shard writes in one
+// global order — two-shard commits can never interleave into a cycle —
+// while shard-local traffic flows around it unimpeded.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/x25519.hpp"
+#include "net/fabric.hpp"
+#include "net/secure_channel.hpp"
+#include "sim/cost.hpp"
+#include "troxy/enclave.hpp"
+#include "troxy/legacy_client.hpp"
+#include "troxy/shard_router.hpp"
+
+namespace troxy::troxy_core {
+
+class ShardFrontHost {
+  public:
+    /// One shard's replica group as the front sees it: contact/failover
+    /// node list plus the pinned channel key per replica.
+    struct Backend {
+        std::vector<sim::NodeId> servers;
+        std::vector<crypto::X25519Key> pinned_keys;
+    };
+
+    struct Options {
+        /// Upstream session knobs (per-shard LegacyClients). The tighter
+        /// the timeout, the faster the front follows a shard's failover.
+        LegacyClient::Options upstream;
+    };
+
+    struct ShardStats {
+        std::uint64_t forwarded = 0;  // requests routed to this shard
+        std::uint64_t replies = 0;    // shard-local replies released
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        /// Cross-shard commits this shard participated in.
+        std::uint64_t cross_participations = 0;
+    };
+
+    struct Status {
+        std::uint64_t requests = 0;           // classified + routed
+        std::uint64_t released = 0;           // replies sent downstream
+        std::uint64_t cross_shard_commits = 0;
+        std::uint64_t cross_queue_peak = 0;   // lane backlog high-water
+        std::uint64_t connections = 0;        // downstream channels accepted
+        std::uint64_t upstream_failovers = 0; // sum over shard sessions
+        int router_fanout = 0;                // upstream sessions (== S)
+        std::vector<ShardStats> shards;
+    };
+
+    ShardFrontHost(net::Fabric& fabric, sim::Node& node, ShardMap map,
+                   std::vector<Backend> backends,
+                   crypto::X25519Keypair channel_identity,
+                   Classifier classifier, const sim::CostProfile& profile,
+                   Options options);
+
+    /// Registers the fabric handlers (downstream client frames and
+    /// upstream shard traffic share the front's node).
+    void attach();
+
+    /// Opens the S upstream sessions. Requests arriving before a shard's
+    /// handshake completes queue inside that shard's LegacyClient.
+    void start();
+
+    [[nodiscard]] Status status() const;
+    [[nodiscard]] sim::Node& node() noexcept { return node_; }
+    [[nodiscard]] const ShardMap& map() const noexcept { return map_; }
+    [[nodiscard]] LegacyClient& upstream(int shard) {
+        return *upstreams_[static_cast<std::size_t>(shard)];
+    }
+
+  private:
+    /// Downstream secure-channel state plus the in-order release window.
+    /// Slots are assigned at classification time and released strictly
+    /// in slot order, so pipelined replies keep the request order the
+    /// legacy client's FIFO matching expects even when shards answer
+    /// out of order. `generation` fences stale upstream completions
+    /// after a client re-handshake resets the window.
+    struct Connection {
+        explicit Connection(const crypto::X25519Keypair& identity)
+            : channel(identity) {}
+        net::SecureChannelServer channel;
+        std::uint64_t generation = 0;
+        std::uint64_t next_assign = 0;
+        std::uint64_t next_release = 0;
+        std::map<std::uint64_t, Bytes> ready;
+    };
+
+    /// One queued cross-shard commit on the serialized lane.
+    struct CrossCommit {
+        sim::NodeId client = 0;
+        std::uint64_t generation = 0;
+        std::uint64_t slot = 0;
+        Bytes request;
+        std::vector<int> shards;  // ascending; forwarded one at a time
+        int owner = 0;            // shard whose reply the client sees
+        std::size_t next = 0;
+        Bytes owner_reply;
+    };
+
+    void on_message(sim::NodeId from, Bytes message);
+    void on_chain(sim::NodeId from, sim::FragmentChain chain);
+    void on_client_frame(sim::NodeId from, ByteView payload);
+    void handle_request(sim::NodeId from, Connection& conn,
+                        Bytes app_request);
+    void forward_single(sim::NodeId from, Connection& conn, int shard,
+                        bool is_read, Bytes app_request);
+    void enqueue_cross(sim::NodeId from, Connection& conn,
+                       std::vector<int> shards, int owner,
+                       Bytes app_request);
+    void send_cross_step();
+    void advance_cross(int shard, Bytes reply);
+    /// Banks `reply` under (client, slot) and seals every consecutively
+    /// ready reply into downstream records.
+    void deliver_reply(sim::NodeId client, std::uint64_t generation,
+                       std::uint64_t slot, Bytes reply);
+
+    net::Fabric& fabric_;
+    sim::Node& node_;
+    ShardMap map_;
+    crypto::X25519Keypair identity_;
+    Classifier classifier_;
+    const sim::CostProfile& profile_;
+    Options options_;
+
+    std::vector<std::unique_ptr<LegacyClient>> upstreams_;
+    std::map<sim::NodeId, int> server_to_shard_;
+
+    std::map<sim::NodeId, Connection> connections_;
+    std::uint64_t handshake_counter_ = 0;
+    std::uint64_t connection_generation_ = 0;
+
+    std::deque<CrossCommit> cross_queue_;
+    bool cross_active_ = false;
+
+    std::uint64_t requests_ = 0;
+    std::uint64_t released_ = 0;
+    std::uint64_t cross_commits_ = 0;
+    std::uint64_t cross_queue_peak_ = 0;
+    std::uint64_t connections_accepted_ = 0;
+    std::vector<ShardStats> shard_stats_;
+};
+
+}  // namespace troxy::troxy_core

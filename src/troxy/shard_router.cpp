@@ -1,0 +1,76 @@
+#include "troxy/shard_router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace troxy::troxy_core {
+
+ShardMap ShardMap::split_evenly(std::vector<std::string> keys, int shards) {
+    if (shards < 1) {
+        throw std::invalid_argument(
+            "ShardMap::split_evenly: shard count must be at least 1, got " +
+            std::to_string(shards));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    if (static_cast<int>(keys.size()) < shards) {
+        throw std::invalid_argument(
+            "ShardMap::split_evenly: " + std::to_string(keys.size()) +
+            " distinct keys cannot populate " + std::to_string(shards) +
+            " shards");
+    }
+    std::vector<std::string> boundaries;
+    boundaries.reserve(static_cast<std::size_t>(shards) - 1);
+    for (int s = 1; s < shards; ++s) {
+        boundaries.push_back(
+            keys[keys.size() * static_cast<std::size_t>(s) /
+                 static_cast<std::size_t>(shards)]);
+    }
+    ShardMap map(std::move(boundaries));
+    map.validate();
+    return map;
+}
+
+int ShardMap::shard_of(std::string_view state_key) const noexcept {
+    // Half-open ranges: shard index = number of boundaries ≤ key, so a
+    // key equal to boundary b_i lands in the shard b_i starts (i+1).
+    const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
+                                     state_key);
+    return static_cast<int>(it - boundaries_.begin());
+}
+
+std::vector<int> ShardMap::shards_of(
+    const hybster::RequestInfo& info) const {
+    std::vector<int> shards;
+    shards.push_back(shard_of(info.state_key));
+    for (const std::string& key : info.extra_keys) {
+        const int s = shard_of(key);
+        if (std::find(shards.begin(), shards.end(), s) == shards.end()) {
+            shards.push_back(s);
+        }
+    }
+    std::sort(shards.begin(), shards.end());
+    return shards;
+}
+
+void ShardMap::validate() const {
+    for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+        if (boundaries_[i].empty()) {
+            throw std::invalid_argument(
+                "ShardMap: boundary " + std::to_string(i + 1) +
+                " is empty — shard " + std::to_string(i) +
+                "'s key range would be empty");
+        }
+        if (i > 0 && boundaries_[i] <= boundaries_[i - 1]) {
+            throw std::invalid_argument(
+                "ShardMap: boundaries must be strictly increasing, but "
+                "boundary " +
+                std::to_string(i + 1) + " (\"" + boundaries_[i] +
+                "\") <= boundary " + std::to_string(i) + " (\"" +
+                boundaries_[i - 1] + "\") — shard " + std::to_string(i) +
+                "'s key range would be empty");
+        }
+    }
+}
+
+}  // namespace troxy::troxy_core

@@ -1,0 +1,73 @@
+// Key-range shard map: the partition function of the sharded Troxy.
+//
+// Service state is partitioned across S independent Hybster groups by
+// lexicographic ranges over the classifier's state-key strings. The map
+// is S-1 boundary keys b_1 < b_2 < … < b_{S-1}: shard 0 owns
+// ["", b_1), shard i owns [b_i, b_{i+1}), and the last shard owns
+// [b_{S-1}, ∞) — half-open ranges, so a key exactly equal to a boundary
+// belongs to the shard that boundary *starts*. Coverage is total and
+// disjoint by construction whenever the boundaries validate, which is
+// what lets the router treat "which shard owns this key" as a pure
+// function shared by the front, the benches and the tests.
+//
+// Routing rule: a request is routed to the shard owning its state_key.
+// The extra_keys closure (write-set announcements from PR 5) only
+// matters when some extra key maps to a *different* shard — that is the
+// cross-shard case. This distinction is load-bearing: KvService mutations
+// name scan-prefix keys in every closure, so routing by the closure's
+// full key set would make every write cross-shard.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hybster/service.hpp"
+
+namespace troxy::troxy_core {
+
+class ShardMap {
+  public:
+    /// Single shard covering the whole key space.
+    ShardMap() = default;
+
+    /// `boundaries` are the S-1 split keys (sorted, strictly increasing,
+    /// none empty). Call validate() to surface malformed input as
+    /// std::invalid_argument instead of undefined routing.
+    explicit ShardMap(std::vector<std::string> boundaries)
+        : boundaries_(std::move(boundaries)) {}
+
+    /// Splits `keys` into `shards` contiguous lexicographic ranges of
+    /// near-equal population: sorts a copy and takes every (i·n/S)-th key
+    /// as a boundary. The natural way to build a balanced map for a known
+    /// key universe (benches, chaos runs). Throws std::invalid_argument
+    /// when the keys cannot yield `shards` distinct non-empty ranges.
+    static ShardMap split_evenly(std::vector<std::string> keys, int shards);
+
+    [[nodiscard]] int shard_count() const noexcept {
+        return static_cast<int>(boundaries_.size()) + 1;
+    }
+
+    /// The shard owning `state_key`: the number of boundaries ≤ the key.
+    [[nodiscard]] int shard_of(std::string_view state_key) const noexcept;
+
+    /// Distinct shards touched by the request's full key closure
+    /// (state_key + extra_keys), ascending. Size 1 means shard-local.
+    [[nodiscard]] std::vector<int> shards_of(
+        const hybster::RequestInfo& info) const;
+
+    /// Throws std::invalid_argument with a precise message on empty or
+    /// non-strictly-increasing boundaries (either would make some shard's
+    /// range empty, breaking the total-and-disjoint coverage guarantee).
+    void validate() const;
+
+    [[nodiscard]] const std::vector<std::string>& boundaries()
+        const noexcept {
+        return boundaries_;
+    }
+
+  private:
+    std::vector<std::string> boundaries_;
+};
+
+}  // namespace troxy::troxy_core

@@ -31,7 +31,7 @@ TEST(MerkleSnapshot, DeterministicAndTamperEvident) {
     // Every chunk verifies against its manifest entry, and the manifest
     // folds back into the root.
     for (std::size_t i = 0; i < a.chunks.size(); ++i) {
-        EXPECT_EQ(hybster::chunk_leaf_hash(crypto, a.chunks[i]),
+        EXPECT_EQ(hybster::chunk_leaf_hash(crypto, *a.chunks[i]),
                   a.manifest[i]);
     }
     EXPECT_EQ(hybster::merkle_root(crypto, a.manifest), a.root);
@@ -70,7 +70,7 @@ TEST(MerkleSnapshot, DomainSeparationAndEdgeCases) {
     // from the empty manifest's marker root.
     const auto empty = hybster::chunk_snapshot(crypto, {}, 64);
     EXPECT_EQ(empty.chunks.size(), 1u);
-    EXPECT_TRUE(empty.chunks[0].empty());
+    EXPECT_TRUE(empty.chunks[0]->empty());
     EXPECT_NE(empty.root, hybster::merkle_root(crypto, {}));
 
     // A single-leaf manifest promotes the leaf to the root unchanged.

@@ -1,0 +1,347 @@
+// Sharded-Troxy tests: the ShardMap partition function, shard-knob
+// validation, the zero-copy StateResponse framing split, the front's
+// cross-shard commit path end-to-end, chaos under a shard-leader crash,
+// and S=1 byte-parity with the unsharded deployment.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "apps/echo_service.hpp"
+#include "bench_support/chaos.hpp"
+#include "bench_support/cluster.hpp"
+#include "common/serialize.hpp"
+#include "hybster/messages.hpp"
+#include "troxy/shard_router.hpp"
+
+namespace troxy {
+namespace {
+
+using apps::EchoService;
+using troxy_core::ShardMap;
+
+// ------------------------------------------------------------- ShardMap
+
+TEST(ShardMap, DefaultIsSingleShard) {
+    ShardMap map;
+    EXPECT_EQ(map.shard_count(), 1);
+    EXPECT_EQ(map.shard_of(""), 0);
+    EXPECT_EQ(map.shard_of("anything"), 0);
+}
+
+TEST(ShardMap, BoundaryKeyBelongsToTheShardItStarts) {
+    ShardMap map(std::vector<std::string>{"g", "p"});
+    EXPECT_EQ(map.shard_count(), 3);
+    EXPECT_EQ(map.shard_of("a"), 0);
+    EXPECT_EQ(map.shard_of("f"), 0);
+    // Half-open ranges: a key exactly equal to a boundary lands in the
+    // shard that boundary starts, not the one it ends.
+    EXPECT_EQ(map.shard_of("g"), 1);
+    EXPECT_EQ(map.shard_of("o"), 1);
+    EXPECT_EQ(map.shard_of("p"), 2);
+    EXPECT_EQ(map.shard_of("z"), 2);
+}
+
+TEST(ShardMap, ShardsOfCollectsDistinctShardsAscending) {
+    ShardMap map(std::vector<std::string>{"g", "p"});
+    hybster::RequestInfo info;
+    info.state_key = "q";
+    info.extra_keys = {"a", "h", "b"};
+    const std::vector<int> shards = map.shards_of(info);
+    ASSERT_EQ(shards.size(), 3u);
+    EXPECT_EQ(shards[0], 0);
+    EXPECT_EQ(shards[1], 1);
+    EXPECT_EQ(shards[2], 2);
+
+    // Extra keys on the owner shard do not make the request cross-shard.
+    hybster::RequestInfo local;
+    local.state_key = "a";
+    local.extra_keys = {"b", "c"};
+    EXPECT_EQ(map.shards_of(local).size(), 1u);
+}
+
+TEST(ShardMap, ValidateRejectsMalformedBoundaries) {
+    EXPECT_THROW(ShardMap(std::vector<std::string>{""}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(ShardMap(std::vector<std::string>{"m", "m"}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(ShardMap(std::vector<std::string>{"p", "g"}).validate(),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(
+        ShardMap(std::vector<std::string>{"g", "p"}).validate());
+}
+
+TEST(ShardMap, SplitEvenlyCoversAndBalances) {
+    std::vector<std::string> keys;
+    for (int k = 0; k < 16; ++k) keys.push_back("k" + std::to_string(k));
+    const ShardMap map = ShardMap::split_evenly(keys, 4);
+    EXPECT_EQ(map.shard_count(), 4);
+    // Total coverage: every key lands somewhere, and each shard owns at
+    // least one key of the universe.
+    std::vector<int> population(4, 0);
+    for (const std::string& key : keys) {
+        const int shard = map.shard_of(key);
+        ASSERT_GE(shard, 0);
+        ASSERT_LT(shard, 4);
+        ++population[static_cast<std::size_t>(shard)];
+    }
+    for (int shard = 0; shard < 4; ++shard) {
+        EXPECT_GT(population[static_cast<std::size_t>(shard)], 0);
+    }
+
+    EXPECT_THROW(ShardMap::split_evenly({"a", "b"}, 3),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------- cluster shard knobs
+
+TEST(ShardCluster, RejectsShardCountOverReplicaBudget) {
+    bench::ShardedTroxyCluster::Params params;
+    params.base.shard_count = 4;
+    params.base.replica_budget = 6;  // 4 shards x 3 replicas = 12 > 6
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    params.map = ShardMap::split_evenly({"k0", "k1", "k2", "k3"}, 4);
+    EXPECT_THROW(bench::ShardedTroxyCluster cluster(std::move(params)),
+                 std::invalid_argument);
+}
+
+TEST(ShardCluster, RejectsMapShardCountMismatch) {
+    bench::ShardedTroxyCluster::Params params;
+    params.base.shard_count = 4;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    params.map = ShardMap(std::vector<std::string>{"m"});  // 2 shards
+    EXPECT_THROW(bench::ShardedTroxyCluster cluster(std::move(params)),
+                 std::invalid_argument);
+}
+
+// ------------------------------------- StateResponse zero-copy framing
+
+// encode() must stay byte-identical to the head/per-chunk/tail split the
+// zero-copy state-transfer sender assembles from fragments.
+TEST(ShardWire, StateResponseHeadTailSplitMatchesEncode) {
+    hybster::StateResponse msg;
+    msg.replica = 2;
+    msg.view = 7;
+    msg.view_start = 96;
+    msg.last_stable = 128;
+    for (std::size_t i = 0; i < msg.root.size(); ++i) {
+        msg.root[i] = static_cast<std::uint8_t>(i);
+    }
+    msg.manifest.resize(3);
+    for (std::size_t c = 0; c < msg.manifest.size(); ++c) {
+        for (std::size_t i = 0; i < msg.manifest[c].size(); ++i) {
+            msg.manifest[c][i] = static_cast<std::uint8_t>(17 * c + i);
+        }
+    }
+    msg.chunk_index = {0, 2};
+    msg.chunks.push_back(Bytes{1, 2, 3, 4});
+    msg.chunks.push_back(Bytes(300, 0xAB));
+    msg.proof.resize(2);
+    msg.proof[0].replica = 0;
+    msg.proof[1].replica = 1;
+
+    Writer flat;
+    msg.encode(flat);
+
+    Writer split;
+    msg.encode_head(split, msg.chunks.size());
+    for (std::size_t i = 0; i < msg.chunks.size(); ++i) {
+        split.u32(msg.chunk_index[i]);
+        split.bytes(msg.chunks[i]);
+    }
+    msg.encode_tail(split);
+
+    EXPECT_EQ(flat.data(), split.data());
+}
+
+// --------------------------------------------- cross-shard commit, e2e
+
+TEST(ShardFront, CrossShardMultiwriteCommitsOnBothShards) {
+    bench::ShardedTroxyCluster::Params params;
+    params.base.seed = 3;
+    params.base.shard_count = 2;
+    params.service = []() { return std::make_unique<EchoService>(); };
+    params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    // Sorted universe k0 k1 k2 k3 → boundary "k2": shard 0 owns
+    // {k0, k1}, shard 1 owns {k2, k3}.
+    params.map = ShardMap::split_evenly({"k0", "k1", "k2", "k3"}, 2);
+    bench::ShardedTroxyCluster cluster(std::move(params));
+    ASSERT_NE(cluster.front(), nullptr);
+    EXPECT_EQ(cluster.front()->map().shard_of("k2"), 1);
+
+    auto& client = cluster.add_client();
+    Bytes ack;
+    Bytes readback;
+    Bytes boundary_ack;
+    client.start([&]() {
+        // Keys 0 and 2 live on different shards: the multiwrite must
+        // take the ordered two-shard commit lane, and its ack must be
+        // released only after both shards committed.
+        client.send(EchoService::make_multi_write(0, 2, 64),
+                    [&](Bytes reply) {
+                        ack = std::move(reply);
+                        // The partner key's commit is visible to a
+                        // follow-up read routed to its owner shard.
+                        client.send(
+                            EchoService::make_read(2, 32, 128),
+                            [&](Bytes read_reply) {
+                                readback = std::move(read_reply);
+                                // A key exactly on the boundary routes
+                                // to the shard the boundary starts.
+                                client.send(
+                                    EchoService::make_write(2, 64),
+                                    [&](Bytes write_reply) {
+                                        boundary_ack =
+                                            std::move(write_reply);
+                                    });
+                            });
+                    });
+    });
+    cluster.simulator().run_until(sim::seconds(10));
+
+    // Multiwrite ack: version 1 of key 0 on its owner shard.
+    ASSERT_EQ(ack.size(), 10u);
+    EXPECT_EQ(ack[0], 1);
+    {
+        Reader r(ByteView(ack.data() + 1, 8));
+        EXPECT_EQ(r.u64(), 1u);
+    }
+    // Read of the partner key sees the multiwrite's version.
+    EXPECT_EQ(readback, EchoService::expected_read_reply(2, 1, 128));
+    // Boundary-key write executed on shard 1 bumped k2 to version 2.
+    ASSERT_EQ(boundary_ack.size(), 10u);
+    {
+        Reader r(ByteView(boundary_ack.data() + 1, 8));
+        EXPECT_EQ(r.u64(), 2u);
+    }
+
+    const auto status = cluster.front()->status();
+    EXPECT_EQ(status.router_fanout, 2);
+    EXPECT_EQ(status.cross_shard_commits, 1u);
+    ASSERT_EQ(status.shards.size(), 2u);
+    EXPECT_EQ(status.shards[0].cross_participations, 1u);
+    EXPECT_EQ(status.shards[1].cross_participations, 1u);
+    EXPECT_GE(status.shards[1].reads, 1u);
+    EXPECT_GE(status.shards[1].writes, 2u);  // cross + boundary write
+    EXPECT_EQ(status.requests, 3u);
+    EXPECT_EQ(status.released, 3u);
+}
+
+// --------------------------------------------- chaos under shard faults
+
+std::string report_summary(const bench::ChaosReport& report) {
+    std::string out = "completed " + std::to_string(report.completed) +
+                      "/" + std::to_string(report.issued) +
+                      ", violations " + std::to_string(report.violations);
+    for (const std::string& error : report.errors) out += "\n  " + error;
+    out += "\nplan:\n" + report.plan_trace;
+    return out;
+}
+
+// Crash shard 0's initial leader while serialized two-shard commits are
+// in flight; the run must stay linearizable and complete once healed.
+TEST(ShardChaos, ShardLeaderCrashDuringCrossShardCommits) {
+    bench::ChaosOptions options;
+    options.seed = 9;
+    options.shards = 2;
+    options.cross_shard_fraction = 0.4;
+    options.clients = 3;
+    options.requests_per_client = 30;
+    // Host 0 is shard 0's replica 0 — the initial leader of the shard
+    // that owns half the cross-shard commits.
+    options.plan.crash(sim::milliseconds(1500), 0)
+        .restart(sim::seconds(3), 0);
+
+    const bench::ChaosReport report = bench::run_chaos(options);
+    EXPECT_TRUE(report.ok()) << report_summary(report);
+    EXPECT_GT(report.multiwrites_issued, 0u);
+    EXPECT_GE(report.cross_shard_commits, 1u);
+    EXPECT_EQ(report.router_fanout, 2);
+    ASSERT_EQ(report.shards.size(), 2u);
+    EXPECT_GT(report.shards[0].forwarded, 0u);
+    EXPECT_GT(report.shards[1].forwarded, 0u);
+    EXPECT_EQ(report.restarts, 1u);
+}
+
+// ------------------------------------------------------ S=1 byte parity
+
+// The same workload on the unsharded TroxyCluster and on a
+// ShardedTroxyCluster with shard_count = 1 must produce identical
+// replies AND identical network totals: sharding off is byte-identical,
+// not just equivalent.
+TEST(ShardParity, SingleShardReplaysUnshardedByteIdentically) {
+    constexpr int kClients = 2;
+    constexpr int kRequests = 12;
+
+    auto drive = [](auto& cluster) {
+        std::vector<troxy_core::LegacyClient*> clients;
+        for (int c = 0; c < kClients; ++c) {
+            clients.push_back(&cluster.add_client());
+        }
+        auto replies = std::make_shared<std::vector<Bytes>>();
+        for (int c = 0; c < kClients; ++c) {
+            troxy_core::LegacyClient* client = clients[
+                static_cast<std::size_t>(c)];
+            auto chain = std::make_shared<std::function<void(int)>>();
+            *chain = [client, c, chain, replies](int remaining) {
+                if (remaining == 0) return;
+                const auto key = static_cast<std::uint64_t>(c);
+                Bytes request =
+                    remaining % 2 == 0
+                        ? EchoService::make_write(key, 64)
+                        : EchoService::make_read(key, 32, 96);
+                client->send(std::move(request),
+                             [chain, replies, remaining](Bytes reply) {
+                                 replies->push_back(std::move(reply));
+                                 (*chain)(remaining - 1);
+                             });
+            };
+            client->start([chain]() { (*chain)(kRequests); });
+        }
+        cluster.simulator().run_until(sim::seconds(5));
+        return std::make_tuple(*replies,
+                               cluster.network().messages_sent(),
+                               cluster.network().bytes_sent());
+    };
+
+    bench::TroxyCluster::Params flat_params;
+    flat_params.base.seed = 21;
+    flat_params.base.coalesce_wire = true;
+    flat_params.host.coalesce_wire = true;
+    flat_params.service = []() { return std::make_unique<EchoService>(); };
+    flat_params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    bench::TroxyCluster flat(flat_params);
+    const auto flat_result = drive(flat);
+
+    bench::ShardedTroxyCluster::Params sharded_params;
+    sharded_params.base.seed = 21;
+    sharded_params.base.coalesce_wire = true;
+    sharded_params.host.coalesce_wire = true;
+    sharded_params.base.shard_count = 1;
+    sharded_params.service = []() {
+        return std::make_unique<EchoService>();
+    };
+    sharded_params.classifier = [](ByteView request) {
+        return EchoService().classify(request);
+    };
+    bench::ShardedTroxyCluster sharded(std::move(sharded_params));
+    EXPECT_EQ(sharded.shards(), 1);
+    EXPECT_EQ(sharded.front(), nullptr);
+    const auto sharded_result = drive(sharded);
+
+    EXPECT_EQ(std::get<0>(flat_result), std::get<0>(sharded_result));
+    EXPECT_EQ(std::get<1>(flat_result), std::get<1>(sharded_result));
+    EXPECT_EQ(std::get<2>(flat_result), std::get<2>(sharded_result));
+}
+
+}  // namespace
+}  // namespace troxy
