@@ -1,7 +1,7 @@
 // Sharded-Troxy benchmark: partitioned replica groups behind one
 // transparent front (BENCH_shard.json).
 //
-// Two parts:
+// Three parts:
 //
 //   1. Saturation sweep — closed-loop pure-write workload against a
 //      ShardedTroxyCluster for S ∈ {1, 2, 4, 8}. The service carries a
@@ -14,14 +14,27 @@
 //      cell runs S=4 with a multiwrite fraction whose partner key lands
 //      on another shard, pricing the ordered two-shard commit lane.
 //
-//   2. Open-loop population sweep — S ∈ {1, 2, 4, 8} x {1e4, 1e5, 1e6}
+//   2. Multiwrite sweep — S=4 with zero modeled execution cost:
+//      cross_shard_fraction ∈ {0, 10, 50, 100}% x F ∈ {1, 2, 4} fronts
+//      at 64 B requests (the cross-shard commit engine is the variable;
+//      the shards bind before one front does), plus a serialized-lane
+//      baseline (cross_pipeline_depth = 1) at 50% and a front-scaling
+//      set at 4 KB requests where the front's per-byte AEAD passes
+//      dominate and routed throughput tracks F. Reports windowed
+//      cross-commit rate, commit latency percentiles and lock-table
+//      counters; CI gates the pipelined engine's cross-commit rate
+//      against the serialized lane and the F=2 routed throughput
+//      against F=1 in the 4 KB set.
+//
+//   3. Open-loop population sweep — S ∈ {1, 2, 4, 8} x {1e4, 1e5, 1e6}
 //      virtual clients (OpenLoopSuite: one aggregate-rate Poisson chain
 //      over a bounded connection pool with session churn) at a fixed
 //      offered rate, reporting tail latency and front routing counters
 //      as the population grows.
 //
-// Flags: --smoke     S ∈ {1, 4}, 1e5-client sweep, short windows
+// Flags: --smoke     S ∈ {1, 4}, reduced sweeps, short windows
 //        --out PATH  JSON output path (default BENCH_shard.json)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -75,11 +88,14 @@ class HeavyEchoService final : public hybster::Service {
     sim::Duration cost_;
 };
 
-std::unique_ptr<ShardedTroxyCluster> make_cluster(int shards, int keys,
-                                                  sim::Duration exec_cost) {
+std::unique_ptr<ShardedTroxyCluster> make_cluster(
+    int shards, int keys, sim::Duration exec_cost, int fronts = 1,
+    std::size_t cross_pipeline_depth = 0) {
     ShardedTroxyCluster::Params params;
     params.base.seed = 42;
     params.base.shard_count = shards;
+    params.base.front_count = fronts;
+    params.front.cross_pipeline_depth = cross_pipeline_depth;
     params.base.batch_size_max = 16;
     params.base.batch_delay = sim::microseconds(200);
     params.base.coalesce_wire = true;
@@ -117,22 +133,50 @@ struct FrontCounters {
     std::uint64_t cross_shard_commits = 0;
     std::uint64_t upstream_failovers = 0;
     int router_fanout = 0;
+    std::uint64_t cross_lock_waits = 0;
+    std::uint64_t cross_inflight_peak = 0;  // max over fronts
     std::vector<std::uint64_t> shard_forwarded;
 };
 
+/// Tier-wide counters: sums over every front (peaks take the max).
 FrontCounters front_counters(ShardedTroxyCluster& cluster) {
     FrontCounters out;
-    if (cluster.front() == nullptr) return out;
-    const auto status = cluster.front()->status();
-    out.requests = status.requests;
-    out.released = status.released;
-    out.cross_shard_commits = status.cross_shard_commits;
-    out.upstream_failovers = status.upstream_failovers;
-    out.router_fanout = status.router_fanout;
-    for (const auto& shard : status.shards) {
-        out.shard_forwarded.push_back(shard.forwarded);
+    for (int f = 0; f < cluster.front_count(); ++f) {
+        const auto status = cluster.front(f).status();
+        out.requests += status.requests;
+        out.released += status.released;
+        out.cross_shard_commits += status.cross_shard_commits;
+        out.upstream_failovers += status.upstream_failovers;
+        out.router_fanout = status.router_fanout;
+        out.cross_lock_waits += status.cross_lock_waits;
+        out.cross_inflight_peak = std::max(out.cross_inflight_peak,
+                                           status.cross_inflight_peak);
+        if (out.shard_forwarded.size() < status.shards.size()) {
+            out.shard_forwarded.resize(status.shards.size(), 0);
+        }
+        for (std::size_t s = 0; s < status.shards.size(); ++s) {
+            out.shard_forwarded[s] += status.shards[s].forwarded;
+        }
     }
     return out;
+}
+
+void json_front(std::FILE* json, const FrontCounters& front);
+
+/// Cross-commit latency percentile merged over every front's samples.
+double tier_cross_percentile_ms(ShardedTroxyCluster& cluster, double p) {
+    std::vector<sim::Duration> samples;
+    for (int f = 0; f < cluster.front_count(); ++f) {
+        const auto& front_samples = cluster.front(f).cross_latencies();
+        samples.insert(samples.end(), front_samples.begin(),
+                       front_samples.end());
+    }
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double rank = p * static_cast<double>(samples.size() - 1);
+    const auto index = std::min(static_cast<std::size_t>(rank + 0.5),
+                                samples.size() - 1);
+    return sim::to_millis(samples[index]);
 }
 
 // --------------------------------------------------------- saturation
@@ -208,6 +252,140 @@ SatCell run_saturation(int shards, double cross_fraction, bool smoke,
     cell.sim_events = cluster->simulator().executed_events();
     cell.front = front_counters(*cluster);
     return cell;
+}
+
+// ---------------------------------------------------- multiwrite sweep
+
+struct MwCell {
+    int shards = 0;
+    int fronts = 0;
+    double cross_fraction = 0.0;
+    std::size_t depth = 0;  // 0 = unbounded pipelining, 1 = serialized
+    std::size_t payload = 64;  // request bytes (front AEAD work scales)
+    double throughput = 0.0;       // routed requests/s (all ops)
+    double cross_rate = 0.0;       // cross-shard commits/s in the window
+    double cross_p50_ms = 0.0;     // admission → owner-reply release
+    double cross_p99_ms = 0.0;
+    double p50_ms = 0.0;           // client-observed request latency
+    double p99_ms = 0.0;
+    std::uint64_t completed = 0;
+    double wall_s = 0.0;
+    FrontCounters front;
+};
+
+/// Multiwrite-heavy cell with zero modeled execution cost: the shards'
+/// execution budget is out of the picture, so throughput measures the
+/// front tier and the cross-shard commit engine — the two things this
+/// sweep varies (F fronts, pipelined vs serialized lane).
+MwCell run_multiwrite(int shards, int fronts, double cross_fraction,
+                      std::size_t depth, bool smoke,
+                      std::size_t payload = 64) {
+    const int keys = 4096;
+    const int connections = 64;
+    const int pipeline = 64;
+    auto cluster =
+        make_cluster(shards, keys, /*exec_cost=*/0, fronts, depth);
+    std::vector<troxy_core::LegacyClient*> conns;
+    for (int i = 0; i < connections; ++i) {
+        conns.push_back(&cluster->add_client());
+    }
+
+    const sim::Duration warmup =
+        smoke ? sim::milliseconds(200) : sim::milliseconds(400);
+    const sim::Duration window =
+        smoke ? sim::milliseconds(800) : sim::milliseconds(1500);
+    Recorder recorder(warmup, window);
+
+    Workload workload(
+        cluster->simulator(), recorder,
+        [keys, cross_fraction, payload](Rng& rng) {
+            GeneratedRequest out;
+            const std::uint64_t key =
+                rng.next_below(static_cast<std::uint64_t>(keys));
+            if (cross_fraction > 0.0 &&
+                rng.next_double() < cross_fraction) {
+                out.payload = apps::EchoService::make_multi_write(
+                    key,
+                    (key + static_cast<std::uint64_t>(keys) / 2) %
+                        static_cast<std::uint64_t>(keys),
+                    payload);
+            } else {
+                out.payload = apps::EchoService::make_write(key, payload);
+            }
+            return out;
+        },
+        /*seed=*/42);
+    for (auto* conn : conns) workload.drive_legacy(*conn, pipeline);
+
+    // Windowed cross-commit rate: snapshot the tier's completed-commit
+    // counter at the measurement window's edges.
+    std::uint64_t cross_at_start = 0;
+    std::uint64_t cross_at_end = 0;
+    auto tier_cross = [&cluster]() {
+        std::uint64_t sum = 0;
+        for (int f = 0; f < cluster->front_count(); ++f) {
+            sum += cluster->front(f).status().cross_shard_commits;
+        }
+        return sum;
+    };
+    cluster->simulator().after(
+        warmup, [&]() { cross_at_start = tier_cross(); });
+    cluster->simulator().after(
+        warmup + window, [&]() { cross_at_end = tier_cross(); });
+
+    const auto start = std::chrono::steady_clock::now();
+    cluster->simulator().run_until(recorder.window_end() +
+                                   sim::milliseconds(500));
+
+    MwCell cell;
+    cell.shards = shards;
+    cell.fronts = fronts;
+    cell.cross_fraction = cross_fraction;
+    cell.depth = depth;
+    cell.payload = payload;
+    cell.throughput = recorder.throughput_per_sec();
+    cell.cross_rate =
+        static_cast<double>(cross_at_end - cross_at_start) /
+        sim::to_seconds(window);
+    cell.cross_p50_ms = tier_cross_percentile_ms(*cluster, 0.50);
+    cell.cross_p99_ms = tier_cross_percentile_ms(*cluster, 0.99);
+    cell.p50_ms = recorder.percentile_latency_ms(50);
+    cell.p99_ms = recorder.percentile_latency_ms(99);
+    cell.completed = recorder.completed();
+    cell.wall_s = wall_seconds_since(start);
+    cell.front = front_counters(*cluster);
+    return cell;
+}
+
+void print_mw(const MwCell& cell) {
+    std::printf(
+        "  [F=%d %3.0f%% cross %4lluB%s] %8.0f req/s, %8.0f commits/s, "
+        "commit p50 %6.2f ms p99 %6.2f ms, %llu lock waits, peak %llu in "
+        "flight\n",
+        cell.fronts, cell.cross_fraction * 100.0,
+        static_cast<unsigned long long>(cell.payload),
+        cell.depth == 1 ? " serialized" : "", cell.throughput,
+        cell.cross_rate, cell.cross_p50_ms, cell.cross_p99_ms,
+        static_cast<unsigned long long>(cell.front.cross_lock_waits),
+        static_cast<unsigned long long>(cell.front.cross_inflight_peak));
+}
+
+void json_mw(std::FILE* json, const MwCell& c) {
+    std::fprintf(
+        json,
+        "{\"shards\": %d, \"fronts\": %d, \"cross_fraction\": %.2f, "
+        "\"cross_pipeline_depth\": %llu, \"payload\": %llu, "
+        "\"throughput_per_sec\": %.1f, "
+        "\"cross_commits_per_sec\": %.1f, \"cross_p50_ms\": %.3f, "
+        "\"cross_p99_ms\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"completed\": %llu, \"wall_clock_s\": %.3f, ",
+        c.shards, c.fronts, c.cross_fraction,
+        static_cast<unsigned long long>(c.depth),
+        static_cast<unsigned long long>(c.payload), c.throughput,
+        c.cross_rate, c.cross_p50_ms, c.cross_p99_ms, c.p50_ms, c.p99_ms,
+        static_cast<unsigned long long>(c.completed), c.wall_s);
+    json_front(json, c.front);
+    std::fprintf(json, "}");
 }
 
 // ---------------------------------------------------------- open loop
@@ -303,12 +481,16 @@ void json_front(std::FILE* json, const FrontCounters& front) {
                  "\"front_requests\": %llu, \"front_released\": %llu, "
                  "\"cross_shard_commits\": %llu, "
                  "\"upstream_failovers\": %llu, \"router_fanout\": %d, "
+                 "\"cross_lock_waits\": %llu, "
+                 "\"cross_inflight_peak\": %llu, "
                  "\"shard_forwarded\": [",
                  static_cast<unsigned long long>(front.requests),
                  static_cast<unsigned long long>(front.released),
                  static_cast<unsigned long long>(front.cross_shard_commits),
                  static_cast<unsigned long long>(front.upstream_failovers),
-                 front.router_fanout);
+                 front.router_fanout,
+                 static_cast<unsigned long long>(front.cross_lock_waits),
+                 static_cast<unsigned long long>(front.cross_inflight_peak));
     for (std::size_t s = 0; s < front.shard_forwarded.size(); ++s) {
         std::fprintf(json, "%s%llu", s > 0 ? ", " : "",
                      static_cast<unsigned long long>(
@@ -382,7 +564,79 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     cross.front.cross_shard_commits));
 
-    // Part 2: open-loop population sweep.
+    // Part 2: multiwrite sweep — the pipelined cross-shard commit engine
+    // and the multi-front tier, with execution cost out of the picture.
+    const std::vector<double> mw_fractions =
+        smoke ? std::vector<double>{0.50}
+              : std::vector<double>{0.0, 0.10, 0.50, 1.0};
+    const std::vector<int> mw_fronts =
+        smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+    std::printf("multiwrite sweep: S=4, zero exec cost, 64 conns x 64 "
+                "pipeline, pipelined lock-table engine\n");
+    std::vector<MwCell> mw_cells;
+    for (const double fraction : mw_fractions) {
+        for (const int fronts : mw_fronts) {
+            MwCell cell = run_multiwrite(4, fronts, fraction,
+                                         /*depth=*/0, smoke);
+            print_mw(cell);
+            mw_cells.push_back(std::move(cell));
+        }
+    }
+    // Serialized-lane baseline: the pre-pipelining single-commit flow
+    // (depth 1) at the sweep's heaviest shared configuration.
+    MwCell serialized = run_multiwrite(4, 1, 0.50, /*depth=*/1, smoke);
+    print_mw(serialized);
+
+    auto mw_cell_of = [&](int fronts, double fraction) -> const MwCell* {
+        for (const MwCell& cell : mw_cells) {
+            if (cell.fronts == fronts &&
+                cell.cross_fraction == fraction) {
+                return &cell;
+            }
+        }
+        return nullptr;
+    };
+    const MwCell* pipelined_50_f1 = mw_cell_of(1, 0.50);
+    const double pipelined_vs_serialized =
+        (pipelined_50_f1 != nullptr && serialized.cross_rate > 0.0)
+            ? pipelined_50_f1->cross_rate / serialized.cross_rate
+            : 0.0;
+
+    // Front-scaling cells: 4 KB requests make the front's per-byte AEAD
+    // passes (downstream record open + one upstream seal per touched
+    // shard) the dominant cost, so aggregate routed throughput tracks
+    // the number of fronts until the shards bind — the regime the
+    // multi-front tier exists for. 64 B requests are front-cheap: there
+    // the S=4 shards saturate long before one front does (the F sweep
+    // above shows flat throughput across F for exactly that reason).
+    const std::vector<int> fs_fronts =
+        smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+    std::printf("front scaling: S=4, 50%% cross, 4 KB requests — front "
+                "AEAD-bound\n");
+    std::vector<MwCell> fs_cells;
+    for (const int fronts : fs_fronts) {
+        MwCell cell = run_multiwrite(4, fronts, 0.50, /*depth=*/0, smoke,
+                                     /*payload=*/4096);
+        print_mw(cell);
+        fs_cells.push_back(std::move(cell));
+    }
+    auto fs_cell_of = [&](int fronts) -> const MwCell* {
+        for (const MwCell& cell : fs_cells) {
+            if (cell.fronts == fronts) return &cell;
+        }
+        return nullptr;
+    };
+    const MwCell* fs_f1 = fs_cell_of(1);
+    const MwCell* fs_f2 = fs_cell_of(2);
+    const double f2_vs_f1_routed =
+        (fs_f1 != nullptr && fs_f2 != nullptr && fs_f1->throughput > 0.0)
+            ? fs_f2->throughput / fs_f1->throughput
+            : 0.0;
+    std::printf("  pipelined vs serialized cross-commit rate: %.2fx; "
+                "F=2 vs F=1 routed throughput (4 KB): %.2fx\n",
+                pipelined_vs_serialized, f2_vs_f1_routed);
+
+    // Part 3: open-loop population sweep.
     const std::vector<std::uint64_t> populations =
         smoke ? std::vector<std::uint64_t>{100000}
               : std::vector<std::uint64_t>{10000, 100000, 1000000};
@@ -450,6 +704,26 @@ int main(int argc, char** argv) {
                  cross.p50_ms, cross.p99_ms);
     json_front(json, cross.front);
     std::fprintf(json, "},\n");
+    std::fprintf(json, "  \"multiwrite_sweep\": [\n");
+    for (std::size_t i = 0; i < mw_cells.size(); ++i) {
+        std::fprintf(json, "    ");
+        json_mw(json, mw_cells[i]);
+        std::fprintf(json, "%s\n", i + 1 < mw_cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"cross_serialized\": ");
+    json_mw(json, serialized);
+    std::fprintf(json, ",\n");
+    std::fprintf(json, "  \"front_scaling\": [\n");
+    for (std::size_t i = 0; i < fs_cells.size(); ++i) {
+        std::fprintf(json, "    ");
+        json_mw(json, fs_cells[i]);
+        std::fprintf(json, "%s\n", i + 1 < fs_cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"cross_pipelined_vs_serialized\": %.3f,\n",
+                 pipelined_vs_serialized);
+    std::fprintf(json, "  \"f2_vs_f1_routed\": %.3f,\n", f2_vs_f1_routed);
     std::fprintf(json, "  \"open_loop\": [\n");
     for (std::size_t i = 0; i < open_cells.size(); ++i) {
         const OpenCell& c = open_cells[i];

@@ -95,11 +95,13 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         ShardedTroxyCluster::Params sparams;
         sparams.base = params.base;
         sparams.base.shard_count = options.shards;
+        sparams.base.front_count = options.fronts;
         sparams.service = params.service;
         sparams.classifier = params.classifier;
         sparams.host = params.host;
         sparams.client = params.client;
         sparams.front.upstream = params.client;
+        sparams.front.cross_pipeline_depth = options.cross_pipeline_depth;
         std::vector<std::string> universe;
         for (int k = 0; k < std::max(options.keys, 1); ++k) {
             universe.push_back("k" + std::to_string(k));
@@ -183,6 +185,21 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     plan.schedule(base->simulator(), base->network(),
                   [&crash_at](int host) { crash_at(host); },
                   [&restart_at](int host) { restart_at(host); });
+
+    // Front-tier fault injection rides alongside the replica plan.
+    if (sharded && options.front_crash >= 0 &&
+        options.front_crash < sharded->front_count()) {
+        const int victim = options.front_crash;
+        base->simulator().after(options.front_crash_at, [&, victim]() {
+            sharded->crash_front(victim);
+        });
+        if (options.front_restart_at > options.front_crash_at) {
+            base->simulator().after(options.front_restart_at,
+                                    [&, victim]() {
+                                        sharded->restart_front(victim);
+                                    });
+        }
+    }
 
     // Closed-loop workload: each client keeps one request in flight.
     Checker checker;
@@ -382,21 +399,54 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     }
 
     if (sharded) {
-        const auto front_status = sharded->front()->status();
-        report.cross_shard_commits = front_status.cross_shard_commits;
-        report.front_requests = front_status.requests;
-        report.front_released = front_status.released;
-        report.front_failovers = front_status.upstream_failovers;
-        report.router_fanout = front_status.router_fanout;
+        // Aggregate over the front tier: counters sum (fronts are
+        // independent), peaks take the max, latency percentiles merge
+        // every front's raw samples.
+        std::vector<troxy_core::ShardFrontHost::Status> front_statuses;
+        std::vector<sim::Duration> merged_latencies;
+        report.front_count = sharded->front_count();
+        for (int f = 0; f < sharded->front_count(); ++f) {
+            auto& front = sharded->front(f);
+            front_statuses.push_back(front.status());
+            const auto& status = front_statuses.back();
+            report.cross_shard_commits += status.cross_shard_commits;
+            report.front_requests += status.requests;
+            report.front_released += status.released;
+            report.front_failovers += status.upstream_failovers;
+            report.router_fanout = status.router_fanout;
+            report.front_restarts += front.restarts();
+            report.cross_lock_waits += status.cross_lock_waits;
+            report.cross_inflight_peak = std::max(
+                report.cross_inflight_peak, status.cross_inflight_peak);
+            merged_latencies.insert(merged_latencies.end(),
+                                    front.cross_latencies().begin(),
+                                    front.cross_latencies().end());
+        }
+        if (!merged_latencies.empty()) {
+            std::sort(merged_latencies.begin(), merged_latencies.end());
+            auto at = [&](double p) {
+                const double rank =
+                    p * static_cast<double>(merged_latencies.size() - 1);
+                const auto index = std::min(
+                    static_cast<std::size_t>(rank + 0.5),
+                    merged_latencies.size() - 1);
+                return sim::to_millis(merged_latencies[index]);
+            };
+            report.cross_p50_ms = at(0.50);
+            report.cross_p99_ms = at(0.99);
+        }
         for (int s = 0; s < shard_count; ++s) {
             ShardChaosReport shard;
-            const auto& front_shard =
-                front_status.shards[static_cast<std::size_t>(s)];
-            shard.forwarded = front_shard.forwarded;
-            shard.replies = front_shard.replies;
-            shard.reads = front_shard.reads;
-            shard.writes = front_shard.writes;
-            shard.cross_participations = front_shard.cross_participations;
+            for (const auto& status : front_statuses) {
+                const auto& front_shard =
+                    status.shards[static_cast<std::size_t>(s)];
+                shard.forwarded += front_shard.forwarded;
+                shard.replies += front_shard.replies;
+                shard.reads += front_shard.reads;
+                shard.writes += front_shard.writes;
+                shard.cross_participations +=
+                    front_shard.cross_participations;
+            }
             for (int i = 0; i < hosts_per_shard; ++i) {
                 auto& host = host_at(s * hosts_per_shard + i);
                 const auto status = host.status();

@@ -122,6 +122,23 @@ struct ChaosOptions {
     /// workload's rng stream untouched so unsharded seeds replay
     /// bit-identically.
     double cross_shard_fraction = 0.0;
+    /// Routing fronts over the sharded deployment
+    /// (ClusterOptions::front_count); clients hash across them. Only
+    /// meaningful with shards > 1.
+    int fronts = 1;
+    /// Cross-shard commits allowed in flight per front
+    /// (ShardFrontHost::Options::cross_pipeline_depth): 0 = unbounded
+    /// pipelining through the per-key lock table, 1 = the serialized
+    /// single-commit lane.
+    std::size_t cross_pipeline_depth = 0;
+    /// Front-tier fault injection: crash front index `front_crash` at
+    /// `front_crash_at` and restart it at `front_restart_at` (0 = never).
+    /// front_crash < 0 disables. A front crash mid cross-shard commit
+    /// kills connection state and in-flight forwards; the front's
+    /// clients fail over to the next front on the ring and retransmit.
+    int front_crash = -1;
+    sim::SimTime front_crash_at = 0;
+    sim::SimTime front_restart_at = 0;
 
     // Fault schedule: faults are injected inside [fault_start, heal_by];
     // the run ends at `horizon`, leaving time to recover and drain.
@@ -189,13 +206,23 @@ struct ChaosReport {
     std::uint64_t st_chunks_reused = 0;   // verified from the local store
     std::uint64_t st_transfers_resumed = 0;
 
-    // Sharded-run observability (empty/zero in unsharded runs).
+    // Sharded-run observability (empty/zero in unsharded runs; counters
+    // are sums over the front tier unless noted).
     std::uint64_t cross_shard_commits = 0;  // completed two-shard commits
     std::uint64_t multiwrites_issued = 0;   // two-key ops the workload sent
     std::uint64_t front_requests = 0;       // classified + routed
     std::uint64_t front_released = 0;       // replies sent downstream
     std::uint64_t front_failovers = 0;      // upstream session failovers
     int router_fanout = 0;                  // upstream sessions (== S)
+    int front_count = 0;                    // fronts in the tier
+    std::uint64_t front_restarts = 0;       // front crash recoveries
+    /// Pipelined commit-engine observability: lock-table waits, peak
+    /// concurrent commits (max over fronts), and cross-commit latency
+    /// percentiles merged over every front's samples.
+    std::uint64_t cross_lock_waits = 0;
+    std::uint64_t cross_inflight_peak = 0;
+    double cross_p50_ms = 0.0;
+    double cross_p99_ms = 0.0;
     std::vector<ShardChaosReport> shards;
 
     /// Safety held and every request completed.

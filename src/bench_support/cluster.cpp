@@ -278,6 +278,17 @@ ShardedTroxyCluster::ShardedTroxyCluster(Params params)
             "ShardedTroxyCluster: shard_count must be at least 1, got " +
             std::to_string(shards));
     }
+    if (options_.front_count < 1) {
+        throw std::invalid_argument(
+            "ShardedTroxyCluster: front_count must be at least 1, got " +
+            std::to_string(options_.front_count));
+    }
+    if (options_.front_count > 1 && shards == 1) {
+        throw std::invalid_argument(
+            "ShardedTroxyCluster: front_count > 1 needs a sharded "
+            "deployment (shard_count > 1) — unsharded clients contact "
+            "the replicas directly");
+    }
     if (options_.replica_budget > 0 &&
         shards * n > options_.replica_budget) {
         throw std::invalid_argument(
@@ -308,26 +319,38 @@ ShardedTroxyCluster::ShardedTroxyCluster(Params params)
     }
 
     if (shards > 1) {
-        sim::Node& front_node = make_server_node("front");
-        front_identity_ = identity_for(options_.seed, 9000);
-        std::vector<troxy_core::ShardFrontHost::Backend> backends;
-        backends.reserve(groups_.size());
-        for (Group& group : groups_) {
-            troxy_core::ShardFrontHost::Backend backend;
-            for (int i = 0; i < n; ++i) {
-                backend.servers.push_back(
-                    group.config.node_of(static_cast<std::uint32_t>(i)));
-                backend.pinned_keys.push_back(
-                    group.identities[static_cast<std::size_t>(i)]
-                        .public_key);
+        const int fronts = options_.front_count;
+        front_map_ = troxy_core::FrontMap(fronts);
+        for (int f = 0; f < fronts; ++f) {
+            // A single-front deployment keeps the pre-multi-front node
+            // name and identity seed so it replays bit-identically.
+            const std::string name =
+                fronts == 1 ? "front" : "front" + std::to_string(f);
+            sim::Node& front_node = make_server_node(name);
+            front_identities_.push_back(
+                identity_for(options_.seed, 9000 + f));
+            std::vector<troxy_core::ShardFrontHost::Backend> backends;
+            backends.reserve(groups_.size());
+            for (Group& group : groups_) {
+                troxy_core::ShardFrontHost::Backend backend;
+                for (int i = 0; i < n; ++i) {
+                    backend.servers.push_back(
+                        group.config.node_of(
+                            static_cast<std::uint32_t>(i)));
+                    backend.pinned_keys.push_back(
+                        group.identities[static_cast<std::size_t>(i)]
+                            .public_key);
+                }
+                backends.push_back(std::move(backend));
             }
-            backends.push_back(std::move(backend));
+            fronts_.push_back(
+                std::make_unique<troxy_core::ShardFrontHost>(
+                    fabric_, front_node, map_, std::move(backends),
+                    front_identities_.back(), params.classifier, native_,
+                    params.front));
+            fronts_.back()->attach();
+            fronts_.back()->start();
         }
-        front_ = std::make_unique<troxy_core::ShardFrontHost>(
-            fabric_, front_node, map_, std::move(backends),
-            front_identity_, params.classifier, native_, params.front);
-        front_->attach();
-        front_->start();
     }
 }
 
@@ -405,10 +428,19 @@ troxy_core::LegacyClient& ShardedTroxyCluster::add_client() {
 
     std::vector<sim::NodeId> servers;
     std::vector<crypto::X25519Key> keys;
-    if (front_) {
-        // Sharded: the front is the single transparent endpoint.
-        servers.push_back(front_->node().id());
-        keys.push_back(front_identity_.public_key);
+    if (!fronts_.empty()) {
+        // Sharded: the front tier is the transparent endpoint. The
+        // consistent-hash ring picks this client's home front; the rest
+        // of the ring walk is its failover list, so a dead front sends
+        // the client to the next one (fronts are stateless, any front
+        // serves any client).
+        for (const int f : front_map_.failover_order(node.id())) {
+            servers.push_back(
+                fronts_[static_cast<std::size_t>(f)]->node().id());
+            keys.push_back(
+                front_identities_[static_cast<std::size_t>(f)]
+                    .public_key);
+        }
     } else {
         // Unsharded: round-robin contact with full failover list,
         // exactly like TroxyCluster::add_client.
@@ -443,6 +475,14 @@ void ShardedTroxyCluster::restart_host(int shard, int replica) {
     groups_.at(static_cast<std::size_t>(shard))
         .hosts.at(static_cast<std::size_t>(replica))
         ->restart(service_factory_());
+}
+
+void ShardedTroxyCluster::crash_front(int front) {
+    fronts_.at(static_cast<std::size_t>(front))->crash();
+}
+
+void ShardedTroxyCluster::restart_front(int front) {
+    fronts_.at(static_cast<std::size_t>(front))->restart();
 }
 
 // -------------------------------------------------------- BaselineCluster

@@ -83,6 +83,12 @@ struct ClusterOptions {
     /// Upper bound on total replicas across all shards (testbed machine
     /// budget); 0 = unlimited. shard_count * (2f+1) must fit inside it.
     int replica_budget = 0;
+    /// Independent routing fronts over the sharded deployment (fronts
+    /// share no state; clients are assigned by consistent hashing).
+    /// Only meaningful when shard_count > 1; front_count == 1 keeps the
+    /// single-front deployment bit-identical to the pre-multi-front
+    /// builds.
+    int front_count = 1;
 };
 
 /// Owns the simulator, network, fabric and nodes shared by a deployment.
@@ -182,13 +188,17 @@ class TroxyCluster : public ClusterBase {
 
 // --------------------------------------------------------- Sharded Troxy
 
-/// S independent Troxy-backed Hybster groups behind one transparent
-/// front (ISSUE 9). Each shard is a full 2f+1 replica group with its own
-/// log, leader, checkpoints and Troxy cache slice; the front terminates
-/// legacy client channels, routes by the ShardMap and merges replies so
-/// clients observe a single endpoint. With shard_count == 1 the
-/// deployment is byte-identical to TroxyCluster: same node names, same
-/// seeds, no front node, clients contact the replicas directly.
+/// S independent Troxy-backed Hybster groups behind a transparent front
+/// tier. Each shard is a full 2f+1 replica group with its own log,
+/// leader, checkpoints and Troxy cache slice; a front terminates legacy
+/// client channels, routes by the ShardMap and merges replies so clients
+/// observe a single endpoint. The front holds no protocol state, so the
+/// tier scales out: front_count > 1 runs F independent fronts over the
+/// same shards with consistent-hash client assignment (FrontMap); a
+/// client's failover list walks the ring, so a front crash sends its
+/// clients to the next front. With shard_count == 1 the deployment is
+/// byte-identical to TroxyCluster: same node names, same seeds, no
+/// front node, clients contact the replicas directly.
 class ShardedTroxyCluster : public ClusterBase {
   public:
     struct Params {
@@ -222,18 +232,35 @@ class ShardedTroxyCluster : public ClusterBase {
         return *groups_.at(static_cast<std::size_t>(shard))
                     .hosts.at(static_cast<std::size_t>(replica));
     }
-    /// The routing front; only present when shards() > 1.
+    /// The first routing front; only present when shards() > 1.
     [[nodiscard]] troxy_core::ShardFrontHost* front() noexcept {
-        return front_.get();
+        return fronts_.empty() ? nullptr : fronts_.front().get();
+    }
+    [[nodiscard]] troxy_core::ShardFrontHost& front(int f) {
+        return *fronts_.at(static_cast<std::size_t>(f));
+    }
+    [[nodiscard]] int front_count() const noexcept {
+        return static_cast<int>(fronts_.size());
+    }
+    /// The consistent-hash ring assigning clients to fronts.
+    [[nodiscard]] const troxy_core::FrontMap& front_map() const noexcept {
+        return front_map_;
     }
 
-    /// Adds a legacy client. Sharded: contacts the front (single
-    /// endpoint). Unsharded: identical to TroxyCluster::add_client with
+    /// Adds a legacy client. Sharded: contacts its consistent-hash front
+    /// first, with the remaining fronts as failover targets in ring
+    /// order. Unsharded: identical to TroxyCluster::add_client with
     /// round-robin contact over the replicas.
     troxy_core::LegacyClient& add_client();
 
     void crash_host(int shard, int replica);
     void restart_host(int shard, int replica);
+
+    /// Front-tier crash/restart. A crashed front drops its connections
+    /// and in-flight forwards; its clients time out and fail over to the
+    /// next front on the ring (the shards never notice).
+    void crash_front(int front);
+    void restart_front(int front);
 
     [[nodiscard]] std::vector<troxy_core::LegacyClient*> clients() {
         std::vector<troxy_core::LegacyClient*> out;
@@ -253,9 +280,10 @@ class ShardedTroxyCluster : public ClusterBase {
     hybster::ServiceFactory service_factory_;
     troxy_core::LegacyClient::Options client_options_;
     troxy_core::ShardMap map_;
+    troxy_core::FrontMap front_map_;
     std::vector<Group> groups_;
-    std::unique_ptr<troxy_core::ShardFrontHost> front_;
-    crypto::X25519Keypair front_identity_;
+    std::vector<std::unique_ptr<troxy_core::ShardFrontHost>> fronts_;
+    std::vector<crypto::X25519Keypair> front_identities_;
     std::vector<std::unique_ptr<troxy_core::LegacyClient>> clients_;
     int next_contact_ = 0;
 };

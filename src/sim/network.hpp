@@ -196,6 +196,13 @@ class Network {
     /// Called by a dispatcher that had to flatten a chain for a
     /// non-chain-aware receiver.
     void count_materialization() noexcept { ++wire_stats_.materializations; }
+    /// Books a payload handed onward by reference instead of copied —
+    /// e.g. the shard front fanning one cross-shard request out to N
+    /// upstream sessions from one refcounted buffer (Fragment::Shared
+    /// semantics outside the chain path).
+    void count_referenced(std::size_t bytes) noexcept {
+        wire_stats_.bytes_referenced += bytes;
+    }
 
     /// The network's size-class payload pool. Senders acquire() wire
     /// buffers from it and receivers recycle() exhausted ones, closing

@@ -113,8 +113,47 @@ void LegacyClient::arm_watchdog() {
     });
 }
 
+void LegacyClient::shutdown() {
+    // The object survives (simulator timers hold raw pointers to it);
+    // the session does not. The generation bump turns every armed
+    // watchdog into a no-op, and outstanding_ dies with the process —
+    // whoever owned those requests re-issues them after restart.
+    channel_.reset();
+    outstanding_.clear();
+    send_buffer_.clear();
+    ready_ = nullptr;
+    ++watchdog_generation_;
+    consecutive_failovers_ = 0;
+}
+
+void LegacyClient::send_ref(std::shared_ptr<const Bytes> app_request,
+                            ReplyCallback callback) {
+    if (options_.coalesce_sends) {
+        // The coalescing buffer owns its payloads; keep that path
+        // byte-identical by copying here (references pay off on the
+        // immediate fan-out path, which is where the front uses them).
+        send(*app_request, std::move(callback));
+        return;
+    }
+    outstanding_.push_back(
+        Outstanding{{}, app_request, std::move(callback)});
+    if (!connected()) return;  // flushed after handshake completes
+
+    enclave::CostMeter meter;
+    enclave::CostedCrypto crypto(profile_, meter);
+    net::Outbox outbox(fabric_, node_);
+    crypto.charge(profile_.aead(app_request->size()));
+    Writer frame;
+    frame.u8(static_cast<std::uint8_t>(net::Channel::Client));
+    frame.u8(static_cast<std::uint8_t>(net::ClientFrame::Record));
+    channel_->protect_many_into(frame, {ByteView(*app_request)});
+    outbox.send(servers_[server_index_], std::move(frame).take());
+    outbox.flush(meter);
+}
+
 void LegacyClient::send(Bytes app_request, ReplyCallback callback) {
-    outstanding_.push_back(Outstanding{app_request, std::move(callback)});
+    outstanding_.push_back(
+        Outstanding{app_request, nullptr, std::move(callback)});
     if (!connected()) return;  // flushed after handshake completes
 
     if (options_.coalesce_sends) {
@@ -194,13 +233,13 @@ void LegacyClient::on_message(sim::NodeId from, ByteView payload) {
             // Flush everything queued while disconnected.
             net::Outbox outbox(fabric_, node_);
             for (const Outstanding& item : outstanding_) {
-                crypto.charge(profile_.aead(item.request.size()));
+                crypto.charge(profile_.aead(item.view().size()));
                 outbox.send(
                     servers_[server_index_],
                     net::wrap(net::Channel::Client,
                               net::frame_client(net::ClientFrame::Record,
                                                 channel_->protect(
-                                                    item.request))));
+                                                    item.view()))));
             }
             if (ready_) {
                 outbox.defer(std::exchange(ready_, nullptr));

@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -64,6 +65,23 @@ class LegacyClient {
     /// is allowed.
     void send(Bytes app_request, ReplyCallback callback);
 
+    /// Like send(), but the request payload is a refcounted reference
+    /// (Fragment::Shared semantics): the caller can hand the same buffer
+    /// to several sessions without one copy per recipient — the shard
+    /// front's cross-shard fan-out. The bytes are read at seal time
+    /// (and again on retransmission), never copied into the client.
+    /// Coalesced sessions fall back to the copying buffer, keeping the
+    /// flush path byte-identical.
+    void send_ref(std::shared_ptr<const Bytes> app_request,
+                  ReplyCallback callback);
+
+    /// Goes dormant without destroying the object: drops the channel,
+    /// the in-flight queue and the coalescing buffer, and fences every
+    /// armed watchdog. Used when the owning process crashes — pending
+    /// simulator timers hold raw pointers to this client, so the object
+    /// must outlive them; start() brings it back with a fresh session.
+    void shutdown();
+
     /// Tears the secure channel down and opens a fresh session to the
     /// same server: a full handshake with new session keys, exactly what
     /// the server sees when one user departs and another connects.
@@ -117,8 +135,12 @@ class LegacyClient {
     std::function<void()> ready_;
 
     struct Outstanding {
-        Bytes request;
+        Bytes request;  // owned payload (empty when `ref` is set)
+        std::shared_ptr<const Bytes> ref;  // refcounted payload
         ReplyCallback callback;
+        [[nodiscard]] ByteView view() const noexcept {
+            return ref ? ByteView(*ref) : ByteView(request);
+        }
     };
     std::deque<Outstanding> outstanding_;  // FIFO: replies match in order
     /// Requests awaiting the end-of-instant coalesced flush

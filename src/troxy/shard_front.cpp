@@ -1,5 +1,7 @@
 #include "troxy/shard_front.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/serialize.hpp"
 #include "net/client_framing.hpp"
@@ -8,6 +10,62 @@
 #include "net/outbox.hpp"
 
 namespace troxy::troxy_core {
+
+CrossLockTable::Admission CrossLockTable::admit(
+    CommitId id, const std::vector<std::string>& keys) {
+    TROXY_ASSERT(!keys.empty(), "a commit must lock at least one key");
+    TROXY_ASSERT(keysets_.find(id) == keysets_.end(),
+                 "commit id admitted twice");
+    Admission admission;
+    for (const std::string& key : keys) {
+        std::deque<CommitId>& queue = queues_[key];
+        if (!queue.empty()) admission.blocked_on.push_back(key);
+        queue.push_back(id);
+    }
+    keysets_.emplace(id, keys);
+    admission.runnable = admission.blocked_on.empty();
+    return admission;
+}
+
+bool CrossLockTable::is_runnable(CommitId id) const {
+    const auto it = keysets_.find(id);
+    TROXY_ASSERT(it != keysets_.end(), "unknown commit id");
+    for (const std::string& key : it->second) {
+        const auto queue = queues_.find(key);
+        if (queue == queues_.end() || queue->second.front() != id) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<CrossLockTable::CommitId> CrossLockTable::release(CommitId id) {
+    const auto it = keysets_.find(id);
+    TROXY_ASSERT(it != keysets_.end(), "releasing unknown commit id");
+    // std::set: successors surface deduplicated and in ascending id
+    // order, matching the admission total order.
+    std::set<CommitId> successors;
+    for (const std::string& key : it->second) {
+        const auto queue = queues_.find(key);
+        TROXY_ASSERT(queue != queues_.end() &&
+                         !queue->second.empty() &&
+                         queue->second.front() == id,
+                     "released commit must head every one of its queues");
+        queue->second.pop_front();
+        if (queue->second.empty()) {
+            queues_.erase(queue);
+        } else {
+            successors.insert(queue->second.front());
+        }
+    }
+    keysets_.erase(it);
+
+    std::vector<CommitId> runnable;
+    for (const CommitId successor : successors) {
+        if (is_runnable(successor)) runnable.push_back(successor);
+    }
+    return runnable;
+}
 
 ShardFrontHost::ShardFrontHost(net::Fabric& fabric, sim::Node& node,
                                ShardMap map, std::vector<Backend> backends,
@@ -52,6 +110,32 @@ void ShardFrontHost::start() {
     for (auto& upstream : upstreams_) {
         upstream->start(nullptr);
     }
+}
+
+void ShardFrontHost::crash() {
+    TROXY_ASSERT(!crashed_, "front already crashed");
+    crashed_ = true;
+    // The process stops receiving; everything volatile dies with it.
+    // Upstream LegacyClients go dormant instead of being destroyed —
+    // their armed watchdog timers hold raw pointers into the objects and
+    // are fenced off by shutdown()'s generation bump.
+    fabric_.detach(node_.id());
+    for (auto& upstream : upstreams_) {
+        upstream->shutdown();
+    }
+    connections_.clear();
+    commits_.clear();
+    ready_.clear();
+    locks_.clear();
+    cross_inflight_ = 0;
+}
+
+void ShardFrontHost::restart() {
+    TROXY_ASSERT(crashed_, "restart() needs a crashed front");
+    crashed_ = false;
+    ++restarts_;
+    attach();
+    start();  // fresh upstream sessions; clients re-handshake on contact
 }
 
 void ShardFrontHost::on_chain(sim::NodeId from, sim::FragmentChain chain) {
@@ -175,7 +259,7 @@ void ShardFrontHost::handle_request(sim::NodeId from, Connection& conn,
         return;
     }
     enqueue_cross(from, conn, std::move(shards), owner,
-                  std::move(app_request));
+                  std::move(app_request), info);
 }
 
 void ShardFrontHost::forward_single(sim::NodeId from, Connection& conn,
@@ -200,7 +284,8 @@ void ShardFrontHost::forward_single(sim::NodeId from, Connection& conn,
 
 void ShardFrontHost::enqueue_cross(sim::NodeId from, Connection& conn,
                                    std::vector<int> shards, int owner,
-                                   Bytes app_request) {
+                                   Bytes app_request,
+                                   const hybster::RequestInfo& info) {
     for (const int s : shards) {
         ShardStats& stats = shard_stats_[static_cast<std::size_t>(s)];
         ++stats.forwarded;
@@ -208,42 +293,92 @@ void ShardFrontHost::enqueue_cross(sim::NodeId from, Connection& conn,
         ++stats.cross_participations;
     }
     CrossCommit commit;
+    commit.id = next_commit_id_++;
     commit.client = from;
     commit.generation = conn.generation;
     commit.slot = conn.next_assign++;
-    commit.request = std::move(app_request);
+    commit.request =
+        std::make_shared<const Bytes>(std::move(app_request));
     commit.shards = std::move(shards);
+    // Canonical lock set: the classifier's full key closure, sorted and
+    // deduplicated. Canonical order is what makes atomic admission a
+    // total order over conflicting commits.
+    commit.keys.reserve(info.extra_keys.size() + 1);
+    commit.keys.push_back(info.state_key);
+    commit.keys.insert(commit.keys.end(), info.extra_keys.begin(),
+                       info.extra_keys.end());
+    std::sort(commit.keys.begin(), commit.keys.end());
+    commit.keys.erase(std::unique(commit.keys.begin(), commit.keys.end()),
+                      commit.keys.end());
     commit.owner = owner;
-    cross_queue_.push_back(std::move(commit));
+    commit.admitted_at = fabric_.simulator().now();
+
+    const CrossLockTable::Admission admission =
+        locks_.admit(commit.id, commit.keys);
+    if (admission.runnable) {
+        ready_.insert(commit.id);
+    } else {
+        commit.waited = true;
+        ++cross_lock_waits_;
+        for (const std::string& key : admission.blocked_on) {
+            ++lock_waits_by_key_[key];
+        }
+    }
+    commits_.emplace(commit.id, std::move(commit));
     cross_queue_peak_ =
-        std::max<std::uint64_t>(cross_queue_peak_, cross_queue_.size());
-    if (!cross_active_) {
-        cross_active_ = true;
-        send_cross_step();
+        std::max<std::uint64_t>(cross_queue_peak_, commits_.size());
+    pump_cross();
+}
+
+void ShardFrontHost::pump_cross() {
+    const std::size_t depth = options_.cross_pipeline_depth;
+    // Dispatch in admission order (lowest id first). At depth 1 the
+    // oldest live commit is always runnable when the lane frees — every
+    // commit admitted before it has completed — so this loop degenerates
+    // to the serialized global FIFO.
+    while (!ready_.empty() &&
+           (depth == 0 || cross_inflight_ < depth)) {
+        const CrossLockTable::CommitId id = *ready_.begin();
+        ready_.erase(ready_.begin());
+        const auto it = commits_.find(id);
+        TROXY_ASSERT(it != commits_.end(), "ready commit without record");
+        CrossCommit& commit = it->second;
+        ++cross_inflight_;
+        cross_inflight_peak_ = std::max<std::uint64_t>(
+            cross_inflight_peak_, cross_inflight_);
+        cross_lock_wait_total_ +=
+            fabric_.simulator().now() - commit.admitted_at;
+        send_cross_step(commit);
     }
 }
 
-void ShardFrontHost::send_cross_step() {
-    CrossCommit& commit = cross_queue_.front();
+void ShardFrontHost::send_cross_step(CrossCommit& commit) {
     const int shard = commit.shards[commit.next];
+    const CrossLockTable::CommitId id = commit.id;
     // The full request goes to every touched shard: each shard's service
     // executes it against the keys it owns, so the owner of every key in
-    // the closure sees the write in its ordered log.
-    Bytes request = commit.request;
-    upstreams_[static_cast<std::size_t>(shard)]->send(
-        std::move(request),
-        [this, shard](Bytes reply) { advance_cross(shard, std::move(reply)); });
+    // the closure sees the write in its ordered log. The payload travels
+    // as a refcounted reference — one buffer serves every shard's
+    // forward; the upstream session seals its ciphertext straight from
+    // the shared bytes.
+    fabric_.network().count_referenced(commit.request->size());
+    upstreams_[static_cast<std::size_t>(shard)]->send_ref(
+        commit.request, [this, id, shard](Bytes reply) {
+            advance_cross(id, shard, std::move(reply));
+        });
 }
 
-void ShardFrontHost::advance_cross(int shard, Bytes reply) {
-    TROXY_ASSERT(!cross_queue_.empty(), "cross-shard lane out of sync");
-    CrossCommit& commit = cross_queue_.front();
+void ShardFrontHost::advance_cross(CrossLockTable::CommitId id, int shard,
+                                   Bytes reply) {
+    const auto it = commits_.find(id);
+    if (it == commits_.end()) return;  // pre-crash straggler
+    CrossCommit& commit = it->second;
     if (shard == commit.owner) {
         commit.owner_reply = std::move(reply);
     }
     ++commit.next;
     if (commit.next < commit.shards.size()) {
-        send_cross_step();
+        send_cross_step(commit);
         return;
     }
     // Every shard committed: release the owner's reply. Releasing only
@@ -251,15 +386,18 @@ void ShardFrontHost::advance_cross(int shard, Bytes reply) {
     // follow-up read of any touched key (routed to that key's owner
     // shard) lands after that shard's commit.
     ++cross_commits_;
-    CrossCommit done = std::move(cross_queue_.front());
-    cross_queue_.pop_front();
+    cross_latencies_.push_back(fabric_.simulator().now() -
+                               commit.admitted_at);
+    CrossCommit done = std::move(it->second);
+    commits_.erase(it);
+    --cross_inflight_;
+    for (const CrossLockTable::CommitId successor :
+         locks_.release(done.id)) {
+        ready_.insert(successor);
+    }
     deliver_reply(done.client, done.generation, done.slot,
                   std::move(done.owner_reply));
-    if (cross_queue_.empty()) {
-        cross_active_ = false;
-    } else {
-        send_cross_step();
-    }
+    pump_cross();
 }
 
 void ShardFrontHost::deliver_reply(sim::NodeId client,
@@ -289,12 +427,36 @@ void ShardFrontHost::deliver_reply(sim::NodeId client,
     outbox.flush(meter);
 }
 
+namespace {
+
+double percentile_ms(std::vector<sim::Duration> samples, double p) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double rank = p * static_cast<double>(samples.size() - 1);
+    const auto index = static_cast<std::size_t>(rank + 0.5);
+    return sim::to_millis(samples[std::min(index, samples.size() - 1)]);
+}
+
+}  // namespace
+
 ShardFrontHost::Status ShardFrontHost::status() const {
     Status status;
     status.requests = requests_;
     status.released = released_;
     status.cross_shard_commits = cross_commits_;
     status.cross_queue_peak = cross_queue_peak_;
+    status.cross_inflight_peak = cross_inflight_peak_;
+    status.cross_lock_waits = cross_lock_waits_;
+    status.cross_lock_wait_ms_total = sim::to_millis(cross_lock_wait_total_);
+    status.cross_p50_ms = percentile_ms(cross_latencies_, 0.50);
+    status.cross_p99_ms = percentile_ms(cross_latencies_, 0.99);
+    status.contended_keys.assign(lock_waits_by_key_.begin(),
+                                 lock_waits_by_key_.end());
+    std::sort(status.contended_keys.begin(), status.contended_keys.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+              });
     status.connections = connections_accepted_;
     status.router_fanout = static_cast<int>(upstreams_.size());
     for (const auto& upstream : upstreams_) {

@@ -17,30 +17,102 @@
 // Reads ride each shard's cache-quorum fast path untouched — the front
 // just picks the shard whose Troxy cache slice owns the key. Writes
 // whose classifier closure (extra_keys) spans a second shard take the
-// cross-shard lane: a simple ordered commit that forwards the full
-// request to every touched shard in ascending shard order, one shard at
-// a time, and releases the owner shard's reply only after the last
-// shard committed. The lane is serialized (one cross-shard commit in
-// flight at a time), so every shard observes cross-shard writes in one
-// global order — two-shard commits can never interleave into a cycle —
-// while shard-local traffic flows around it unimpeded.
+// cross-shard lane: a pipelined commit engine admits any number of
+// NON-OVERLAPPING cross-shard commits concurrently through a per-key
+// lock table (keys = the classifier's state_key + extra_keys closure,
+// canonicalized by sorting). Each admitted commit independently walks
+// its ordered shard sequence — full request to every touched shard in
+// ascending shard order, one shard at a time — and the owner shard's
+// reply is released only after the last shard committed, keeping the
+// write visible-atomic to its client. Conflicting commits queue only
+// behind the specific keys they share: admission enqueues a commit on
+// every key's FIFO atomically, so for any two conflicting commits the
+// earlier-admitted one is ahead in EVERY shared queue — waits-for edges
+// always point from younger to older, the waits-for graph is acyclic,
+// and the engine is deadlock-free by construction. Per-connection
+// replies still release strictly in request-slot order, so pipelining
+// commits never reorders a client's stream. With cross_pipeline_depth
+// = 1 the engine degenerates to the serialized single-commit-in-flight
+// lane (global FIFO, same dispatch instants), replaying the pre-
+// pipelining configuration bit-identically.
+//
+// The front holds no protocol state — no log, no votes, no service
+// state — so the tier replicates freely (SplitBFT's untrusted-router
+// argument): a deployment runs F independent fronts over the same S
+// groups with consistent-hash client assignment (FrontMap). Fronts
+// share nothing; cross-front per-key ordering rides entirely on each
+// key's owner shard totally ordering its writers in one log. A crashed
+// front loses only connection state and in-flight forwards — its
+// clients fail over to the next front on the ring and retransmit, the
+// same at-least-once retry any ordinary web service relies on.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "crypto/x25519.hpp"
 #include "net/fabric.hpp"
 #include "net/secure_channel.hpp"
 #include "sim/cost.hpp"
+#include "sim/time.hpp"
 #include "troxy/enclave.hpp"
 #include "troxy/legacy_client.hpp"
 #include "troxy/shard_router.hpp"
 
 namespace troxy::troxy_core {
+
+/// Per-key FIFO lock table for pipelined cross-shard commits.
+///
+/// A commit is enqueued on every key of its (canonicalized) lock set in
+/// one atomic admission; it is runnable when it heads every one of its
+/// queues and holds its keys until released. Because admission order is
+/// a total order and every shared queue preserves it, a commit can only
+/// ever wait on commits admitted before it — the waits-for graph is
+/// acyclic and per-key dispatch order equals admission order.
+class CrossLockTable {
+  public:
+    using CommitId = std::uint64_t;
+
+    struct Admission {
+        bool runnable = false;
+        /// Keys whose queues already had a holder — what this commit is
+        /// waiting behind (empty iff runnable).
+        std::vector<std::string> blocked_on;
+    };
+
+    /// Enqueues `id` on every key's FIFO. `keys` must be canonical
+    /// (sorted, deduplicated) and non-empty; ids must be admitted in
+    /// strictly increasing order (the admission total order).
+    Admission admit(CommitId id, const std::vector<std::string>& keys);
+
+    /// Completes `id` (must be runnable): pops it from its queues and
+    /// returns every commit that became runnable as a result, in
+    /// ascending id order.
+    std::vector<CommitId> release(CommitId id);
+
+    [[nodiscard]] bool is_runnable(CommitId id) const;
+    /// Live commits (admitted, not yet released).
+    [[nodiscard]] std::size_t size() const noexcept {
+        return keysets_.size();
+    }
+    [[nodiscard]] std::size_t keys_locked() const noexcept {
+        return queues_.size();
+    }
+    void clear() {
+        queues_.clear();
+        keysets_.clear();
+    }
+
+  private:
+    std::map<std::string, std::deque<CommitId>> queues_;
+    std::map<CommitId, std::vector<std::string>> keysets_;
+};
 
 class ShardFrontHost {
   public:
@@ -55,6 +127,11 @@ class ShardFrontHost {
         /// Upstream session knobs (per-shard LegacyClients). The tighter
         /// the timeout, the faster the front follows a shard's failover.
         LegacyClient::Options upstream;
+        /// Cross-shard commits allowed in flight concurrently: 0 =
+        /// unbounded (the pipelined lock-table engine), 1 = the
+        /// serialized single-commit lane (bit-identical replay of the
+        /// pre-pipelining flow), k = bounded pipelining.
+        std::size_t cross_pipeline_depth = 0;
     };
 
     struct ShardStats {
@@ -70,7 +147,18 @@ class ShardFrontHost {
         std::uint64_t requests = 0;           // classified + routed
         std::uint64_t released = 0;           // replies sent downstream
         std::uint64_t cross_shard_commits = 0;
-        std::uint64_t cross_queue_peak = 0;   // lane backlog high-water
+        std::uint64_t cross_queue_peak = 0;   // live-commit high-water
+        std::uint64_t cross_inflight_peak = 0;  // concurrent dispatches
+        /// Commits that queued behind at least one locked key.
+        std::uint64_t cross_lock_waits = 0;
+        double cross_lock_wait_ms_total = 0.0;  // admission → dispatch
+        /// End-to-end cross-commit latency (admission → owner-reply
+        /// release), from every completed commit.
+        double cross_p50_ms = 0.0;
+        double cross_p99_ms = 0.0;
+        /// Lock-wait count per key, most contended first (keys with at
+        /// least one wait only).
+        std::vector<std::pair<std::string, std::uint64_t>> contended_keys;
         std::uint64_t connections = 0;        // downstream channels accepted
         std::uint64_t upstream_failovers = 0; // sum over shard sessions
         int router_fanout = 0;                // upstream sessions (== S)
@@ -91,7 +179,27 @@ class ShardFrontHost {
     /// handshake completes queue inside that shard's LegacyClient.
     void start();
 
+    /// Front crash: the process stops receiving (fabric detach), every
+    /// downstream connection, in-flight forward and queued cross-shard
+    /// commit dies. The shards are untouched — requests already on the
+    /// wire may still execute (ordinary at-least-once exposure); clients
+    /// fail over to another front and retransmit.
+    void crash();
+    /// Brings a crashed front back: re-attaches and opens fresh upstream
+    /// sessions. Downstream clients re-handshake on contact.
+    void restart();
+    [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+    [[nodiscard]] std::uint64_t restarts() const noexcept {
+        return restarts_;
+    }
+
     [[nodiscard]] Status status() const;
+    /// Raw cross-commit latency samples (admission → release), for
+    /// merging percentiles across fronts.
+    [[nodiscard]] const std::vector<sim::Duration>& cross_latencies()
+        const noexcept {
+        return cross_latencies_;
+    }
     [[nodiscard]] sim::Node& node() noexcept { return node_; }
     [[nodiscard]] const ShardMap& map() const noexcept { return map_; }
     [[nodiscard]] LegacyClient& upstream(int shard) {
@@ -115,16 +223,24 @@ class ShardFrontHost {
         std::map<std::uint64_t, Bytes> ready;
     };
 
-    /// One queued cross-shard commit on the serialized lane.
+    /// One live cross-shard commit: admitted into the lock table, then
+    /// dispatched through its ordered two-shard (or N-shard) sequence.
     struct CrossCommit {
+        CrossLockTable::CommitId id = 0;
         sim::NodeId client = 0;
         std::uint64_t generation = 0;
         std::uint64_t slot = 0;
-        Bytes request;
+        /// Refcounted request payload: one buffer serves every target
+        /// shard's forward (and retransmissions) without a per-shard
+        /// copy.
+        std::shared_ptr<const Bytes> request;
         std::vector<int> shards;  // ascending; forwarded one at a time
+        std::vector<std::string> keys;  // canonical lock set
         int owner = 0;            // shard whose reply the client sees
         std::size_t next = 0;
         Bytes owner_reply;
+        sim::SimTime admitted_at = 0;
+        bool waited = false;      // admission found a key locked
     };
 
     void on_message(sim::NodeId from, Bytes message);
@@ -136,9 +252,12 @@ class ShardFrontHost {
                         bool is_read, Bytes app_request);
     void enqueue_cross(sim::NodeId from, Connection& conn,
                        std::vector<int> shards, int owner,
-                       Bytes app_request);
-    void send_cross_step();
-    void advance_cross(int shard, Bytes reply);
+                       Bytes app_request, const hybster::RequestInfo& info);
+    /// Dispatches runnable commits while the depth budget allows, in
+    /// admission order (lowest id first).
+    void pump_cross();
+    void send_cross_step(CrossCommit& commit);
+    void advance_cross(CrossLockTable::CommitId id, int shard, Bytes reply);
     /// Banks `reply` under (client, slot) and seals every consecutively
     /// ready reply into downstream records.
     void deliver_reply(sim::NodeId client, std::uint64_t generation,
@@ -159,13 +278,25 @@ class ShardFrontHost {
     std::uint64_t handshake_counter_ = 0;
     std::uint64_t connection_generation_ = 0;
 
-    std::deque<CrossCommit> cross_queue_;
-    bool cross_active_ = false;
+    // Pipelined cross-shard commit engine.
+    CrossLockTable locks_;
+    std::map<CrossLockTable::CommitId, CrossCommit> commits_;
+    std::set<CrossLockTable::CommitId> ready_;  // runnable, undispatched
+    std::size_t cross_inflight_ = 0;
+    CrossLockTable::CommitId next_commit_id_ = 0;
+
+    bool crashed_ = false;
+    std::uint64_t restarts_ = 0;
 
     std::uint64_t requests_ = 0;
     std::uint64_t released_ = 0;
     std::uint64_t cross_commits_ = 0;
     std::uint64_t cross_queue_peak_ = 0;
+    std::uint64_t cross_inflight_peak_ = 0;
+    std::uint64_t cross_lock_waits_ = 0;
+    sim::Duration cross_lock_wait_total_ = 0;
+    std::map<std::string, std::uint64_t> lock_waits_by_key_;
+    std::vector<sim::Duration> cross_latencies_;
     std::uint64_t connections_accepted_ = 0;
     std::vector<ShardStats> shard_stats_;
 };

@@ -18,8 +18,10 @@
 // full key set would make every write cross-shard.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "hybster/service.hpp"
@@ -68,6 +70,44 @@ class ShardMap {
 
   private:
     std::vector<std::string> boundaries_;
+};
+
+/// Consistent-hash client assignment over F routing fronts.
+///
+/// The front tier holds no protocol state (SplitBFT's argument for
+/// replicating the untrusted routing layer freely): any front can serve
+/// any client, so assignment only has to be deterministic and balanced.
+/// Each front owns `vnodes` points on a 64-bit hash ring; a client is
+/// served by the front owning the first point at or after the client's
+/// own hash. Adding or removing one front therefore moves only the
+/// clients whose arcs that front owned — the classic consistent-hashing
+/// property — and every party (cluster builder, benches, tests) can
+/// recompute the assignment as a pure function of (front count, client
+/// id).
+class FrontMap {
+  public:
+    FrontMap() : FrontMap(1) {}
+
+    /// `fronts` >= 1; `vnodes` points per front smooth the ring (16 keeps
+    /// the max/min client load ratio small without bloating the table).
+    explicit FrontMap(int fronts, int vnodes = 16);
+
+    [[nodiscard]] int front_count() const noexcept { return fronts_; }
+
+    /// The front serving `client` (its node id): owner of the first ring
+    /// point at or after hash(client), wrapping at the top.
+    [[nodiscard]] int front_of(std::uint64_t client) const noexcept;
+
+    /// Failover order for `client`: the owner first, then each *distinct*
+    /// front met walking the ring clockwise. Every front appears exactly
+    /// once, so a client facing f dead fronts still reaches a live one.
+    [[nodiscard]] std::vector<int> failover_order(
+        std::uint64_t client) const;
+
+  private:
+    int fronts_ = 1;
+    /// (ring point, front) sorted by point.
+    std::vector<std::pair<std::uint64_t, int>> ring_;
 };
 
 }  // namespace troxy::troxy_core
